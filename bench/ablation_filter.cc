@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Ablation: the 3-sigma measurement filter (paper Eqs. 1-4). The decision
+ * walk runs on a platform with aggressive transient noise (page-fault-like
+ * performance dips) with and without the filter window; without it,
+ * single-sample decisions misjudge resources and the monitor phase
+ * spuriously re-walks.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/soft_decision.h"
+#include "rapl/rapl.h"
+#include "sim/platform.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+struct Outcome
+{
+    double normalizedPerf = 0.0;
+    int walks = 0;
+    double capViolationSec = 0.0;
+};
+
+Outcome
+run(const char* appName, double cap, int windowSamples, uint64_t seed)
+{
+    const auto apps = harness::singleApp(appName);
+    sim::PlatformOptions popts;
+    popts.seed = seed;
+    // Heavier transients than the default channel: 5% outlier samples.
+    popts.perfNoise = {0.03, 0.05, 0.3};
+    sim::Platform platform(popts, apps);
+    platform.warmStart(machine::maximalConfig());
+
+    core::DecisionWalker::Options wopts = core::SoftDecision::defaultOptions();
+    wopts.windowSamples = windowSamples;
+    core::SoftDecision governor(wopts);
+    rapl::RaplController rapl;
+    governor.attachRapl(&rapl);
+    governor.setCap(cap);
+    platform.addActor(&rapl);
+    platform.addActor(&governor);
+    const double duration =
+        std::getenv("PUPIL_BENCH_FAST") != nullptr ? 150.0 : 240.0;
+    platform.run(duration);
+
+    const auto oracle = capping::searchOptimal(
+        platform.scheduler(), platform.powerModel(), apps, cap);
+    Outcome outcome;
+    platform.resetStatsWindow();
+    platform.run(duration + 20.0);
+    outcome.normalizedPerf =
+        platform.energy().meanItemsPerSec() / oracle.aggregatePerf;
+    outcome.walks = governor.walker()->walkCount();
+    outcome.capViolationSec = platform.capViolationSec(cap);
+    return outcome;
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: the 3-sigma feedback filter under transient "
+                "noise ===\n\n");
+    util::Table table({"benchmark", "window", "perf vs optimal", "walks",
+                       "cap violations (s)"});
+    for (const char* name : {"x264", "bodytrack", "kmeans"}) {
+        for (int window : {1, 5, 30}) {
+            const Outcome outcome = run(name, 140.0, window, 1234);
+            table.addRow({name, util::Table::cell((long long)window),
+                          util::Table::cell(outcome.normalizedPerf),
+                          util::Table::cell((long long)outcome.walks),
+                          util::Table::cell(outcome.capViolationSec, 1)});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nWindow 1 = acting on raw samples: transient dips read as "
+                "real regressions, resources are misjudged and the monitor "
+                "re-walks; the paper's windowed 3-sigma filter makes "
+                "decisions on persistent signal only.\n");
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: PUPiL's core-proportional socket power distribution
+ * (Section 3.3.2) versus a naive even split. The benefit appears for
+ * workloads whose best configuration is asymmetric (single-socket apps
+ * like kmeans): the even split strands half the budget on the idle
+ * socket.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+int
+main()
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    std::printf("=== Ablation: PUPiL socket power distribution policy "
+                "===\n\n");
+    util::Table table({"benchmark", "cap (W)", "even-split",
+                       "core-proportional", "gain"});
+    for (const char* name : {"kmeans", "dijkstra", "x264", "swish++",
+                             "blackscholes"}) {
+        for (double cap : {60.0, 100.0, 140.0}) {
+            const auto apps = harness::singleApp(name);
+            const auto oracle = capping::searchOptimal(sched, pm, apps, cap);
+            double perf[2] = {0, 0};
+            int i = 0;
+            for (auto policy : {core::PowerDistPolicy::kEvenSplit,
+                                core::PowerDistPolicy::kCoreProportional}) {
+                auto options = bench::defaultOptions(cap);
+                bench::applyFastMode(options);
+                options.pupilPolicy = policy;
+                const auto result = harness::runExperiment(
+                    harness::GovernorKind::kPupil, apps, options);
+                perf[i++] = result.aggregatePerf / oracle.aggregatePerf;
+            }
+            table.addRow({name, util::Table::cell(cap, 0),
+                          util::Table::cell(perf[0]),
+                          util::Table::cell(perf[1]),
+                          util::Table::cell(perf[1] / perf[0])});
+        }
+    }
+    table.print(std::cout);
+    std::printf("\nAsymmetric-optimum apps (kmeans, dijkstra, swish++) lose "
+                "performance when half the budget is pinned to a socket "
+                "they do not use; symmetric apps are unaffected.\n");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reproduces Fig. 1: the tradeoff between timeliness and efficiency.
+ * x264 runs under a 140 W cap; RAPL (hardware) and Soft-Decision
+ * (software-only) power and performance traces are printed side by side,
+ * and full-resolution traces are written to CSV for plotting.
+ */
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/csv.h"
+
+using namespace pupil;
+
+namespace {
+
+double
+traceValueAt(const std::vector<telemetry::TracePoint>& trace, double t)
+{
+    double value = 0.0;
+    for (const auto& pt : trace) {
+        if (pt.timeSec > t)
+            break;
+        value = pt.value;
+    }
+    return value;
+}
+
+}  // namespace
+
+int
+main()
+{
+    const double cap = 140.0;
+    harness::ExperimentOptions options = bench::defaultOptions(cap);
+    bench::applyFastMode(options);
+    const double horizon = std::min(150.0, options.durationSec);
+    options.durationSec = horizon;
+    options.statsWindowSec = horizon;
+
+    std::printf("=== Fig. 1: RAPL vs Soft-Decision, x264 under a %.0f W cap "
+                "===\n\n", cap);
+    const auto apps = harness::singleApp("x264");
+    const auto rapl =
+        harness::runExperiment(harness::GovernorKind::kRapl, apps, options);
+    const auto soft = harness::runExperiment(
+        harness::GovernorKind::kSoftDecision, apps, options);
+
+    // The perf traces are normalized aggregates; convert to frames/s using
+    // the app's solo reference (items/s per normalized unit).
+    const double fpsPerUnit =
+        rapl.appItemsPerSec[0] > 0.0 && rapl.aggregatePerf > 0.0
+            ? rapl.appItemsPerSec[0] / rapl.aggregatePerf
+            : 1.0;
+
+    std::printf("%8s | %12s %14s | %12s %14s\n", "time(s)", "RAPL P(W)",
+                "RAPL (fps)", "Soft P(W)", "Soft (fps)");
+    for (double t = 2.5; t <= horizon; t += 5.0) {
+        std::printf("%8.1f | %12.1f %14.1f | %12.1f %14.1f\n", t,
+                    traceValueAt(rapl.powerTrace, t),
+                    traceValueAt(rapl.perfTrace, t) * fpsPerUnit,
+                    traceValueAt(soft.powerTrace, t),
+                    traceValueAt(soft.perfTrace, t) * fpsPerUnit);
+    }
+
+    std::printf("\nSummary:\n");
+    std::printf("  RAPL:          settles in %6.2f s, mean %5.1f fps\n",
+                rapl.settlingTimeSec, rapl.appItemsPerSec[0]);
+    std::printf("  Soft-Decision: settles in %6.2f s, mean %5.1f fps "
+                "(cap violated for %.1f s while exploring)\n",
+                soft.settlingTimeSec, soft.appItemsPerSec[0],
+                soft.capViolationSec);
+    std::printf("\nPaper reference: RAPL hits the cap quickly at ~33.5 fps; "
+                "the software approach needs tens of seconds but converges "
+                "~20%% higher (~41 fps).\n");
+
+    util::CsvWriter csv("fig1_trace.csv",
+                        {"time_s", "rapl_power_w", "rapl_fps",
+                         "soft_power_w", "soft_fps"});
+    for (size_t i = 0; i < rapl.powerTrace.size() &&
+                       i < soft.powerTrace.size(); ++i) {
+        csv.row(std::vector<double>{
+            rapl.powerTrace[i].timeSec, rapl.powerTrace[i].value,
+            rapl.perfTrace[i].value * fpsPerUnit, soft.powerTrace[i].value,
+            soft.perfTrace[i].value * fpsPerUnit});
+    }
+    std::printf("\nFull traces written to fig1_trace.csv\n");
+    return 0;
+}

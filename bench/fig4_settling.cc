@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 4: settling times of the power control techniques for
+ * every benchmark under the 140 W cap. Settling time is the time until
+ * the cap is durably enforced (Section 4.3.1); Soft-Modeling is omitted
+ * like in the paper (it is an offline approach with no settling notion).
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+int
+main()
+{
+    const double cap = 140.0;
+    std::printf("=== Fig. 4: settling time (ms) per benchmark, %.0f W cap "
+                "===\n\n", cap);
+
+    const std::vector<harness::GovernorKind> kinds = {
+        harness::GovernorKind::kRapl, harness::GovernorKind::kSoftDvfs,
+        harness::GovernorKind::kSoftDecision, harness::GovernorKind::kPupil};
+
+    util::Table table({"benchmark", "RAPL", "Soft-DVFS", "Soft-Decision",
+                       "PUPiL"});
+    std::vector<std::vector<double>> settle(kinds.size());
+    for (const std::string& name : bench::benchmarkNames()) {
+        std::vector<std::string> row = {name};
+        for (size_t g = 0; g < kinds.size(); ++g) {
+            auto options = bench::defaultOptions(cap);
+            bench::applyFastMode(options);
+            const auto result =
+                harness::runExperiment(kinds[g], harness::singleApp(name),
+                                       options);
+            const double ms = result.settlingTimeSec * 1000.0;
+            settle[g].push_back(ms);
+            row.push_back(util::Table::cell(ms, 0));
+        }
+        table.addRow(row);
+    }
+    std::vector<std::string> avgRow = {"Average"};
+    for (const auto& values : settle)
+        avgRow.push_back(util::Table::cell(util::mean(values), 0));
+    table.addSeparator();
+    table.addRow(avgRow);
+    table.print(std::cout);
+
+    std::printf(
+        "\nPaper reference (140 W): RAPL averages 356 ms, PUPiL 365 ms,\n"
+        "Soft-DVFS ~7,300 ms, Soft-Decision ~95,000 ms -- hardware enforces\n"
+        "the cap orders of magnitude faster than software, and the hybrid\n"
+        "keeps hardware's timeliness.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Reproduces Fig. 8: the ratio of PUPiL to RAPL energy efficiency for the
+ * multi-application mixes, cooperative and oblivious, across the caps.
+ * Efficiency is the mix's total (normalized) work divided by the energy
+ * consumed getting all of it done.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+int
+main()
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const double workSec =
+        std::getenv("PUPIL_BENCH_FAST") != nullptr ? 90.0 : 180.0;
+    // Keep the bench's runtime in check: evaluate the caps at the extremes
+    // and the middle (the paper's trend is monotone in between).
+    const std::vector<double> caps =
+        std::getenv("PUPIL_BENCH_FAST") != nullptr
+            ? std::vector<double>{60.0, 140.0, 220.0}
+            : bench::powerCaps();
+
+    std::printf("=== Fig. 8: PUPiL-to-RAPL energy-efficiency ratio ===\n\n");
+    for (auto scenario : {workload::Scenario::kCooperative,
+                          workload::Scenario::kOblivious}) {
+        std::printf("--- %s scenario ---\n",
+                    workload::scenarioName(scenario));
+        std::vector<std::string> header = {"mix"};
+        for (double cap : caps)
+            header.push_back(util::Table::cell((long long)cap) + "W");
+        util::Table table(header);
+        std::vector<std::vector<double>> perCap(caps.size());
+        for (const auto& mix : workload::multiAppMixes()) {
+            std::vector<std::string> row = {mix.name};
+            for (size_t c = 0; c < caps.size(); ++c) {
+                const auto apps = harness::mixApps(mix, scenario);
+                harness::ExperimentOptions options;
+                options.capWatts = caps[c];
+                for (const auto& app : apps) {
+                    const auto oracle =
+                        capping::searchOptimal(sched, pm, {app}, caps[c]);
+                    options.workItems.push_back(oracle.appItemsPerSec[0] *
+                                                workSec);
+                }
+                double eff[2] = {0, 0};
+                int g = 0;
+                for (auto kind : {harness::GovernorKind::kRapl,
+                                  harness::GovernorKind::kPupil}) {
+                    const auto result =
+                        harness::runExperiment(kind, apps, options);
+                    eff[g] = result.perfPerJoule;
+                    ++g;
+                }
+                const double ratio = eff[1] / eff[0];
+                perCap[c].push_back(ratio);
+                row.push_back(util::Table::cell(ratio));
+            }
+            table.addRow(row);
+        }
+        std::vector<std::string> meanRow = {"Harm.Mean"};
+        for (const auto& values : perCap)
+            meanRow.push_back(util::Table::cell(util::harmonicMean(values)));
+        table.addSeparator();
+        table.addRow(meanRow);
+        table.print(std::cout);
+        std::printf("\n");
+    }
+    std::printf("Paper reference: PUPiL improves multi-application energy\n"
+                "efficiency over RAPL by 5-40%% across caps -- not its goal,\n"
+                "but a by-product of finishing the same work sooner.\n");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) of the runtime components: the
+ * costs that determine whether the control systems could run at their
+ * modelled periods on real hardware (RAPL firmware at 1 ms, governor
+ * sampling at 100 ms) and how expensive the offline searches are.
+ */
+#include <benchmark/benchmark.h>
+
+#include "capping/oracle.h"
+#include "harness/experiment.h"
+#include "core/decision.h"
+#include "core/ordering.h"
+#include "machine/power_model.h"
+#include "rapl/rapl.h"
+#include "sched/scheduler.h"
+#include "sim/platform.h"
+#include "telemetry/filter.h"
+#include "workload/catalog.h"
+#include "workload/mixes.h"
+
+using namespace pupil;
+
+namespace {
+
+void
+BM_PowerModelEval(benchmark::State& state)
+{
+    const machine::PowerModel pm;
+    const auto cfg = machine::maximalConfig();
+    std::array<machine::SocketLoad, 2> loads{};
+    loads[0] = loads[1] = {8.0, 8.0, 0.8};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pm.totalPower(cfg, loads));
+}
+BENCHMARK(BM_PowerModelEval);
+
+void
+BM_SchedulerSolveSingleApp(benchmark::State& state)
+{
+    const sched::Scheduler sched;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("x264"), 32}};
+    const auto cfg = machine::maximalConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched.solve(cfg, {1.0, 1.0}, apps));
+}
+BENCHMARK(BM_SchedulerSolveSingleApp);
+
+void
+BM_SchedulerSolveMix(benchmark::State& state)
+{
+    const sched::Scheduler sched;
+    const auto apps = harness::mixApps(workload::findMix("mix8"),
+                                       workload::Scenario::kOblivious);
+    const auto cfg = machine::maximalConfig();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sched.solve(cfg, {1.0, 1.0}, apps));
+}
+BENCHMARK(BM_SchedulerSolveMix);
+
+void
+BM_SigmaFilterStep(benchmark::State& state)
+{
+    telemetry::SigmaFilter filter(30);
+    double x = 0.0;
+    for (auto _ : state) {
+        filter.add(100.0 + x);
+        x += 0.001;
+        benchmark::DoNotOptimize(filter.filtered());
+    }
+}
+BENCHMARK(BM_SigmaFilterStep);
+
+void
+BM_WalkerSampleStep(benchmark::State& state)
+{
+    const sched::Scheduler sched;
+    const machine::PowerModel pm;
+    const auto report =
+        core::calibrateOrdering(sched, pm, workload::calibrationApp());
+    core::DecisionWalker::Options options;
+    options.windowSamples = 30;
+    core::DecisionWalker walker(report.orderedResources(true), options);
+    walker.start(machine::minimalConfig(), 140.0, 0.0);
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 0.1;
+        walker.addSample(100.0, 120.0, now);
+        benchmark::DoNotOptimize(walker.converged());
+    }
+}
+BENCHMARK(BM_WalkerSampleStep);
+
+void
+BM_PlatformTickMillisecond(benchmark::State& state)
+{
+    sim::PlatformOptions options;
+    sim::Platform platform(options, {{&workload::findBenchmark("x264"), 32}});
+    platform.warmStart(machine::maximalConfig());
+    double t = 0.001;
+    for (auto _ : state) {
+        platform.run(t);
+        t += 0.001;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlatformTickMillisecond);
+
+void
+BM_RaplControlInterval(benchmark::State& state)
+{
+    sim::PlatformOptions options;
+    sim::Platform platform(options, {{&workload::findBenchmark("x264"), 32}});
+    platform.warmStart(machine::maximalConfig());
+    rapl::RaplController rapl;
+    rapl.setTotalCapEvenSplit(140.0);
+    rapl.onStart(platform);
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 0.001;
+        rapl.onTick(platform, now);
+    }
+}
+BENCHMARK(BM_RaplControlInterval);
+
+void
+BM_OracleSearchUserSpace(benchmark::State& state)
+{
+    const sched::Scheduler sched;
+    const machine::PowerModel pm;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("kmeans"), 32}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            capping::searchOptimal(sched, pm, apps, 140.0, false));
+    }
+}
+BENCHMARK(BM_OracleSearchUserSpace);
+
+void
+BM_CalibrateOrdering(benchmark::State& state)
+{
+    const sched::Scheduler sched;
+    const machine::PowerModel pm;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            core::calibrateOrdering(sched, pm, workload::calibrationApp()));
+    }
+}
+BENCHMARK(BM_CalibrateOrdering);
+
+}  // namespace
+
+BENCHMARK_MAIN();

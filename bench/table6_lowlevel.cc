@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Reproduces Table 6: low-level metrics (spin cycles %, achieved memory
+ * bandwidth) for the oblivious mixes where PUPiL's advantage over RAPL is
+ * largest (mix7, mix8, mix12), collected VTune-style over the whole run.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+int
+main()
+{
+    const double cap = 140.0;
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const double workSec =
+        std::getenv("PUPIL_BENCH_FAST") != nullptr ? 90.0 : 180.0;
+
+    std::printf("=== Table 6: PUPiL and RAPL low-level multiapp data "
+                "(oblivious, %.0f W) ===\n\n", cap);
+    util::Table table({"Workload", "Spin% RAPL", "Spin% PUPiL",
+                       "BW RAPL (GB/s)", "BW PUPiL (GB/s)"});
+    for (const char* mixName : {"mix7", "mix8", "mix12"}) {
+        const auto& mix = workload::findMix(mixName);
+        const auto apps =
+            harness::mixApps(mix, workload::Scenario::kOblivious);
+        harness::ExperimentOptions options;
+        options.capWatts = cap;
+        for (const auto& app : apps) {
+            const auto oracle = capping::searchOptimal(sched, pm, {app}, cap);
+            options.workItems.push_back(oracle.appItemsPerSec[0] * workSec);
+        }
+        double spin[2] = {0, 0};
+        double bw[2] = {0, 0};
+        int g = 0;
+        for (auto kind : {harness::GovernorKind::kRapl,
+                          harness::GovernorKind::kPupil}) {
+            const auto result = harness::runExperiment(kind, apps, options);
+            spin[g] = result.spinPercent;
+            bw[g] = result.bandwidthGBs;
+            ++g;
+        }
+        table.addRow({mixName, util::Table::cell(spin[0], 1),
+                      util::Table::cell(spin[1], 2),
+                      util::Table::cell(bw[0], 1),
+                      util::Table::cell(bw[1], 1)});
+    }
+    table.print(std::cout);
+    std::printf(
+        "\nPaper reference (Table 6):\n"
+        "  mix7   spin 15%% -> 0.23%%   BW 14.6 -> 23.8 GB/s\n"
+        "  mix8   spin 54%% -> 0.48%%   BW 17.5 -> 30.3 GB/s\n"
+        "  mix12  spin 33%% -> 0.40%%   BW 14.3 -> 27.0 GB/s\n"
+        "The mechanism: a polling app holds its scheduling quanta while\n"
+        "making no progress; PUPiL's resource throttling lets it finish\n"
+        "and leave, restoring bandwidth to the memory-bound apps.\n");
+    return 0;
+}

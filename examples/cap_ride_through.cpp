@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Riding through a power emergency: the cap drops in steps (datacenter
+ * brownout) and later recovers. PUPiL's hybrid design shows its value:
+ * every new cap is enforced by hardware within milliseconds, while the
+ * software walk re-optimizes the resource mix at its own pace. The
+ * example prints the cap, the actual power, and throughput around each
+ * transition.
+ */
+#include <cstdio>
+
+#include <pupil/pupil.h>
+
+using namespace pupil;
+
+namespace {
+
+void
+report(sim::Platform& platform, double t, double cap)
+{
+    std::printf("%6.0f  %6.0f  %7.1f  %9.2f  %s\n", t, cap,
+                platform.truePower(), platform.trueAppRate(0),
+                platform.machine().effectiveConfig(t).toString().c_str());
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("cfd"), 32}};
+    sim::PlatformOptions options;
+    options.seed = 7;
+    sim::Platform platform(options, apps);
+    platform.warmStart(machine::maximalConfig());
+
+    rapl::RaplController rapl;
+    core::Pupil pupil;
+    pupil.attachRapl(&rapl);
+    pupil.setCap(180.0);
+    platform.addActor(&rapl);
+    platform.addActor(&pupil);
+
+    // Cap schedule: normal -> brownout -> emergency -> recovery.
+    const struct { double untilSec; double cap; } schedule[] = {
+        {60.0, 180.0}, {120.0, 100.0}, {180.0, 60.0}, {240.0, 140.0},
+    };
+
+    std::printf("cfd under a changing power cap (PUPiL)\n");
+    std::printf("%6s  %6s  %7s  %9s  %s\n", "t(s)", "cap(W)", "P(W)",
+                "items/s", "effective configuration");
+    double start = 0.0;
+    for (const auto& phase : schedule) {
+        // Program the new cap through the hardware interface first --
+        // exactly what PUPiL's timeliness design calls for.
+        rapl.setTotalCapEvenSplit(phase.cap);
+        pupil.setCap(phase.cap);
+        for (double t = start + 10.0; t <= phase.untilSec; t += 10.0) {
+            platform.run(t);
+            report(platform, t, phase.cap);
+        }
+        start = phase.untilSec;
+    }
+
+    const double settle =
+        telemetry::settlingTime(platform.powerTrace(), 60.0);
+    std::printf("\nThe 60 W emergency cap was last violated %.2f s after "
+                "t=0 -- i.e. within a blink of the 120 s cap change "
+                "(hardware re-clamped immediately).\n", settle - 120.0);
+    return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef PUPIL_CAPPING_GOVERNOR_H_
+#define PUPIL_CAPPING_GOVERNOR_H_
+
+#include <string>
+
+#include "rapl/rapl.h"
+#include "sim/actor.h"
+
+namespace pupil::capping {
+
+/**
+ * Base class of all power-capping control systems in this repo (RAPL-only,
+ * Soft-DVFS, Soft-Modeling, Soft-Decision, PUPiL).
+ *
+ * A governor is a simulation actor that receives a power cap before the
+ * platform runs, observes the platform through its noisy sensor channels,
+ * and actuates machine configuration and/or hardware (RAPL) caps.
+ */
+class Governor : public sim::Actor
+{
+  public:
+    /** Human-readable name used in benchmark tables. */
+    virtual std::string name() const = 0;
+
+    /** Set the power cap to enforce (Watts); call before the run starts. */
+    virtual void setCap(double watts) { cap_ = watts; }
+
+    double cap() const { return cap_; }
+
+    /** Whether the control system considers itself converged. */
+    virtual bool converged() const { return true; }
+
+    /**
+     * Whether the cap is achievable for this governor at all (Soft-DVFS
+     * cannot reach 60 W with all cores and hyperthreads active).
+     */
+    virtual bool capFeasible() const { return true; }
+
+    /** Give the governor access to the hardware capping firmware. */
+    void attachRapl(rapl::RaplController* rapl) { rapl_ = rapl; }
+
+  protected:
+    double cap_ = 1e9;
+    rapl::RaplController* rapl_ = nullptr;
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_GOVERNOR_H_

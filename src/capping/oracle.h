@@ -1,0 +1,50 @@
+#ifndef PUPIL_CAPPING_ORACLE_H_
+#define PUPIL_CAPPING_ORACLE_H_
+
+#include <vector>
+
+#include "machine/config.h"
+#include "machine/power_model.h"
+#include "sched/scheduler.h"
+
+namespace pupil::capping {
+
+/** Result of an exhaustive optimal-configuration search. */
+struct OracleResult
+{
+    machine::MachineConfig config;
+    /** Aggregate performance (sum of per-app rates normalized to solo). */
+    double aggregatePerf = 0.0;
+    /** Per-app item rates in the optimal configuration. */
+    std::vector<double> appItemsPerSec;
+    /** True steady-state power of the optimal configuration. */
+    double powerWatts = 0.0;
+};
+
+/**
+ * The paper's "Optimal" point of comparison (Section 4.4): run the workload
+ * in every possible configuration, measure, and keep the best-performing
+ * configuration that respects the power cap. Here the steady-state model
+ * stands in for those measurement runs, making the search exact and noise
+ * free.
+ *
+ * @param extendedSpace search per-socket-asymmetric p-states too, so that
+ *        PUPiL's asymmetric socket power distribution cannot outscore
+ *        "optimal" (normalized results stay <= 1).
+ */
+OracleResult searchOptimal(const sched::Scheduler& scheduler,
+                           const machine::PowerModel& powerModel,
+                           const std::vector<sched::AppDemand>& apps,
+                           double capWatts, bool extendedSpace = true);
+
+/**
+ * Solo reference rates (each app alone in the maximal configuration),
+ * the normalization basis shared with sim::Platform::readPerformance.
+ */
+std::vector<double> soloReferenceRates(
+    const sched::Scheduler& scheduler,
+    const std::vector<sched::AppDemand>& apps);
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_ORACLE_H_

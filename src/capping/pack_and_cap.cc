@@ -1,0 +1,113 @@
+#include "pack_and_cap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/dvfs.h"
+#include "sim/platform.h"
+
+namespace pupil::capping {
+
+using machine::DvfsTable;
+using machine::MachineConfig;
+
+MachineConfig
+PackAndCap::configFor(int contexts, int pstate)
+{
+    const int k = std::clamp(contexts, 1, 32);
+    MachineConfig cfg;
+    cfg.memControllers = 2;
+    if (k <= 8) {
+        cfg.sockets = 1;
+        cfg.coresPerSocket = k;
+        cfg.hyperthreading = false;
+    } else if (k <= 16) {
+        cfg.sockets = 2;
+        cfg.coresPerSocket = (k + 1) / 2;
+        cfg.hyperthreading = false;
+    } else {
+        cfg.sockets = 2;
+        cfg.coresPerSocket = 8;
+        cfg.hyperthreading = true;
+    }
+    cfg.setUniformPState(pstate);
+    return cfg;
+}
+
+void
+PackAndCap::onStart(sim::Platform& platform)
+{
+    // Offline pack selection (the counterpart of the original's trained
+    // classifier): profile the controlled workload over the pack x p-state
+    // grid and choose the highest-performance point under the cap.
+    std::vector<sched::AppDemand> apps;
+    for (size_t i = 0; i < platform.appCount(); ++i)
+        apps.push_back(platform.app(i));
+
+    double bestPerf = -1.0;
+    int bestPack = 32;
+    int bestPState = 0;
+    for (int k = 1; k <= 32; ++k) {
+        for (int p = DvfsTable::kNumPStates - 1; p >= 0; --p) {
+            const MachineConfig cfg = configFor(k, p);
+            const auto out = platform.scheduler().solve(cfg, {1.0, 1.0},
+                                                        apps);
+            if (platform.powerModel().totalPower(cfg, out.loads) > cap_)
+                continue;
+            double aggregate = 0.0;
+            for (size_t i = 0; i < out.apps.size(); ++i)
+                aggregate += out.apps[i].itemsPerSec /
+                             platform.soloReferenceRate(i);
+            if (aggregate > bestPerf) {
+                bestPerf = aggregate;
+                bestPack = k;
+                bestPState = p;
+            }
+            break;  // lower p-states for this pack are strictly slower
+        }
+    }
+
+    pack_ = bestPack;
+    pstate_ = bestPState;
+    ceiling_ = DvfsTable::kTurboPState;
+    stable_ = 0;
+    apply(platform, platform.now());
+}
+
+void
+PackAndCap::apply(sim::Platform& platform, double now)
+{
+    platform.machine().requestConfig(configFor(pack_, pstate_), now);
+}
+
+void
+PackAndCap::onTick(sim::Platform& platform, double now)
+{
+    // Online correction: a deadband DVFS loop (as in Soft-DVFS) guards the
+    // cap against model error and workload drift; the packing stays at its
+    // offline-selected value.
+    const double power = platform.readPower();
+    if (power <= 0.0)
+        return;
+    int next = pstate_;
+    if (power > cap_) {
+        const double fNow = DvfsTable::frequencyGHz(
+            pstate_, configFor(pack_, pstate_).activeCores(0));
+        const double fTarget = fNow * std::pow(cap_ / power, 1.0 / 2.5);
+        next = std::min(pstate_ - 1, DvfsTable::pstateForFrequency(fTarget));
+        next = std::max(next, pstate_ - 2);
+        ceiling_ = std::min(ceiling_, pstate_ - 1);
+    } else if (power < cap_ * 0.90) {
+        next = std::min(pstate_ + 1, ceiling_);
+    }
+    next = std::clamp(next, 0, DvfsTable::kTurboPState);
+    if (next != pstate_) {
+        pstate_ = next;
+        stable_ = 0;
+        apply(platform, now);
+    } else if (stable_ < 3) {
+        ++stable_;
+    }
+}
+
+}  // namespace pupil::capping

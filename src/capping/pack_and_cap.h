@@ -1,0 +1,57 @@
+#ifndef PUPIL_CAPPING_PACK_AND_CAP_H_
+#define PUPIL_CAPPING_PACK_AND_CAP_H_
+
+#include "capping/governor.h"
+#include "machine/config.h"
+
+namespace pupil::capping {
+
+/**
+ * Pack & Cap-style governor (after Cochran et al., "Pack & Cap: adaptive
+ * DVFS and thread packing under power caps", MICRO 2011 -- reference [6]
+ * of the paper): a software capper that manages exactly two knobs, thread
+ * packing (how many hardware contexts the workload is packed onto) and
+ * DVFS.
+ *
+ * This is an *extension* beyond the paper's four comparison points -- the
+ * paper cites Pack & Cap as prior evidence that multi-knob software
+ * capping beats DVFS-only capping. Like the original (which trains a
+ * multinomial logistic regression classifier per application offline),
+ * the pack count comes from an offline profile of the controlled
+ * application: the profiled best (pack, p-state) under the cap is
+ * selected at start, and an online deadband DVFS loop then tracks the cap
+ * against measurement error and workload variation.
+ *
+ * Packing k contexts maps onto the machine greedily: fill one socket's
+ * cores first, then the second socket, then hyperthreads; both memory
+ * controllers stay interleaved.
+ */
+class PackAndCap : public Governor
+{
+  public:
+    std::string name() const override { return "Pack&Cap"; }
+
+    bool converged() const override { return stable_ >= 3; }
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 0.5; }
+
+    /** Current pack count (active hardware contexts). */
+    int packCount() const { return pack_; }
+
+    /** The machine configuration for a pack of @p contexts. */
+    static machine::MachineConfig configFor(int contexts, int pstate);
+
+  private:
+    void apply(sim::Platform& platform, double now);
+
+    int pack_ = 32;
+    int pstate_ = 15;
+    int ceiling_ = 15;
+    int stable_ = 0;
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_PACK_AND_CAP_H_

@@ -1,0 +1,26 @@
+#include "rapl_governor.h"
+
+#include <cassert>
+
+#include "sim/platform.h"
+
+namespace pupil::capping {
+
+void
+RaplGovernor::onStart(sim::Platform& platform)
+{
+    assert(rapl_ != nullptr);
+    platform.machine().requestConfig(machine::maximalConfig(),
+                                     platform.now());
+    rapl_->setTotalCapEvenSplit(cap_);
+}
+
+void
+RaplGovernor::onTick(sim::Platform& platform, double now)
+{
+    (void)platform;
+    (void)now;
+    // Hardware-only capping: nothing to do in software at runtime.
+}
+
+}  // namespace pupil::capping

@@ -1,0 +1,30 @@
+#ifndef PUPIL_CAPPING_RAPL_GOVERNOR_H_
+#define PUPIL_CAPPING_RAPL_GOVERNOR_H_
+
+#include "capping/governor.h"
+
+namespace pupil::capping {
+
+/**
+ * The hardware-only point of comparison: leave the OS configuration at its
+ * default (everything on -- all cores, sockets, hyperthreads, and memory
+ * controllers, maximum p-state) and program the RAPL firmware with the cap
+ * split evenly between the two sockets, which is optimal when no other
+ * resource is managed (paper Section 5.1).
+ *
+ * All subsequent control happens in the firmware every millisecond; this
+ * governor does nothing further at runtime.
+ */
+class RaplGovernor : public Governor
+{
+  public:
+    std::string name() const override { return "RAPL"; }
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 1.0; }
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_RAPL_GOVERNOR_H_

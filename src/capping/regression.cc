@@ -1,0 +1,53 @@
+#include "regression.h"
+
+#include "machine/dvfs.h"
+#include "util/linalg.h"
+
+namespace pupil::capping {
+
+std::vector<double>
+ConfigRegression::features(const machine::MachineConfig& cfg)
+{
+    const double cores = cfg.coresPerSocket;
+    const double sockets = cfg.sockets;
+    const double ht = cfg.hyperthreading ? 1.0 : 0.0;
+    const double mc = cfg.memControllers;
+    const double freq = machine::DvfsTable::frequencyGHz(
+        cfg.pstate[0], cfg.activeCores(0));
+    const double totalCores = cores * sockets;
+    return {1.0, cores, sockets, ht, mc, freq, totalCores, totalCores * freq};
+}
+
+ConfigRegression
+ConfigRegression::fit(const std::vector<machine::MachineConfig>& configs,
+                      const std::vector<double>& targets)
+{
+    ConfigRegression model;
+    if (configs.empty() || configs.size() != targets.size())
+        return model;
+    const size_t dim = features(configs[0]).size();
+    util::Matrix design(configs.size(), dim);
+    for (size_t r = 0; r < configs.size(); ++r) {
+        const std::vector<double> x = features(configs[r]);
+        for (size_t c = 0; c < dim; ++c)
+            design.at(r, c) = x[c];
+    }
+    std::vector<double> beta;
+    if (util::leastSquares(design, targets, 1e-6, beta))
+        model.beta_ = std::move(beta);
+    return model;
+}
+
+double
+ConfigRegression::predict(const machine::MachineConfig& cfg) const
+{
+    if (beta_.empty())
+        return 0.0;
+    const std::vector<double> x = features(cfg);
+    double y = 0.0;
+    for (size_t i = 0; i < x.size() && i < beta_.size(); ++i)
+        y += beta_[i] * x[i];
+    return y;
+}
+
+}  // namespace pupil::capping

@@ -1,0 +1,46 @@
+#ifndef PUPIL_CAPPING_REGRESSION_H_
+#define PUPIL_CAPPING_REGRESSION_H_
+
+#include <vector>
+
+#include "machine/config.h"
+
+namespace pupil::capping {
+
+/**
+ * Multiple linear regression over machine-configuration features, the
+ * predictive core of the Soft-Modeling baseline (paper Section 4.4).
+ *
+ * Features are deliberately the "natural" knob values (cores, sockets,
+ * hyperthreading, memory controllers, clock speed, and two interaction
+ * terms). Real power is super-linear in frequency (V^2 * f), so a linear
+ * model systematically under-predicts power at high clocks -- which is
+ * exactly the failure mode the paper observes: without runtime feedback
+ * the modelled configurations can exceed the cap.
+ */
+class ConfigRegression
+{
+  public:
+    /** Feature vector for @p cfg (leading 1 for the intercept). */
+    static std::vector<double> features(const machine::MachineConfig& cfg);
+
+    /**
+     * Fit by ridge-stabilized least squares on (configs, targets).
+     * Returns a model with zero coefficients if the fit is singular.
+     */
+    static ConfigRegression fit(
+        const std::vector<machine::MachineConfig>& configs,
+        const std::vector<double>& targets);
+
+    /** Predicted target value for @p cfg. */
+    double predict(const machine::MachineConfig& cfg) const;
+
+    const std::vector<double>& coefficients() const { return beta_; }
+
+  private:
+    std::vector<double> beta_;
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_REGRESSION_H_

@@ -1,0 +1,74 @@
+#include "soft_dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/dvfs.h"
+#include "sim/platform.h"
+
+namespace pupil::capping {
+
+using machine::DvfsTable;
+
+void
+SoftDvfs::onStart(sim::Platform& platform)
+{
+    // Default OS configuration: everything on, full speed; capping is done
+    // purely by walking p-states down from the top.
+    pstate_ = DvfsTable::kTurboPState;
+    ceiling_ = DvfsTable::kTurboPState;
+    converged_ = false;
+    feasible_ = true;
+    stableCount_ = 0;
+    platform.machine().requestConfig(machine::maximalConfig(),
+                                     platform.now());
+}
+
+void
+SoftDvfs::onTick(sim::Platform& platform, double now)
+{
+    const double power = platform.readPower();
+    if (power <= 0.0)
+        return;
+
+    // Asymmetric deadband: step down whenever over the cap, step up only
+    // when comfortably below it. The gap between the two thresholds
+    // exceeds one p-state's power step, so the controller cannot
+    // limit-cycle between adjacent states.
+    const double ratio = cap_ / power;
+    int next = pstate_;
+    if (power > cap_) {
+        // Jump toward the target using the P ~ V^2 f ~ f^2.5 relation
+        // (voltage is roughly affine in frequency).
+        const machine::MachineConfig cfg = platform.machine().osConfig(now);
+        const double fNow =
+            DvfsTable::frequencyGHz(pstate_, cfg.activeCores(0));
+        const double fTarget = fNow * std::pow(ratio, 1.0 / 2.5);
+        next = std::min(pstate_ - 1, DvfsTable::pstateForFrequency(fTarget));
+        // Walk down gradually (two steps when far over, one when close),
+        // as the integral controller in Lefurgy et al. does.
+        next = std::clamp(next, pstate_ - (power > cap_ * 1.2 ? 2 : 1),
+                          0x7fffffff);
+        // Remember that this p-state violated the cap so the controller
+        // never climbs back into it (prevents up/down limit cycles).
+        ceiling_ = std::min(ceiling_, pstate_ - 1);
+    } else if (power < cap_ * 0.90) {
+        next = std::min(pstate_ + 1, ceiling_);
+    }
+    next = std::clamp(next, 0, DvfsTable::kTurboPState);
+
+    feasible_ = !(pstate_ == 0 && power > cap_ * 1.02);
+
+    if (next != pstate_) {
+        pstate_ = next;
+        machine::MachineConfig cfg = platform.machine().osConfig(now);
+        cfg.setUniformPState(pstate_);
+        platform.machine().requestConfig(cfg, now);
+        stableCount_ = 0;
+        converged_ = false;
+    } else if (++stableCount_ >= 3) {
+        converged_ = true;
+    }
+}
+
+}  // namespace pupil::capping

@@ -1,0 +1,44 @@
+#ifndef PUPIL_CAPPING_SOFT_DVFS_H_
+#define PUPIL_CAPPING_SOFT_DVFS_H_
+
+#include "capping/governor.h"
+#include "telemetry/filter.h"
+
+namespace pupil::capping {
+
+/**
+ * Software DVFS-only power capping, modelled on Lefurgy et al.'s feedback
+ * controller ("Power capping: a prelude to power shifting", Cluster
+ * Computing 2008) -- the paper's Soft-DVFS baseline (Section 4.4).
+ *
+ * Every control period the governor samples the external power meter and
+ * moves the (uniform, both-socket) p-state so that predicted power matches
+ * the cap, using the CMOS V^2*f scaling relation, plus a one-step trim
+ * when within a single p-state of the target. All other resources stay at
+ * their defaults (everything on), so like RAPL it cannot exploit resource
+ * tradeoffs -- and unlike RAPL it cannot duty-cycle below the lowest
+ * p-state, which makes very low caps infeasible.
+ */
+class SoftDvfs : public Governor
+{
+  public:
+    std::string name() const override { return "Soft-DVFS"; }
+
+    bool converged() const override { return converged_; }
+    bool capFeasible() const override { return feasible_; }
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 0.5; }
+
+  private:
+    int pstate_ = 15;
+    int ceiling_ = 15;
+    int stableCount_ = 0;
+    bool converged_ = false;
+    bool feasible_ = true;
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_SOFT_DVFS_H_

@@ -1,0 +1,68 @@
+#include "soft_modeling.h"
+
+#include <vector>
+
+#include "sim/platform.h"
+#include "workload/catalog.h"
+
+namespace pupil::capping {
+
+void
+SoftModeling::onStart(sim::Platform& platform)
+{
+    // ---- Offline modelling pass: the approach profiles the *platform*
+    // ahead of time -- one regression per target (power, performance) over
+    // the machine's knobs, built from a generic calibration workload's
+    // profile. The models are then applied to whatever runs later without
+    // any runtime feedback. (On the real system the profile is a long
+    // measurement campaign; here the steady-state model plays that role.)
+    // Two error sources make this the paper's weakest baseline: the linear
+    // form cannot express the V^2*f power curvature, and the profiled
+    // workload is not the controlled one.
+    const std::vector<machine::MachineConfig> space =
+        machine::enumerateUserConfigs();
+    const workload::AppParams& profiled = workload::calibrationApp();
+    const std::vector<sched::AppDemand> profileApps = {
+        {&profiled, machine::defaultTopology().totalContexts()}};
+
+    std::vector<double> power(space.size());
+    std::vector<double> perf(space.size());
+    for (size_t k = 0; k < space.size(); ++k) {
+        const sched::SystemOutcome out =
+            platform.scheduler().solve(space[k], {1.0, 1.0}, profileApps);
+        power[k] = platform.powerModel().totalPower(space[k], out.loads);
+        perf[k] = out.apps[0].itemsPerSec;
+    }
+
+    const ConfigRegression powerModel = ConfigRegression::fit(space, power);
+    const ConfigRegression perfModel = ConfigRegression::fit(space, perf);
+
+    // ---- Pick argmax predicted-performance s.t. predicted-power <= cap.
+    double bestPerf = -1.0;
+    chosen_ = machine::minimalConfig();
+    predictedPower_ = powerModel.predict(chosen_);
+    for (const machine::MachineConfig& cfg : space) {
+        const double predictedPower = powerModel.predict(cfg);
+        if (predictedPower > cap_)
+            continue;
+        const double predictedPerf = perfModel.predict(cfg);
+        if (predictedPerf > bestPerf) {
+            bestPerf = predictedPerf;
+            chosen_ = cfg;
+            predictedPower_ = predictedPower;
+        }
+    }
+
+    platform.machine().requestConfig(chosen_, platform.now());
+}
+
+void
+SoftModeling::onTick(sim::Platform& platform, double now)
+{
+    (void)platform;
+    (void)now;
+    // Deliberately no runtime feedback: the defining property (and flaw)
+    // of the offline-modelling approach.
+}
+
+}  // namespace pupil::capping

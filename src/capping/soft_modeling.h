@@ -1,0 +1,42 @@
+#ifndef PUPIL_CAPPING_SOFT_MODELING_H_
+#define PUPIL_CAPPING_SOFT_MODELING_H_
+
+#include "capping/governor.h"
+#include "capping/regression.h"
+
+namespace pupil::capping {
+
+/**
+ * The offline-modelling baseline (paper Section 4.4): profile the workload
+ * across configurations ahead of time, fit multiple-regression models of
+ * power and performance as a function of the assigned resources, and at
+ * launch pick the configuration whose *predicted* performance is maximal
+ * among those whose *predicted* power respects the cap.
+ *
+ * No feedback is used at runtime -- the configuration is set once and
+ * never corrected, so model error translates directly into cap violations
+ * (the paper reports ~70% of its data points violating the 60 W cap).
+ */
+class SoftModeling : public Governor
+{
+  public:
+    std::string name() const override { return "Soft-Modeling"; }
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 1.0; }
+
+    /** The configuration the models selected (valid after onStart). */
+    const machine::MachineConfig& chosenConfig() const { return chosen_; }
+
+    /** Predicted power of the chosen configuration. */
+    double predictedPower() const { return predictedPower_; }
+
+  private:
+    machine::MachineConfig chosen_;
+    double predictedPower_ = 0.0;
+};
+
+}  // namespace pupil::capping
+
+#endif  // PUPIL_CAPPING_SOFT_MODELING_H_

@@ -1,0 +1,122 @@
+#include "power_shifter.h"
+
+#include <algorithm>
+#include <cassert>
+
+
+namespace pupil::cluster {
+
+PowerShifter::PowerShifter(const Options& options) : options_(options)
+{
+}
+
+size_t
+PowerShifter::addNode(const std::string& name,
+                      const std::vector<sched::AppDemand>& apps,
+                      harness::GovernorKind kind, uint64_t seed)
+{
+    assert(!started_);
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    sim::PlatformOptions popts;
+    popts.seed = seed;
+    node->platform = std::make_unique<sim::Platform>(popts, apps);
+    node->platform->warmStart(machine::maximalConfig());
+    node->rapl = std::make_unique<rapl::RaplController>();
+    node->governor = harness::makeGovernor(kind);
+    node->governor->attachRapl(node->rapl.get());
+    node->platform->addActor(node->rapl.get());
+    node->platform->addActor(node->governor.get());
+    nodes_.push_back(std::move(node));
+    return nodes_.size() - 1;
+}
+
+double
+PowerShifter::totalCapWatts() const
+{
+    double total = 0.0;
+    for (const auto& node : nodes_)
+        total += node->capWatts;
+    return total;
+}
+
+double
+PowerShifter::totalPowerWatts() const
+{
+    double total = 0.0;
+    for (const auto& node : nodes_)
+        total += node->platform->truePower();
+    return total;
+}
+
+void
+PowerShifter::reallocate()
+{
+    // Collect headroom (cap - consumption). Donors give away a fraction of
+    // their headroom; the pool is granted to nodes at their cap,
+    // proportionally to consumption (a proxy for demand).
+    double pool = 0.0;
+    std::vector<double> grantWeight(nodes_.size(), 0.0);
+    double weightSum = 0.0;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        Node& node = *nodes_[i];
+        const double power = node.platform->truePower();
+        const double headroom = node.capWatts - power;
+        if (headroom > 0.05 * node.capWatts) {
+            const double donation = std::min(
+                headroom * options_.donationFraction,
+                node.capWatts - options_.minNodeCapWatts);
+            if (donation > 0.0) {
+                node.capWatts -= donation;
+                pool += donation;
+            }
+        } else {
+            grantWeight[i] = power;
+            weightSum += power;
+        }
+    }
+    if (pool <= 0.0)
+        return;
+    if (weightSum <= 0.0) {
+        // Nobody is constrained: return the pool evenly.
+        for (auto& node : nodes_)
+            node->capWatts += pool / double(nodes_.size());
+    } else {
+        for (size_t i = 0; i < nodes_.size(); ++i) {
+            if (grantWeight[i] > 0.0)
+                nodes_[i]->capWatts += pool * grantWeight[i] / weightSum;
+        }
+    }
+    // Push the new caps to every node's capping system. Node governors
+    // with hardware backing re-enforce within milliseconds.
+    for (auto& node : nodes_) {
+        node->governor->setCap(node->capWatts);
+        node->rapl->setTotalCapEvenSplit(node->capWatts);
+    }
+    ++shifts_;
+}
+
+void
+PowerShifter::run(double untilSec)
+{
+    if (!started_) {
+        started_ = true;
+        // Initial even division of the global budget.
+        const double share =
+            options_.globalBudgetWatts / double(std::max<size_t>(
+                                             1, nodes_.size()));
+        for (auto& node : nodes_) {
+            node->capWatts = share;
+            node->governor->setCap(share);
+        }
+    }
+    while (now_ < untilSec - 1e-9) {
+        const double step = std::min(options_.periodSec, untilSec - now_);
+        now_ += step;
+        for (auto& node : nodes_)
+            node->platform->run(now_);
+        reallocate();
+    }
+}
+
+}  // namespace pupil::cluster

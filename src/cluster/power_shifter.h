@@ -1,0 +1,91 @@
+#ifndef PUPIL_CLUSTER_POWER_SHIFTER_H_
+#define PUPIL_CLUSTER_POWER_SHIFTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capping/governor.h"
+#include "harness/experiment.h"
+#include "rapl/rapl.h"
+#include "sim/platform.h"
+
+namespace pupil::cluster {
+
+/**
+ * A cluster node: one simulated server with its RAPL firmware and a
+ * node-level power-capping governor (any of this repo's governors; PUPiL
+ * by default).
+ */
+struct Node
+{
+    std::string name;
+    std::unique_ptr<sim::Platform> platform;
+    std::unique_ptr<rapl::RaplController> rapl;
+    std::unique_ptr<capping::Governor> governor;
+    double capWatts = 0.0;
+};
+
+/**
+ * Cluster-level power shifting (the setting the paper's related work
+ * places node cappers into: Lefurgy et al., "Power capping: a prelude to
+ * power shifting"; Raghavendra et al.'s coordinated multi-level managers).
+ *
+ * A fixed global budget is divided among nodes. Periodically the manager
+ * measures each node's power headroom (cap minus consumption); nodes with
+ * persistent headroom donate watts, power-hungry nodes receive them, and
+ * each node's own capping system (hardware-timely, e.g. PUPiL) re-enforces
+ * its new cap locally. The invariant: per-node caps always sum to the
+ * global budget, so the cluster never exceeds it even mid-shift.
+ */
+class PowerShifter
+{
+  public:
+    struct Options
+    {
+        double globalBudgetWatts = 400.0;
+        double periodSec = 2.0;       ///< reallocation period
+        double minNodeCapWatts = 30.0;
+        /** Fraction of measured headroom a node donates per period. */
+        double donationFraction = 0.5;
+    };
+
+    explicit PowerShifter(const Options& options);
+
+    /**
+     * Add a node running @p apps under @p kind. Returns its index.
+     * Call before run().
+     */
+    size_t addNode(const std::string& name,
+                   const std::vector<sched::AppDemand>& apps,
+                   harness::GovernorKind kind = harness::GovernorKind::kPupil,
+                   uint64_t seed = 1);
+
+    /** Advance every node to @p untilSec, reallocating caps on the way. */
+    void run(double untilSec);
+
+    size_t nodeCount() const { return nodes_.size(); }
+    const Node& node(size_t i) const { return *nodes_[i]; }
+
+    /** Sum of per-node caps (== the global budget, by construction). */
+    double totalCapWatts() const;
+
+    /** Sum of per-node measured power. */
+    double totalPowerWatts() const;
+
+    /** Number of reallocations performed. */
+    int shifts() const { return shifts_; }
+
+  private:
+    void reallocate();
+
+    Options options_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+    double now_ = 0.0;
+    int shifts_ = 0;
+    bool started_ = false;
+};
+
+}  // namespace pupil::cluster
+
+#endif  // PUPIL_CLUSTER_POWER_SHIFTER_H_

@@ -1,0 +1,192 @@
+#include "decision.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pupil::core {
+
+DecisionWalker::DecisionWalker(std::vector<Resource> order,
+                               const Options& options)
+    : order_(std::move(order)),
+      options_(options),
+      perfFilter_(size_t(options.windowSamples)),
+      powerFilter_(size_t(options.windowSamples))
+{
+}
+
+void
+DecisionWalker::start(const machine::MachineConfig& initial, double capWatts,
+                      double now)
+{
+    initial_ = initial;
+    cap_ = capWatts;
+    cfg_ = initial;
+    dirty_ = true;
+    resourceIdx_ = 0;
+    phase_ = order_.empty() ? Phase::kMonitor : Phase::kBaseline;
+    waitUntil_ = now + options_.settleExtraSec;
+    perfFilter_.reset();
+    powerFilter_.reset();
+    ++walkCount_;
+    if (phase_ == Phase::kMonitor)
+        enterMonitor(now);
+}
+
+bool
+DecisionWalker::takeConfigDirty()
+{
+    const bool was = dirty_;
+    dirty_ = false;
+    return was;
+}
+
+void
+DecisionWalker::setResource(const Resource& r, int settingIndex, double now)
+{
+    if (r.setting(cfg_) == settingIndex)
+        return;
+    r.apply(cfg_, settingIndex);
+    dirty_ = true;
+    waitUntil_ = now + r.delaySec() + options_.settleExtraSec;
+    perfFilter_.reset();
+    powerFilter_.reset();
+}
+
+void
+DecisionWalker::advanceResource(double now)
+{
+    ++resourceIdx_;
+    perfFilter_.reset();
+    powerFilter_.reset();
+    if (resourceIdx_ >= order_.size()) {
+        enterMonitor(now);
+    } else {
+        phase_ = Phase::kBaseline;
+    }
+}
+
+void
+DecisionWalker::enterMonitor(double now)
+{
+    phase_ = Phase::kMonitor;
+    monitorSince_ = now;
+    baselinePerf_ = 0.0;  // captured from the first full monitor window
+}
+
+void
+DecisionWalker::addSample(double perf, double power, double now)
+{
+    if (phase_ == Phase::kIdle || now < waitUntil_)
+        return;
+    perfFilter_.add(perf);
+    powerFilter_.add(power);
+    if (!perfFilter_.full())
+        return;
+    const double perfF = perfFilter_.filtered();
+    const double powerF = powerFilter_.filtered();
+    ++steps_;
+
+    switch (phase_) {
+      case Phase::kIdle:
+        break;
+
+      case Phase::kBaseline: {
+        const Resource& r = order_[resourceIdx_];
+        perfOld_ = perfF;
+        savedSetting_ = r.setting(cfg_);
+        if (savedSetting_ == r.settings() - 1) {
+            // Already at the highest setting; nothing to test.
+            advanceResource(now);
+            break;
+        }
+        setResource(r, r.settings() - 1, now);
+        phase_ = Phase::kAfterSet;
+        break;
+      }
+
+      case Phase::kAfterSet: {
+        const Resource& r = order_[resourceIdx_];
+        if (perfF < perfOld_ * (1.0 + options_.perfEpsilon)) {
+            // No improvement: return the resource to its lowest setting.
+            setResource(r, savedSetting_, now);
+            advanceResource(now);
+        } else if (options_.checkPower && powerF > cap_) {
+            // Improved but over budget: binary-search the highest setting
+            // that respects the cap. savedSetting_ was under the cap.
+            binaryLo_ = savedSetting_;
+            binaryHi_ = r.settings() - 2;
+            if (binaryLo_ > binaryHi_) {
+                setResource(r, savedSetting_, now);
+                advanceResource(now);
+                break;
+            }
+            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+            setResource(r, binaryMid_, now);
+            phase_ = Phase::kBinaryProbe;
+        } else {
+            advanceResource(now);  // keep the highest setting
+        }
+        break;
+      }
+
+      case Phase::kBinaryProbe: {
+        const Resource& r = order_[resourceIdx_];
+        if (powerF > cap_)
+            binaryHi_ = binaryMid_ - 1;
+        else
+            binaryLo_ = binaryMid_;
+        if (binaryLo_ >= binaryHi_) {
+            setResource(r, binaryLo_, now);
+            advanceResource(now);
+            break;
+        }
+        binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+        if (binaryMid_ == r.setting(cfg_)) {
+            // Probe already measured (can happen when lo == mid).
+            binaryLo_ = binaryMid_;
+            if (binaryLo_ >= binaryHi_) {
+                setResource(r, binaryLo_, now);
+                advanceResource(now);
+                break;
+            }
+            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+        }
+        setResource(r, binaryMid_, now);
+        break;
+      }
+
+      case Phase::kMonitor: {
+        if (baselinePerf_ <= 0.0) {
+            baselinePerf_ = perfF;
+            break;
+        }
+        if (now - monitorSince_ < options_.monitorCooldownSec)
+            break;
+        const bool perfDrift =
+            std::fabs(perfF - baselinePerf_) >
+            options_.driftThreshold * baselinePerf_;
+        const bool powerViolation =
+            options_.checkPower && powerF > cap_ * 1.03;
+        if (perfDrift || powerViolation) {
+            // Persistent change: the workload has moved; walk again.
+            start(initial_, cap_, now);
+        }
+        break;
+      }
+    }
+}
+
+std::string
+DecisionWalker::phaseName() const
+{
+    switch (phase_) {
+      case Phase::kIdle: return "idle";
+      case Phase::kBaseline: return "baseline";
+      case Phase::kAfterSet: return "after-set";
+      case Phase::kBinaryProbe: return "binary-probe";
+      case Phase::kMonitor: return "monitor";
+    }
+    return "?";
+}
+
+}  // namespace pupil::core

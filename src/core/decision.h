@@ -1,0 +1,126 @@
+#ifndef PUPIL_CORE_DECISION_H_
+#define PUPIL_CORE_DECISION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/resource.h"
+#include "machine/config.h"
+#include "telemetry/filter.h"
+
+namespace pupil::core {
+
+/**
+ * The decision framework of the paper (Algorithm 1), written as a
+ * non-blocking state machine fed by periodic (performance, power) samples.
+ *
+ * Starting from the minimal resource configuration, the walker takes each
+ * resource in calibrated order (Algorithm 2), measures baseline feedback,
+ * raises the resource to its highest setting, waits the resource's
+ * actuation delay, and measures again:
+ *  - if performance dropped, the resource returns to its lowest setting;
+ *  - else if power exceeds the cap (software-only mode), a binary search
+ *    finds the highest setting that respects the cap;
+ *  - else the highest setting is kept.
+ *
+ * In hybrid (PUPiL) mode power checks are disabled -- RAPL hardware owns
+ * the cap -- and the DVFS resource is excluded from the walk.
+ *
+ * After the walk converges the walker keeps monitoring the filtered
+ * feedback; a persistent drift (workload phase change) or a power
+ * violation triggers a fresh walk, implementing the paper's continually
+ * repeating observe-decide-act loop.
+ *
+ * Measurements pass through the paper's 3-sigma outlier filter over a
+ * sliding window, so transient disturbances do not trigger decisions.
+ */
+class DecisionWalker
+{
+  public:
+    struct Options
+    {
+        /** Samples per measurement window (GetFeedback granularity). */
+        int windowSamples = 20;
+        /** Enforce the power cap in software (false for PUPiL). */
+        bool checkPower = true;
+        /**
+         * Relative margin for the "performance dropped" test. Algorithm 1
+         * returns a resource to its lowest setting only when performance
+         * *decreased*; a flat result keeps the highest setting (power
+         * checks or RAPL rein it in). The margin is slightly negative so
+         * sensor noise cannot masquerade as a decrease.
+         */
+        double perfEpsilon = -0.01;
+        /** Relative drift that re-triggers a walk while monitoring. */
+        double driftThreshold = 0.5;
+        /** Extra settle time after any configuration write (seconds). */
+        double settleExtraSec = 0.5;
+        /** Minimum time between convergence and a drift-triggered walk. */
+        double monitorCooldownSec = 30.0;
+    };
+
+    DecisionWalker(std::vector<Resource> order, const Options& options);
+
+    /** Begin a walk from @p initial under @p capWatts at time @p now. */
+    void start(const machine::MachineConfig& initial, double capWatts,
+               double now);
+
+    /**
+     * Feed one sample pair. Samples arriving before the current actuation
+     * delay has elapsed are discarded (the "wait r.d time units" step).
+     */
+    void addSample(double perf, double power, double now);
+
+    /** The configuration the walker currently wants applied. */
+    const machine::MachineConfig& config() const { return cfg_; }
+
+    /** True once after each configuration change (consumed). */
+    bool takeConfigDirty();
+
+    /** Whether the walk has finished and the walker is monitoring. */
+    bool converged() const { return phase_ == Phase::kMonitor; }
+
+    /** Number of walks started (>1 means phase-change re-walks). */
+    int walkCount() const { return walkCount_; }
+
+    /** Number of measurement windows consumed (decision steps). */
+    int stepsTaken() const { return steps_; }
+
+    /** Name of the current phase (diagnostics). */
+    std::string phaseName() const;
+
+  private:
+    enum class Phase { kIdle, kBaseline, kAfterSet, kBinaryProbe, kMonitor };
+
+    void setResource(const Resource& r, int settingIndex, double now);
+    void advanceResource(double now);
+    void enterMonitor(double now);
+
+    std::vector<Resource> order_;
+    Options options_;
+
+    machine::MachineConfig cfg_;
+    machine::MachineConfig initial_;
+    double cap_ = 1e9;
+    bool dirty_ = false;
+
+    Phase phase_ = Phase::kIdle;
+    size_t resourceIdx_ = 0;
+    int savedSetting_ = 0;
+    int binaryLo_ = 0;
+    int binaryHi_ = 0;
+    int binaryMid_ = 0;
+    double perfOld_ = 0.0;
+    double waitUntil_ = 0.0;
+    double monitorSince_ = 0.0;
+    double baselinePerf_ = 0.0;
+    int walkCount_ = 0;
+    int steps_ = 0;
+
+    telemetry::SigmaFilter perfFilter_;
+    telemetry::SigmaFilter powerFilter_;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_DECISION_H_

@@ -1,0 +1,67 @@
+#include "ordering.h"
+
+#include <algorithm>
+
+namespace pupil::core {
+
+std::vector<Resource>
+OrderingReport::orderedResources(bool includeDvfs) const
+{
+    std::vector<Resource> ordered;
+    for (const OrderingEntry& entry : entries) {
+        if (entry.resource.kind() == Resource::Kind::kDvfs && !includeDvfs)
+            continue;
+        ordered.push_back(entry.resource);
+    }
+    return ordered;
+}
+
+OrderingReport
+calibrateOrdering(const sched::Scheduler& scheduler,
+                  const machine::PowerModel& powerModel,
+                  const workload::AppParams& calibrationApp)
+{
+    const machine::MachineConfig minimal = machine::minimalConfig();
+    const std::vector<sched::AppDemand> apps = {
+        {&calibrationApp, machine::defaultTopology().totalContexts()}};
+
+    auto evaluate = [&](const machine::MachineConfig& cfg, double& perf,
+                        double& power) {
+        const sched::SystemOutcome out =
+            scheduler.solve(cfg, {1.0, 1.0}, apps);
+        perf = out.apps[0].itemsPerSec;
+        power = powerModel.totalPower(cfg, out.loads);
+    };
+
+    double perfMin = 0.0;
+    double powerMin = 0.0;
+    evaluate(minimal, perfMin, powerMin);
+
+    OrderingReport report;
+    for (const Resource& resource : platformResources(true)) {
+        machine::MachineConfig cfg = minimal;
+        resource.apply(cfg, resource.settings() - 1);
+        double perf = 0.0;
+        double power = 0.0;
+        evaluate(cfg, perf, power);
+        report.entries.push_back(
+            {resource, perf / perfMin, power / powerMin});
+    }
+
+    // Sort non-DVFS entries by descending speedup; DVFS is pinned last.
+    std::stable_sort(report.entries.begin(), report.entries.end(),
+                     [](const OrderingEntry& a, const OrderingEntry& b) {
+                         const bool aDvfs =
+                             a.resource.kind() == Resource::Kind::kDvfs;
+                         const bool bDvfs =
+                             b.resource.kind() == Resource::Kind::kDvfs;
+                         if (aDvfs != bDvfs)
+                             return bDvfs;  // non-DVFS before DVFS
+                         if (aDvfs)
+                             return false;
+                         return a.maxSpeedup > b.maxSpeedup;
+                     });
+    return report;
+}
+
+}  // namespace pupil::core

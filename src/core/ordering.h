@@ -1,0 +1,50 @@
+#ifndef PUPIL_CORE_ORDERING_H_
+#define PUPIL_CORE_ORDERING_H_
+
+#include <vector>
+
+#include "core/resource.h"
+#include "machine/power_model.h"
+#include "sched/scheduler.h"
+#include "workload/app_model.h"
+
+namespace pupil::core {
+
+/** One row of the calibration report (the paper's Table 2). */
+struct OrderingEntry
+{
+    Resource resource;
+    double maxSpeedup = 1.0;  ///< perf(highest)/perf(minimal)
+    double maxPowerup = 1.0;  ///< power(highest)/power(minimal)
+};
+
+/** Result of Algorithm 2: resources ordered by measured impact. */
+struct OrderingReport
+{
+    /** Entries sorted by descending speedup, DVFS forced last. */
+    std::vector<OrderingEntry> entries;
+
+    /** The ordered resource list to feed into the decision walker. */
+    std::vector<Resource> orderedResources(bool includeDvfs) const;
+};
+
+/**
+ * Algorithm 2: ordering resources in calibration.
+ *
+ * Starting from the minimal configuration, each non-DVFS resource is
+ * individually raised to its highest setting while running a well
+ * understood, embarrassingly parallel calibration benchmark; the measured
+ * speedup determines the resource's precedence (higher impact first).
+ * DVFS is appended last by construction -- it is the fine-grained knob used
+ * to trim power at the end of the walk. The calibration is performed once
+ * per platform; the paper finds the resulting order is insensitive to the
+ * application actually controlled later.
+ */
+OrderingReport calibrateOrdering(
+    const sched::Scheduler& scheduler,
+    const machine::PowerModel& powerModel,
+    const workload::AppParams& calibrationApp);
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_ORDERING_H_

@@ -1,0 +1,45 @@
+#include "power_dist.h"
+
+#include <algorithm>
+
+namespace pupil::core {
+
+std::array<double, 2>
+splitCap(const machine::PowerModel& powerModel,
+         const machine::MachineConfig& cfg, double capWatts,
+         PowerDistPolicy policy)
+{
+    if (policy == PowerDistPolicy::kEvenSplit)
+        return {capWatts / 2.0, capWatts / 2.0};
+
+    const std::array<double, 2> staticPower = {
+        powerModel.staticSocketPower(cfg, 0),
+        powerModel.staticSocketPower(cfg, 1),
+    };
+    const double totalStatic = staticPower[0] + staticPower[1];
+    const double dynamicBudget = std::max(0.0, capWatts - totalStatic);
+
+    const double totalCores = std::max(1, cfg.totalCores());
+    std::array<double, 2> caps = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+        const double share = double(cfg.activeCores(s)) / totalCores;
+        caps[s] = staticPower[s] + dynamicBudget * share;
+    }
+    // If the cap cannot even cover static power, shrink proportionally so
+    // the shares still sum to the cap (RAPL will duty-cycle).
+    if (totalStatic > capWatts && totalStatic > 0.0) {
+        const double scale = capWatts / totalStatic;
+        for (double& c : caps)
+            c *= scale;
+    }
+    return caps;
+}
+
+const char*
+policyName(PowerDistPolicy policy)
+{
+    return policy == PowerDistPolicy::kEvenSplit ? "even-split"
+                                                 : "core-proportional";
+}
+
+}  // namespace pupil::core

@@ -1,0 +1,39 @@
+#ifndef PUPIL_CORE_POWER_DIST_H_
+#define PUPIL_CORE_POWER_DIST_H_
+
+#include <array>
+
+#include "machine/config.h"
+#include "machine/power_model.h"
+
+namespace pupil::core {
+
+/** Policy for splitting a total power cap across the two sockets. */
+enum class PowerDistPolicy {
+    /** cap/2 to each socket, RAPL's implicit default. */
+    kEvenSplit,
+    /**
+     * PUPiL's policy (Section 3.3.2): each socket receives its estimated
+     * static power plus a share of the remaining dynamic budget
+     * proportional to the number of cores it is running.
+     */
+    kCoreProportional,
+};
+
+/**
+ * Split @p capWatts across sockets for configuration @p cfg under
+ * @p policy. The shares always sum to the total cap. With the
+ * core-proportional policy an inactive socket receives just enough for
+ * its idle draw, so an asymmetric configuration (e.g. one socket at 8
+ * cores, one off) concentrates the dynamic budget where the threads are.
+ */
+std::array<double, 2> splitCap(const machine::PowerModel& powerModel,
+                               const machine::MachineConfig& cfg,
+                               double capWatts, PowerDistPolicy policy);
+
+/** Policy name for benchmark tables. */
+const char* policyName(PowerDistPolicy policy);
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_POWER_DIST_H_

@@ -1,0 +1,94 @@
+#include "pupil.h"
+
+#include <cassert>
+
+#include "core/ordering.h"
+#include "sim/platform.h"
+#include "workload/catalog.h"
+
+namespace pupil::core {
+
+Pupil::Pupil(PowerDistPolicy policy, const DecisionWalker::Options& options)
+    : policy_(policy), options_(options)
+{
+    options_.checkPower = false;  // RAPL guarantees the cap
+}
+
+DecisionWalker::Options
+Pupil::defaultOptions()
+{
+    DecisionWalker::Options options;
+    options.windowSamples = 30;
+    options.checkPower = false;
+    return options;
+}
+
+bool
+Pupil::converged() const
+{
+    return walker_ != nullptr && walker_->converged();
+}
+
+void
+Pupil::programRapl(sim::Platform& platform,
+                   const machine::MachineConfig& cfg)
+{
+    assert(rapl_ != nullptr);
+    // Re-splitting the cap while a reconfiguration is still migrating can
+    // leave a socket capped below its static floor (which hardware cannot
+    // enforce) while the other socket still holds its full share -- a
+    // transient total-cap violation. Tighten first: apply the per-socket
+    // minimum of the old and new splits immediately, and relax to the new
+    // split once the machine change has landed.
+    targetCaps_ = splitCap(platform.powerModel(), cfg, cap_, policy_);
+    for (int s = 0; s < 2; ++s) {
+        const double tight = appliedCaps_[s] > 0.0
+                                 ? std::min(appliedCaps_[s], targetCaps_[s])
+                                 : targetCaps_[s];
+        rapl_->setSocketCap(s, tight, true);
+        appliedCaps_[s] = tight;
+    }
+    capsPending_ = true;
+}
+
+void
+Pupil::onStart(sim::Platform& platform)
+{
+    // Timeliness first: hand the cap to hardware before exploring anything.
+    machine::MachineConfig initial = machine::minimalConfig();
+    initial.setUniformPState(machine::DvfsTable::kTurboPState);
+    programRapl(platform, initial);
+
+    const OrderingReport report = calibrateOrdering(
+        platform.scheduler(), platform.powerModel(),
+        workload::calibrationApp());
+    walker_ = std::make_unique<DecisionWalker>(
+        report.orderedResources(/*includeDvfs=*/false), options_);
+    walker_->start(initial, cap_, platform.now());
+    if (walker_->takeConfigDirty())
+        platform.machine().requestConfig(walker_->config(), platform.now());
+}
+
+void
+Pupil::onTick(sim::Platform& platform, double now)
+{
+    const double perf = platform.readPerformance();
+    const double power = platform.readPower();
+    walker_->addSample(perf, power, now);
+    if (walker_->takeConfigDirty()) {
+        const machine::MachineConfig& cfg = walker_->config();
+        platform.machine().requestConfig(cfg, now);
+        // Core allocation changed: re-distribute the per-socket caps.
+        programRapl(platform, cfg);
+    }
+    // Relax to the full new split once the reconfiguration has landed.
+    if (capsPending_ && !platform.machine().configChangePending(now)) {
+        for (int s = 0; s < 2; ++s) {
+            rapl_->setSocketCap(s, targetCaps_[s], true);
+            appliedCaps_[s] = targetCaps_[s];
+        }
+        capsPending_ = false;
+    }
+}
+
+}  // namespace pupil::core

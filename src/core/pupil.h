@@ -1,0 +1,65 @@
+#ifndef PUPIL_CORE_PUPIL_H_
+#define PUPIL_CORE_PUPIL_H_
+
+#include <memory>
+
+#include "capping/governor.h"
+#include "core/decision.h"
+#include "core/power_dist.h"
+
+namespace pupil::core {
+
+/**
+ * PUPiL -- Performance Under Power Limits (paper Section 3.3): the hybrid
+ * hardware/software power capping system this repository reproduces.
+ *
+ * Timeliness: the RAPL hardware caps are programmed *first*, before any
+ * exploration, so the power limit is enforced within milliseconds while
+ * the software side is still thinking.
+ *
+ * Efficiency: the decision walker then explores the non-DVFS resources
+ * (cores, sockets, hyperthreads, memory controllers). Voltage/frequency is
+ * removed from software control -- hardware owns it -- and all software
+ * power checks are dropped, because RAPL guarantees the cap; the walker
+ * optimizes purely for performance feedback.
+ *
+ * Power distribution: hardware caps are per socket. Whenever the walker
+ * changes the core allocation, PUPiL re-splits the total cap so each
+ * socket receives its static power plus a dynamic share proportional to
+ * its active core count (Section 3.3.2), letting asymmetric configurations
+ * concentrate the budget where the threads run.
+ */
+class Pupil : public capping::Governor
+{
+  public:
+    explicit Pupil(
+        PowerDistPolicy policy = PowerDistPolicy::kCoreProportional,
+        const DecisionWalker::Options& options = defaultOptions());
+
+    static DecisionWalker::Options defaultOptions();
+
+    std::string name() const override { return "PUPiL"; }
+    bool converged() const override;
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 0.1; }
+
+    const DecisionWalker* walker() const { return walker_.get(); }
+    PowerDistPolicy policy() const { return policy_; }
+
+  private:
+    void programRapl(sim::Platform& platform,
+                     const machine::MachineConfig& cfg);
+
+    PowerDistPolicy policy_;
+    DecisionWalker::Options options_;
+    std::unique_ptr<DecisionWalker> walker_;
+    std::array<double, 2> appliedCaps_ = {0.0, 0.0};
+    std::array<double, 2> targetCaps_ = {0.0, 0.0};
+    bool capsPending_ = false;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_PUPIL_H_

@@ -1,0 +1,88 @@
+#include "resource.h"
+
+#include <cassert>
+
+namespace pupil::core {
+
+Resource::Resource(Kind kind, const machine::Topology& topo) : kind_(kind)
+{
+    switch (kind) {
+      case Kind::kCoresPerSocket:
+        name_ = "cores per socket";
+        settings_ = topo.coresPerSocket;
+        delaySec_ = 1.0;
+        break;
+      case Kind::kSockets:
+        name_ = "sockets";
+        settings_ = topo.sockets;
+        delaySec_ = 1.0;
+        break;
+      case Kind::kHyperThreading:
+        name_ = "hyperthreading";
+        settings_ = 2;
+        delaySec_ = 1.0;
+        break;
+      case Kind::kMemControllers:
+        name_ = "mem controllers";
+        settings_ = topo.memControllers;
+        delaySec_ = 1.0;
+        break;
+      case Kind::kDvfs:
+        name_ = "clock speeds";
+        settings_ = machine::DvfsTable::kNumPStates;
+        delaySec_ = 0.1;
+        break;
+    }
+}
+
+void
+Resource::apply(machine::MachineConfig& cfg, int index) const
+{
+    assert(index >= 0 && index < settings_);
+    switch (kind_) {
+      case Kind::kCoresPerSocket:
+        cfg.coresPerSocket = index + 1;
+        break;
+      case Kind::kSockets:
+        cfg.sockets = index + 1;
+        break;
+      case Kind::kHyperThreading:
+        cfg.hyperthreading = index != 0;
+        break;
+      case Kind::kMemControllers:
+        cfg.memControllers = index + 1;
+        break;
+      case Kind::kDvfs:
+        cfg.setUniformPState(index);
+        break;
+    }
+}
+
+int
+Resource::setting(const machine::MachineConfig& cfg) const
+{
+    switch (kind_) {
+      case Kind::kCoresPerSocket: return cfg.coresPerSocket - 1;
+      case Kind::kSockets: return cfg.sockets - 1;
+      case Kind::kHyperThreading: return cfg.hyperthreading ? 1 : 0;
+      case Kind::kMemControllers: return cfg.memControllers - 1;
+      case Kind::kDvfs: return cfg.pstate[0];
+    }
+    return 0;
+}
+
+std::vector<Resource>
+platformResources(bool includeDvfs)
+{
+    std::vector<Resource> resources = {
+        Resource(Resource::Kind::kCoresPerSocket),
+        Resource(Resource::Kind::kSockets),
+        Resource(Resource::Kind::kHyperThreading),
+        Resource(Resource::Kind::kMemControllers),
+    };
+    if (includeDvfs)
+        resources.emplace_back(Resource::Kind::kDvfs);
+    return resources;
+}
+
+}  // namespace pupil::core

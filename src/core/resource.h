@@ -1,0 +1,67 @@
+#ifndef PUPIL_CORE_RESOURCE_H_
+#define PUPIL_CORE_RESOURCE_H_
+
+#include <string>
+#include <vector>
+
+#include "machine/config.h"
+
+namespace pupil::core {
+
+/**
+ * One configurable resource the decision framework can tune.
+ *
+ * A resource exposes an ordered set of settings (index 0 = lowest /
+ * weakest, settings()-1 = highest / strongest) and knows how to read and
+ * write itself in a MachineConfig. Each resource carries its actuation
+ * delay r.d (paper Algorithms 1 and 2: "wait r.d time units") so the
+ * walker never measures before an action has taken effect.
+ */
+class Resource
+{
+  public:
+    enum class Kind {
+        kCoresPerSocket,
+        kSockets,
+        kHyperThreading,
+        kMemControllers,
+        kDvfs,
+    };
+
+    Resource(Kind kind, const machine::Topology& topo =
+                            machine::defaultTopology());
+
+    Kind kind() const { return kind_; }
+
+    /** Human-readable name, e.g. "cores per socket". */
+    const std::string& name() const { return name_; }
+
+    /** Number of settings. */
+    int settings() const { return settings_; }
+
+    /** Actuation delay before effects are observable (seconds). */
+    double delaySec() const { return delaySec_; }
+
+    /** Write setting @p index (0-based) into @p cfg. */
+    void apply(machine::MachineConfig& cfg, int index) const;
+
+    /** Read this resource's current setting index from @p cfg. */
+    int setting(const machine::MachineConfig& cfg) const;
+
+  private:
+    Kind kind_;
+    std::string name_;
+    int settings_;
+    double delaySec_;
+};
+
+/**
+ * The resources of the modelled platform, in an arbitrary (unordered)
+ * sequence. @p includeDvfs false omits the clock-speed resource (PUPiL
+ * leaves voltage/frequency to the RAPL hardware).
+ */
+std::vector<Resource> platformResources(bool includeDvfs);
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_RESOURCE_H_

@@ -1,0 +1,54 @@
+#include "soft_decision.h"
+
+#include "core/ordering.h"
+#include "sim/platform.h"
+#include "workload/catalog.h"
+
+namespace pupil::core {
+
+SoftDecision::SoftDecision(const DecisionWalker::Options& options)
+    : options_(options)
+{
+}
+
+DecisionWalker::Options
+SoftDecision::defaultOptions()
+{
+    DecisionWalker::Options options;
+    options.windowSamples = 30;   // 2 s windows at the 100 ms sample period
+    options.checkPower = true;
+    return options;
+}
+
+bool
+SoftDecision::converged() const
+{
+    return walker_ != nullptr && walker_->converged();
+}
+
+void
+SoftDecision::onStart(sim::Platform& platform)
+{
+    // Resource order comes from the one-time platform calibration
+    // (Algorithm 2); it is workload independent.
+    const OrderingReport report = calibrateOrdering(
+        platform.scheduler(), platform.powerModel(),
+        workload::calibrationApp());
+    walker_ = std::make_unique<DecisionWalker>(
+        report.orderedResources(/*includeDvfs=*/true), options_);
+    walker_->start(machine::minimalConfig(), cap_, platform.now());
+    if (walker_->takeConfigDirty())
+        platform.machine().requestConfig(walker_->config(), platform.now());
+}
+
+void
+SoftDecision::onTick(sim::Platform& platform, double now)
+{
+    const double perf = platform.readPerformance();
+    const double power = platform.readPower();
+    walker_->addSample(perf, power, now);
+    if (walker_->takeConfigDirty())
+        platform.machine().requestConfig(walker_->config(), now);
+}
+
+}  // namespace pupil::core

@@ -1,0 +1,43 @@
+#ifndef PUPIL_CORE_SOFT_DECISION_H_
+#define PUPIL_CORE_SOFT_DECISION_H_
+
+#include <memory>
+
+#include "capping/governor.h"
+#include "core/decision.h"
+
+namespace pupil::core {
+
+/**
+ * The software-only decision framework (paper Section 3.1): the full
+ * multi-resource walker including the DVFS knob, with power checks done in
+ * software against the external meter. Flexible but slow -- every decision
+ * costs a measurement window plus actuation delay, so the cap is only
+ * loosely respected until the walk converges.
+ */
+class SoftDecision : public capping::Governor
+{
+  public:
+    explicit SoftDecision(
+        const DecisionWalker::Options& options = defaultOptions());
+
+    static DecisionWalker::Options defaultOptions();
+
+    std::string name() const override { return "Soft-Decision"; }
+    bool converged() const override;
+
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 0.1; }
+
+    /** The walker, for tests and diagnostics. */
+    const DecisionWalker* walker() const { return walker_.get(); }
+
+  private:
+    DecisionWalker::Options options_;
+    std::unique_ptr<DecisionWalker> walker_;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_SOFT_DECISION_H_

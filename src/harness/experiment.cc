@@ -1,0 +1,141 @@
+#include "experiment.h"
+
+#include <algorithm>
+
+#include "capping/rapl_governor.h"
+#include "capping/soft_dvfs.h"
+#include "capping/soft_modeling.h"
+#include "core/pupil.h"
+#include "core/soft_decision.h"
+#include "rapl/rapl.h"
+#include "workload/catalog.h"
+
+namespace pupil::harness {
+
+const char*
+governorName(GovernorKind kind)
+{
+    switch (kind) {
+      case GovernorKind::kRapl: return "RAPL";
+      case GovernorKind::kSoftDvfs: return "Soft-DVFS";
+      case GovernorKind::kSoftModeling: return "Soft-Modeling";
+      case GovernorKind::kSoftDecision: return "Soft-Decision";
+      case GovernorKind::kPupil: return "PUPiL";
+    }
+    return "?";
+}
+
+const std::vector<GovernorKind>&
+allGovernors()
+{
+    static const std::vector<GovernorKind> kinds = {
+        GovernorKind::kRapl, GovernorKind::kSoftDvfs,
+        GovernorKind::kSoftModeling, GovernorKind::kSoftDecision,
+        GovernorKind::kPupil,
+    };
+    return kinds;
+}
+
+std::unique_ptr<capping::Governor>
+makeGovernor(GovernorKind kind, core::PowerDistPolicy pupilPolicy)
+{
+    switch (kind) {
+      case GovernorKind::kRapl:
+        return std::make_unique<capping::RaplGovernor>();
+      case GovernorKind::kSoftDvfs:
+        return std::make_unique<capping::SoftDvfs>();
+      case GovernorKind::kSoftModeling:
+        return std::make_unique<capping::SoftModeling>();
+      case GovernorKind::kSoftDecision:
+        return std::make_unique<core::SoftDecision>();
+      case GovernorKind::kPupil:
+        return std::make_unique<core::Pupil>(pupilPolicy);
+    }
+    return nullptr;
+}
+
+ExperimentResult
+runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
+              const ExperimentOptions& options)
+{
+    sim::PlatformOptions platformOptions = options.platform;
+    platformOptions.seed = options.seed;
+    sim::Platform platform(platformOptions, apps);
+    // The machine is busy and uncapped before the governor engages.
+    platform.warmStart(machine::maximalConfig());
+
+    rapl::RaplController rapl;
+    std::unique_ptr<capping::Governor> governor =
+        makeGovernor(kind, options.pupilPolicy);
+    governor->attachRapl(&rapl);
+    governor->setCap(options.capWatts);
+    platform.addActor(&rapl);
+    platform.addActor(governor.get());
+
+    double duration = options.durationSec;
+    if (!options.workItems.empty()) {
+        // Completion experiment: run until every app finishes its work.
+        for (size_t i = 0; i < options.workItems.size() &&
+                           i < platform.appCount(); ++i)
+            platform.setAppWorkItems(i, options.workItems[i]);
+        double t = 0.0;
+        while (!platform.allComplete() && t < options.maxDurationSec) {
+            t += 1.0;
+            platform.run(t);
+        }
+        duration = t;
+    } else {
+        const double statsStart = std::max(
+            0.0, options.durationSec - options.statsWindowSec);
+        platform.run(statsStart);
+        platform.resetStatsWindow();
+        platform.run(options.durationSec);
+    }
+
+    ExperimentResult result;
+    result.governor = governor->name();
+    result.capWatts = options.capWatts;
+    result.aggregatePerf = platform.energy().meanItemsPerSec();
+    const double window = std::max(platform.statsWindowSec(), 1e-9);
+    for (size_t i = 0; i < platform.appCount(); ++i)
+        result.appItemsPerSec.push_back(platform.appItems(i) / window);
+    result.meanPowerWatts = platform.energy().meanPower();
+    result.perfPerJoule = platform.energy().itemsPerJoule();
+    result.settlingTimeSec =
+        telemetry::settlingTime(platform.powerTrace(), options.capWatts);
+    result.capViolationSec = platform.capViolationSec(options.capWatts);
+    result.gips = platform.counters().gips();
+    result.bandwidthGBs = platform.counters().bandwidthGBs();
+    result.spinPercent = platform.counters().spinPercent();
+    result.capFeasible = governor->capFeasible();
+    result.converged = governor->converged();
+    result.durationSec = duration;
+    if (!options.workItems.empty()) {
+        for (size_t i = 0; i < platform.appCount(); ++i) {
+            const double done = platform.completionTime(i);
+            result.completionTimes.push_back(done >= 0.0 ? done : duration);
+        }
+    }
+    result.powerTrace = platform.powerTrace();
+    result.perfTrace = platform.perfTrace();
+    return result;
+}
+
+std::vector<sched::AppDemand>
+singleApp(const std::string& name, int threads)
+{
+    return {{&workload::findBenchmark(name), threads}};
+}
+
+std::vector<sched::AppDemand>
+mixApps(const workload::Mix& mix, workload::Scenario scenario)
+{
+    std::vector<sched::AppDemand> apps;
+    for (const std::string& name : mix.apps)
+        apps.push_back(
+            {&workload::findBenchmark(name),
+             workload::threadsPerApp(scenario)});
+    return apps;
+}
+
+}  // namespace pupil::harness

@@ -1,0 +1,110 @@
+#ifndef PUPIL_HARNESS_EXPERIMENT_H_
+#define PUPIL_HARNESS_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capping/governor.h"
+#include "core/power_dist.h"
+#include "sched/scheduler.h"
+#include "sim/platform.h"
+#include "telemetry/settling.h"
+#include "workload/mixes.h"
+
+namespace pupil::harness {
+
+/** The power-capping systems under evaluation (paper Section 4.4). */
+enum class GovernorKind {
+    kRapl,
+    kSoftDvfs,
+    kSoftModeling,
+    kSoftDecision,
+    kPupil,
+};
+
+/** Display name matching the paper's tables. */
+const char* governorName(GovernorKind kind);
+
+/** All five online governors, in the paper's presentation order. */
+const std::vector<GovernorKind>& allGovernors();
+
+/** Options of one experiment run. */
+struct ExperimentOptions
+{
+    double capWatts = 140.0;
+    double durationSec = 240.0;
+    /** Final window over which efficiency metrics are measured. */
+    double statsWindowSec = 100.0;
+    uint64_t seed = 42;
+    sim::PlatformOptions platform;
+    /** PUPiL's socket power-distribution policy (ablation knob). */
+    core::PowerDistPolicy pupilPolicy =
+        core::PowerDistPolicy::kCoreProportional;
+
+    /**
+     * Per-app finite work (items). When non-empty the run becomes a
+     * completion experiment: apps exit as they finish, the simulation runs
+     * until all are done (or maxDurationSec), and metrics cover the whole
+     * run. Used for the paper's multi-application evaluation.
+     */
+    std::vector<double> workItems;
+    double maxDurationSec = 2000.0;
+};
+
+/** Everything measured in one experiment run. */
+struct ExperimentResult
+{
+    std::string governor;
+    double capWatts = 0.0;
+    /** Aggregate normalized performance over the stats window. */
+    double aggregatePerf = 0.0;
+    /** Per-app mean item rates over the stats window. */
+    std::vector<double> appItemsPerSec;
+    double meanPowerWatts = 0.0;
+    /** Normalized work per joule over the stats window. */
+    double perfPerJoule = 0.0;
+    double settlingTimeSec = 0.0;
+    /** Seconds of cap violation over the whole run. */
+    double capViolationSec = 0.0;
+    double gips = 0.0;
+    double bandwidthGBs = 0.0;
+    double spinPercent = 0.0;
+    bool capFeasible = true;
+    bool converged = false;
+    /** Per-app completion times (completion experiments only). */
+    std::vector<double> completionTimes;
+    /** Actual simulated duration. */
+    double durationSec = 0.0;
+    std::vector<telemetry::TracePoint> powerTrace;
+    std::vector<telemetry::TracePoint> perfTrace;
+};
+
+/** Instantiate a governor of @p kind. */
+std::unique_ptr<capping::Governor> makeGovernor(
+    GovernorKind kind,
+    core::PowerDistPolicy pupilPolicy =
+        core::PowerDistPolicy::kCoreProportional);
+
+/**
+ * Run one experiment: warm-start the platform uncapped in the maximal
+ * configuration, engage the governor at t = 0, simulate, and measure
+ * efficiency over the final stats window (so the comparison captures each
+ * controller's converged behaviour; settling and cap violations are
+ * measured over the full run).
+ */
+ExperimentResult runExperiment(GovernorKind kind,
+                               const std::vector<sched::AppDemand>& apps,
+                               const ExperimentOptions& options);
+
+/** Demand vector for one benchmark running alone. */
+std::vector<sched::AppDemand> singleApp(const std::string& name,
+                                        int threads = 32);
+
+/** Demand vector for a Table 4 mix under the given scenario. */
+std::vector<sched::AppDemand> mixApps(const workload::Mix& mix,
+                                      workload::Scenario scenario);
+
+}  // namespace pupil::harness
+
+#endif  // PUPIL_HARNESS_EXPERIMENT_H_

@@ -1,0 +1,114 @@
+#include "config.h"
+
+#include <sstream>
+
+namespace pupil::machine {
+
+bool
+MachineConfig::valid(const Topology& topo) const
+{
+    if (coresPerSocket < 1 || coresPerSocket > topo.coresPerSocket)
+        return false;
+    if (sockets < 1 || sockets > topo.sockets)
+        return false;
+    if (memControllers < 1 || memControllers > topo.memControllers)
+        return false;
+    for (int s = 0; s < sockets; ++s) {
+        if (!DvfsTable::valid(pstate[s]))
+            return false;
+    }
+    return true;
+}
+
+std::string
+MachineConfig::toString() const
+{
+    std::ostringstream oss;
+    oss << coresPerSocket << "c x " << sockets << 's'
+        << (hyperthreading ? " +HT" : " -HT") << ' ' << memControllers
+        << "mc P[" << pstate[0];
+    if (sockets > 1)
+        oss << ',' << pstate[1];
+    oss << ']';
+    return oss.str();
+}
+
+MachineConfig
+minimalConfig()
+{
+    return MachineConfig{};  // 1 core, 1 socket, no HT, 1 MC, p-state 0
+}
+
+MachineConfig
+maximalConfig()
+{
+    MachineConfig cfg;
+    cfg.coresPerSocket = defaultTopology().coresPerSocket;
+    cfg.sockets = defaultTopology().sockets;
+    cfg.hyperthreading = true;
+    cfg.memControllers = defaultTopology().memControllers;
+    cfg.setUniformPState(DvfsTable::kTurboPState);
+    return cfg;
+}
+
+std::vector<MachineConfig>
+enumerateUserConfigs(const Topology& topo)
+{
+    std::vector<MachineConfig> configs;
+    configs.reserve(static_cast<size_t>(topo.coresPerSocket) * topo.sockets *
+                    2 * topo.memControllers * DvfsTable::kNumPStates);
+    for (int cores = 1; cores <= topo.coresPerSocket; ++cores) {
+        for (int sockets = 1; sockets <= topo.sockets; ++sockets) {
+            for (int ht = 0; ht < 2; ++ht) {
+                for (int mc = 1; mc <= topo.memControllers; ++mc) {
+                    for (int p = 0; p < DvfsTable::kNumPStates; ++p) {
+                        MachineConfig cfg;
+                        cfg.coresPerSocket = cores;
+                        cfg.sockets = sockets;
+                        cfg.hyperthreading = ht != 0;
+                        cfg.memControllers = mc;
+                        cfg.setUniformPState(p);
+                        configs.push_back(cfg);
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<MachineConfig>
+enumerateExtendedConfigs(const Topology& topo)
+{
+    std::vector<MachineConfig> configs;
+    for (int cores = 1; cores <= topo.coresPerSocket; ++cores) {
+        for (int sockets = 1; sockets <= topo.sockets; ++sockets) {
+            for (int ht = 0; ht < 2; ++ht) {
+                for (int mc = 1; mc <= topo.memControllers; ++mc) {
+                    for (int p0 = 0; p0 < DvfsTable::kNumPStates; ++p0) {
+                        MachineConfig cfg;
+                        cfg.coresPerSocket = cores;
+                        cfg.sockets = sockets;
+                        cfg.hyperthreading = ht != 0;
+                        cfg.memControllers = mc;
+                        if (sockets == 1) {
+                            cfg.pstate = {p0, 0};
+                            configs.push_back(cfg);
+                            continue;
+                        }
+                        // Independent second-socket p-state; avoid double
+                        // counting symmetric pairs (the model is symmetric
+                        // in socket identity).
+                        for (int p1 = p0; p1 < DvfsTable::kNumPStates; ++p1) {
+                            cfg.pstate = {p0, p1};
+                            configs.push_back(cfg);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return configs;
+}
+
+}  // namespace pupil::machine

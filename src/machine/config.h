@@ -1,0 +1,90 @@
+#ifndef PUPIL_MACHINE_CONFIG_H_
+#define PUPIL_MACHINE_CONFIG_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "machine/dvfs.h"
+#include "machine/topology.h"
+
+namespace pupil::machine {
+
+/**
+ * One point in the machine's user-accessible configuration space.
+ *
+ * The paper's platform exposes five knobs (Section 4.2): cores per socket,
+ * socket count, hyperthreading, memory-controller count, and clock speed.
+ * With a uniform clock across sockets that yields
+ * 8 x 2 x 2 x 2 x 16 = 1024 configurations. P-states are stored per socket
+ * because PUPiL's RAPL-based power distribution drives sockets
+ * asymmetrically; the user-visible enumeration keeps them uniform.
+ */
+struct MachineConfig
+{
+    int coresPerSocket = 1;   ///< active cores on each active socket, 1..8
+    int sockets = 1;          ///< active sockets, 1..2
+    bool hyperthreading = false;
+    int memControllers = 1;   ///< memory controllers interleaved, 1..2
+    std::array<int, 2> pstate = {0, 0};  ///< per-socket p-state, 0..15
+
+    /** Whether socket @p s is active. */
+    bool socketActive(int s) const { return s < sockets; }
+
+    /** Active cores on socket @p s (0 if the socket is off). */
+    int activeCores(int s) const { return socketActive(s) ? coresPerSocket : 0; }
+
+    /** Hardware contexts available on socket @p s. */
+    int contexts(int s) const
+    {
+        return activeCores(s) * (hyperthreading ? 2 : 1);
+    }
+
+    /** Hardware contexts across all sockets. */
+    int totalContexts() const
+    {
+        int total = 0;
+        for (int s = 0; s < 2; ++s)
+            total += contexts(s);
+        return total;
+    }
+
+    /** Total active physical cores. */
+    int totalCores() const { return coresPerSocket * sockets; }
+
+    /** Set both sockets to the same p-state. */
+    void setUniformPState(int p) { pstate = {p, p}; }
+
+    /** Whether all fields are within the topology's legal ranges. */
+    bool valid(const Topology& topo = defaultTopology()) const;
+
+    /** Short human-readable description, e.g. "8c x 2s +HT 2mc P[15,15]". */
+    std::string toString() const;
+
+    bool operator==(const MachineConfig&) const = default;
+};
+
+/** The minimal resource configuration Algorithm 1 starts from. */
+MachineConfig minimalConfig();
+
+/** Everything on: 8 cores x 2 sockets, HT, 2 MCs, turbo. */
+MachineConfig maximalConfig();
+
+/**
+ * Enumerate the user-accessible configuration space (uniform p-states).
+ * Size is exactly 1024 for the default topology (paper Section 4.2).
+ */
+std::vector<MachineConfig> enumerateUserConfigs(
+    const Topology& topo = defaultTopology());
+
+/**
+ * Enumerate the extended space with independent per-socket p-states for
+ * dual-socket configurations. This is the space the oracle searches so that
+ * PUPiL's asymmetric socket capping cannot beat "optimal".
+ */
+std::vector<MachineConfig> enumerateExtendedConfigs(
+    const Topology& topo = defaultTopology());
+
+}  // namespace pupil::machine
+
+#endif  // PUPIL_MACHINE_CONFIG_H_

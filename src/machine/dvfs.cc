@@ -1,0 +1,46 @@
+#include "dvfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pupil::machine {
+
+double
+DvfsTable::frequencyGHz(int pstate, int activeCores)
+{
+    assert(valid(pstate));
+    if (pstate < kTurboPState) {
+        const double step =
+            (kMaxNominalGHz - kMinFrequencyGHz) / (kTurboPState - 1);
+        return kMinFrequencyGHz + step * pstate;
+    }
+    // TurboBoost: 3.8 GHz single-core, fading with active core count.
+    const int cores = std::max(1, activeCores);
+    const double turbo = 3.8 - 0.1 * (cores - 1);
+    return std::max(turbo, kMaxNominalGHz + 0.2);
+}
+
+double
+DvfsTable::voltage(double freqGHz)
+{
+    // Affine V/f curve: 0.70 V at 1.2 GHz rising to 1.10 V at 3.8 GHz.
+    const double slope = (1.10 - 0.70) / (3.8 - 1.2);
+    const double v = 0.70 + slope * (freqGHz - kMinFrequencyGHz);
+    return std::clamp(v, 0.70, 1.15);
+}
+
+int
+DvfsTable::pstateForFrequency(double freqGHz)
+{
+    int best = 0;
+    for (int p = 0; p < kTurboPState; ++p) {
+        if (frequencyGHz(p, 1) <= freqGHz + 1e-9)
+            best = p;
+    }
+    // Turbo qualifies only if the target exceeds the all-core turbo bin.
+    if (freqGHz >= frequencyGHz(kTurboPState, 8))
+        best = kTurboPState;
+    return best;
+}
+
+}  // namespace pupil::machine

@@ -1,0 +1,50 @@
+#ifndef PUPIL_MACHINE_DVFS_H_
+#define PUPIL_MACHINE_DVFS_H_
+
+namespace pupil::machine {
+
+/**
+ * DVFS (P-state) table for the modelled Xeon E5-2690.
+ *
+ * P-states 0..14 span 1.2 to 2.9 GHz in uniform steps; P-state 15 is
+ * TurboBoost, whose achievable frequency degrades as more cores on the
+ * socket are active (matching real SandyBridge turbo bins). Voltage follows
+ * an affine V/f curve, which together with the CMOS dynamic-power law gives
+ * the super-linear power-vs-speed tradeoff the paper's DVFS knob exhibits.
+ */
+class DvfsTable
+{
+  public:
+    static constexpr int kNumPStates = 16;   ///< 15 DVFS settings + turbo
+    static constexpr int kTurboPState = 15;
+    static constexpr double kMinFrequencyGHz = 1.2;
+    static constexpr double kMaxNominalGHz = 2.9;
+
+    /**
+     * Core clock frequency (GHz) at @p pstate with @p activeCores active on
+     * the socket. Non-turbo states are independent of core count; turbo
+     * starts at 3.8 GHz for one core and loses 0.1 GHz per extra active
+     * core (floor: nominal + 0.2 GHz).
+     */
+    static double frequencyGHz(int pstate, int activeCores);
+
+    /** Supply voltage (V) required to sustain frequency @p freqGHz. */
+    static double voltage(double freqGHz);
+
+    /** Whether @p pstate is a valid index into the table. */
+    static bool valid(int pstate) { return pstate >= 0 && pstate < kNumPStates; }
+
+    /**
+     * Highest p-state whose (single-core-count-independent, i.e. nominal)
+     * frequency does not exceed @p freqGHz. Used by controllers mapping a
+     * continuous frequency target back onto the discrete table.
+     */
+    static int pstateForFrequency(double freqGHz);
+
+    /** Time for a frequency/voltage transition to take effect (seconds). */
+    static constexpr double kTransitionLatencySec = 0.010;
+};
+
+}  // namespace pupil::machine
+
+#endif  // PUPIL_MACHINE_DVFS_H_

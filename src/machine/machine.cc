@@ -1,0 +1,83 @@
+#include "machine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pupil::machine {
+
+Machine::Machine(const Topology& topo) : topo_(topo)
+{
+    applied_ = minimalConfig();
+    pending_ = applied_;
+}
+
+void
+Machine::requestConfig(const MachineConfig& cfg, double now)
+{
+    assert(cfg.valid(topo_));
+    commit(now);
+    // A change that only moves p-states is a cpufrequtils write and is much
+    // faster than a thread/memory migration.
+    const MachineConfig& base = applied_;
+    const bool dvfsOnly = cfg.coresPerSocket == base.coresPerSocket &&
+                          cfg.sockets == base.sockets &&
+                          cfg.hyperthreading == base.hyperthreading &&
+                          cfg.memControllers == base.memControllers;
+    pending_ = cfg;
+    applyAt_ = now + (dvfsOnly ? kDvfsLatencySec : kMigrationLatencySec);
+}
+
+void
+Machine::requestRaplClamp(int s, int pstateCap, double dutyCycle, double now)
+{
+    assert(s >= 0 && s < topo_.sockets);
+    assert(DvfsTable::valid(pstateCap));
+    assert(dutyCycle > 0.0 && dutyCycle <= 1.0);
+    commit(now);
+    clampPending_[s] = Clamp{pstateCap, dutyCycle};
+    clampApplyAt_[s] = now + kRaplLatencySec;
+}
+
+void
+Machine::clearRaplClamp(int s, double now)
+{
+    requestRaplClamp(s, DvfsTable::kTurboPState, 1.0, now);
+}
+
+void
+Machine::commit(double now) const
+{
+    if (now >= applyAt_)
+        applied_ = pending_;
+    for (int s = 0; s < 2; ++s) {
+        if (now >= clampApplyAt_[s])
+            clampApplied_[s] = clampPending_[s];
+    }
+}
+
+const MachineConfig&
+Machine::osConfig(double now) const
+{
+    commit(now);
+    return applied_;
+}
+
+MachineConfig
+Machine::effectiveConfig(double now) const
+{
+    commit(now);
+    MachineConfig cfg = applied_;
+    for (int s = 0; s < topo_.sockets; ++s)
+        cfg.pstate[s] = std::min(cfg.pstate[s], clampApplied_[s].pstateCap);
+    return cfg;
+}
+
+double
+Machine::dutyCycle(int s, double now) const
+{
+    assert(s >= 0 && s < topo_.sockets);
+    commit(now);
+    return clampApplied_[s].duty;
+}
+
+}  // namespace pupil::machine

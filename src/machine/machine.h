@@ -1,0 +1,99 @@
+#ifndef PUPIL_MACHINE_MACHINE_H_
+#define PUPIL_MACHINE_MACHINE_H_
+
+#include <array>
+
+#include "machine/config.h"
+
+namespace pupil::machine {
+
+/**
+ * Stateful model of the configurable server: tracks the OS-requested
+ * configuration, hardware (RAPL) frequency clamps, and duty-cycle
+ * throttling, and applies each with a realistic actuation latency.
+ *
+ * Two actuation paths exist, mirroring the paper's platform:
+ *  - the OS path (thread affinity via taskset/numactl, p-states via
+ *    cpufrequtils) -- slow: migrations take ~150 ms to show effect, pure
+ *    DVFS changes ~10 ms;
+ *  - the hardware path (RAPL MSR writes) -- fast: ~1 ms, and able to clamp
+ *    frequency below the OS request or duty-cycle the clock below the
+ *    minimum p-state.
+ *
+ * Time is passed in explicitly (seconds) so the machine stays independent
+ * of the simulation engine layered above it.
+ */
+class Machine
+{
+  public:
+    /** Latency for OS-level changes that migrate threads or sockets. */
+    static constexpr double kMigrationLatencySec = 0.150;
+    /** Latency for OS-level changes touching only p-states. */
+    static constexpr double kDvfsLatencySec = DvfsTable::kTransitionLatencySec;
+    /** Latency for hardware (RAPL) clamp changes. */
+    static constexpr double kRaplLatencySec = 0.001;
+
+    explicit Machine(const Topology& topo = defaultTopology());
+
+    const Topology& topology() const { return topo_; }
+
+    /**
+     * OS-level request to move the machine to @p cfg at time @p now.
+     * Takes effect after the migration (or DVFS-only) latency. A new
+     * request supersedes any pending one.
+     */
+    void requestConfig(const MachineConfig& cfg, double now);
+
+    /**
+     * Hardware clamp from the RAPL controller for socket @p s: cap the
+     * p-state at @p pstateCap and apply @p dutyCycle (T-state modulation,
+     * (0,1]). Takes effect after ~1 ms.
+     */
+    void requestRaplClamp(int s, int pstateCap, double dutyCycle, double now);
+
+    /** Remove any hardware clamp on socket @p s (cap = turbo, duty = 1). */
+    void clearRaplClamp(int s, double now);
+
+    /** The OS-requested configuration currently in force at @p now. */
+    const MachineConfig& osConfig(double now) const;
+
+    /** The OS-requested configuration ignoring pending changes. */
+    const MachineConfig& lastAppliedOsConfig() const { return applied_; }
+
+    /**
+     * The configuration the hardware is actually running at @p now:
+     * the applied OS config with each socket's p-state clamped by RAPL.
+     */
+    MachineConfig effectiveConfig(double now) const;
+
+    /** Effective duty cycle for socket @p s at @p now. */
+    double dutyCycle(int s, double now) const;
+
+    /** Whether an OS config change is still in flight at @p now. */
+    bool configChangePending(double now) const { return now < applyAt_; }
+
+  private:
+    struct Clamp
+    {
+        int pstateCap = DvfsTable::kTurboPState;
+        double duty = 1.0;
+    };
+
+    Topology topo_;
+
+    // Pending changes are committed lazily as accessors observe time
+    // advance, so the applied state is mutable behind const accessors.
+    mutable MachineConfig applied_;
+    MachineConfig pending_;
+    double applyAt_ = -1e300;  ///< when pending_ becomes applied_
+
+    mutable std::array<Clamp, 2> clampApplied_;
+    std::array<Clamp, 2> clampPending_;
+    std::array<double, 2> clampApplyAt_ = {-1e300, -1e300};
+
+    void commit(double now) const;
+};
+
+}  // namespace pupil::machine
+
+#endif  // PUPIL_MACHINE_MACHINE_H_

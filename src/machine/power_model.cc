@@ -1,0 +1,69 @@
+#include "power_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pupil::machine {
+
+PowerModel::PowerModel(const PowerParams& params, const Topology& topo)
+    : params_(params), topo_(topo)
+{
+}
+
+double
+PowerModel::frequency(const MachineConfig& cfg, int s) const
+{
+    if (!cfg.socketActive(s))
+        return 0.0;
+    return DvfsTable::frequencyGHz(cfg.pstate[s], cfg.activeCores(s));
+}
+
+double
+PowerModel::staticSocketPower(const MachineConfig& cfg, int s) const
+{
+    // A memory controller draws power on the socket that owns it whenever
+    // it is part of the interleave set, even if that socket's cores are off
+    // (numactl can target a remote controller).
+    const bool mcInUse = (s == 0) || (cfg.memControllers >= 2);
+    const double mcPower = mcInUse ? params_.mcWatts : 0.0;
+
+    if (!cfg.socketActive(s))
+        return params_.idleSocketWatts + mcPower;
+
+    const double volts = DvfsTable::voltage(frequency(cfg, s));
+    return params_.uncoreWatts + mcPower +
+           cfg.activeCores(s) * params_.leakPerVolt * volts;
+}
+
+double
+PowerModel::socketPower(const MachineConfig& cfg, int s,
+                        const SocketLoad& load, double dutyCycle) const
+{
+    assert(dutyCycle > 0.0 && dutyCycle <= 1.0);
+    double power = staticSocketPower(cfg, s);
+    if (!cfg.socketActive(s))
+        return power;
+
+    const double freq = frequency(cfg, s);
+    const double volts = DvfsTable::voltage(freq);
+    const double busyUnits =
+        std::min(load.busyPrimary, double(cfg.activeCores(s))) +
+        params_.htDynFactor *
+            std::min(load.busySibling, double(cfg.activeCores(s)));
+    power += params_.dynCoeff * volts * volts * freq * load.activity *
+             busyUnits * dutyCycle;
+    return power;
+}
+
+double
+PowerModel::totalPower(const MachineConfig& cfg,
+                       const std::array<SocketLoad, 2>& loads,
+                       const std::array<double, 2>& dutyCycles) const
+{
+    double total = 0.0;
+    for (int s = 0; s < topo_.sockets; ++s)
+        total += socketPower(cfg, s, loads[s], dutyCycles[s]);
+    return total;
+}
+
+}  // namespace pupil::machine

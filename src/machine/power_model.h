@@ -1,0 +1,92 @@
+#ifndef PUPIL_MACHINE_POWER_MODEL_H_
+#define PUPIL_MACHINE_POWER_MODEL_H_
+
+#include <array>
+
+#include "machine/config.h"
+
+namespace pupil::machine {
+
+/**
+ * Per-socket load summary produced by the scheduler model and consumed by
+ * the power model.
+ */
+struct SocketLoad
+{
+    /** Busy primary hardware contexts (core-seconds per second, 0..cores). */
+    double busyPrimary = 0.0;
+    /** Busy sibling (hyperthread) contexts (0..cores). */
+    double busySibling = 0.0;
+    /** Average dynamic activity factor of the running work, [0, 1]. */
+    double activity = 0.0;
+};
+
+/**
+ * Calibration constants of the CMOS power model.
+ *
+ * Exposed as a struct so tests and ablation benches can perturb them; the
+ * defaults are calibrated so the modelled machine reproduces the paper's
+ * operating envelope: the full machine at the lowest p-state draws more
+ * than 60 W (Soft-DVFS cannot meet the 60 W cap, Section 5.1), an
+ * unconstrained compute-heavy run draws ~230 W total, a single socket stays
+ * under its 135 W TDP, and the minimal configuration idles near 11 W.
+ */
+struct PowerParams
+{
+    double dynCoeff = 4.6;       ///< W per (V^2 * GHz) of busy core activity
+    double leakPerVolt = 0.6;    ///< W of leakage per volt per active core
+    double uncoreWatts = 4.5;    ///< active socket base (LLC, ring, PCU)
+    double mcWatts = 1.5;        ///< per memory controller in use
+    double idleSocketWatts = 2.5;///< package-sleep power of an unused socket
+    double htDynFactor = 0.35;   ///< marginal dynamic power of a busy sibling
+};
+
+/**
+ * Analytic power model of the dual-socket server.
+ *
+ * P_socket = uncore + MC + n_active_cores * leak(V)
+ *          + dynCoeff * V^2 * f * activity * (busyPrimary
+ *                                             + htDynFactor * busySibling)
+ *
+ * Duty-cycle throttling (RAPL T-state fallback below the minimum p-state)
+ * scales only the dynamic term; leakage and uncore power remain.
+ */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams& params = PowerParams(),
+                        const Topology& topo = defaultTopology());
+
+    const PowerParams& params() const { return params_; }
+
+    /**
+     * Power of socket @p s (Watts) under @p cfg with the given load.
+     * @p dutyCycle in (0, 1] models T-state clock modulation.
+     */
+    double socketPower(const MachineConfig& cfg, int s, const SocketLoad& load,
+                       double dutyCycle = 1.0) const;
+
+    /** Total system power across both sockets. */
+    double totalPower(const MachineConfig& cfg,
+                      const std::array<SocketLoad, 2>& loads,
+                      const std::array<double, 2>& dutyCycles = {1.0,
+                                                                 1.0}) const;
+
+    /**
+     * Static (load-independent) power of socket @p s under @p cfg: uncore,
+     * memory controllers, and core leakage at the configured voltage.
+     * PUPiL uses this estimate when splitting a power cap across sockets.
+     */
+    double staticSocketPower(const MachineConfig& cfg, int s) const;
+
+    /** Effective core frequency on socket @p s (GHz), before duty cycling. */
+    double frequency(const MachineConfig& cfg, int s) const;
+
+  private:
+    PowerParams params_;
+    Topology topo_;
+};
+
+}  // namespace pupil::machine
+
+#endif  // PUPIL_MACHINE_POWER_MODEL_H_

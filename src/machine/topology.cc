@@ -1,0 +1,12 @@
+#include "topology.h"
+
+namespace pupil::machine {
+
+const Topology&
+defaultTopology()
+{
+    static const Topology topo;
+    return topo;
+}
+
+}  // namespace pupil::machine

@@ -1,0 +1,34 @@
+#ifndef PUPIL_MACHINE_TOPOLOGY_H_
+#define PUPIL_MACHINE_TOPOLOGY_H_
+
+namespace pupil::machine {
+
+/**
+ * Physical topology of the modelled server.
+ *
+ * Mirrors the paper's evaluation platform (Table 1): a dual-socket
+ * SuperMICRO board with two Intel Xeon E5-2690 processors -- 8 cores per
+ * socket, 2-way hyperthreading, one memory controller per socket, 15 DVFS
+ * settings plus TurboBoost, and a 135 W thermal design power per socket.
+ */
+struct Topology
+{
+    int sockets = 2;
+    int coresPerSocket = 8;
+    int threadsPerCore = 2;
+    int memControllers = 2;  ///< one per socket, interleavable via numactl
+    double socketTdpWatts = 135.0;
+
+    /** Physical cores across all sockets. */
+    int totalCores() const { return sockets * coresPerSocket; }
+
+    /** Hardware thread contexts across all sockets. */
+    int totalContexts() const { return totalCores() * threadsPerCore; }
+};
+
+/** The default (paper) topology. */
+const Topology& defaultTopology();
+
+}  // namespace pupil::machine
+
+#endif  // PUPIL_MACHINE_TOPOLOGY_H_

@@ -1,0 +1,92 @@
+#include "msr.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pupil::rapl {
+
+namespace {
+
+// MSR_PKG_POWER_LIMIT bit fields (PL1 only; PL2 is not modelled).
+constexpr uint64_t kPowerMask = 0x7fff;        // bits 14:0, in power units
+constexpr int kEnableShift = 15;               // bit 15
+constexpr int kTimeShift = 17;                 // bits 26:17 (simplified:
+                                               // window in time units)
+constexpr uint64_t kTimeMask = 0x3ff;
+
+// MSR_RAPL_POWER_UNIT encoding: power unit 2^-3 W, energy 2^-16 J,
+// time 2^-10 s.
+constexpr uint64_t kPowerUnitRaw = 3;
+constexpr uint64_t kEnergyUnitRaw = 16;
+constexpr uint64_t kTimeUnitRaw = 10;
+
+}  // namespace
+
+MsrFile::MsrFile()
+{
+    regs_[kMsrRaplPowerUnit] =
+        kPowerUnitRaw | (kEnergyUnitRaw << 8) | (kTimeUnitRaw << 16);
+    regs_[kMsrPkgPowerLimit] = 0;
+    regs_[kMsrPkgEnergyStatus] = 0;
+}
+
+uint64_t
+MsrFile::read(uint32_t addr) const
+{
+    auto it = regs_.find(addr);
+    return it != regs_.end() ? it->second : 0;
+}
+
+void
+MsrFile::write(uint32_t addr, uint64_t value)
+{
+    if (addr == kMsrRaplPowerUnit || addr == kMsrPkgEnergyStatus)
+        return;  // read-only
+    regs_[addr] = value;
+}
+
+PowerLimit
+MsrFile::powerLimit() const
+{
+    const uint64_t raw = read(kMsrPkgPowerLimit);
+    PowerLimit limit;
+    limit.powerWatts = double(raw & kPowerMask) * units_.powerUnitWatts;
+    limit.enabled = ((raw >> kEnableShift) & 1) != 0;
+    const uint64_t timeRaw = (raw >> kTimeShift) & kTimeMask;
+    limit.windowSec = std::max(1.0, double(timeRaw)) * units_.timeUnitSec;
+    return limit;
+}
+
+void
+MsrFile::setPowerLimit(const PowerLimit& limit)
+{
+    const uint64_t powerRaw = std::min<uint64_t>(
+        kPowerMask,
+        uint64_t(std::llround(limit.powerWatts / units_.powerUnitWatts)));
+    const uint64_t timeRaw = std::clamp<uint64_t>(
+        uint64_t(std::llround(limit.windowSec / units_.timeUnitSec)), 1,
+        kTimeMask);
+    uint64_t raw = powerRaw | (timeRaw << kTimeShift);
+    if (limit.enabled)
+        raw |= uint64_t{1} << kEnableShift;
+    regs_[kMsrPkgPowerLimit] = raw;
+}
+
+void
+MsrFile::addEnergy(double joules)
+{
+    energyRemainder_ += joules / units_.energyUnitJoules;
+    const auto whole = uint64_t(energyRemainder_);
+    energyRemainder_ -= double(whole);
+    // 32-bit wrap-around, as on real hardware.
+    regs_[kMsrPkgEnergyStatus] =
+        (regs_[kMsrPkgEnergyStatus] + whole) & 0xffffffffULL;
+}
+
+double
+MsrFile::energyJoules() const
+{
+    return double(read(kMsrPkgEnergyStatus)) * units_.energyUnitJoules;
+}
+
+}  // namespace pupil::rapl

@@ -1,0 +1,81 @@
+#ifndef PUPIL_RAPL_MSR_H_
+#define PUPIL_RAPL_MSR_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace pupil::rapl {
+
+/**
+ * Model-specific register addresses implemented by the emulated RAPL
+ * interface (matching the Intel SDM addresses the paper's msr-module-based
+ * tooling uses).
+ */
+enum MsrAddress : uint32_t {
+    kMsrRaplPowerUnit = 0x606,   ///< unit definitions (read-only)
+    kMsrPkgPowerLimit = 0x610,   ///< package power-limit control
+    kMsrPkgEnergyStatus = 0x611, ///< cumulative energy counter (read-only)
+};
+
+/**
+ * Fixed-point units advertised in MSR_RAPL_POWER_UNIT, as on SandyBridge:
+ * power in 1/8 W, energy in ~15.3 uJ, time in ~976 us.
+ */
+struct RaplUnits
+{
+    double powerUnitWatts = 0.125;
+    double energyUnitJoules = 1.0 / 65536.0;
+    double timeUnitSec = 1.0 / 1024.0;
+};
+
+/** Decoded contents of MSR_PKG_POWER_LIMIT. */
+struct PowerLimit
+{
+    double powerWatts = 0.0;
+    double windowSec = 0.25;
+    bool enabled = false;
+};
+
+/**
+ * Per-package emulated MSR file.
+ *
+ * Software (PUPiL, or the thin RAPL-only governor) programs power caps by
+ * writing MSR_PKG_POWER_LIMIT exactly as the real msr kernel module would;
+ * the firmware controller decodes the register every control interval.
+ * The energy-status counter is advanced by the firmware and wraps at 32
+ * bits like real hardware.
+ */
+class MsrFile
+{
+  public:
+    MsrFile();
+
+    /** Raw register read; unknown addresses read as 0. */
+    uint64_t read(uint32_t addr) const;
+
+    /** Raw register write. Writes to read-only registers are ignored. */
+    void write(uint32_t addr, uint64_t value);
+
+    const RaplUnits& units() const { return units_; }
+
+    /** Decode the current package power limit. */
+    PowerLimit powerLimit() const;
+
+    /** Encode and write a package power limit (convenience for software). */
+    void setPowerLimit(const PowerLimit& limit);
+
+    /** Firmware-side: accumulate @p joules into the energy counter. */
+    void addEnergy(double joules);
+
+    /** Cumulative energy in joules (modulo the 32-bit counter wrap). */
+    double energyJoules() const;
+
+  private:
+    RaplUnits units_;
+    std::unordered_map<uint32_t, uint64_t> regs_;
+    double energyRemainder_ = 0.0;  ///< sub-unit energy not yet counted
+};
+
+}  // namespace pupil::rapl
+
+#endif  // PUPIL_RAPL_MSR_H_

@@ -1,0 +1,182 @@
+#include "rapl.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "machine/dvfs.h"
+#include "machine/power_model.h"
+#include "sim/platform.h"
+
+namespace pupil::rapl {
+
+using machine::DvfsTable;
+using machine::MachineConfig;
+
+RaplController::RaplController() = default;
+
+void
+RaplController::setSocketCap(int s, double watts, bool enabled)
+{
+    PowerLimit limit;
+    limit.powerWatts = watts;
+    limit.windowSec = 0.25;
+    limit.enabled = enabled;
+    msr_[s].setPowerLimit(limit);
+}
+
+void
+RaplController::setTotalCapEvenSplit(double totalWatts)
+{
+    for (int s = 0; s < 2; ++s)
+        setSocketCap(s, totalWatts / 2.0, true);
+}
+
+ZoneStatus
+RaplController::zoneStatus(int s) const
+{
+    const PowerLimit limit = msr_[s].powerLimit();
+    ZoneStatus status;
+    status.enabled = limit.enabled;
+    status.capWatts = limit.powerWatts;
+    status.clampPState = zones_[s].clampPState;
+    status.dutyCycle = zones_[s].duty;
+    status.windowAvgWatts = zones_[s].lastAvg;
+    return status;
+}
+
+void
+RaplController::onStart(sim::Platform& platform)
+{
+    (void)platform;
+    for (Zone& zone : zones_) {
+        zone.window.clear();
+        zone.windowSum = 0.0;
+        zone.clampPState = DvfsTable::kTurboPState;
+        zone.duty = 1.0;
+    }
+}
+
+void
+RaplController::onTick(sim::Platform& platform, double now)
+{
+    for (int s = 0; s < 2; ++s)
+        controlZone(platform, s, now);
+}
+
+void
+RaplController::controlZone(sim::Platform& platform, int s, double now)
+{
+    const double dt = periodSec();
+    Zone& zone = zones_[s];
+    const PowerLimit limit = msr_[s].powerLimit();
+
+    const double est = platform.readSocketPowerEstimate(s);
+    msr_[s].addEnergy(est * dt);
+
+    // Sliding window of per-interval power estimates.
+    const size_t windowLen =
+        std::max<size_t>(1, size_t(std::llround(limit.windowSec / dt)));
+    zone.window.push_back(est);
+    zone.windowSum += est;
+    while (zone.window.size() > windowLen) {
+        zone.windowSum -= zone.window.front();
+        zone.window.pop_front();
+    }
+    const double avg = zone.windowSum / double(zone.window.size());
+    zone.lastAvg = avg;
+
+    if (!limit.enabled) {
+        if (zone.clampPState != DvfsTable::kTurboPState || zone.duty != 1.0) {
+            zone.clampPState = DvfsTable::kTurboPState;
+            zone.duty = 1.0;
+            platform.machine().clearRaplClamp(s, now);
+        }
+        return;
+    }
+
+    // Budget repayment: if the window average overshot the cap, target
+    // under the cap for the next interval (and vice versa). The upside is
+    // clamped tightly -- PL1 is a sustained limit, and banking a cold
+    // window into a burst (real RAPL routes that through PL2) would
+    // violate the cap semantics this repo studies.
+    const double cap = limit.powerWatts;
+    const double target =
+        std::clamp(cap + (cap - avg), 0.4 * cap, 1.05 * cap);
+
+    const machine::PowerModel& pm = platform.powerModel();
+    const MachineConfig osCfg = platform.machine().osConfig(now);
+    if (!osCfg.socketActive(s)) {
+        // No cores to throttle; leave the socket unclamped.
+        if (zone.clampPState != DvfsTable::kTurboPState || zone.duty != 1.0) {
+            zone.clampPState = DvfsTable::kTurboPState;
+            zone.duty = 1.0;
+            platform.machine().clearRaplClamp(s, now);
+        }
+        return;
+    }
+
+    // Estimate the dynamic power at the current operating point, then
+    // predict power for every candidate p-state via the V^2*f scaling law.
+    const MachineConfig effCfg = platform.machine().effectiveConfig(now);
+    const int cores = effCfg.activeCores(s);
+    const double fNow = DvfsTable::frequencyGHz(effCfg.pstate[s], cores);
+    const double vNow = DvfsTable::voltage(fNow);
+    const double dutyNow = platform.machine().dutyCycle(s, now);
+    const double staticNow = pm.staticSocketPower(effCfg, s);
+    const double dynAtFull =
+        std::max(0.0, est - staticNow) / std::max(dutyNow, 0.05);
+    const double scaleNow = vNow * vNow * fNow;
+
+    const int maxPState = osCfg.pstate[s];
+    int chosen = -1;
+    for (int p = maxPState; p >= 0; --p) {
+        MachineConfig candidate = effCfg;
+        candidate.pstate[s] = p;
+        const double f = DvfsTable::frequencyGHz(p, cores);
+        const double v = DvfsTable::voltage(f);
+        const double predicted =
+            pm.staticSocketPower(candidate, s) +
+            dynAtFull * (v * v * f) / std::max(scaleNow, 1e-9);
+        if (predicted <= target) {
+            chosen = p;
+            break;
+        }
+    }
+
+    int newPState = chosen;
+    double newDuty = 1.0;
+    if (chosen < 0) {
+        // Even the lowest p-state is too hot: duty-cycle the clock.
+        newPState = 0;
+        MachineConfig candidate = effCfg;
+        candidate.pstate[s] = 0;
+        const double f0 = DvfsTable::frequencyGHz(0, cores);
+        const double v0 = DvfsTable::voltage(f0);
+        const double static0 = pm.staticSocketPower(candidate, s);
+        const double dyn0 =
+            dynAtFull * (v0 * v0 * f0) / std::max(scaleNow, 1e-9);
+        newDuty = std::clamp((target - static0) / std::max(dyn0, 1e-9),
+                             0.05, 1.0);
+    } else if (chosen >= maxPState) {
+        // Unconstrained: remove the clamp entirely.
+        newPState = DvfsTable::kTurboPState;
+    }
+
+    // Slew limit when raising the clamp: coming out of a deep clamp the
+    // dynamic-power estimate is tiny and every state looks affordable, so
+    // an instant jump to turbo would overshoot. Climb at most two p-states
+    // per control interval (still ~10 ms to traverse the whole table) and
+    // let the fresh estimate after each step rein the climb in.
+    if (newPState > zone.clampPState)
+        newPState = std::min(newPState, zone.clampPState + 2);
+
+    const bool changed = newPState != zone.clampPState ||
+                         std::fabs(newDuty - zone.duty) > 0.02;
+    if (changed) {
+        zone.clampPState = newPState;
+        zone.duty = newDuty;
+        platform.machine().requestRaplClamp(s, newPState, newDuty, now);
+    }
+}
+
+}  // namespace pupil::rapl

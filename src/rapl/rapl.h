@@ -1,0 +1,83 @@
+#ifndef PUPIL_RAPL_RAPL_H_
+#define PUPIL_RAPL_RAPL_H_
+
+#include <array>
+#include <deque>
+
+#include "rapl/msr.h"
+#include "sim/actor.h"
+
+namespace pupil::rapl {
+
+/** Introspection snapshot of one RAPL zone (one socket). */
+struct ZoneStatus
+{
+    bool enabled = false;
+    double capWatts = 0.0;
+    int clampPState = 15;
+    double dutyCycle = 1.0;
+    double windowAvgWatts = 0.0;
+};
+
+/**
+ * The hardware power-capping firmware (paper Section 3.2).
+ *
+ * One zone per socket. Every millisecond control interval the firmware:
+ *  1. reads its power estimate (derived from low-level event counts in
+ *     real hardware; here a low-noise sensor channel);
+ *  2. advances the package energy-status MSR;
+ *  3. computes the energy budget remaining in the sliding averaging
+ *     window and from it a target power for the next interval
+ *     (over-budget windows are repaid by under-shooting, and vice versa);
+ *  4. decides the fastest V/f operating point whose predicted power fits
+ *     the target -- falling back to duty-cycle (T-state) modulation when
+ *     even the lowest p-state is too hot -- and actuates it.
+ *
+ * RAPL observes *only power*; it has no notion of application performance
+ * and manipulates only voltage/frequency -- the precise limitation PUPiL's
+ * hybrid design addresses.
+ */
+class RaplController : public sim::Actor
+{
+  public:
+    RaplController();
+
+    /** MSR file of socket @p s (software writes caps here). */
+    MsrFile& msr(int s) { return msr_[s]; }
+    const MsrFile& msr(int s) const { return msr_[s]; }
+
+    /**
+     * Convenience used by governors: program a per-socket cap (PL1) with
+     * the default 0.25 s window, or disable capping for the socket.
+     */
+    void setSocketCap(int s, double watts, bool enabled = true);
+
+    /** Split @p totalWatts evenly across both sockets (RAPL default). */
+    void setTotalCapEvenSplit(double totalWatts);
+
+    ZoneStatus zoneStatus(int s) const;
+
+    // sim::Actor
+    void onStart(sim::Platform& platform) override;
+    void onTick(sim::Platform& platform, double now) override;
+    double periodSec() const override { return 0.001; }
+
+  private:
+    struct Zone
+    {
+        std::deque<double> window;   ///< per-interval power estimates (W)
+        double windowSum = 0.0;
+        int clampPState = 15;
+        double duty = 1.0;
+        double lastAvg = 0.0;
+    };
+
+    void controlZone(sim::Platform& platform, int s, double now);
+
+    std::array<MsrFile, 2> msr_;
+    std::array<Zone, 2> zones_;
+};
+
+}  // namespace pupil::rapl
+
+#endif  // PUPIL_RAPL_RAPL_H_

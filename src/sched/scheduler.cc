@@ -1,0 +1,346 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "machine/dvfs.h"
+
+namespace pupil::sched {
+
+namespace {
+
+using machine::MachineConfig;
+using workload::AppParams;
+using workload::SyncKind;
+
+/** Working state for one app during the solve. */
+struct Work
+{
+    const AppParams* p = nullptr;
+    int threads = 0;
+    double runnablePar = 0.0;   ///< runnable threads during parallel phase
+    double runnable = 0.0;      ///< time-averaged runnable threads
+    std::array<double, 2> share = {0.0, 0.0};  ///< ctx-sec/s per socket
+    double shareCtx = 0.0;      ///< total allocated contexts
+    double shareEquiv = 0.0;    ///< core-equivalents (HT-adjusted)
+    double freq = 0.0;          ///< share-weighted effective GHz
+    bool spans = false;
+    double speedup = 0.0;       ///< effective speedup incl. serial stretch
+    double serialSpeed = 1.0;   ///< progress speed of a serial section
+    double spinTime = 0.0;      ///< wall-time fraction spent spin-waiting
+    double idealIps = 0.0;
+    double demandBytes = 0.0;
+};
+
+}  // namespace
+
+Scheduler::Scheduler(double mcBandwidthGBs)
+    : mcBandwidthBytes_(mcBandwidthGBs * 1e9)
+{
+}
+
+SystemOutcome
+Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
+                 const std::vector<AppDemand>& apps) const
+{
+    SystemOutcome out;
+    out.apps.resize(apps.size());
+
+    const std::array<double, 2> ctx = {double(cfg.contexts(0)),
+                                       double(cfg.contexts(1))};
+    const double totalCtx = ctx[0] + ctx[1];
+    if (totalCtx <= 0.0)
+        return out;
+
+    std::array<double, 2> freq = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+        if (cfg.socketActive(s)) {
+            freq[s] = machine::DvfsTable::frequencyGHz(cfg.pstate[s],
+                                                       cfg.activeCores(s)) *
+                      std::clamp(duty[s], 0.0, 1.0);
+        }
+    }
+
+    // ---- 1. Runnable thread counts.
+    //
+    // During parallel phases condvar apps keep only their useful threads
+    // runnable (extras block on work queues); spin and EP apps keep all of
+    // them busy. During serial phases one thread runs; spin apps keep the
+    // rest polling, condvar/EP apps put them to sleep.
+    std::vector<Work> work(apps.size());
+    for (size_t i = 0; i < apps.size(); ++i) {
+        Work& w = work[i];
+        w.p = apps[i].params;
+        w.threads = apps[i].threads;
+        if (w.threads <= 0 || w.p == nullptr)
+            continue;
+        const double t = w.threads;
+        w.runnablePar = w.p->sync == SyncKind::kCondVar
+                            ? std::min(t, double(w.p->maxUsefulThreads))
+                            : t;
+        const double s = w.p->serialFrac;
+        const double serialRunnable = w.p->sync == SyncKind::kSpin ? t : 1.0;
+        w.runnable = (1.0 - s) * w.runnablePar + s * serialRunnable;
+    }
+
+    // ---- 2. CFS-like proportional shares per socket.
+    //
+    // Each app's threads are spread across active sockets in proportion to
+    // context counts; per-socket capacity is divided in proportion to
+    // runnable thread counts, capped at each app's own demand.
+    double totalRunnable = 0.0;
+    for (const Work& w : work)
+        totalRunnable += w.runnable;
+    for (int s = 0; s < 2; ++s) {
+        if (ctx[s] <= 0.0)
+            continue;
+        const double socketDemand = totalRunnable * ctx[s] / totalCtx;
+        const double scale =
+            socketDemand > ctx[s] ? ctx[s] / socketDemand : 1.0;
+        for (Work& w : work) {
+            const double demand = w.runnable * ctx[s] / totalCtx;
+            w.share[s] = demand * scale;
+        }
+    }
+    for (Work& w : work)
+        w.shareCtx = w.share[0] + w.share[1];
+
+    // ---- 3. Hyperthread pairing.
+    //
+    // On a socket where busy contexts exceed physical cores, the excess
+    // pairs up on cores; a paired context contributes (1 + htYield)/2
+    // core-equivalents for its app.
+    std::array<double, 2> busyCtx = {0.0, 0.0};
+    for (const Work& w : work) {
+        busyCtx[0] += w.share[0];
+        busyCtx[1] += w.share[1];
+    }
+    std::array<double, 2> pairedFrac = {0.0, 0.0};
+    for (int s = 0; s < 2; ++s) {
+        const double cores = cfg.activeCores(s);
+        if (busyCtx[s] > cores && busyCtx[s] > 0.0)
+            pairedFrac[s] = 2.0 * (busyCtx[s] - cores) / busyCtx[s];
+    }
+    for (Work& w : work) {
+        if (w.threads <= 0 || w.shareCtx <= 0.0)
+            continue;
+        double equiv = 0.0;
+        double freqSum = 0.0;
+        for (int s = 0; s < 2; ++s) {
+            const double factor = (1.0 - pairedFrac[s]) +
+                                  pairedFrac[s] * (1.0 + w.p->htYield) / 2.0;
+            equiv += w.share[s] * factor;
+            freqSum += w.share[s] * freq[s];
+        }
+        w.shareEquiv = equiv;
+        w.freq = freqSum / w.shareCtx;
+        w.spans = w.threads > 1 && w.share[0] > 1e-9 && w.share[1] > 1e-9;
+    }
+
+    // ---- 4. Effective speedup with serial-phase amplification.
+    //
+    // Timesharing overhead: context switches and cache/TLB pollution from
+    // *other* applications' working threads tax an app's useful
+    // throughput (threads of the same address space are cheap to switch
+    // between). Spin-pool surplus threads pollute less (tight polling
+    // loops) and count at half weight.
+    std::vector<double> thrashWeight(work.size(), 0.0);
+    double thrashLoad = 0.0;
+    for (size_t i = 0; i < work.size(); ++i) {
+        const Work& w = work[i];
+        if (w.threads <= 0)
+            continue;
+        const double useful =
+            std::min(w.runnablePar, double(w.p->maxUsefulThreads));
+        const double surplus = std::max(0.0, w.runnablePar - useful);
+        thrashWeight[i] = useful + 0.5 * surplus;
+        thrashLoad += thrashWeight[i];
+    }
+    const double totalCores = std::max(1, cfg.totalCores());
+
+    for (Work& w : work) {
+        if (w.threads <= 0 || w.shareCtx <= 0.0)
+            continue;
+        const AppParams& p = *w.p;
+        // Parallel-phase core-equivalents: the time-averaged share scaled
+        // back up to the parallel phase's runnable count.
+        const double parEquiv =
+            w.runnable > 0.0 ? w.shareEquiv * w.runnablePar / w.runnable
+                             : 0.0;
+        const double eAlloc = std::max(parEquiv, 1e-9);
+        const double eUseful =
+            std::min(eAlloc, double(p.maxUsefulThreads));
+        // Serial sections run one thread at that thread's fair share of a
+        // context. During app i's serial phase its own parallel threads
+        // either sleep (condvar/EP) or spin on *other* cores while the OS
+        // keeps the progressing thread on its own core, so the serial
+        // thread contends only with other applications' runnable threads.
+        const double serialTotal = totalRunnable - w.runnable + 1.0;
+        w.serialSpeed =
+            std::min(1.0, totalCtx / std::max(serialTotal, 1.0));
+        // If the machine is busy enough that the serial thread shares its
+        // physical core with a sibling hyperthread (other apps' threads,
+        // or the app's own spinners), it runs at the paired-context rate.
+        const double busyNow = busyCtx[0] + busyCtx[1];
+        const double serialBusy =
+            busyNow - w.shareCtx +
+            (p.sync == SyncKind::kSpin
+                 ? std::min(double(w.threads), totalCtx)
+                 : 1.0);
+        if (serialBusy > double(cfg.totalCores()))
+            w.serialSpeed *= (1.0 + p.htYield) / 2.0;
+        const double inv = p.serialFrac / std::max(w.serialSpeed, 1e-9) +
+                           (1.0 - p.serialFrac) / eUseful +
+                           p.commOverhead * std::max(0.0, eAlloc - 1.0);
+        double speedup = 1.0 / inv;
+        if (w.spans)
+            speedup *= 1.0 - p.crossSocketPenalty;
+        if (cfg.memControllers >= 2)
+            speedup *= p.mcBoost;
+        const double foreign =
+            thrashLoad - thrashWeight[size_t(&w - work.data())];
+        const double oversub = std::max(0.0, foreign / totalCores - 0.5);
+        speedup *= 1.0 / (1.0 + 0.12 * oversub);
+        w.speedup = speedup;
+        // Wall-time fraction inside spin-synchronized serial sections
+        // (bandwidth throttling stretches serial and parallel phases alike,
+        // so time fractions follow from the unthrottled speedup).
+        w.spinTime = std::min(
+            1.0, p.spinSerialFrac * speedup / std::max(w.serialSpeed, 1e-9));
+        w.idealIps = w.freq * 1e9 * p.ipc * speedup;
+        w.demandBytes = w.idealIps * p.bytesPerInstr;
+    }
+
+    // ---- 5. Memory bandwidth: max-min fair sharing.
+    //
+    // Sibling hyperthread contexts issue interleaved miss streams that
+    // defeat row-buffer locality, so the effective controller bandwidth
+    // degrades with the fraction of busy contexts that are HT-paired (one
+    // of the reasons DVFS-only capping is poor for bandwidth-bound apps).
+    const double busyTotal = busyCtx[0] + busyCtx[1];
+    double siblingBusy = 0.0;
+    for (int s = 0; s < 2; ++s)
+        siblingBusy += std::max(0.0, std::min(busyCtx[s], ctx[s]) -
+                                         cfg.activeCores(s));
+    const double htEfficiency =
+        busyTotal > 0.0 ? 1.0 - 0.4 * (siblingBusy / busyTotal) : 1.0;
+    // Spin-synchronized apps whose threads span both sockets bounce their
+    // lock/flag cachelines across the inter-socket link; the resulting
+    // coherence storms steal memory bandwidth from the whole system (the
+    // paper's Section 5.4.2/5.4.3 bottleneck). Confining such apps to one
+    // socket -- which only a multi-resource capper can do -- removes it.
+    double spanningSpinCtx = 0.0;
+    for (const Work& w : work) {
+        if (w.threads <= 0 || w.p == nullptr ||
+            w.p->sync != SyncKind::kSpin || !w.spans) {
+            continue;
+        }
+        double spinCtx =
+            w.spinTime * std::max(0.0, w.shareCtx - w.serialSpeed);
+        if (w.threads > w.p->maxUsefulThreads) {
+            const double surplusFrac =
+                double(w.threads - w.p->maxUsefulThreads) / double(w.threads);
+            spinCtx += (1.0 - w.spinTime) * w.shareCtx * surplusFrac;
+        }
+        spanningSpinCtx += spinCtx;
+    }
+    const double coherenceEff = 1.0 / (1.0 + 0.15 * spanningSpinCtx);
+    const double availBytes = cfg.memControllers * mcBandwidthBytes_ *
+                              htEfficiency * coherenceEff;
+    std::vector<size_t> order(apps.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return work[a].demandBytes < work[b].demandBytes;
+    });
+    double remaining = availBytes;
+    size_t left = 0;
+    for (size_t k = 0; k < order.size(); ++k) {
+        if (work[order[k]].demandBytes > 0.0) {
+            left = order.size() - k;
+            break;
+        }
+    }
+    for (size_t k = 0; k < order.size(); ++k) {
+        Work& w = work[order[k]];
+        AppOutcome& o = out.apps[order[k]];
+        if (w.threads <= 0 || w.shareCtx <= 0.0)
+            continue;
+        if (w.demandBytes <= 0.0) {
+            o.bwRetention = 1.0;
+            continue;
+        }
+        const double fair = remaining / double(std::max<size_t>(left, 1));
+        const double grant = std::min(w.demandBytes, fair);
+        o.bwRetention = grant / w.demandBytes;
+        o.bytesPerSec = grant;
+        remaining -= grant;
+        --left;
+    }
+
+    // ---- 6. Final per-app outcomes and spin accounting.
+    double totalSpin = 0.0;
+    for (size_t i = 0; i < apps.size(); ++i) {
+        Work& w = work[i];
+        AppOutcome& o = out.apps[i];
+        if (w.threads <= 0 || w.shareCtx <= 0.0)
+            continue;
+        const AppParams& p = *w.p;
+        o.usefulIps = w.idealIps * o.bwRetention;
+        o.itemsPerSec = o.usefulIps / p.workPerItem;
+        o.shareCtx = w.shareCtx;
+        // Fraction of wall time inside spin-synchronized serial sections,
+        // stretched by the serial thread's reduced speed.
+        const double spinTime = w.spinTime;
+        // During a spin-synchronized serial section the app keeps all its
+        // threads runnable; everything beyond the one progressing thread
+        // burns CPU without progress.
+        const double serialTotal =
+            totalRunnable - w.runnable + double(w.threads);
+        const double serialPhaseShare = std::min(
+            double(w.threads), totalCtx * double(w.threads) / serialTotal);
+        o.spinCtx =
+            spinTime * std::max(0.0, serialPhaseShare - w.serialSpeed);
+        // Spin-pool apps also poll outside serial sections: threads beyond
+        // the app's useful parallelism busy-wait for work that never
+        // arrives, holding their quanta the whole run (the oblivious-mode
+        // pathology behind the paper's Table 6).
+        if (p.sync == SyncKind::kSpin && w.threads > p.maxUsefulThreads) {
+            const double surplusFrac =
+                double(w.threads - p.maxUsefulThreads) / double(w.threads);
+            o.spinCtx += (1.0 - spinTime) * w.shareCtx * surplusFrac;
+        }
+        totalSpin += o.spinCtx;
+        out.totalIps += o.usefulIps;
+        out.totalBytesPerSec += o.bytesPerSec;
+    }
+
+    // ---- 7. Socket loads for the power model.
+    double totalBusy = 0.0;
+    for (int s = 0; s < 2; ++s) {
+        machine::SocketLoad& load = out.loads[s];
+        const double cores = cfg.activeCores(s);
+        const double busy = std::min(busyCtx[s], ctx[s]);
+        load.busyPrimary = std::min(busy, cores);
+        load.busySibling = std::max(0.0, busy - cores);
+        totalBusy += busy;
+        // Activity: share-weighted app activity, discounted where memory
+        // throttling stalls the pipeline.
+        double actSum = 0.0;
+        for (size_t i = 0; i < apps.size(); ++i) {
+            const Work& w = work[i];
+            if (w.threads <= 0 || w.share[s] <= 0.0)
+                continue;
+            const double theta = out.apps[i].bwRetention;
+            const double act =
+                w.p->activity * (theta + (1.0 - theta) * 0.5);
+            actSum += w.share[s] * act;
+        }
+        load.activity = busy > 0.0 ? actSum / busyCtx[s] : 0.0;
+    }
+    out.spinFraction = totalBusy > 0.0 ? totalSpin / totalBusy : 0.0;
+    return out;
+}
+
+}  // namespace pupil::sched

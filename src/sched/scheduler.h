@@ -1,0 +1,91 @@
+#ifndef PUPIL_SCHED_SCHEDULER_H_
+#define PUPIL_SCHED_SCHEDULER_H_
+
+#include <array>
+#include <vector>
+
+#include "machine/config.h"
+#include "machine/power_model.h"
+#include "workload/app_model.h"
+
+namespace pupil::sched {
+
+/** One application competing for the machine. */
+struct AppDemand
+{
+    const workload::AppParams* params = nullptr;
+    int threads = 0;
+};
+
+/** Steady-state outcome for one application. */
+struct AppOutcome
+{
+    double itemsPerSec = 0.0;   ///< heartbeat rate (work items per second)
+    double usefulIps = 0.0;     ///< useful instructions per second
+    double bytesPerSec = 0.0;   ///< achieved memory traffic
+    double spinCtx = 0.0;       ///< context-seconds/s burned busy-waiting
+    double shareCtx = 0.0;      ///< busy context-seconds/s allocated
+    double bwRetention = 1.0;   ///< fraction of ideal rate kept after
+                                ///< bandwidth contention (theta)
+};
+
+/** Steady-state outcome for the whole system. */
+struct SystemOutcome
+{
+    std::vector<AppOutcome> apps;
+    std::array<machine::SocketLoad, 2> loads = {};
+    double totalIps = 0.0;
+    double totalBytesPerSec = 0.0;
+    /** Spin cycles as a fraction of all busy cycles (paper Table 6). */
+    double spinFraction = 0.0;
+};
+
+/**
+ * Analytic model of the OS scheduler and shared-resource contention.
+ *
+ * Given a machine configuration (with per-socket effective frequencies and
+ * duty cycles) and a set of applications, computes the steady-state
+ * throughput of each application and the load the power model needs. The
+ * model captures the phenomena the paper's evaluation hinges on:
+ *
+ *  - CFS-like proportional CPU sharing with per-thread fairness, so
+ *    oversubscription (the oblivious scenario's 128 threads on 32 contexts)
+ *    shrinks every application's share;
+ *  - serial-phase amplification: a serial section executes on one thread
+ *    at that thread's *share* of a context, so contention stretches serial
+ *    time (and with polling synchronization, the stretched section burns
+ *    the app's whole share spinning -- Table 6's pathology);
+ *  - hyperthread pairing: when busy contexts exceed physical cores, paired
+ *    contexts contribute (1 + htYield)/2 core-equivalents each;
+ *  - cross-socket penalty when an application's threads span sockets;
+ *  - memory-bandwidth max-min fair sharing across the interleaved
+ *    controllers (light consumers are insulated; heavy ones split the
+ *    residue).
+ *
+ * The solve is closed-form (no iteration beyond the bandwidth water-fill)
+ * and deterministic; sensor noise is layered on elsewhere.
+ */
+class Scheduler
+{
+  public:
+    /** @param mcBandwidthGBs peak bandwidth of one memory controller. */
+    explicit Scheduler(double mcBandwidthGBs = 40.0);
+
+    /** Bandwidth of one controller in bytes/s. */
+    double mcBandwidth() const { return mcBandwidthBytes_; }
+
+    /**
+     * Compute the steady state for @p apps on @p cfg.
+     * @p duty per-socket duty cycles from RAPL T-state throttling.
+     */
+    SystemOutcome solve(const machine::MachineConfig& cfg,
+                        const std::array<double, 2>& duty,
+                        const std::vector<AppDemand>& apps) const;
+
+  private:
+    double mcBandwidthBytes_;
+};
+
+}  // namespace pupil::sched
+
+#endif  // PUPIL_SCHED_SCHEDULER_H_

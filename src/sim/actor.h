@@ -1,0 +1,34 @@
+#ifndef PUPIL_SIM_ACTOR_H_
+#define PUPIL_SIM_ACTOR_H_
+
+namespace pupil::sim {
+
+class Platform;
+
+/**
+ * A periodic participant in the simulation (a governor, the RAPL firmware,
+ * a workload phase driver, ...).
+ *
+ * Actors are woken by the platform at their declared period. All control
+ * systems in this repo -- hardware and software alike -- are written as
+ * non-blocking actors; anything the paper's pseudocode expresses as
+ * "wait t time units" becomes explicit actor state.
+ */
+class Actor
+{
+  public:
+    virtual ~Actor() = default;
+
+    /** Called once when the platform starts running. */
+    virtual void onStart(Platform& platform) { (void)platform; }
+
+    /** Called every period; @p now is the simulation time in seconds. */
+    virtual void onTick(Platform& platform, double now) = 0;
+
+    /** Activation period in seconds (default: every platform tick). */
+    virtual double periodSec() const { return 0.0; }
+};
+
+}  // namespace pupil::sim
+
+#endif  // PUPIL_SIM_ACTOR_H_

@@ -1,0 +1,37 @@
+#include "phase_driver.h"
+
+#include <cassert>
+
+#include "sim/platform.h"
+
+namespace pupil::sim {
+
+PhaseDriver::PhaseDriver(size_t appIndex, workload::PhaseSchedule schedule)
+    : appIndex_(appIndex), schedule_(std::move(schedule))
+{
+    assert(!schedule_.empty());
+    current_ = schedule_.paramsAt(0.0);
+    phaseIndex_ = schedule_.phaseIndexAt(0.0);
+}
+
+void
+PhaseDriver::onStart(Platform& platform)
+{
+    (void)platform;
+    assert(appIndex_ < platform.appCount());
+    assert(platform.app(appIndex_).params == &current_);
+}
+
+void
+PhaseDriver::onTick(Platform& platform, double now)
+{
+    const size_t active = schedule_.phaseIndexAt(now);
+    if (active == phaseIndex_)
+        return;
+    phaseIndex_ = active;
+    ++transitions_;
+    current_ = schedule_.paramsAt(now);
+    platform.touchApps();
+}
+
+}  // namespace pupil::sim

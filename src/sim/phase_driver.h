@@ -1,0 +1,51 @@
+#ifndef PUPIL_SIM_PHASE_DRIVER_H_
+#define PUPIL_SIM_PHASE_DRIVER_H_
+
+#include "sim/actor.h"
+#include "workload/phase.h"
+
+namespace pupil::sim {
+
+/**
+ * Drives one application through a time-varying phase schedule.
+ *
+ * The driver owns a mutable AppParams buffer; the platform's app entry
+ * points at it. Each tick the driver checks which phase is active and
+ * swaps the parameters in place when a boundary is crossed, invalidating
+ * the platform's cached steady state. Governors see the change only
+ * through their feedback channels -- the mechanism the paper's monitoring
+ * loop (and this repo's DecisionWalker drift detection) exists to handle.
+ */
+class PhaseDriver : public Actor
+{
+  public:
+    /**
+     * @param appIndex index of the platform app this driver controls
+     * @param schedule the cyclic phase schedule (must not be empty)
+     */
+    PhaseDriver(size_t appIndex, workload::PhaseSchedule schedule);
+
+    /** The parameter buffer to register with the platform. */
+    const workload::AppParams* params() const { return &current_; }
+
+    /** Phase currently in force. */
+    size_t currentPhase() const { return phaseIndex_; }
+
+    /** Number of phase transitions driven so far. */
+    int transitions() const { return transitions_; }
+
+    void onStart(Platform& platform) override;
+    void onTick(Platform& platform, double now) override;
+    double periodSec() const override { return 0.1; }
+
+  private:
+    size_t appIndex_;
+    workload::PhaseSchedule schedule_;
+    workload::AppParams current_;
+    size_t phaseIndex_ = 0;
+    int transitions_ = 0;
+};
+
+}  // namespace pupil::sim
+
+#endif  // PUPIL_SIM_PHASE_DRIVER_H_

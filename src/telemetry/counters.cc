@@ -1,0 +1,46 @@
+#include "counters.h"
+
+namespace pupil::telemetry {
+
+void
+Counters::add(double ips, double bytesPerSec, double spinCtx, double busyCtx,
+              double dt)
+{
+    instructions_ += ips * dt;
+    bytes_ += bytesPerSec * dt;
+    spinCtxSeconds_ += spinCtx * dt;
+    busyCtxSeconds_ += busyCtx * dt;
+    seconds_ += dt;
+}
+
+void
+Counters::reset()
+{
+    instructions_ = 0.0;
+    bytes_ = 0.0;
+    spinCtxSeconds_ = 0.0;
+    busyCtxSeconds_ = 0.0;
+    seconds_ = 0.0;
+}
+
+double
+Counters::gips() const
+{
+    return seconds_ > 0.0 ? instructions_ / seconds_ / 1e9 : 0.0;
+}
+
+double
+Counters::bandwidthGBs() const
+{
+    return seconds_ > 0.0 ? bytes_ / seconds_ / 1e9 : 0.0;
+}
+
+double
+Counters::spinPercent() const
+{
+    return busyCtxSeconds_ > 0.0
+               ? 100.0 * spinCtxSeconds_ / busyCtxSeconds_
+               : 0.0;
+}
+
+}  // namespace pupil::telemetry

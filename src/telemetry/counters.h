@@ -1,0 +1,49 @@
+#ifndef PUPIL_TELEMETRY_COUNTERS_H_
+#define PUPIL_TELEMETRY_COUNTERS_H_
+
+namespace pupil::telemetry {
+
+/**
+ * Low-level hardware-event accounting, analogous to the VTune metrics the
+ * paper collects for Table 6: giga-instructions per second, achieved
+ * memory bandwidth, and the fraction of busy cycles spent spinning
+ * (retiring instructions without forward progress).
+ */
+class Counters
+{
+  public:
+    /**
+     * Accumulate @p dt seconds of activity.
+     * @param ips      useful instructions per second
+     * @param bytesPerSec achieved memory traffic
+     * @param spinCtx  context-seconds/s burned busy-waiting
+     * @param busyCtx  total busy context-seconds/s
+     */
+    void add(double ips, double bytesPerSec, double spinCtx, double busyCtx,
+             double dt);
+
+    /** Clear accumulated state. */
+    void reset();
+
+    double seconds() const { return seconds_; }
+
+    /** Mean useful instruction rate in GIPS. */
+    double gips() const;
+
+    /** Mean achieved memory bandwidth in GB/s. */
+    double bandwidthGBs() const;
+
+    /** Spin cycles as a percentage of busy cycles (Table 6). */
+    double spinPercent() const;
+
+  private:
+    double instructions_ = 0.0;
+    double bytes_ = 0.0;
+    double spinCtxSeconds_ = 0.0;
+    double busyCtxSeconds_ = 0.0;
+    double seconds_ = 0.0;
+};
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_COUNTERS_H_

@@ -1,0 +1,39 @@
+#include "energy.h"
+
+namespace pupil::telemetry {
+
+void
+EnergyAccount::add(double powerWatts, double itemsPerSec, double dt)
+{
+    joules_ += powerWatts * dt;
+    items_ += itemsPerSec * dt;
+    seconds_ += dt;
+}
+
+void
+EnergyAccount::reset()
+{
+    joules_ = 0.0;
+    items_ = 0.0;
+    seconds_ = 0.0;
+}
+
+double
+EnergyAccount::meanPower() const
+{
+    return seconds_ > 0.0 ? joules_ / seconds_ : 0.0;
+}
+
+double
+EnergyAccount::meanItemsPerSec() const
+{
+    return seconds_ > 0.0 ? items_ / seconds_ : 0.0;
+}
+
+double
+EnergyAccount::itemsPerJoule() const
+{
+    return joules_ > 0.0 ? items_ / joules_ : 0.0;
+}
+
+}  // namespace pupil::telemetry

@@ -1,0 +1,41 @@
+#ifndef PUPIL_TELEMETRY_ENERGY_H_
+#define PUPIL_TELEMETRY_ENERGY_H_
+
+namespace pupil::telemetry {
+
+/**
+ * Integrates energy and work over a run, supporting the paper's energy-
+ * efficiency metric (Section 5.5: performance divided by power, i.e. work
+ * per joule).
+ */
+class EnergyAccount
+{
+  public:
+    /** Accumulate @p powerWatts and @p itemsPerSec over @p dt seconds. */
+    void add(double powerWatts, double itemsPerSec, double dt);
+
+    /** Clear all accumulated state (e.g. to measure a late window only). */
+    void reset();
+
+    double joules() const { return joules_; }
+    double items() const { return items_; }
+    double seconds() const { return seconds_; }
+
+    /** Mean power over the accounted interval (W). */
+    double meanPower() const;
+
+    /** Mean throughput over the accounted interval (items/s). */
+    double meanItemsPerSec() const;
+
+    /** Work per joule: the energy-efficiency metric. */
+    double itemsPerJoule() const;
+
+  private:
+    double joules_ = 0.0;
+    double items_ = 0.0;
+    double seconds_ = 0.0;
+};
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_ENERGY_H_

@@ -1,0 +1,69 @@
+#include "filter.h"
+
+#include <cmath>
+
+namespace pupil::telemetry {
+
+SigmaFilter::SigmaFilter(size_t window, double sigmaBound)
+    : window_(window > 0 ? window : 1), sigmaBound_(sigmaBound)
+{
+}
+
+void
+SigmaFilter::add(double x)
+{
+    samples_.push_back(x);
+    while (samples_.size() > window_)
+        samples_.pop_front();
+}
+
+void
+SigmaFilter::reset()
+{
+    samples_.clear();
+}
+
+double
+SigmaFilter::rawMean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : samples_)
+        sum += x;
+    return sum / static_cast<double>(samples_.size());
+}
+
+double
+SigmaFilter::rawStddev() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double mu = rawMean();
+    double sum = 0.0;
+    for (double x : samples_)
+        sum += (x - mu) * (x - mu);
+    return std::sqrt(sum / static_cast<double>(samples_.size()));
+}
+
+double
+SigmaFilter::filtered() const
+{
+    if (samples_.empty())
+        return 0.0;
+    const double mu = rawMean();
+    const double bound = sigmaBound_ * rawStddev();
+    double sum = 0.0;
+    size_t kept = 0;
+    for (double x : samples_) {
+        if (std::fabs(x - mu) < bound || bound == 0.0) {
+            sum += x;
+            ++kept;
+        }
+    }
+    if (kept == 0)
+        return mu;
+    return sum / static_cast<double>(kept);
+}
+
+}  // namespace pupil::telemetry

@@ -1,0 +1,61 @@
+#ifndef PUPIL_TELEMETRY_FILTER_H_
+#define PUPIL_TELEMETRY_FILTER_H_
+
+#include <cstddef>
+#include <deque>
+
+namespace pupil::telemetry {
+
+/**
+ * The paper's deviation-based outlier filter (Section 3.1.1, Eqs. 1-4).
+ *
+ * Measurements are collected over a sliding window; the filtered feedback
+ * is the mean of the samples that fall within three standard deviations of
+ * the unfiltered window mean. This lets the decision framework react to
+ * persistent workload changes while ignoring transient disturbances such
+ * as page faults.
+ */
+class SigmaFilter
+{
+  public:
+    /**
+     * @param window      number of samples kept
+     * @param sigmaBound  deviation bound in standard deviations (paper: 3)
+     */
+    explicit SigmaFilter(size_t window = 20, double sigmaBound = 3.0);
+
+    /** Add one raw measurement. */
+    void add(double x);
+
+    /** Discard all samples (e.g. after a configuration change). */
+    void reset();
+
+    /** Number of samples currently in the window. */
+    size_t count() const { return samples_.size(); }
+
+    /** Whether the window is full. */
+    bool full() const { return samples_.size() >= window_; }
+
+    /**
+     * Filtered feedback X_feedback: mean of in-window samples within
+     * sigmaBound standard deviations of the unfiltered mean. Returns the
+     * plain mean when every sample is an outlier by that rule (degenerate
+     * windows) and 0 when empty.
+     */
+    double filtered() const;
+
+    /** Unfiltered window mean (Eq. 1). */
+    double rawMean() const;
+
+    /** Unfiltered window standard deviation (Eq. 2). */
+    double rawStddev() const;
+
+  private:
+    size_t window_;
+    double sigmaBound_;
+    std::deque<double> samples_;
+};
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_FILTER_H_

@@ -1,0 +1,39 @@
+#include "sensor.h"
+
+#include <cmath>
+
+namespace pupil::telemetry {
+
+double
+NoisySensor::sample(double truth)
+{
+    double value = truth * (1.0 + rng_.gaussian(0.0, noise_.relStddev));
+    if (rng_.bernoulli(noise_.outlierProb))
+        value *= noise_.outlierFactor;
+    return value;
+}
+
+double
+FirstOrderLag::step(double target, double dt)
+{
+    if (!initialized_) {
+        reset(target);
+        return value_;
+    }
+    if (tau_ <= 0.0) {
+        value_ = target;
+        return value_;
+    }
+    const double alpha = 1.0 - std::exp(-dt / tau_);
+    value_ += alpha * (target - value_);
+    return value_;
+}
+
+void
+FirstOrderLag::reset(double value)
+{
+    value_ = value;
+    initialized_ = true;
+}
+
+}  // namespace pupil::telemetry

@@ -1,0 +1,72 @@
+#ifndef PUPIL_TELEMETRY_SENSOR_H_
+#define PUPIL_TELEMETRY_SENSOR_H_
+
+#include "util/rng.h"
+
+namespace pupil::telemetry {
+
+/** Noise characteristics of a measurement channel. */
+struct SensorNoise
+{
+    /** Multiplicative Gaussian noise (relative standard deviation). */
+    double relStddev = 0.02;
+    /** Probability per sample of a transient outlier (e.g. a page fault). */
+    double outlierProb = 0.01;
+    /** Multiplicative factor applied to outlier samples. */
+    double outlierFactor = 0.35;
+};
+
+/**
+ * A noisy measurement channel over a true underlying signal.
+ *
+ * Real power meters and heartbeat streams are noisy (Section 3.1.1); this
+ * class injects multiplicative Gaussian noise and occasional transient
+ * outliers so the 3-sigma filter and the decision framework are exercised
+ * under realistic conditions. Deterministic given its RNG seed.
+ */
+class NoisySensor
+{
+  public:
+    NoisySensor(SensorNoise noise, util::Rng rng)
+        : noise_(noise), rng_(rng)
+    {
+    }
+
+    /** Sample the channel: @p truth corrupted by the noise model. */
+    double sample(double truth);
+
+    const SensorNoise& noise() const { return noise_; }
+
+  private:
+    SensorNoise noise_;
+    util::Rng rng_;
+};
+
+/**
+ * First-order (exponential) lag, used to model the electrical/thermal
+ * response of power to actuation and the gradual effect of thread
+ * migration on throughput.
+ */
+class FirstOrderLag
+{
+  public:
+    /** @param tauSec time constant; smaller reacts faster. */
+    explicit FirstOrderLag(double tauSec) : tau_(tauSec) {}
+
+    /** Advance by @p dt toward @p target and return the new value. */
+    double step(double target, double dt);
+
+    /** Jump directly to @p value (e.g. at simulation start). */
+    void reset(double value);
+
+    double value() const { return value_; }
+
+  private:
+    double tau_;
+    double value_ = 0.0;
+    bool initialized_ = false;
+};
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_SENSOR_H_

@@ -1,0 +1,92 @@
+#include "settling.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pupil::telemetry {
+
+std::vector<TracePoint>
+smoothTrace(const std::vector<TracePoint>& trace, double windowSec)
+{
+    if (trace.empty() || windowSec <= 0.0)
+        return trace;
+    std::vector<TracePoint> smoothed;
+    smoothed.reserve(trace.size());
+    size_t lo = 0;
+    double sum = 0.0;
+    size_t hi = 0;
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const double t = trace[i].timeSec;
+        while (hi < trace.size() && trace[hi].timeSec <= t) {
+            sum += trace[hi].value;
+            ++hi;
+        }
+        while (lo < hi && trace[lo].timeSec < t - windowSec) {
+            sum -= trace[lo].value;
+            ++lo;
+        }
+        const size_t n = hi - lo;
+        smoothed.push_back({t, n > 0 ? sum / double(n) : trace[i].value});
+    }
+    return smoothed;
+}
+
+double
+settlingTime(const std::vector<TracePoint>& trace, double capWatts,
+             const SettlingBands& bands)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    const std::vector<TracePoint> smoothed =
+        smoothTrace(trace, bands.smoothSec);
+    const double t0 = smoothed.front().timeSec;
+    const double capLimit =
+        capWatts + std::max(bands.capRelTol * capWatts, bands.capAbsTol);
+
+    // Scan backward for the last violating sample.
+    double settleAt = t0;
+    for (size_t i = smoothed.size(); i-- > 0;) {
+        if (smoothed[i].value > capLimit) {
+            settleAt = smoothed[i].timeSec;
+            break;
+        }
+    }
+    return settleAt - t0;
+}
+
+double
+convergenceTime(const std::vector<TracePoint>& trace,
+                const SettlingBands& bands)
+{
+    if (trace.size() < 2)
+        return 0.0;
+    const std::vector<TracePoint> smoothed =
+        smoothTrace(trace, bands.smoothSec);
+    const double t0 = smoothed.front().timeSec;
+    const double tEnd = smoothed.back().timeSec;
+
+    // Steady-state value: mean of the trace tail.
+    double tailSum = 0.0;
+    size_t tailCount = 0;
+    for (const TracePoint& pt : smoothed) {
+        if (pt.timeSec >= tEnd - bands.tailSec) {
+            tailSum += pt.value;
+            ++tailCount;
+        }
+    }
+    const double finalValue = tailCount > 0 ? tailSum / double(tailCount)
+                                            : smoothed.back().value;
+    const double valueBand =
+        std::max(bands.relBand * std::fabs(finalValue), bands.absBand);
+
+    double settleAt = t0;
+    for (size_t i = smoothed.size(); i-- > 0;) {
+        if (std::fabs(smoothed[i].value - finalValue) > valueBand) {
+            settleAt = smoothed[i].timeSec;
+            break;
+        }
+    }
+    return settleAt - t0;
+}
+
+}  // namespace pupil::telemetry

@@ -1,0 +1,67 @@
+#ifndef PUPIL_TELEMETRY_SETTLING_H_
+#define PUPIL_TELEMETRY_SETTLING_H_
+
+#include <vector>
+
+namespace pupil::telemetry {
+
+/** One point of a recorded power trace. */
+struct TracePoint
+{
+    double timeSec = 0.0;
+    double value = 0.0;
+};
+
+/** Tolerances used when deciding that a power trace has settled. */
+struct SettlingBands
+{
+    /** Band around the final value, relative. */
+    double relBand = 0.03;
+    /** Band around the final value, absolute floor (Watts). */
+    double absBand = 1.5;
+    /** Allowed cap overshoot, relative. */
+    double capRelTol = 0.02;
+    /** Allowed cap overshoot, absolute floor (Watts). */
+    double capAbsTol = 1.0;
+    /** Boxcar pre-smoothing window (seconds). */
+    double smoothSec = 0.1;
+    /** Portion of the trace tail used to estimate the final value (s). */
+    double tailSec = 5.0;
+};
+
+/**
+ * Settling-time computation (paper Section 4.3.1).
+ *
+ * The settling time is t_ss - t_0, where t_ss is the instant after which
+ * the (smoothed) power signal never again exceeds the cap beyond
+ * tolerance -- i.e. the time the controller needs to durably *enforce* the
+ * cap. This is the definition under which the paper's numbers cohere:
+ * RAPL clamps within milliseconds; PUPiL matches it because hardware owns
+ * the cap while software explores below it; Soft-DVFS needs seconds to
+ * walk the p-states down; and Soft-Decision's exploratory probes keep
+ * spiking above the cap until its walk completes.
+ *
+ * @param trace   (time, power) samples, time ascending, t_0 = first sample
+ * @param capWatts the enforced power cap
+ * @return settling time in seconds (0 if the cap is never violated).
+ */
+double settlingTime(const std::vector<TracePoint>& trace, double capWatts,
+                    const SettlingBands& bands = SettlingBands());
+
+/**
+ * Convergence time: the instant after which the smoothed signal stays
+ * within a band of its steady-state (trace tail) value. This is the
+ * control-theoretic settling notion, reported alongside the paper's
+ * cap-enforcement metric because it also captures how long a controller
+ * keeps reconfiguring *below* the cap.
+ */
+double convergenceTime(const std::vector<TracePoint>& trace,
+                       const SettlingBands& bands = SettlingBands());
+
+/** Boxcar-smooth a trace with the given window (helper, exposed for tests). */
+std::vector<TracePoint> smoothTrace(const std::vector<TracePoint>& trace,
+                                    double windowSec);
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_SETTLING_H_

@@ -1,0 +1,55 @@
+#include "csv.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace pupil::util {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size())
+{
+    if (out_)
+        row(header);
+}
+
+void
+CsvWriter::row(const std::vector<std::string>& cells)
+{
+    assert(cells.size() == columns_);
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::row(const std::vector<double>& cells)
+{
+    std::vector<std::string> text;
+    text.reserve(cells.size());
+    for (double v : cells) {
+        std::ostringstream oss;
+        oss << v;
+        text.push_back(oss.str());
+    }
+    row(text);
+}
+
+std::string
+CsvWriter::escape(const std::string& cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+}  // namespace pupil::util

@@ -1,0 +1,43 @@
+#ifndef PUPIL_UTIL_CSV_H_
+#define PUPIL_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pupil::util {
+
+/**
+ * Small CSV writer for experiment traces (e.g. Fig. 1 time series).
+ *
+ * Values containing commas, quotes, or newlines are quoted per RFC 4180.
+ * The file is flushed and closed on destruction (RAII).
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * Open @p path for writing and emit the header row.
+     * ok() reports whether the file opened successfully.
+     */
+    CsvWriter(const std::string& path, std::vector<std::string> header);
+
+    /** Whether the output file is open and healthy. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Write one row of string cells. */
+    void row(const std::vector<std::string>& cells);
+
+    /** Write one row of numeric cells. */
+    void row(const std::vector<double>& cells);
+
+  private:
+    static std::string escape(const std::string& cell);
+
+    std::ofstream out_;
+    size_t columns_;
+};
+
+}  // namespace pupil::util
+
+#endif  // PUPIL_UTIL_CSV_H_

@@ -1,0 +1,97 @@
+#include "linalg.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pupil::util {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix
+Matrix::gram() const
+{
+    Matrix g(cols_, cols_);
+    for (size_t i = 0; i < cols_; ++i) {
+        for (size_t j = i; j < cols_; ++j) {
+            double sum = 0.0;
+            for (size_t r = 0; r < rows_; ++r)
+                sum += at(r, i) * at(r, j);
+            g.at(i, j) = sum;
+            g.at(j, i) = sum;
+        }
+    }
+    return g;
+}
+
+std::vector<double>
+Matrix::transposeTimes(const std::vector<double>& y) const
+{
+    assert(y.size() == rows_);
+    std::vector<double> out(cols_, 0.0);
+    for (size_t r = 0; r < rows_; ++r)
+        for (size_t c = 0; c < cols_; ++c)
+            out[c] += at(r, c) * y[r];
+    return out;
+}
+
+bool
+solveLinearSystem(Matrix a, std::vector<double> b, std::vector<double>& x)
+{
+    const size_t n = a.rows();
+    if (n == 0 || a.cols() != n || b.size() != n)
+        return false;
+
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivoting: find the largest remaining entry in this column.
+        size_t pivot = col;
+        double best = std::fabs(a.at(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            const double v = std::fabs(a.at(r, col));
+            if (v > best) {
+                best = v;
+                pivot = r;
+            }
+        }
+        if (best < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c)
+                std::swap(a.at(col, c), a.at(pivot, c));
+            std::swap(b[col], b[pivot]);
+        }
+        // Eliminate below.
+        for (size_t r = col + 1; r < n; ++r) {
+            const double factor = a.at(r, col) / a.at(col, col);
+            if (factor == 0.0)
+                continue;
+            for (size_t c = col; c < n; ++c)
+                a.at(r, c) -= factor * a.at(col, c);
+            b[r] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    x.assign(n, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        double sum = b[i];
+        for (size_t c = i + 1; c < n; ++c)
+            sum -= a.at(i, c) * x[c];
+        x[i] = sum / a.at(i, i);
+    }
+    return true;
+}
+
+bool
+leastSquares(const Matrix& x, const std::vector<double>& y, double lambda,
+             std::vector<double>& beta)
+{
+    Matrix gram = x.gram();
+    for (size_t i = 0; i < gram.rows(); ++i)
+        gram.at(i, i) += lambda;
+    return solveLinearSystem(std::move(gram), x.transposeTimes(y), beta);
+}
+
+}  // namespace pupil::util

@@ -1,0 +1,66 @@
+#ifndef PUPIL_UTIL_LINALG_H_
+#define PUPIL_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace pupil::util {
+
+/**
+ * Minimal dense row-major matrix of doubles.
+ *
+ * Only the operations needed by the Soft-Modeling regression baseline are
+ * provided: construction, element access, transpose-products, and a linear
+ * solver. This is intentionally tiny; it is not a general linear-algebra
+ * library.
+ */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** rows x cols matrix of zeros. */
+    Matrix(size_t rows, size_t cols);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    double& at(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+    /** A^T * A (cols x cols). */
+    Matrix gram() const;
+
+    /** A^T * y for a vector y with rows() entries. */
+    std::vector<double> transposeTimes(const std::vector<double>& y) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+/**
+ * Solve the square system A x = b with Gaussian elimination and partial
+ * pivoting. Returns false (and leaves x unspecified) if A is singular to
+ * working precision.
+ */
+bool solveLinearSystem(Matrix a, std::vector<double> b,
+                       std::vector<double>& x);
+
+/**
+ * Ordinary least squares with optional ridge regularization:
+ * minimizes ||X beta - y||^2 + lambda ||beta||^2.
+ *
+ * @param x      design matrix (n samples x d features)
+ * @param y      targets (n entries)
+ * @param lambda ridge coefficient (0 for plain OLS)
+ * @param beta   output coefficients (d entries)
+ * @return false if the normal equations are singular.
+ */
+bool leastSquares(const Matrix& x, const std::vector<double>& y,
+                  double lambda, std::vector<double>& beta);
+
+}  // namespace pupil::util
+
+#endif  // PUPIL_UTIL_LINALG_H_

@@ -1,0 +1,46 @@
+#include "log.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace pupil::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kError: return "ERROR";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string& message)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::cerr << "[pupil " << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace pupil::util

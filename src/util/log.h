@@ -1,0 +1,53 @@
+#ifndef PUPIL_UTIL_LOG_H_
+#define PUPIL_UTIL_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace pupil::util {
+
+/** Severity levels for the simulator's diagnostic log. */
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/**
+ * Process-wide minimum level; messages below it are dropped.
+ * Defaults to kWarn so library users see only problems unless they opt in.
+ */
+void setLogLevel(LogLevel level);
+
+/** Current minimum level. */
+LogLevel logLevel();
+
+/** Emit a message at @p level to stderr (if enabled). */
+void logMessage(LogLevel level, const std::string& message);
+
+/**
+ * Stream-style log statement: Log(LogLevel::kInfo) << "x=" << x;
+ * The message is emitted when the temporary is destroyed.
+ */
+class Log
+{
+  public:
+    explicit Log(LogLevel level) : level_(level) {}
+
+    Log(const Log&) = delete;
+    Log& operator=(const Log&) = delete;
+
+    ~Log() { logMessage(level_, stream_.str()); }
+
+    template <typename T>
+    Log&
+    operator<<(const T& value)
+    {
+        stream_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+
+}  // namespace pupil::util
+
+#endif  // PUPIL_UTIL_LOG_H_

@@ -1,0 +1,86 @@
+#include "table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <iomanip>
+#include <sstream>
+
+namespace pupil::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto printSeparator = [&] {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto printRow = [&](const std::vector<std::string>& cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string& text = c < cells.size() ? cells[c] : "";
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << text << ' ';
+        }
+        os << "|\n";
+    };
+
+    printSeparator();
+    printRow(headers_);
+    printSeparator();
+    for (const auto& row : rows_) {
+        if (row.empty())
+            printSeparator();
+        else
+            printRow(row);
+    }
+    printSeparator();
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+Table::cell(double v, int decimals)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(decimals) << v;
+    return oss.str();
+}
+
+std::string
+Table::cell(long long v)
+{
+    return std::to_string(v);
+}
+
+}  // namespace pupil::util

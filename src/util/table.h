@@ -1,0 +1,48 @@
+#ifndef PUPIL_UTIL_TABLE_H_
+#define PUPIL_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pupil::util {
+
+/**
+ * ASCII table formatter used by the bench binaries to print the paper's
+ * tables and figure series in a readable, diffable layout.
+ *
+ * Columns are sized to fit the widest cell; numeric cells are produced by
+ * the caller (use cell() helpers for consistent precision).
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append one row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line before the next row. */
+    void addSeparator();
+
+    /** Render the table to a stream. */
+    void print(std::ostream& os) const;
+
+    /** Render the table to a string. */
+    std::string toString() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string cell(double v, int decimals = 2);
+
+    /** Format an integer cell. */
+    static std::string cell(long long v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace pupil::util
+
+#endif  // PUPIL_UTIL_TABLE_H_

@@ -1,0 +1,17 @@
+#include "app_model.h"
+
+#include <algorithm>
+
+namespace pupil::workload {
+
+double
+AppParams::speedup(double coreEquiv) const
+{
+    const double e =
+        std::clamp(coreEquiv, 1e-6, static_cast<double>(maxUsefulThreads));
+    const double denom = serialFrac + (1.0 - serialFrac) / e +
+                         commOverhead * std::max(0.0, e - 1.0);
+    return 1.0 / denom;
+}
+
+}  // namespace pupil::workload

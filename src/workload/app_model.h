@@ -1,0 +1,92 @@
+#ifndef PUPIL_WORKLOAD_APP_MODEL_H_
+#define PUPIL_WORKLOAD_APP_MODEL_H_
+
+#include <string>
+
+namespace pupil::workload {
+
+/**
+ * How an application's threads synchronize. This drives the scheduler
+ * model's treatment of serial phases:
+ *  - kNone:    embarrassingly parallel, no serial synchronization beyond
+ *              the Amdahl serial fraction.
+ *  - kCondVar: blocking synchronization; threads waiting during serial
+ *              phases sleep and yield their CPU to other applications.
+ *  - kSpin:    polling synchronization; waiting threads busy-spin, holding
+ *              their scheduling quanta while making no forward progress
+ *              (the pathology behind the paper's Table 6).
+ */
+enum class SyncKind { kNone, kCondVar, kSpin };
+
+/**
+ * Analytic model of one benchmark application.
+ *
+ * Each of the paper's 20 benchmarks (plus the calibration kernel used by
+ * Algorithm 2) is described by a parameter vector. The scheduler evaluates
+ * these parameters to produce throughput, instruction rate, bandwidth, and
+ * spin-cycle figures for any machine configuration and co-runner set.
+ */
+struct AppParams
+{
+    std::string name;
+
+    /** Amdahl serial fraction of total work. */
+    double serialFrac = 0.02;
+
+    /**
+     * Spin-synchronized part of the serial fraction (<= serialFrac).
+     * While this part executes, the app's other allocated contexts
+     * busy-wait. Only meaningful when sync == kSpin.
+     */
+    double spinSerialFrac = 0.0;
+
+    /** Per-extra-core linear communication overhead coefficient. */
+    double commOverhead = 0.002;
+
+    /**
+     * Throughput penalty (0..1) applied when the app's threads span both
+     * sockets (inter-socket communication bottleneck; large for kmeans).
+     */
+    double crossSocketPenalty = 0.05;
+
+    /**
+     * Marginal throughput contributed by a sibling hyperthread context
+     * relative to a full core (-0.1 .. 0.9; negative means hyperthreading
+     * actively hurts, as the paper observes for x264).
+     */
+    double htYield = 0.2;
+
+    /** Base useful instructions per cycle per thread. */
+    double ipc = 1.0;
+
+    /** Memory traffic in bytes per useful instruction. */
+    double bytesPerInstr = 0.8;
+
+    /**
+     * Throughput multiplier when both memory controllers are interleaved
+     * (NUMA latency/queueing benefit, distinct from the bandwidth roofline).
+     */
+    double mcBoost = 1.1;
+
+    SyncKind sync = SyncKind::kCondVar;
+
+    /** Threads beyond this count contribute no additional speedup. */
+    int maxUsefulThreads = 32;
+
+    /** Useful instructions per reported work item (heartbeat). */
+    double workPerItem = 2.0e9;
+
+    /** Dynamic activity factor for the power model, (0, 1]. */
+    double activity = 0.8;
+
+    /**
+     * Amdahl-style speedup at @p coreEquiv core-equivalents of parallelism:
+     * 1 / (s + (1-s)/min(E, maxUseful) + c * max(0, E-1)).
+     * Fractional E (< 1) degrades gracefully.
+     */
+    double speedup(double coreEquiv) const;
+};
+
+}  // namespace pupil::workload
+
+#endif  // PUPIL_WORKLOAD_APP_MODEL_H_

@@ -1,0 +1,148 @@
+#include "catalog.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace pupil::workload {
+
+namespace {
+
+/** Compact constructor helper to keep the table below readable. */
+AppParams
+app(std::string name, double serial, double spin, double comm, double xsock,
+    double ht, double ipc, double bpi, double mcBoost, SyncKind sync,
+    int maxThreads, double workPerItem, double activity)
+{
+    AppParams p;
+    p.name = std::move(name);
+    p.serialFrac = serial;
+    p.spinSerialFrac = spin;
+    p.commOverhead = comm;
+    p.crossSocketPenalty = xsock;
+    p.htYield = ht;
+    p.ipc = ipc;
+    p.bytesPerInstr = bpi;
+    p.mcBoost = mcBoost;
+    p.sync = sync;
+    p.maxUsefulThreads = maxThreads;
+    p.workPerItem = workPerItem;
+    p.activity = activity;
+    return p;
+}
+
+std::vector<AppParams>
+buildCatalog()
+{
+    using enum SyncKind;
+    std::vector<AppParams> apps;
+    // ----- RAPL-friendly ("blue") applications: ample parallelism that
+    // scales to all 32 virtual cores, so DVFS-only capping is near optimal.
+    apps.push_back(app("blackscholes", .010, 0, .0010, .02, .25, 1.2, 0.4,
+                       1.05, kNone, 32, 2.0e9, .85));
+    apps.push_back(app("PLSA", .020, 0, .0010, .03, .30, 1.1, 0.6, 1.10,
+                       kCondVar, 32, 2.0e9, .80));
+    apps.push_back(app("bfs", .030, 0, .0010, .05, .30, 0.7, 2.0, 1.30,
+                       kCondVar, 32, 2.0e9, .70));
+    apps.push_back(app("jacobi", .005, 0, .0010, .02, .25, 0.9, 1.8, 1.30,
+                       kNone, 32, 2.0e9, .75));
+    apps.push_back(app("swaptions", .005, 0, .0010, .03, .30, 1.3, 0.2, 1.00,
+                       kNone, 32, 2.0e9, .90));
+    apps.push_back(app("bodytrack", .030, 0, .0010, .04, .30, 1.0, 0.7, 1.10,
+                       kCondVar, 32, 2.0e9, .75));
+    apps.push_back(app("btree", .020, 0, .0010, .03, .35, 0.8, 1.0, 1.20,
+                       kCondVar, 32, 2.0e9, .75));
+    apps.push_back(app("cfd", .010, 0, .0010, .02, .20, 0.9, 1.55, 1.30,
+                       kCondVar, 32, 2.0e9, .75));
+    apps.push_back(app("particlefilter", .020, 0, .0010, .03, .30, 1.1, 0.5,
+                       1.05, kCondVar, 32, 2.0e9, .80));
+    apps.push_back(app("svmrfe", .020, 0, .0010, .03, .30, 1.2, 0.8, 1.10,
+                       kNone, 32, 2.0e9, .80));
+    apps.push_back(app("fluidanimate", .020, 0, .0010, .03, .35, 1.0, 1.1,
+                       1.10, kCondVar, 32, 2.0e9, .80));
+    // ----- RAPL-unfriendly ("red") applications: limited parallelism,
+    // scaling pathologies, hyperthread aversion, or bandwidth saturation.
+    apps.push_back(app("x264", .040, 0, .0015, .08, -.10, 1.4, 0.9, 1.20,
+                       kCondVar, 24, 6.5e8, .80));
+    apps.push_back(app("vips", .050, 0, .0120, .20, .08, 1.0, 1.0, 1.15,
+                       kCondVar, 12, 2.0e9, .75));
+    apps.push_back(app("HOP", .080, 0, .0150, .15, .05, 1.0, 1.0, 1.15,
+                       kCondVar, 8, 2.0e9, .75));
+    apps.push_back(app("ScalParC", .060, .05, .0250, .25, .05, 0.9, 1.5,
+                       1.20, kSpin, 16, 2.0e9, .75));
+    apps.push_back(app("dijkstra", .250, .20, .0200, .20, .05, 0.9, 0.8,
+                       1.10, kSpin, 4, 1.0e9, .70));
+    apps.push_back(app("STREAM", .010, 0, .0010, .02, .05, 0.8, 12.0, 1.05,
+                       kNone, 32, 2.0e9, .65));
+    apps.push_back(app("kmeans", .060, .06, .0030, .50, .10, 1.1, 1.8, 1.25,
+                       kSpin, 16, 2.0e9, .80));
+    apps.push_back(app("kmeans_fuzzy", .050, .05, .0040, .45, .15, 1.0, 1.2,
+                       1.15, kSpin, 24, 2.0e9, .80));
+    apps.push_back(app("swish++", .100, 0, .0100, .25, .10, 0.9, 0.8, 1.20,
+                       kCondVar, 8, 1.0e9, .70));
+    return apps;
+}
+
+}  // namespace
+
+const std::vector<AppParams>&
+benchmarkCatalog()
+{
+    static const std::vector<AppParams> catalog = buildCatalog();
+    return catalog;
+}
+
+const AppParams&
+findBenchmark(const std::string& name)
+{
+    for (const auto& params : benchmarkCatalog()) {
+        if (params.name == name)
+            return params;
+    }
+    util::Log(util::LogLevel::kError) << "unknown benchmark: " << name;
+    std::abort();
+}
+
+bool
+hasBenchmark(const std::string& name)
+{
+    for (const auto& params : benchmarkCatalog()) {
+        if (params.name == name)
+            return true;
+    }
+    return false;
+}
+
+const AppParams&
+calibrationApp()
+{
+    // Embarrassingly parallel, no inter-thread communication, memory-light,
+    // with high hyperthread yield and NUMA sensitivity, so Algorithm 2
+    // observes each resource's full potential impact.
+    static const AppParams cal =
+        app("calibration", .002, 0, .0003, .02, .85, 1.1, 0.8, 1.75,
+            SyncKind::kNone, 32, 2.0e9, .85);
+    return cal;
+}
+
+const std::vector<std::string>&
+raplFriendlySet()
+{
+    static const std::vector<std::string> blue = {
+        "blackscholes", "PLSA", "bfs", "jacobi", "swaptions", "bodytrack",
+        "btree", "cfd", "particlefilter", "svmrfe", "fluidanimate",
+    };
+    return blue;
+}
+
+const std::vector<std::string>&
+raplUnfriendlySet()
+{
+    static const std::vector<std::string> red = {
+        "x264", "vips", "HOP", "ScalParC", "dijkstra",
+        "STREAM", "kmeans", "kmeans_fuzzy", "swish++",
+    };
+    return red;
+}
+
+}  // namespace pupil::workload

@@ -1,0 +1,52 @@
+#ifndef PUPIL_WORKLOAD_CATALOG_H_
+#define PUPIL_WORKLOAD_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/app_model.h"
+
+namespace pupil::workload {
+
+/**
+ * The 20 benchmark applications the paper evaluates (Section 4.1):
+ * PARSEC (x264, swaptions, vips, fluidanimate, blackscholes, bodytrack),
+ * Minebench (ScalParC, kmeans, HOP, PLSA, svmrfe, btree, kmeans_fuzzy),
+ * Rodinia (cfd, nn->bfs, lud->jacobi-like, particlefilter), plus jacobi,
+ * swish++, dijkstra, and STREAM.
+ *
+ * Parameter vectors are calibrated so each application reproduces its
+ * published characteristics: Fig. 5's GIPS/bandwidth placement, the
+ * red/blue split of RAPL efficiency at the 140 W cap, x264's hyperthreading
+ * aversion (Section 2), kmeans' inter-socket bottleneck (Section 5.2), and
+ * the spin-polling behaviour behind Table 6.
+ */
+const std::vector<AppParams>& benchmarkCatalog();
+
+/** Find a benchmark by name; aborts if unknown (programming error). */
+const AppParams& findBenchmark(const std::string& name);
+
+/** Whether the catalog contains @p name. */
+bool hasBenchmark(const std::string& name);
+
+/**
+ * The calibration kernel for Algorithm 2: an embarrassingly parallel
+ * application without inter-thread communication, memory-light, with high
+ * hyperthread yield -- chosen so resource impacts are measured at their
+ * full potential.
+ */
+const AppParams& calibrationApp();
+
+/**
+ * Names of applications for which the paper reports RAPL within 10% of
+ * optimal at the 140 W cap (the "blue dots" of Fig. 5). Mix construction
+ * (Table 4) draws from this set and its complement.
+ */
+const std::vector<std::string>& raplFriendlySet();
+
+/** Names of the "red dot" applications (RAPL > 10% from optimal). */
+const std::vector<std::string>& raplUnfriendlySet();
+
+}  // namespace pupil::workload
+
+#endif  // PUPIL_WORKLOAD_CATALOG_H_

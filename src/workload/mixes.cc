@@ -1,0 +1,54 @@
+#include "mixes.h"
+
+#include <cstdlib>
+
+#include "util/log.h"
+
+namespace pupil::workload {
+
+const std::vector<Mix>&
+multiAppMixes()
+{
+    // Table 4 of the paper, verbatim ("fussy-kmeans" and "fuzzy-kmeans"
+    // both refer to kmeans_fuzzy).
+    static const std::vector<Mix> mixes = {
+        {"mix1", {"jacobi", "swaptions", "bfs", "particlefilter"}},
+        {"mix2", {"cfd", "bfs", "fluidanimate", "jacobi"}},
+        {"mix3", {"blackscholes", "cfd", "jacobi", "fluidanimate"}},
+        {"mix4", {"particlefilter", "blackscholes", "swaptions", "btree"}},
+        {"mix5", {"x264", "dijkstra", "vips", "HOP"}},
+        {"mix6", {"STREAM", "kmeans_fuzzy", "HOP", "dijkstra"}},
+        {"mix7", {"STREAM", "kmeans", "vips", "HOP"}},
+        {"mix8", {"kmeans", "dijkstra", "x264", "STREAM"}},
+        {"mix9", {"jacobi", "swaptions", "kmeans_fuzzy", "vips"}},
+        {"mix10", {"cfd", "bfs", "x264", "HOP"}},
+        {"mix11", {"jacobi", "blackscholes", "dijkstra", "kmeans_fuzzy"}},
+        {"mix12", {"btree", "particlefilter", "kmeans", "STREAM"}},
+    };
+    return mixes;
+}
+
+const Mix&
+findMix(const std::string& name)
+{
+    for (const auto& mix : multiAppMixes()) {
+        if (mix.name == name)
+            return mix;
+    }
+    util::Log(util::LogLevel::kError) << "unknown mix: " << name;
+    std::abort();
+}
+
+int
+threadsPerApp(Scenario scenario)
+{
+    return scenario == Scenario::kCooperative ? 8 : 32;
+}
+
+const char*
+scenarioName(Scenario scenario)
+{
+    return scenario == Scenario::kCooperative ? "cooperative" : "oblivious";
+}
+
+}  // namespace pupil::workload

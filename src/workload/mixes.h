@@ -1,0 +1,45 @@
+#ifndef PUPIL_WORKLOAD_MIXES_H_
+#define PUPIL_WORKLOAD_MIXES_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/app_model.h"
+
+namespace pupil::workload {
+
+/** A named multi-application workload (one row of the paper's Table 4). */
+struct Mix
+{
+    std::string name;
+    std::vector<std::string> apps;  ///< four benchmark names
+};
+
+/**
+ * The paper's 12 multi-application mixes (Table 4). Mixes 1-4 draw only
+ * from the RAPL-friendly set, 5-8 only from the RAPL-unfriendly set, and
+ * 9-12 take two applications from each.
+ */
+const std::vector<Mix>& multiAppMixes();
+
+/** Look up a mix by name ("mix1" .. "mix12"); aborts if unknown. */
+const Mix& findMix(const std::string& name);
+
+/**
+ * Multi-application launch scenarios (Section 5.4):
+ *  - kCooperative: each application knows it shares the machine and
+ *    launches 8 threads (4 apps x 8 = 32 = virtual core count);
+ *  - kOblivious: each application requests all 32 virtual cores, putting
+ *    128 runnable threads in the system.
+ */
+enum class Scenario { kCooperative, kOblivious };
+
+/** Threads each application launches under @p scenario. */
+int threadsPerApp(Scenario scenario);
+
+/** Human-readable scenario name. */
+const char* scenarioName(Scenario scenario);
+
+}  // namespace pupil::workload
+
+#endif  // PUPIL_WORKLOAD_MIXES_H_

@@ -1,0 +1,69 @@
+#include "phase.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace pupil::workload {
+
+PhaseSchedule::PhaseSchedule(std::vector<Phase> phases)
+    : phases_(std::move(phases))
+{
+    for (const Phase& phase : phases_) {
+        assert(phase.durationSec > 0.0);
+        cycleSec_ += phase.durationSec;
+    }
+}
+
+size_t
+PhaseSchedule::phaseIndexAt(double now) const
+{
+    assert(!phases_.empty());
+    if (phases_.size() == 1 || cycleSec_ <= 0.0)
+        return 0;
+    double offset = std::fmod(now, cycleSec_);
+    if (offset < 0.0)
+        offset += cycleSec_;
+    for (size_t i = 0; i < phases_.size(); ++i) {
+        if (offset < phases_[i].durationSec)
+            return i;
+        offset -= phases_[i].durationSec;
+    }
+    return phases_.size() - 1;
+}
+
+const AppParams&
+PhaseSchedule::paramsAt(double now) const
+{
+    return phases_[phaseIndexAt(now)].params;
+}
+
+PhaseSchedule
+PhaseSchedule::alternating(const AppParams& a, const AppParams& b,
+                           double halfPeriodSec)
+{
+    return PhaseSchedule({{a, halfPeriodSec}, {b, halfPeriodSec}});
+}
+
+AppParams
+PhaseSchedule::memoryPhaseOf(const AppParams& base)
+{
+    AppParams phase = base;
+    phase.name = base.name + ":mem";
+    phase.bytesPerInstr = base.bytesPerInstr * 4.0 + 1.0;
+    phase.ipc = base.ipc * 0.7;
+    phase.activity = base.activity * 0.85;
+    phase.mcBoost = std::max(base.mcBoost, 1.3);
+    return phase;
+}
+
+AppParams
+PhaseSchedule::serialPhaseOf(const AppParams& base)
+{
+    AppParams phase = base;
+    phase.name = base.name + ":serial";
+    phase.serialFrac = std::min(0.45, base.serialFrac + 0.3);
+    phase.maxUsefulThreads = std::max(2, base.maxUsefulThreads / 4);
+    return phase;
+}
+
+}  // namespace pupil::workload

@@ -1,0 +1,74 @@
+#ifndef PUPIL_WORKLOAD_PHASE_H_
+#define PUPIL_WORKLOAD_PHASE_H_
+
+#include <string>
+#include <vector>
+
+#include "workload/app_model.h"
+
+namespace pupil::workload {
+
+/**
+ * One phase of a time-varying application: a parameter vector and how long
+ * it lasts. Real applications move through phases (x264 alternating
+ * between motion estimation and entropy coding, data-mining codes between
+ * scan and update passes); the paper's feedback loops exist precisely to
+ * track such changes ("react to application phase changes or other
+ * environmental fluctuations", Section 3).
+ */
+struct Phase
+{
+    AppParams params;
+    double durationSec = 30.0;
+};
+
+/**
+ * A cyclic phase schedule. At any time the active parameter vector is the
+ * phase the (wrapped) clock falls into; schedules repeat forever.
+ */
+class PhaseSchedule
+{
+  public:
+    PhaseSchedule() = default;
+
+    /** Build from a list of phases; at least one required for use. */
+    explicit PhaseSchedule(std::vector<Phase> phases);
+
+    bool empty() const { return phases_.empty(); }
+    size_t phaseCount() const { return phases_.size(); }
+    double cycleSec() const { return cycleSec_; }
+
+    /** The parameters in force at time @p now (cyclic). */
+    const AppParams& paramsAt(double now) const;
+
+    /** Index of the phase active at @p now (cyclic). */
+    size_t phaseIndexAt(double now) const;
+
+    /**
+     * Convenience: a two-phase schedule alternating between @p a and @p b
+     * every @p halfPeriodSec seconds.
+     */
+    static PhaseSchedule alternating(const AppParams& a, const AppParams& b,
+                                     double halfPeriodSec);
+
+    /**
+     * Convenience: derive a "memory phase" variant of @p base -- the same
+     * application in a bandwidth-hungry, lower-IPC stretch of execution.
+     */
+    static AppParams memoryPhaseOf(const AppParams& base);
+
+    /**
+     * Convenience: derive a "serial phase" variant of @p base -- a stretch
+     * with a much larger sequential fraction (e.g. a reduction or I/O
+     * stage), where wide allocations stop paying off.
+     */
+    static AppParams serialPhaseOf(const AppParams& base);
+
+  private:
+    std::vector<Phase> phases_;
+    double cycleSec_ = 0.0;
+};
+
+}  // namespace pupil::workload
+
+#endif  // PUPIL_WORKLOAD_PHASE_H_

@@ -1,0 +1,191 @@
+/** @file Tests for the comparison governors and the optimal oracle. */
+#include <gtest/gtest.h>
+
+#include "capping/oracle.h"
+#include "capping/regression.h"
+#include "harness/experiment.h"
+#include "machine/power_model.h"
+#include "sched/scheduler.h"
+#include "workload/catalog.h"
+
+namespace pupil::capping {
+namespace {
+
+TEST(Regression, FitsLinearFunctionOfKnobs)
+{
+    // Target constructed to be exactly linear in the features.
+    const auto space = machine::enumerateUserConfigs();
+    std::vector<double> target;
+    target.reserve(space.size());
+    for (const auto& cfg : space) {
+        const auto x = ConfigRegression::features(cfg);
+        double y = 1.0;
+        for (size_t i = 0; i < x.size(); ++i)
+            y += double(i) * x[i];
+        target.push_back(y);
+    }
+    const ConfigRegression model = ConfigRegression::fit(space, target);
+    for (size_t k = 0; k < space.size(); k += 97)
+        EXPECT_NEAR(model.predict(space[k]), target[k], 1e-5);
+}
+
+TEST(Regression, UnderPredictsPowerAtHighClock)
+{
+    // The key failure mode behind Soft-Modeling's cap violations: true
+    // power is super-linear in frequency (V^2 f), a linear model misses
+    // the curvature at the top of the range.
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const auto space = machine::enumerateUserConfigs();
+    const workload::AppParams& cal = workload::calibrationApp();
+    std::vector<double> power;
+    for (const auto& cfg : space) {
+        const auto out = sched.solve(cfg, {1.0, 1.0}, {{&cal, 32}});
+        power.push_back(pm.totalPower(cfg, out.loads));
+    }
+    const ConfigRegression model = ConfigRegression::fit(space, power);
+    machine::MachineConfig top = machine::maximalConfig();
+    const auto out = sched.solve(top, {1.0, 1.0}, {{&cal, 32}});
+    const double truth = pm.totalPower(top, out.loads);
+    EXPECT_LT(model.predict(top), truth);
+}
+
+TEST(Regression, EmptyFitPredictsZero)
+{
+    ConfigRegression model;
+    EXPECT_EQ(model.predict(machine::maximalConfig()), 0.0);
+}
+
+TEST(Oracle, RespectsCapAndBeatsNaiveConfigs)
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("x264"), 32}};
+    const OracleResult best = searchOptimal(sched, pm, apps, 140.0);
+    EXPECT_LE(best.powerWatts, 140.0);
+    EXPECT_GT(best.aggregatePerf, 0.0);
+
+    // No user-space configuration under the cap beats it.
+    const auto refs = soloReferenceRates(sched, apps);
+    for (const auto& cfg : machine::enumerateUserConfigs()) {
+        const auto out = sched.solve(cfg, {1.0, 1.0}, apps);
+        if (pm.totalPower(cfg, out.loads) > 140.0)
+            continue;
+        EXPECT_LE(out.apps[0].itemsPerSec / refs[0],
+                  best.aggregatePerf + 1e-9)
+            << cfg.toString();
+    }
+}
+
+TEST(Oracle, TighterCapNeverHelps)
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("cfd"), 32}};
+    double prev = 0.0;
+    for (double cap : {60.0, 100.0, 140.0, 180.0, 220.0}) {
+        const OracleResult best = searchOptimal(sched, pm, apps, cap);
+        EXPECT_GE(best.aggregatePerf, prev);
+        prev = best.aggregatePerf;
+    }
+}
+
+TEST(Oracle, KmeansOptimumIsSingleSocket)
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("kmeans"), 32}};
+    const OracleResult best = searchOptimal(sched, pm, apps, 140.0);
+    EXPECT_EQ(best.config.sockets, 1);
+}
+
+TEST(Oracle, X264OptimumAvoidsHyperthreads)
+{
+    const machine::PowerModel pm;
+    const sched::Scheduler sched;
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("x264"), 32}};
+    const OracleResult best = searchOptimal(sched, pm, apps, 140.0);
+    EXPECT_FALSE(best.config.hyperthreading);
+}
+
+TEST(Governors, FactoryProducesAllFive)
+{
+    for (auto kind : harness::allGovernors()) {
+        auto governor = harness::makeGovernor(kind);
+        ASSERT_NE(governor, nullptr);
+        EXPECT_EQ(governor->name(), harness::governorName(kind));
+    }
+}
+
+TEST(SoftDvfs, MeetsModerateCap)
+{
+    auto options = harness::ExperimentOptions{};
+    options.capWatts = 140.0;
+    options.durationSec = 60.0;
+    options.statsWindowSec = 20.0;
+    const auto result = harness::runExperiment(
+        harness::GovernorKind::kSoftDvfs,
+        harness::singleApp("blackscholes"), options);
+    EXPECT_TRUE(result.capFeasible);
+    EXPECT_LE(result.meanPowerWatts, 143.0);
+    EXPECT_TRUE(result.converged);
+    // Settles in seconds -- slower than hardware, faster than the full
+    // decision framework (paper Fig. 4).
+    EXPECT_GT(result.settlingTimeSec, 0.5);
+    EXPECT_LT(result.settlingTimeSec, 20.0);
+}
+
+TEST(SoftDvfs, SixtyWattCapIsInfeasible)
+{
+    // Paper Section 5.1: "even the lowest p-state exceeds the 60 W power
+    // cap when using all cores and hyperthreads".
+    auto options = harness::ExperimentOptions{};
+    options.capWatts = 60.0;
+    options.durationSec = 60.0;
+    options.statsWindowSec = 20.0;
+    const auto result = harness::runExperiment(
+        harness::GovernorKind::kSoftDvfs, harness::singleApp("swaptions"),
+        options);
+    EXPECT_FALSE(result.capFeasible);
+}
+
+TEST(SoftModeling, PicksConfigAndNeverAdapts)
+{
+    auto options = harness::ExperimentOptions{};
+    options.capWatts = 140.0;
+    options.durationSec = 40.0;
+    options.statsWindowSec = 20.0;
+    const auto result = harness::runExperiment(
+        harness::GovernorKind::kSoftModeling, harness::singleApp("HOP"),
+        options);
+    // Offline approach: converged by construction, and the power trace is
+    // flat after the initial configuration (no runtime feedback).
+    EXPECT_TRUE(result.converged);
+    EXPECT_GT(result.aggregatePerf, 0.0);
+}
+
+TEST(SoftModeling, CanViolateTightCaps)
+{
+    // The approach's defining weakness (paper Section 5.1): with no
+    // feedback, model error at tight caps turns into sustained violations
+    // for at least some applications.
+    double violations = 0.0;
+    for (const char* name : {"swaptions", "blackscholes", "STREAM"}) {
+        auto options = harness::ExperimentOptions{};
+        options.capWatts = 60.0;
+        options.durationSec = 30.0;
+        options.statsWindowSec = 10.0;
+        const auto result = harness::runExperiment(
+            harness::GovernorKind::kSoftModeling, harness::singleApp(name),
+            options);
+        violations += result.capViolationSec;
+    }
+    EXPECT_GT(violations, 5.0);
+}
+
+}  // namespace
+}  // namespace pupil::capping

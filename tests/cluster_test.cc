@@ -1,0 +1,93 @@
+/** @file Tests for cluster-level power shifting on top of node cappers. */
+#include <gtest/gtest.h>
+
+#include "cluster/power_shifter.h"
+#include "harness/experiment.h"
+#include "workload/catalog.h"
+
+namespace pupil::cluster {
+namespace {
+
+TEST(PowerShifter, CapsAlwaysSumToGlobalBudget)
+{
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 300.0;
+    PowerShifter cluster(options);
+    cluster.addNode("n0", harness::singleApp("swaptions"),
+                    harness::GovernorKind::kPupil, 1);
+    cluster.addNode("n1", harness::singleApp("dijkstra"),
+                    harness::GovernorKind::kPupil, 2);
+    cluster.addNode("n2", harness::singleApp("swish++"),
+                    harness::GovernorKind::kPupil, 3);
+    for (double t = 5.0; t <= 40.0; t += 5.0) {
+        cluster.run(t);
+        EXPECT_NEAR(cluster.totalCapWatts(), 300.0, 0.5) << "t=" << t;
+    }
+    EXPECT_GT(cluster.shifts(), 0);
+}
+
+TEST(PowerShifter, GlobalBudgetIsRespected)
+{
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 250.0;
+    PowerShifter cluster(options);
+    cluster.addNode("a", harness::singleApp("blackscholes"),
+                    harness::GovernorKind::kPupil, 4);
+    cluster.addNode("b", harness::singleApp("cfd"),
+                    harness::GovernorKind::kPupil, 5);
+    cluster.run(60.0);
+    EXPECT_LE(cluster.totalPowerWatts(), 250.0 * 1.03);
+}
+
+TEST(PowerShifter, WattsFlowTowardTheHungryNode)
+{
+    // A light node (limited-parallelism swish++ needs ~85 W) shares a
+    // 260 W budget with a heavy node (swaptions can burn 230 W alone).
+    // Shifting must move the light node's headroom to the heavy node.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 260.0;
+    PowerShifter cluster(options);
+    const size_t heavy = cluster.addNode(
+        "heavy", harness::singleApp("swaptions"),
+        harness::GovernorKind::kPupil, 6);
+    const size_t light = cluster.addNode(
+        "light", harness::singleApp("swish++"),
+        harness::GovernorKind::kPupil, 7);
+    cluster.run(90.0);
+    EXPECT_GT(cluster.node(heavy).capWatts, 145.0);
+    EXPECT_LT(cluster.node(light).capWatts, 115.0);
+    // The heavy node actually uses its enlarged cap.
+    EXPECT_GT(cluster.node(heavy).platform->truePower(), 140.0);
+}
+
+TEST(PowerShifter, MinimumNodeCapIsRespected)
+{
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 200.0;
+    options.minNodeCapWatts = 40.0;
+    PowerShifter cluster(options);
+    cluster.addNode("busy", harness::singleApp("swaptions"),
+                    harness::GovernorKind::kPupil, 8);
+    cluster.addNode("idle", harness::singleApp("dijkstra"),
+                    harness::GovernorKind::kPupil, 9);
+    cluster.run(60.0);
+    for (size_t i = 0; i < cluster.nodeCount(); ++i)
+        EXPECT_GE(cluster.node(i).capWatts, 39.9) << i;
+}
+
+TEST(PowerShifter, WorksWithRaplOnlyNodes)
+{
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 280.0;
+    PowerShifter cluster(options);
+    cluster.addNode("r0", harness::singleApp("btree"),
+                    harness::GovernorKind::kRapl, 10);
+    cluster.addNode("r1", harness::singleApp("kmeans"),
+                    harness::GovernorKind::kRapl, 11);
+    cluster.run(30.0);
+    EXPECT_LE(cluster.totalPowerWatts(), 280.0 * 1.03);
+    EXPECT_NEAR(cluster.totalCapWatts(), 280.0, 0.5);
+}
+
+}  // namespace
+}  // namespace pupil::cluster

@@ -1,0 +1,161 @@
+/** @file Tests for the extension features: application phase schedules,
+ *  the PhaseDriver, drift-triggered re-walks, and the Pack&Cap governor. */
+#include <gtest/gtest.h>
+
+#include "capping/pack_and_cap.h"
+#include "capping/soft_dvfs.h"
+#include "harness/experiment.h"
+#include "core/pupil.h"
+#include "rapl/rapl.h"
+#include "sim/phase_driver.h"
+#include "sim/platform.h"
+#include "workload/catalog.h"
+#include "workload/phase.h"
+
+namespace pupil {
+namespace {
+
+using workload::AppParams;
+using workload::PhaseSchedule;
+
+TEST(PhaseSchedule, CyclesThroughPhases)
+{
+    AppParams a = workload::findBenchmark("x264");
+    AppParams b = PhaseSchedule::memoryPhaseOf(a);
+    const PhaseSchedule schedule = PhaseSchedule::alternating(a, b, 10.0);
+    EXPECT_EQ(schedule.phaseCount(), 2u);
+    EXPECT_DOUBLE_EQ(schedule.cycleSec(), 20.0);
+    EXPECT_EQ(schedule.phaseIndexAt(0.0), 0u);
+    EXPECT_EQ(schedule.phaseIndexAt(9.9), 0u);
+    EXPECT_EQ(schedule.phaseIndexAt(10.1), 1u);
+    EXPECT_EQ(schedule.phaseIndexAt(20.1), 0u);  // wraps
+    EXPECT_EQ(schedule.phaseIndexAt(30.1), 1u);
+}
+
+TEST(PhaseSchedule, SinglePhaseIsConstant)
+{
+    const PhaseSchedule schedule(
+        {{workload::findBenchmark("cfd"), 5.0}});
+    EXPECT_EQ(schedule.phaseIndexAt(0.0), 0u);
+    EXPECT_EQ(schedule.phaseIndexAt(1234.5), 0u);
+}
+
+TEST(PhaseSchedule, DerivedPhasesChangeTheRightKnobs)
+{
+    const AppParams base = workload::findBenchmark("blackscholes");
+    const AppParams mem = PhaseSchedule::memoryPhaseOf(base);
+    EXPECT_GT(mem.bytesPerInstr, base.bytesPerInstr * 2.0);
+    EXPECT_LT(mem.ipc, base.ipc);
+    const AppParams serial = PhaseSchedule::serialPhaseOf(base);
+    EXPECT_GT(serial.serialFrac, base.serialFrac);
+    EXPECT_LT(serial.maxUsefulThreads, base.maxUsefulThreads);
+}
+
+TEST(PhaseDriver, SwapsParametersAtBoundaries)
+{
+    const AppParams compute = workload::findBenchmark("swaptions");
+    const AppParams memory = PhaseSchedule::memoryPhaseOf(compute);
+    sim::PhaseDriver driver(
+        0, PhaseSchedule::alternating(compute, memory, 5.0));
+
+    sim::PlatformOptions options;
+    options.seed = 3;
+    sim::Platform platform(options, {{driver.params(), 32}});
+    platform.warmStart(machine::maximalConfig());
+    platform.addActor(&driver);
+
+    platform.run(4.0);
+    const double computeRate = platform.trueAppRate(0);
+    EXPECT_EQ(driver.transitions(), 0);
+    platform.run(9.0);  // well inside the memory phase
+    EXPECT_EQ(driver.currentPhase(), 1u);
+    EXPECT_GE(driver.transitions(), 1);
+    // The memory phase is slower (lower IPC, bandwidth-capped).
+    EXPECT_LT(platform.trueAppRate(0), computeRate * 0.9);
+    platform.run(14.0);  // back in the compute phase
+    EXPECT_EQ(driver.currentPhase(), 0u);
+    EXPECT_NEAR(platform.trueAppRate(0), computeRate, computeRate * 0.1);
+}
+
+TEST(PhaseDriver, PupilReWalksOnLargePhaseChange)
+{
+    // A drastic, persistent phase change must re-trigger the decision walk
+    // (the paper's continually-repeating observe-decide-act loop).
+    const AppParams parallel = workload::findBenchmark("blackscholes");
+    const AppParams serial = PhaseSchedule::serialPhaseOf(parallel);
+    sim::PhaseDriver driver(
+        0, PhaseSchedule({{parallel, 120.0}, {serial, 120.0}}));
+
+    sim::PlatformOptions options;
+    options.seed = 11;
+    sim::Platform platform(options, {{driver.params(), 32}});
+    platform.warmStart(machine::maximalConfig());
+    rapl::RaplController rapl;
+    core::Pupil pupil;
+    pupil.attachRapl(&rapl);
+    pupil.setCap(140.0);
+    platform.addActor(&driver);
+    platform.addActor(&rapl);
+    platform.addActor(&pupil);
+
+    platform.run(110.0);
+    ASSERT_TRUE(pupil.converged());
+    const int walksBefore = pupil.walker()->walkCount();
+    platform.run(220.0);  // deep into the serial phase
+    EXPECT_GT(pupil.walker()->walkCount(), walksBefore);
+}
+
+TEST(PackAndCap, ConfigForPacksGreedily)
+{
+    using capping::PackAndCap;
+    const auto one = PackAndCap::configFor(1, 5);
+    EXPECT_EQ(one.totalContexts(), 1);
+    EXPECT_EQ(one.sockets, 1);
+    const auto eight = PackAndCap::configFor(8, 5);
+    EXPECT_EQ(eight.totalContexts(), 8);
+    EXPECT_EQ(eight.sockets, 1);
+    const auto twelve = PackAndCap::configFor(12, 5);
+    EXPECT_EQ(twelve.sockets, 2);
+    EXPECT_FALSE(twelve.hyperthreading);
+    const auto thirty = PackAndCap::configFor(30, 5);
+    EXPECT_TRUE(thirty.hyperthreading);
+    EXPECT_EQ(thirty.totalContexts(), 32);
+    for (int k = 1; k <= 32; ++k)
+        EXPECT_TRUE(PackAndCap::configFor(k, 0).valid()) << k;
+}
+
+TEST(PackAndCap, MeetsCapAndBeatsDvfsOnlyOnKmeans)
+{
+    // Pack & Cap's whole point: thread packing plus DVFS beats DVFS alone
+    // for applications that dislike wide allocations.
+    const auto apps = harness::singleApp("kmeans");
+    sim::PlatformOptions options;
+    options.seed = 17;
+
+    auto run = [&](capping::Governor& governor) {
+        sim::Platform platform(options, apps);
+        platform.warmStart(machine::maximalConfig());
+        rapl::RaplController rapl;
+        governor.attachRapl(&rapl);
+        governor.setCap(140.0);
+        platform.addActor(&rapl);
+        platform.addActor(&governor);
+        platform.run(120.0);
+        platform.resetStatsWindow();
+        platform.run(180.0);
+        return std::pair<double, double>(
+            platform.energy().meanItemsPerSec(),
+            platform.energy().meanPower());
+    };
+
+    capping::PackAndCap packAndCap;
+    const auto [packPerf, packPower] = run(packAndCap);
+    capping::SoftDvfs softDvfs;
+    const auto [dvfsPerf, dvfsPower] = run(softDvfs);
+
+    EXPECT_LE(packPower, 143.0);
+    EXPECT_GT(packPerf, dvfsPerf * 1.3);
+}
+
+}  // namespace
+}  // namespace pupil

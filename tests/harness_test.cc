@@ -1,0 +1,124 @@
+/** @file Tests for the experiment harness. */
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "workload/catalog.h"
+
+namespace pupil::harness {
+namespace {
+
+TEST(Harness, GovernorNamesMatchPaper)
+{
+    EXPECT_STREQ(governorName(GovernorKind::kRapl), "RAPL");
+    EXPECT_STREQ(governorName(GovernorKind::kSoftDvfs), "Soft-DVFS");
+    EXPECT_STREQ(governorName(GovernorKind::kSoftModeling), "Soft-Modeling");
+    EXPECT_STREQ(governorName(GovernorKind::kSoftDecision), "Soft-Decision");
+    EXPECT_STREQ(governorName(GovernorKind::kPupil), "PUPiL");
+    EXPECT_EQ(allGovernors().size(), 5u);
+}
+
+TEST(Harness, SingleAppBuildsDemand)
+{
+    const auto apps = singleApp("cfd", 16);
+    ASSERT_EQ(apps.size(), 1u);
+    EXPECT_EQ(apps[0].params->name, "cfd");
+    EXPECT_EQ(apps[0].threads, 16);
+}
+
+TEST(Harness, MixAppsUsesScenarioThreads)
+{
+    const auto& mix = workload::findMix("mix5");
+    const auto coop = mixApps(mix, workload::Scenario::kCooperative);
+    const auto obl = mixApps(mix, workload::Scenario::kOblivious);
+    ASSERT_EQ(coop.size(), 4u);
+    for (const auto& app : coop)
+        EXPECT_EQ(app.threads, 8);
+    for (const auto& app : obl)
+        EXPECT_EQ(app.threads, 32);
+    EXPECT_EQ(coop[0].params->name, "x264");
+}
+
+TEST(Harness, ResultCarriesTracesAndMetrics)
+{
+    ExperimentOptions options;
+    options.capWatts = 140.0;
+    options.durationSec = 20.0;
+    options.statsWindowSec = 10.0;
+    const auto result = runExperiment(GovernorKind::kRapl,
+                                      singleApp("swaptions"), options);
+    EXPECT_EQ(result.governor, "RAPL");
+    EXPECT_EQ(result.capWatts, 140.0);
+    EXPECT_GT(result.aggregatePerf, 0.0);
+    EXPECT_GT(result.meanPowerWatts, 50.0);
+    EXPECT_GT(result.perfPerJoule, 0.0);
+    EXPECT_FALSE(result.powerTrace.empty());
+    EXPECT_EQ(result.powerTrace.size(), result.perfTrace.size());
+    ASSERT_EQ(result.appItemsPerSec.size(), 1u);
+    EXPECT_GT(result.appItemsPerSec[0], 0.0);
+    EXPECT_TRUE(result.completionTimes.empty());  // not a completion run
+}
+
+TEST(Harness, SameSeedReproducesExactly)
+{
+    ExperimentOptions options;
+    options.capWatts = 100.0;
+    options.durationSec = 15.0;
+    options.statsWindowSec = 5.0;
+    options.seed = 77;
+    const auto a = runExperiment(GovernorKind::kSoftDvfs,
+                                 singleApp("btree"), options);
+    const auto b = runExperiment(GovernorKind::kSoftDvfs,
+                                 singleApp("btree"), options);
+    EXPECT_DOUBLE_EQ(a.aggregatePerf, b.aggregatePerf);
+    EXPECT_DOUBLE_EQ(a.meanPowerWatts, b.meanPowerWatts);
+    EXPECT_DOUBLE_EQ(a.settlingTimeSec, b.settlingTimeSec);
+}
+
+TEST(Harness, CompletionRunReportsPerAppTimes)
+{
+    ExperimentOptions options;
+    options.capWatts = 140.0;
+    options.workItems = {1e3, 2e3};  // tiny jobs; finish in seconds
+    std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("swaptions"), 16},
+        {&workload::findBenchmark("blackscholes"), 16}};
+    const auto result =
+        runExperiment(GovernorKind::kRapl, apps, options);
+    ASSERT_EQ(result.completionTimes.size(), 2u);
+    for (double t : result.completionTimes) {
+        EXPECT_GT(t, 0.0);
+        EXPECT_LT(t, options.maxDurationSec);
+    }
+    EXPECT_LE(result.durationSec, options.maxDurationSec);
+}
+
+TEST(Harness, CompletionRunStopsAtMaxDuration)
+{
+    ExperimentOptions options;
+    options.capWatts = 140.0;
+    options.maxDurationSec = 5.0;
+    options.workItems = {1e18};  // never finishes
+    const auto result = runExperiment(GovernorKind::kRapl,
+                                      singleApp("swaptions"), options);
+    EXPECT_NEAR(result.durationSec, 5.0, 0.1);
+    EXPECT_NEAR(result.completionTimes[0], 5.0, 0.1);
+}
+
+TEST(Harness, PupilPolicyOptionIsHonored)
+{
+    // Even-split PUPiL must strand budget for a single-socket-optimal app.
+    ExperimentOptions options;
+    options.capWatts = 60.0;
+    options.durationSec = 120.0;
+    options.statsWindowSec = 40.0;
+    const auto apps = singleApp("kmeans");
+    options.pupilPolicy = core::PowerDistPolicy::kCoreProportional;
+    const auto proportional =
+        runExperiment(GovernorKind::kPupil, apps, options);
+    options.pupilPolicy = core::PowerDistPolicy::kEvenSplit;
+    const auto even = runExperiment(GovernorKind::kPupil, apps, options);
+    EXPECT_GT(proportional.aggregatePerf, even.aggregatePerf * 1.1);
+}
+
+}  // namespace
+}  // namespace pupil::harness

@@ -1,0 +1,318 @@
+/** @file Unit and property tests for the machine model. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "machine/config.h"
+#include "machine/dvfs.h"
+#include "machine/machine.h"
+#include "machine/power_model.h"
+
+namespace pupil::machine {
+namespace {
+
+TEST(Topology, PaperPlatformCounts)
+{
+    const Topology& topo = defaultTopology();
+    EXPECT_EQ(topo.totalCores(), 16);
+    EXPECT_EQ(topo.totalContexts(), 32);
+    EXPECT_EQ(topo.socketTdpWatts, 135.0);
+}
+
+TEST(Dvfs, FrequencyRangeMatchesXeonE5_2690)
+{
+    EXPECT_DOUBLE_EQ(DvfsTable::frequencyGHz(0, 1), 1.2);
+    EXPECT_DOUBLE_EQ(DvfsTable::frequencyGHz(14, 1), 2.9);
+    EXPECT_GT(DvfsTable::frequencyGHz(DvfsTable::kTurboPState, 1), 2.9);
+}
+
+TEST(Dvfs, TurboDegradesWithActiveCores)
+{
+    const double oneCore = DvfsTable::frequencyGHz(15, 1);
+    const double eightCores = DvfsTable::frequencyGHz(15, 8);
+    EXPECT_GT(oneCore, eightCores);
+    EXPECT_GT(eightCores, DvfsTable::kMaxNominalGHz);
+}
+
+TEST(Dvfs, FrequencyMonotonicInPState)
+{
+    for (int p = 1; p < DvfsTable::kNumPStates; ++p) {
+        EXPECT_GT(DvfsTable::frequencyGHz(p, 4),
+                  DvfsTable::frequencyGHz(p - 1, 4))
+            << "p-state " << p;
+    }
+}
+
+TEST(Dvfs, VoltageMonotonicInFrequency)
+{
+    double prev = 0.0;
+    for (double f = 1.2; f <= 3.8; f += 0.1) {
+        const double v = DvfsTable::voltage(f);
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Dvfs, PStateForFrequencyRoundsDown)
+{
+    EXPECT_EQ(DvfsTable::pstateForFrequency(1.0), 0);
+    EXPECT_EQ(DvfsTable::pstateForFrequency(2.9), 14);
+    EXPECT_EQ(DvfsTable::pstateForFrequency(10.0), DvfsTable::kTurboPState);
+    // Just below a step lands on the previous one.
+    const double f5 = DvfsTable::frequencyGHz(5, 1);
+    EXPECT_EQ(DvfsTable::pstateForFrequency(f5 - 1e-6), 4);
+}
+
+TEST(Config, UserSpaceHas1024Points)
+{
+    // Paper Section 4.2: "the system supports 1024 user-accessible
+    // configurations".
+    EXPECT_EQ(enumerateUserConfigs().size(), 1024u);
+}
+
+TEST(Config, UserSpaceConfigsAllValidAndUnique)
+{
+    std::set<std::string> seen;
+    for (const MachineConfig& cfg : enumerateUserConfigs()) {
+        EXPECT_TRUE(cfg.valid());
+        EXPECT_TRUE(seen.insert(cfg.toString()).second) << cfg.toString();
+    }
+}
+
+TEST(Config, ExtendedSpaceIsSuperset)
+{
+    EXPECT_GT(enumerateExtendedConfigs().size(),
+              enumerateUserConfigs().size());
+    for (const MachineConfig& cfg : enumerateExtendedConfigs())
+        EXPECT_TRUE(cfg.valid());
+}
+
+TEST(Config, ContextsAccounting)
+{
+    MachineConfig cfg;
+    cfg.coresPerSocket = 4;
+    cfg.sockets = 2;
+    cfg.hyperthreading = true;
+    EXPECT_EQ(cfg.totalCores(), 8);
+    EXPECT_EQ(cfg.totalContexts(), 16);
+    EXPECT_EQ(cfg.contexts(1), 8);
+    cfg.sockets = 1;
+    EXPECT_EQ(cfg.contexts(1), 0);
+}
+
+TEST(Config, MinimalAndMaximalAreExtremes)
+{
+    EXPECT_EQ(minimalConfig().totalContexts(), 1);
+    EXPECT_EQ(maximalConfig().totalContexts(), 32);
+    EXPECT_TRUE(minimalConfig().valid());
+    EXPECT_TRUE(maximalConfig().valid());
+}
+
+TEST(Config, InvalidRangesRejected)
+{
+    MachineConfig cfg;
+    cfg.coresPerSocket = 9;
+    EXPECT_FALSE(cfg.valid());
+    cfg = MachineConfig{};
+    cfg.sockets = 3;
+    EXPECT_FALSE(cfg.valid());
+    cfg = MachineConfig{};
+    cfg.pstate[0] = 16;
+    EXPECT_FALSE(cfg.valid());
+}
+
+class PowerModelTest : public ::testing::Test
+{
+  protected:
+    PowerModel pm_;
+
+    double
+    fullLoadPower(const MachineConfig& cfg) const
+    {
+        std::array<SocketLoad, 2> loads{};
+        for (int s = 0; s < 2; ++s) {
+            loads[s].busyPrimary = cfg.activeCores(s);
+            loads[s].busySibling =
+                cfg.hyperthreading ? cfg.activeCores(s) : 0.0;
+            loads[s].activity = 0.85;
+        }
+        return pm_.totalPower(cfg, loads);
+    }
+};
+
+TEST_F(PowerModelTest, EnvelopeMatchesPaperOperatingRange)
+{
+    // Minimal config idles low; the full machine at the lowest p-state
+    // draws more than 60 W (Soft-DVFS cannot meet the 60 W cap); an
+    // unconstrained compute-heavy run draws well above the largest cap.
+    MachineConfig low = maximalConfig();
+    low.setUniformPState(0);
+    EXPECT_GT(fullLoadPower(low), 60.0);
+    EXPECT_GT(fullLoadPower(maximalConfig()), 220.0);
+
+    std::array<SocketLoad, 2> idle{};
+    idle[0] = {1.0, 0.0, 0.85};
+    EXPECT_LT(pm_.totalPower(minimalConfig(), idle), 25.0);
+}
+
+TEST_F(PowerModelTest, SocketNearTdpOnlyAtPeak)
+{
+    // TDP is a sustained-average rating; a fully hyperthreaded turbo
+    // excursion may briefly exceed it (the dark-silicon premise), but not
+    // by much, and realistic activity keeps it below.
+    std::array<SocketLoad, 2> loads{};
+    loads[0] = {8.0, 8.0, 0.85};
+    EXPECT_LT(pm_.socketPower(maximalConfig(), 0, loads[0]),
+              defaultTopology().socketTdpWatts * 1.05);
+    loads[0].activity = 0.75;
+    EXPECT_LT(pm_.socketPower(maximalConfig(), 0, loads[0]),
+              defaultTopology().socketTdpWatts);
+}
+
+TEST_F(PowerModelTest, MonotonicInPState)
+{
+    double prev = 0.0;
+    for (int p = 0; p < DvfsTable::kNumPStates; ++p) {
+        MachineConfig cfg = maximalConfig();
+        cfg.setUniformPState(p);
+        const double power = fullLoadPower(cfg);
+        EXPECT_GT(power, prev) << "p-state " << p;
+        prev = power;
+    }
+}
+
+TEST_F(PowerModelTest, MonotonicInCores)
+{
+    double prev = 0.0;
+    for (int cores = 1; cores <= 8; ++cores) {
+        MachineConfig cfg;
+        cfg.coresPerSocket = cores;
+        cfg.setUniformPState(10);
+        std::array<SocketLoad, 2> loads{};
+        loads[0] = {double(cores), 0.0, 0.85};
+        const double power = pm_.totalPower(cfg, loads);
+        EXPECT_GT(power, prev) << cores << " cores";
+        prev = power;
+    }
+}
+
+TEST_F(PowerModelTest, DutyCycleScalesOnlyDynamicPower)
+{
+    MachineConfig cfg = maximalConfig();
+    std::array<SocketLoad, 2> loads{};
+    loads[0] = loads[1] = {8.0, 8.0, 0.85};
+    const double full = pm_.totalPower(cfg, loads, {1.0, 1.0});
+    const double half = pm_.totalPower(cfg, loads, {0.5, 0.5});
+    const double staticPower =
+        pm_.staticSocketPower(cfg, 0) + pm_.staticSocketPower(cfg, 1);
+    EXPECT_NEAR(half - staticPower, (full - staticPower) * 0.5, 1e-9);
+}
+
+TEST_F(PowerModelTest, HyperthreadSiblingsCostLessThanCores)
+{
+    MachineConfig ht = maximalConfig();
+    MachineConfig noHt = maximalConfig();
+    noHt.hyperthreading = false;
+    std::array<SocketLoad, 2> htLoads{};
+    htLoads[0] = htLoads[1] = {8.0, 8.0, 0.85};
+    std::array<SocketLoad, 2> noHtLoads{};
+    noHtLoads[0] = noHtLoads[1] = {8.0, 0.0, 0.85};
+    const double withHt = pm_.totalPower(ht, htLoads);
+    const double without = pm_.totalPower(noHt, noHtLoads);
+    EXPECT_GT(withHt, without);
+    EXPECT_LT(withHt, without * 1.6);  // sibling adds less than a full core
+}
+
+TEST_F(PowerModelTest, InactiveSocketDrawsIdlePower)
+{
+    MachineConfig cfg = minimalConfig();
+    const double idle = pm_.staticSocketPower(cfg, 1);
+    EXPECT_GT(idle, 0.0);
+    EXPECT_LT(idle, 10.0);
+}
+
+TEST(MachineState, ConfigChangeHasMigrationLatency)
+{
+    Machine machine;
+    const MachineConfig target = maximalConfig();
+    machine.requestConfig(target, 1.0);
+    EXPECT_NE(machine.osConfig(1.0), target);
+    EXPECT_TRUE(machine.configChangePending(1.0));
+    EXPECT_EQ(machine.osConfig(1.0 + Machine::kMigrationLatencySec + 1e-6),
+              target);
+}
+
+TEST(MachineState, DvfsOnlyChangeIsFaster)
+{
+    Machine machine;
+    MachineConfig cfg = machine.osConfig(0.0);
+    cfg.setUniformPState(10);
+    machine.requestConfig(cfg, 1.0);
+    EXPECT_EQ(machine.osConfig(1.0 + Machine::kDvfsLatencySec + 1e-6), cfg);
+}
+
+TEST(MachineState, RaplClampLimitsPState)
+{
+    Machine machine;
+    machine.requestConfig(maximalConfig(), 0.0);
+    machine.requestRaplClamp(0, 5, 1.0, 1.0);
+    const MachineConfig eff = machine.effectiveConfig(1.1);
+    EXPECT_EQ(eff.pstate[0], 5);
+    EXPECT_EQ(eff.pstate[1], DvfsTable::kTurboPState);
+    machine.clearRaplClamp(0, 2.0);
+    EXPECT_EQ(machine.effectiveConfig(2.1).pstate[0],
+              DvfsTable::kTurboPState);
+}
+
+TEST(MachineState, ClampDoesNotRaiseOsPState)
+{
+    Machine machine;
+    MachineConfig cfg = minimalConfig();  // p-state 0
+    machine.requestConfig(cfg, 0.0);
+    machine.requestRaplClamp(0, 12, 1.0, 1.0);
+    EXPECT_EQ(machine.effectiveConfig(1.5).pstate[0], 0);
+}
+
+TEST(MachineState, DutyCycleApplies)
+{
+    Machine machine;
+    machine.requestRaplClamp(0, 0, 0.25, 0.0);
+    EXPECT_DOUBLE_EQ(machine.dutyCycle(0, 0.5), 0.25);
+    EXPECT_DOUBLE_EQ(machine.dutyCycle(1, 0.5), 1.0);
+}
+
+// Property sweep: power is monotone in p-state for every core/socket/HT/MC
+// combination.
+class PowerMonotonicity
+    : public ::testing::TestWithParam<std::tuple<int, int, bool, int>>
+{
+};
+
+TEST_P(PowerMonotonicity, PowerRisesWithPState)
+{
+    const auto [cores, sockets, ht, mc] = GetParam();
+    PowerModel pm;
+    double prev = -1.0;
+    for (int p = 0; p < DvfsTable::kNumPStates; ++p) {
+        MachineConfig cfg;
+        cfg.coresPerSocket = cores;
+        cfg.sockets = sockets;
+        cfg.hyperthreading = ht;
+        cfg.memControllers = mc;
+        cfg.setUniformPState(p);
+        std::array<SocketLoad, 2> loads{};
+        for (int s = 0; s < sockets; ++s)
+            loads[s] = {double(cores), ht ? double(cores) : 0.0, 0.8};
+        const double power = pm.totalPower(cfg, loads);
+        EXPECT_GT(power, prev);
+        prev = power;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKnobs, PowerMonotonicity,
+    ::testing::Combine(::testing::Values(1, 4, 8), ::testing::Values(1, 2),
+                       ::testing::Bool(), ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace pupil::machine

@@ -1,0 +1,266 @@
+/** @file Tests for the scheduler/contention model. */
+#include <gtest/gtest.h>
+
+#include "machine/power_model.h"
+#include "sched/scheduler.h"
+#include "workload/catalog.h"
+
+namespace pupil::sched {
+namespace {
+
+using machine::MachineConfig;
+using workload::findBenchmark;
+
+const std::array<double, 2> kFullDuty = {1.0, 1.0};
+
+MachineConfig
+config(int cores, int sockets, bool ht, int mc, int pstate)
+{
+    MachineConfig cfg;
+    cfg.coresPerSocket = cores;
+    cfg.sockets = sockets;
+    cfg.hyperthreading = ht;
+    cfg.memControllers = mc;
+    cfg.setUniformPState(pstate);
+    return cfg;
+}
+
+TEST(Scheduler, EmptySystemIsZero)
+{
+    Scheduler sched;
+    const SystemOutcome out =
+        sched.solve(machine::minimalConfig(), kFullDuty, {});
+    EXPECT_EQ(out.totalIps, 0.0);
+    EXPECT_EQ(out.spinFraction, 0.0);
+}
+
+TEST(Scheduler, SoloThroughputScalesWithFrequency)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("blackscholes"), 32};
+    const auto low = sched.solve(config(8, 2, false, 2, 0), kFullDuty, {app});
+    const auto high =
+        sched.solve(config(8, 2, false, 2, 14), kFullDuty, {app});
+    EXPECT_NEAR(high.apps[0].itemsPerSec / low.apps[0].itemsPerSec,
+                2.9 / 1.2, 0.05);
+}
+
+TEST(Scheduler, SoloThroughputScalesWithCores)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("blackscholes"), 32};
+    const auto one = sched.solve(config(1, 1, false, 2, 10), kFullDuty, {app});
+    const auto eight =
+        sched.solve(config(8, 1, false, 2, 10), kFullDuty, {app});
+    const double ratio = eight.apps[0].itemsPerSec / one.apps[0].itemsPerSec;
+    EXPECT_GT(ratio, 6.0);
+    EXPECT_LT(ratio, 8.0);
+}
+
+TEST(Scheduler, DutyCycleThrottlesThroughput)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("swaptions"), 32};
+    const auto cfg = config(8, 2, false, 2, 10);
+    const auto full = sched.solve(cfg, kFullDuty, {app});
+    const auto half = sched.solve(cfg, {0.5, 0.5}, {app});
+    EXPECT_NEAR(half.apps[0].itemsPerSec, full.apps[0].itemsPerSec * 0.5,
+                full.apps[0].itemsPerSec * 0.02);
+}
+
+TEST(Scheduler, HyperthreadingHurtsX264)
+{
+    // The paper's Section 2 observation: hyperthreads cost x264 throughput.
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("x264"), 32};
+    const auto noHt = sched.solve(config(8, 2, false, 2, 10), kFullDuty, {app});
+    const auto ht = sched.solve(config(8, 2, true, 2, 10), kFullDuty, {app});
+    EXPECT_LT(ht.apps[0].itemsPerSec, noHt.apps[0].itemsPerSec);
+}
+
+TEST(Scheduler, HyperthreadingHelpsScalableApps)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("btree"), 32};
+    const auto noHt = sched.solve(config(8, 2, false, 2, 10), kFullDuty, {app});
+    const auto ht = sched.solve(config(8, 2, true, 2, 10), kFullDuty, {app});
+    EXPECT_GT(ht.apps[0].itemsPerSec, noHt.apps[0].itemsPerSec);
+}
+
+TEST(Scheduler, SecondSocketHurtsKmeans)
+{
+    // kmeans bottlenecks on inter-socket communication (Section 5.2).
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("kmeans"), 32};
+    const auto one = sched.solve(config(8, 1, false, 2, 10), kFullDuty, {app});
+    const auto two = sched.solve(config(8, 2, false, 2, 10), kFullDuty, {app});
+    EXPECT_LT(two.apps[0].itemsPerSec, one.apps[0].itemsPerSec);
+}
+
+TEST(Scheduler, SecondSocketHelpsScalableApps)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("swaptions"), 32};
+    const auto one = sched.solve(config(8, 1, false, 2, 10), kFullDuty, {app});
+    const auto two = sched.solve(config(8, 2, false, 2, 10), kFullDuty, {app});
+    EXPECT_GT(two.apps[0].itemsPerSec, one.apps[0].itemsPerSec * 1.5);
+}
+
+TEST(Scheduler, StreamSaturatesMemoryBandwidth)
+{
+    Scheduler sched(40.0);
+    const AppDemand app = {&findBenchmark("STREAM"), 32};
+    const auto out = sched.solve(config(8, 2, false, 2, 15), kFullDuty, {app});
+    EXPECT_NEAR(out.apps[0].bytesPerSec, 80e9, 1e9);
+    EXPECT_LT(out.apps[0].bwRetention, 1.0);
+    // Frequency stops mattering once bandwidth-bound.
+    const auto slower =
+        sched.solve(config(8, 2, false, 2, 10), kFullDuty, {app});
+    EXPECT_NEAR(slower.apps[0].itemsPerSec, out.apps[0].itemsPerSec,
+                out.apps[0].itemsPerSec * 0.02);
+}
+
+TEST(Scheduler, SecondControllerDoublesBandwidthCeiling)
+{
+    Scheduler sched(40.0);
+    const AppDemand app = {&findBenchmark("STREAM"), 32};
+    const auto one = sched.solve(config(8, 2, false, 1, 15), kFullDuty, {app});
+    const auto two = sched.solve(config(8, 2, false, 2, 15), kFullDuty, {app});
+    EXPECT_NEAR(two.apps[0].bytesPerSec / one.apps[0].bytesPerSec, 2.0, 0.1);
+}
+
+TEST(Scheduler, HyperthreadPairingDegradesBandwidthEfficiency)
+{
+    Scheduler sched(40.0);
+    const AppDemand app = {&findBenchmark("STREAM"), 32};
+    const auto noHt = sched.solve(config(8, 2, false, 2, 15), kFullDuty, {app});
+    const auto ht = sched.solve(config(8, 2, true, 2, 15), kFullDuty, {app});
+    EXPECT_LT(ht.apps[0].bytesPerSec, noHt.apps[0].bytesPerSec);
+}
+
+TEST(Scheduler, BandwidthMaxMinInsulatesLightConsumers)
+{
+    Scheduler sched(40.0);
+    const AppDemand stream = {&findBenchmark("STREAM"), 16};
+    const AppDemand compute = {&findBenchmark("swaptions"), 16};
+    const auto mixed = sched.solve(config(8, 2, false, 2, 15), kFullDuty,
+                                   {stream, compute});
+    // The compute app's small demand is fully granted.
+    EXPECT_NEAR(mixed.apps[1].bwRetention, 1.0, 1e-9);
+    // The streaming app absorbs the shortage.
+    EXPECT_LT(mixed.apps[0].bwRetention, 1.0);
+}
+
+TEST(Scheduler, FairSharingUnderOversubscription)
+{
+    Scheduler sched;
+    const AppDemand a = {&findBenchmark("blackscholes"), 32};
+    const AppDemand b = {&findBenchmark("swaptions"), 32};
+    const auto out = sched.solve(config(8, 2, false, 2, 10), kFullDuty, {a, b});
+    // Equal thread counts, EP apps: shares should be nearly equal.
+    EXPECT_NEAR(out.apps[0].shareCtx, out.apps[1].shareCtx, 0.5);
+    const double total = out.apps[0].shareCtx + out.apps[1].shareCtx;
+    EXPECT_NEAR(total, 16.0, 0.5);
+}
+
+TEST(Scheduler, SpinAppBurnsCyclesWithoutProgress)
+{
+    Scheduler sched;
+    const AppDemand dijkstra = {&findBenchmark("dijkstra"), 32};
+    const auto out =
+        sched.solve(config(8, 2, true, 2, 10), kFullDuty, {dijkstra});
+    EXPECT_GT(out.apps[0].spinCtx, 1.0);
+    EXPECT_GT(out.spinFraction, 0.05);
+}
+
+TEST(Scheduler, CondvarAppDoesNotSpin)
+{
+    Scheduler sched;
+    const AppDemand vips = {&findBenchmark("vips"), 32};
+    const auto out = sched.solve(config(8, 2, true, 2, 10), kFullDuty, {vips});
+    EXPECT_EQ(out.apps[0].spinCtx, 0.0);
+}
+
+TEST(Scheduler, OversubscriptionStretchesSerialSections)
+{
+    // dijkstra (30% serial) crawls when 3 other oblivious apps crowd the
+    // machine -- worse than a fair 1/4 share would suggest.
+    Scheduler sched;
+    const auto cfg = config(8, 2, true, 2, 10);
+    const AppDemand dijkstra = {&findBenchmark("dijkstra"), 32};
+    const auto solo = sched.solve(cfg, kFullDuty, {dijkstra});
+    std::vector<AppDemand> crowd = {dijkstra,
+                                    {&findBenchmark("swaptions"), 32},
+                                    {&findBenchmark("blackscholes"), 32},
+                                    {&findBenchmark("btree"), 32}};
+    const auto shared = sched.solve(cfg, kFullDuty, crowd);
+    EXPECT_LT(shared.apps[0].itemsPerSec, solo.apps[0].itemsPerSec * 0.4);
+}
+
+TEST(Scheduler, SpanningSpinAppPoisonsSystemBandwidth)
+{
+    // A polling app whose threads span both sockets bounces its lock lines
+    // across the inter-socket link, degrading everyone's memory bandwidth.
+    Scheduler sched;
+    std::vector<AppDemand> apps = {{&findBenchmark("kmeans"), 32},
+                                   {&findBenchmark("STREAM"), 32}};
+    const auto spanning = sched.solve(config(8, 2, false, 2, 10), kFullDuty,
+                                      apps);
+    const auto confined = sched.solve(config(8, 1, false, 2, 10), kFullDuty,
+                                      apps);
+    // STREAM's achieved bandwidth collapses in the spanning case relative
+    // to the total ceiling.
+    EXPECT_LT(spanning.apps[1].bytesPerSec, 50e9);
+    EXPECT_GT(confined.totalBytesPerSec, 0.0);
+}
+
+TEST(Scheduler, LoadsFeedPowerModelConsistently)
+{
+    Scheduler sched;
+    const AppDemand app = {&findBenchmark("cfd"), 32};
+    const auto cfg = config(8, 2, true, 2, 10);
+    const auto out = sched.solve(cfg, kFullDuty, {app});
+    for (int s = 0; s < 2; ++s) {
+        EXPECT_LE(out.loads[s].busyPrimary, 8.0);
+        EXPECT_LE(out.loads[s].busySibling, 8.0);
+        EXPECT_GE(out.loads[s].activity, 0.0);
+        EXPECT_LE(out.loads[s].activity, 1.0);
+    }
+}
+
+TEST(Scheduler, ZeroThreadAppIsInert)
+{
+    Scheduler sched;
+    std::vector<AppDemand> apps = {{&findBenchmark("cfd"), 0},
+                                   {&findBenchmark("swaptions"), 32}};
+    const auto out = sched.solve(config(8, 2, false, 2, 10), kFullDuty, apps);
+    EXPECT_EQ(out.apps[0].itemsPerSec, 0.0);
+    EXPECT_EQ(out.apps[0].shareCtx, 0.0);
+    EXPECT_GT(out.apps[1].itemsPerSec, 0.0);
+}
+
+// Property sweep: for every benchmark, solo throughput never decreases
+// when the p-state rises (with everything else fixed).
+class FreqMonotone : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FreqMonotone, ThroughputNonDecreasingInPState)
+{
+    Scheduler sched;
+    const auto& app = workload::benchmarkCatalog()[size_t(GetParam())];
+    const AppDemand demand = {&app, 32};
+    double prev = 0.0;
+    for (int p = 0; p < 15; ++p) {
+        const auto out =
+            sched.solve(config(8, 2, false, 2, p), kFullDuty, {demand});
+        EXPECT_GE(out.apps[0].itemsPerSec, prev * 0.999)
+            << app.name << " p-state " << p;
+        prev = out.apps[0].itemsPerSec;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, FreqMonotone, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pupil::sched

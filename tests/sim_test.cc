@@ -1,0 +1,180 @@
+/** @file Tests for the simulation platform. */
+#include <gtest/gtest.h>
+
+#include "sim/platform.h"
+#include "util/stats.h"
+#include "workload/catalog.h"
+
+namespace pupil::sim {
+namespace {
+
+std::vector<sched::AppDemand>
+soloApp(const char* name, int threads = 32)
+{
+    return {{&workload::findBenchmark(name), threads}};
+}
+
+PlatformOptions
+quietOptions(uint64_t seed = 42)
+{
+    PlatformOptions options;
+    options.seed = seed;
+    return options;
+}
+
+TEST(Platform, StartsInMinimalConfig)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    EXPECT_EQ(platform.machine().osConfig(0.0), machine::minimalConfig());
+    EXPECT_LT(platform.truePower(), 20.0);
+}
+
+TEST(Platform, WarmStartJumpsToSteadyState)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    EXPECT_GT(platform.truePower(), 180.0);
+    EXPECT_GT(platform.trueAppRate(0), 0.0);
+}
+
+TEST(Platform, PowerLagsTowardNewTarget)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::minimalConfig());
+    const double before = platform.truePower();
+    platform.machine().requestConfig(machine::maximalConfig(), 0.0);
+    platform.run(0.3);  // migration (150 ms) + some lag
+    EXPECT_GT(platform.truePower(), before + 20.0);
+    platform.run(2.0);
+    EXPECT_GT(platform.truePower(), 180.0);
+}
+
+TEST(Platform, SensorsAreNoisyButCentered)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(1.0);
+    util::OnlineStats stats;
+    for (int i = 0; i < 300; ++i)
+        stats.add(platform.readPower());
+    EXPECT_NEAR(stats.mean(), platform.truePower(),
+                platform.truePower() * 0.01);
+    EXPECT_GT(stats.stddev(), 0.0);
+}
+
+TEST(Platform, DeterministicAcrossRuns)
+{
+    // The physics are noise-free; the sensor channels carry the seeded
+    // randomness. Same seed => identical samples; different seed differs.
+    auto run = [](uint64_t seed) {
+        Platform platform(quietOptions(seed), soloApp("x264"));
+        platform.warmStart(machine::maximalConfig());
+        platform.run(1.0);
+        double sum = 0.0;
+        for (int i = 0; i < 50; ++i)
+            sum += platform.readPower();
+        return sum;
+    };
+    EXPECT_DOUBLE_EQ(run(7), run(7));
+    EXPECT_NE(run(7), run(8));
+}
+
+TEST(Platform, EnergyIntegationMatchesPowerTimesTime)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(5.0);
+    EXPECT_NEAR(platform.energy().joules(),
+                platform.energy().meanPower() * platform.statsWindowSec(),
+                1.0);
+}
+
+TEST(Platform, TracesRecordedAtConfiguredResolution)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.run(1.0);
+    // 10 ms buckets over 1 s.
+    EXPECT_NEAR(double(platform.powerTrace().size()), 100.0, 2.0);
+    EXPECT_EQ(platform.powerTrace().size(), platform.perfTrace().size());
+}
+
+TEST(Platform, ActorsTickAtTheirPeriod)
+{
+    struct CountingActor : Actor
+    {
+        int ticks = 0;
+        void onTick(Platform&, double) override { ++ticks; }
+        double periodSec() const override { return 0.05; }
+    };
+    CountingActor actor;
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.addActor(&actor);
+    platform.run(1.0);
+    EXPECT_NEAR(actor.ticks, 20, 2);
+}
+
+TEST(Platform, ThreadChangeTakesEffect)
+{
+    Platform platform(quietOptions(), soloApp("vips"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(1.0);
+    const double before = platform.trueAppRate(0);
+    platform.setAppThreads(0, 1);
+    platform.run(3.0);
+    EXPECT_LT(platform.trueAppRate(0), before * 0.5);
+}
+
+TEST(Platform, FiniteWorkAppCompletesAndExits)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(0.5);
+    const double rate = platform.trueAppRate(0);
+    platform.setAppWorkItems(0, rate * 2.0);  // ~2 seconds of work
+    EXPECT_FALSE(platform.allComplete());
+    platform.run(6.0);
+    EXPECT_TRUE(platform.allComplete());
+    const double done = platform.completionTime(0);
+    EXPECT_GT(done, 1.0);
+    EXPECT_LT(done, 4.0);
+    // Threads released; power collapses toward idle.
+    EXPECT_LT(platform.truePower(), 40.0);
+}
+
+TEST(Platform, StatsWindowResetIsolatesTail)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(2.0);
+    platform.resetStatsWindow();
+    platform.run(5.0);  // run() takes absolute simulation time
+    EXPECT_NEAR(platform.statsWindowSec(), 3.0, 0.01);
+}
+
+TEST(Platform, CapViolationAccounting)
+{
+    Platform platform(quietOptions(), soloApp("swaptions"));
+    platform.warmStart(machine::maximalConfig());
+    platform.run(2.0);  // uncapped at ~230 W
+    EXPECT_NEAR(platform.capViolationSec(140.0), 2.0, 0.2);
+    EXPECT_NEAR(platform.capViolationSec(500.0), 0.0, 0.05);
+}
+
+TEST(Platform, AggregatePerformanceIsNormalizedPerApp)
+{
+    std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("swaptions"), 16},
+        {&workload::findBenchmark("blackscholes"), 16}};
+    Platform platform(quietOptions(), apps);
+    platform.warmStart(machine::maximalConfig());
+    platform.run(2.0);
+    // Two co-running apps each achieve a fraction of their solo rate; the
+    // aggregate is the sum of those fractions (about 1.0-1.4 for two
+    // scalable apps sharing the machine).
+    const double aggregate = platform.energy().meanItemsPerSec();
+    EXPECT_GT(aggregate, 0.5);
+    EXPECT_LT(aggregate, 2.0);
+}
+
+}  // namespace
+}  // namespace pupil::sim

@@ -1,0 +1,215 @@
+/** @file Tests for the telemetry library: filter, sensors, settling, energy. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "telemetry/counters.h"
+#include "telemetry/energy.h"
+#include "telemetry/filter.h"
+#include "telemetry/sensor.h"
+#include "telemetry/settling.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace pupil::telemetry {
+namespace {
+
+TEST(SigmaFilter, EmptyAndSingle)
+{
+    SigmaFilter filter(10);
+    EXPECT_EQ(filter.filtered(), 0.0);
+    filter.add(5.0);
+    EXPECT_DOUBLE_EQ(filter.filtered(), 5.0);
+}
+
+TEST(SigmaFilter, WindowSlides)
+{
+    SigmaFilter filter(3);
+    for (double x : {1.0, 2.0, 3.0, 4.0})
+        filter.add(x);
+    EXPECT_EQ(filter.count(), 3u);
+    EXPECT_DOUBLE_EQ(filter.rawMean(), 3.0);
+}
+
+TEST(SigmaFilter, RejectsTransientOutlier)
+{
+    // The paper's scenario: a page-fault-like dip must not leak into the
+    // feedback the decision framework acts on (Eqs. 1-4).
+    SigmaFilter filter(20);
+    util::Rng rng(5);
+    for (int i = 0; i < 19; ++i)
+        filter.add(rng.gaussian(100.0, 0.5));
+    filter.add(30.0);  // transient outlier
+    EXPECT_NEAR(filter.filtered(), 100.0, 1.0);
+    EXPECT_LT(filter.filtered(), filter.rawMean() + 5.0);
+    EXPECT_LT(std::fabs(filter.filtered() - 100.0),
+              std::fabs(filter.rawMean() - 100.0));
+}
+
+TEST(SigmaFilter, TracksPersistentChange)
+{
+    // A real phase change shifts every sample; the filter must follow.
+    SigmaFilter filter(10);
+    for (int i = 0; i < 10; ++i)
+        filter.add(100.0);
+    for (int i = 0; i < 10; ++i)
+        filter.add(50.0);
+    EXPECT_NEAR(filter.filtered(), 50.0, 1e-9);
+}
+
+TEST(SigmaFilter, ConstantSignalPassesThrough)
+{
+    SigmaFilter filter(8);
+    for (int i = 0; i < 8; ++i)
+        filter.add(42.0);
+    EXPECT_DOUBLE_EQ(filter.filtered(), 42.0);
+    EXPECT_DOUBLE_EQ(filter.rawStddev(), 0.0);
+}
+
+TEST(SigmaFilter, ResetClears)
+{
+    SigmaFilter filter(4);
+    filter.add(1.0);
+    filter.reset();
+    EXPECT_EQ(filter.count(), 0u);
+    EXPECT_FALSE(filter.full());
+}
+
+TEST(NoisySensor, UnbiasedOnAverage)
+{
+    NoisySensor sensor({0.02, 0.0, 1.0}, util::Rng(3));
+    util::OnlineStats stats;
+    for (int i = 0; i < 20000; ++i)
+        stats.add(sensor.sample(100.0));
+    EXPECT_NEAR(stats.mean(), 100.0, 0.5);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.2);
+}
+
+TEST(NoisySensor, InjectsOutliers)
+{
+    NoisySensor sensor({0.0, 0.05, 0.3}, util::Rng(9));
+    int outliers = 0;
+    for (int i = 0; i < 10000; ++i)
+        outliers += sensor.sample(100.0) < 50.0;
+    EXPECT_NEAR(outliers / 10000.0, 0.05, 0.01);
+}
+
+TEST(FirstOrderLag, ConvergesExponentially)
+{
+    FirstOrderLag lag(0.1);
+    lag.reset(0.0);
+    lag.step(1.0, 0.1);  // one time constant
+    EXPECT_NEAR(lag.value(), 1.0 - std::exp(-1.0), 1e-9);
+    for (int i = 0; i < 100; ++i)
+        lag.step(1.0, 0.1);
+    EXPECT_NEAR(lag.value(), 1.0, 1e-4);
+}
+
+TEST(FirstOrderLag, FirstStepInitializes)
+{
+    FirstOrderLag lag(0.5);
+    EXPECT_DOUBLE_EQ(lag.step(7.0, 0.01), 7.0);
+}
+
+std::vector<TracePoint>
+stepTrace(double before, double after, double switchAt, double end)
+{
+    std::vector<TracePoint> trace;
+    for (double t = 0.0; t < end; t += 0.01)
+        trace.push_back({t, t < switchAt ? before : after});
+    return trace;
+}
+
+TEST(Settling, CapNeverViolatedIsZero)
+{
+    const auto trace = stepTrace(100.0, 100.0, 0.0, 30.0);
+    EXPECT_NEAR(settlingTime(trace, 140.0), 0.0, 0.2);
+}
+
+TEST(Settling, MeasuresLastViolation)
+{
+    // Power starts above the cap and is clamped at t = 2 s.
+    const auto trace = stepTrace(200.0, 130.0, 2.0, 30.0);
+    EXPECT_NEAR(settlingTime(trace, 140.0), 2.0, 0.2);
+}
+
+TEST(Settling, ToleranceAllowsSmallOvershoot)
+{
+    const auto trace = stepTrace(141.0, 141.0, 0.0, 30.0);
+    // 141 W is within the 2% tolerance band of a 140 W cap.
+    EXPECT_NEAR(settlingTime(trace, 140.0), 0.0, 0.2);
+}
+
+TEST(Settling, ConvergenceTimeSeesBelowCapWandering)
+{
+    // A software walker that roams below the cap settles per the
+    // convergence metric even though it never violates.
+    auto trace = stepTrace(40.0, 120.0, 10.0, 40.0);
+    EXPECT_NEAR(settlingTime(trace, 140.0), 0.0, 0.2);
+    EXPECT_NEAR(convergenceTime(trace), 10.0, 0.3);
+}
+
+TEST(Settling, SmoothingSuppressesSingleSpike)
+{
+    auto trace = stepTrace(100.0, 100.0, 0.0, 30.0);
+    trace[500].value = 250.0;  // one 10 ms spike at t = 5 s
+    // The 100 ms boxcar dilutes the spike to ~115 W < cap + tol... but a
+    // genuine sustained violation is still caught.
+    EXPECT_LT(settlingTime(trace, 140.0), 5.2);
+    for (int i = 500; i < 550; ++i)
+        trace[i].value = 250.0;  // 500 ms violation
+    EXPECT_NEAR(settlingTime(trace, 140.0), 5.5, 0.2);
+}
+
+TEST(Energy, IntegratesPowerAndWork)
+{
+    EnergyAccount account;
+    account.add(100.0, 10.0, 2.0);
+    account.add(50.0, 20.0, 2.0);
+    EXPECT_DOUBLE_EQ(account.joules(), 300.0);
+    EXPECT_DOUBLE_EQ(account.items(), 60.0);
+    EXPECT_DOUBLE_EQ(account.meanPower(), 75.0);
+    EXPECT_DOUBLE_EQ(account.meanItemsPerSec(), 15.0);
+    EXPECT_DOUBLE_EQ(account.itemsPerJoule(), 0.2);
+    account.reset();
+    EXPECT_EQ(account.joules(), 0.0);
+    EXPECT_EQ(account.itemsPerJoule(), 0.0);
+}
+
+TEST(Counters, ComputesRatesAndSpinPercent)
+{
+    Counters counters;
+    counters.add(30e9, 20e9, 4.0, 16.0, 10.0);
+    EXPECT_DOUBLE_EQ(counters.gips(), 30.0);
+    EXPECT_DOUBLE_EQ(counters.bandwidthGBs(), 20.0);
+    EXPECT_DOUBLE_EQ(counters.spinPercent(), 25.0);
+    counters.reset();
+    EXPECT_EQ(counters.gips(), 0.0);
+}
+
+// Property sweep: the filter's output is always within the window's range.
+class FilterBounded : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(FilterBounded, OutputWithinSampleRange)
+{
+    util::Rng rng(GetParam());
+    SigmaFilter filter(20);
+    double lo = 1e300, hi = -1e300;
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform(0.0, 100.0);
+        filter.add(x);
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+        const double f = filter.filtered();
+        EXPECT_GE(f, lo - 1e-9);
+        EXPECT_LE(f, hi + 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterBounded,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace pupil::telemetry

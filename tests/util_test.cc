@@ -1,0 +1,212 @@
+/** @file Unit tests for the util library (rng, stats, linalg, table, csv). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/linalg.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace pupil::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 64; ++i)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.uniform());
+    EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatch)
+{
+    Rng rng(13);
+    OnlineStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.gaussian(3.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 3.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.bernoulli(0.25);
+    EXPECT_NEAR(hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, UniformIntRange)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.uniformInt(7), 7u);
+}
+
+TEST(Rng, SplitProducesIndependentStream)
+{
+    Rng a(21);
+    Rng b = a.split();
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(OnlineStats, EmptyIsZero)
+{
+    OnlineStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.stddev(), 0.0);
+}
+
+TEST(OnlineStats, MatchesDirectComputation)
+{
+    OnlineStats stats;
+    const std::vector<double> xs = {1, 2, 3, 4, 100};
+    for (double x : xs)
+        stats.add(x);
+    EXPECT_DOUBLE_EQ(stats.mean(), mean(xs));
+    EXPECT_NEAR(stats.stddev(), stddev(xs), 1e-12);
+    EXPECT_EQ(stats.min(), 1.0);
+    EXPECT_EQ(stats.max(), 100.0);
+}
+
+TEST(Stats, HarmonicMeanKnownValue)
+{
+    EXPECT_NEAR(harmonicMean({1.0, 0.5}), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, HarmonicMeanBelowArithmetic)
+{
+    const std::vector<double> xs = {0.3, 0.7, 0.9, 1.4};
+    EXPECT_LT(harmonicMean(xs), mean(xs));
+}
+
+TEST(Stats, HarmonicMeanRejectsNonPositive)
+{
+    EXPECT_EQ(harmonicMean({1.0, 0.0}), 0.0);
+    EXPECT_EQ(harmonicMean({}), 0.0);
+}
+
+TEST(Stats, GeometricMeanKnownValue)
+{
+    EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(Stats, PercentileEndpoints)
+{
+    const std::vector<double> xs = {5, 1, 3, 2, 4};
+    EXPECT_EQ(percentile(xs, 0), 1.0);
+    EXPECT_EQ(percentile(xs, 100), 5.0);
+    EXPECT_EQ(percentile(xs, 50), 3.0);
+}
+
+TEST(Linalg, SolvesKnownSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 2;
+    a.at(0, 1) = 1;
+    a.at(1, 0) = 1;
+    a.at(1, 1) = 3;
+    std::vector<double> x;
+    ASSERT_TRUE(solveLinearSystem(a, {5, 10}, x));
+    EXPECT_NEAR(x[0], 1.0, 1e-9);
+    EXPECT_NEAR(x[1], 3.0, 1e-9);
+}
+
+TEST(Linalg, DetectsSingularSystem)
+{
+    Matrix a(2, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = 2;
+    a.at(1, 0) = 2;
+    a.at(1, 1) = 4;
+    std::vector<double> x;
+    EXPECT_FALSE(solveLinearSystem(a, {1, 2}, x));
+}
+
+TEST(Linalg, LeastSquaresRecoversLine)
+{
+    // y = 3 + 2x, exactly.
+    Matrix design(5, 2);
+    std::vector<double> y(5);
+    for (int i = 0; i < 5; ++i) {
+        design.at(i, 0) = 1.0;
+        design.at(i, 1) = i;
+        y[i] = 3.0 + 2.0 * i;
+    }
+    std::vector<double> beta;
+    ASSERT_TRUE(leastSquares(design, y, 0.0, beta));
+    EXPECT_NEAR(beta[0], 3.0, 1e-9);
+    EXPECT_NEAR(beta[1], 2.0, 1e-9);
+}
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table table({"a", "bb"});
+    table.addRow({"1", "2"});
+    const std::string out = table.toString();
+    EXPECT_NE(out.find("| a "), std::string::npos);
+    EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, CellFormatsPrecision)
+{
+    EXPECT_EQ(Table::cell(1.005, 2), "1.00");  // round-to-even artifacts ok
+    EXPECT_EQ(Table::cell(2.5, 1), "2.5");
+    EXPECT_EQ(Table::cell(static_cast<long long>(42)), "42");
+}
+
+TEST(Csv, WritesEscapedCells)
+{
+    const std::string path = "/tmp/pupil_csv_test.csv";
+    {
+        CsvWriter csv(path, {"x", "y"});
+        ASSERT_TRUE(csv.ok());
+        csv.row(std::vector<std::string>{"a,b", "he said \"hi\""});
+        csv.row(std::vector<double>{1.5, 2.5});
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x,y");
+    std::getline(in, line);
+    EXPECT_EQ(line, "\"a,b\",\"he said \"\"hi\"\"\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "1.5,2.5");
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pupil::util

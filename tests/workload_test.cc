@@ -1,0 +1,189 @@
+/** @file Tests for the benchmark catalog and application model. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/app_model.h"
+#include "workload/catalog.h"
+#include "workload/mixes.h"
+
+namespace pupil::workload {
+namespace {
+
+TEST(Catalog, TwentyBenchmarks)
+{
+    // Paper Section 4.1: 20 benchmark applications.
+    EXPECT_EQ(benchmarkCatalog().size(), 20u);
+}
+
+TEST(Catalog, NamesUniqueAndLookupsWork)
+{
+    std::set<std::string> names;
+    for (const AppParams& app : benchmarkCatalog()) {
+        EXPECT_TRUE(names.insert(app.name).second) << app.name;
+        EXPECT_TRUE(hasBenchmark(app.name));
+        EXPECT_EQ(&findBenchmark(app.name), &app);
+    }
+    EXPECT_FALSE(hasBenchmark("not-a-benchmark"));
+}
+
+TEST(Catalog, ParametersInSaneRanges)
+{
+    for (const AppParams& app : benchmarkCatalog()) {
+        EXPECT_GT(app.serialFrac, 0.0) << app.name;
+        EXPECT_LT(app.serialFrac, 0.5) << app.name;
+        EXPECT_LE(app.spinSerialFrac, app.serialFrac) << app.name;
+        EXPECT_GE(app.htYield, -0.15) << app.name;
+        EXPECT_LE(app.htYield, 0.9) << app.name;
+        EXPECT_GT(app.ipc, 0.0) << app.name;
+        EXPECT_GT(app.bytesPerInstr, 0.0) << app.name;
+        EXPECT_GE(app.mcBoost, 1.0) << app.name;
+        EXPECT_GE(app.maxUsefulThreads, 1) << app.name;
+        EXPECT_LE(app.maxUsefulThreads, 32) << app.name;
+        EXPECT_GT(app.workPerItem, 0.0) << app.name;
+        EXPECT_GT(app.activity, 0.0) << app.name;
+        EXPECT_LE(app.activity, 1.0) << app.name;
+        if (app.spinSerialFrac > 0.0) {
+            EXPECT_EQ(app.sync, SyncKind::kSpin) << app.name;
+        }
+    }
+}
+
+TEST(Catalog, RedBlueSetsPartitionTheSuite)
+{
+    // The mix construction (Table 4) relies on a clean partition.
+    std::set<std::string> all;
+    for (const std::string& name : raplFriendlySet()) {
+        EXPECT_TRUE(hasBenchmark(name)) << name;
+        EXPECT_TRUE(all.insert(name).second) << name;
+    }
+    for (const std::string& name : raplUnfriendlySet()) {
+        EXPECT_TRUE(hasBenchmark(name)) << name;
+        EXPECT_TRUE(all.insert(name).second) << name;
+    }
+    EXPECT_EQ(all.size(), benchmarkCatalog().size());
+}
+
+TEST(Catalog, CalibrationAppIsEmbarrassinglyParallel)
+{
+    // Algorithm 2 requires "a calibration benchmark without inter-thread
+    // communication".
+    const AppParams& cal = calibrationApp();
+    EXPECT_EQ(cal.sync, SyncKind::kNone);
+    EXPECT_LT(cal.serialFrac, 0.01);
+    EXPECT_LT(cal.commOverhead, 0.001);
+    EXPECT_EQ(cal.maxUsefulThreads, 32);
+}
+
+TEST(Catalog, PaperSpecificCharacteristics)
+{
+    // x264 loses throughput on hyperthreads (Section 2).
+    EXPECT_LT(findBenchmark("x264").htYield, 0.0);
+    // kmeans bottlenecks on inter-socket communication (Section 5.2).
+    EXPECT_GE(findBenchmark("kmeans").crossSocketPenalty, 0.4);
+    // kmeans uses polling synchronization (Section 5.4.3).
+    EXPECT_EQ(findBenchmark("kmeans").sync, SyncKind::kSpin);
+    // STREAM is the most memory-intense benchmark (Fig. 5).
+    for (const AppParams& app : benchmarkCatalog()) {
+        if (app.name != "STREAM") {
+            EXPECT_LT(app.bytesPerInstr,
+                      findBenchmark("STREAM").bytesPerInstr);
+        }
+    }
+    // dijkstra has very limited parallelism.
+    EXPECT_LE(findBenchmark("dijkstra").maxUsefulThreads, 4);
+}
+
+TEST(AppModel, SpeedupIsOneAtOneCore)
+{
+    for (const AppParams& app : benchmarkCatalog())
+        EXPECT_NEAR(app.speedup(1.0), 1.0, app.commOverhead + 1e-9)
+            << app.name;
+}
+
+TEST(AppModel, SpeedupCapsAtMaxUsefulThreads)
+{
+    const AppParams& hop = findBenchmark("HOP");
+    EXPECT_NEAR(hop.speedup(hop.maxUsefulThreads),
+                hop.speedup(hop.maxUsefulThreads + 5), 0.2);
+}
+
+TEST(AppModel, FractionalAllocationDegradesGracefully)
+{
+    const AppParams& app = findBenchmark("blackscholes");
+    EXPECT_LT(app.speedup(0.5), 1.0);
+    EXPECT_GT(app.speedup(0.5), 0.4);
+}
+
+TEST(Mixes, TwelveMixesOfFourApps)
+{
+    // Table 4: 12 mixes, four applications each.
+    ASSERT_EQ(multiAppMixes().size(), 12u);
+    for (const Mix& mix : multiAppMixes()) {
+        EXPECT_EQ(mix.apps.size(), 4u) << mix.name;
+        for (const std::string& app : mix.apps)
+            EXPECT_TRUE(hasBenchmark(app)) << mix.name << "/" << app;
+    }
+}
+
+TEST(Mixes, CompositionFollowsRedBlueRule)
+{
+    // Mixes 1-4 all RAPL-friendly, 5-8 all unfriendly, 9-12 two of each.
+    auto contains = [](const std::vector<std::string>& set,
+                       const std::string& name) {
+        for (const std::string& s : set)
+            if (s == name)
+                return true;
+        return false;
+    };
+    const auto& mixes = multiAppMixes();
+    for (int m = 0; m < 12; ++m) {
+        int friendly = 0;
+        for (const std::string& app : mixes[m].apps)
+            friendly += contains(raplFriendlySet(), app);
+        if (m < 4)
+            EXPECT_EQ(friendly, 4) << mixes[m].name;
+        else if (m < 8)
+            EXPECT_EQ(friendly, 0) << mixes[m].name;
+        else
+            EXPECT_EQ(friendly, 2) << mixes[m].name;
+    }
+}
+
+TEST(Mixes, ScenarioThreadCounts)
+{
+    // Cooperative: 4 x 8 = 32 threads; oblivious: 4 x 32 = 128 threads.
+    EXPECT_EQ(threadsPerApp(Scenario::kCooperative), 8);
+    EXPECT_EQ(threadsPerApp(Scenario::kOblivious), 32);
+}
+
+// Property sweep: the speedup curve is unimodal (a single peak) in core
+// count for every catalog entry -- the paper relies on this ("resources
+// tend to have a single peak", Section 3.1.2) for its per-resource binary
+// search to be sound.
+class SpeedupUnimodal : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SpeedupUnimodal, SinglePeakInAllocation)
+{
+    const AppParams& app = benchmarkCatalog()[size_t(GetParam())];
+    bool declining = false;
+    double prev = 0.0;
+    for (int e = 1; e <= 32; ++e) {
+        const double s = app.speedup(e);
+        if (declining) {
+            EXPECT_LE(s, prev * 1.001) << app.name << " at " << e;
+        } else if (s < prev * 0.999) {
+            declining = true;
+        }
+        prev = s;
+    }
+    // And it must rise initially.
+    EXPECT_GT(app.speedup(2), app.speedup(1)) << app.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, SpeedupUnimodal, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace pupil::workload
