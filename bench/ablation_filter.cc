@@ -4,7 +4,9 @@
  * walk runs on a platform with aggressive transient noise (page-fault-like
  * performance dips) with and without the filter window; without it,
  * single-sample decisions misjudge resources and the monitor phase
- * spuriously re-walks.
+ * spuriously re-walks. The (benchmark, window) grid runs on the
+ * SweepRunner pool via its generic forEach (the custom platform/governor
+ * setup does not fit a standard experiment job).
  */
 #include <cstdio>
 #include <iostream>
@@ -64,16 +66,27 @@ run(const char* appName, double cap, int windowSamples, uint64_t seed)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     std::printf("=== Ablation: the 3-sigma feedback filter under transient "
                 "noise ===\n\n");
+    const std::vector<const char*> names = {"x264", "bodytrack", "kmeans"};
+    const std::vector<int> windows = {1, 5, 30};
+
+    std::vector<Outcome> outcomes(names.size() * windows.size());
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
+    runner.forEach(outcomes.size(), [&](size_t i) {
+        outcomes[i] = run(names[i / windows.size()], 140.0,
+                          windows[i % windows.size()], 1234);
+    });
+
     util::Table table({"benchmark", "window", "perf vs optimal", "walks",
                        "cap violations (s)"});
-    for (const char* name : {"x264", "bodytrack", "kmeans"}) {
-        for (int window : {1, 5, 30}) {
-            const Outcome outcome = run(name, 140.0, window, 1234);
-            table.addRow({name, util::Table::cell((long long)window),
+    for (size_t n = 0; n < names.size(); ++n) {
+        for (size_t w = 0; w < windows.size(); ++w) {
+            const Outcome& outcome = outcomes[n * windows.size() + w];
+            table.addRow({names[n],
+                          util::Table::cell((long long)windows[w]),
                           util::Table::cell(outcome.normalizedPerf),
                           util::Table::cell((long long)outcome.walks),
                           util::Table::cell(outcome.capViolationSec, 1)});

@@ -4,7 +4,9 @@
  * The decision walker runs against the noiseless analytic model with the
  * calibrated order, the reverse order, and DVFS-first, for a set of
  * applications and caps; we report achieved performance normalized to the
- * exhaustive optimum and the number of measurement windows spent.
+ * exhaustive optimum and the number of measurement windows spent. The
+ * (benchmark, cap, order) walks run on the SweepRunner pool via its
+ * generic forEach (they drive the analytic model, not a full experiment).
  */
 #include <algorithm>
 #include <cstdio>
@@ -61,7 +63,7 @@ runWalk(const workload::AppParams& app, double cap,
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     const sched::Scheduler sched;
     const machine::PowerModel pm;
@@ -72,21 +74,39 @@ main()
     std::reverse(reversed.begin(), reversed.end());
     std::printf("=== Ablation: resource ordering in the decision walk "
                 "===\n\n");
+
+    const std::vector<const char*> names = {"x264", "kmeans", "vips",
+                                            "blackscholes", "STREAM"};
+    const std::vector<double> caps = {60.0, 140.0};
+    const std::vector<const std::vector<core::Resource>*> orders = {
+        &calibrated, &reversed};
+
+    struct Walk
+    {
+        double norm = 0.0;
+        int steps = 0;
+    };
+    std::vector<Walk> walks(names.size() * caps.size() * orders.size());
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
+    runner.forEach(walks.size(), [&](size_t i) {
+        const char* name = names[i / (caps.size() * orders.size())];
+        const double cap = caps[i / orders.size() % caps.size()];
+        const auto& order = *orders[i % orders.size()];
+        walks[i].norm = runWalk(workload::findBenchmark(name), cap, order,
+                                &walks[i].steps);
+    });
+
     util::Table table({"benchmark", "cap (W)", "calibrated", "reversed",
                        "calib steps", "rev steps"});
-    for (const char* name : {"x264", "kmeans", "vips", "blackscholes",
-                             "STREAM"}) {
-        for (double cap : {60.0, 140.0}) {
-            int stepsA = 0;
-            int stepsB = 0;
-            const double normA = runWalk(workload::findBenchmark(name), cap,
-                                         calibrated, &stepsA);
-            const double normB = runWalk(workload::findBenchmark(name), cap,
-                                         reversed, &stepsB);
-            table.addRow({name, util::Table::cell(cap, 0),
-                          util::Table::cell(normA), util::Table::cell(normB),
-                          util::Table::cell((long long)stepsA),
-                          util::Table::cell((long long)stepsB)});
+    for (size_t n = 0; n < names.size(); ++n) {
+        for (size_t c = 0; c < caps.size(); ++c) {
+            const size_t base = (n * caps.size() + c) * orders.size();
+            table.addRow({names[n], util::Table::cell(caps[c], 0),
+                          util::Table::cell(walks[base].norm),
+                          util::Table::cell(walks[base + 1].norm),
+                          util::Table::cell((long long)walks[base].steps),
+                          util::Table::cell(
+                              (long long)walks[base + 1].steps)});
         }
     }
     table.print(std::cout);

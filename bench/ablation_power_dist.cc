@@ -4,7 +4,8 @@
  * (Section 3.3.2) versus a naive even split. The benefit appears for
  * workloads whose best configuration is asymmetric (single-socket apps
  * like kmeans): the even split strands half the budget on the idle
- * socket.
+ * socket. The policy sweep runs on the SweepRunner pool (--serial /
+ * PUPIL_SWEEP_THREADS control the worker count).
  */
 #include <cstdio>
 #include <iostream>
@@ -15,31 +16,60 @@
 using namespace pupil;
 
 int
-main()
+main(int argc, char** argv)
 {
     const machine::PowerModel pm;
     const sched::Scheduler sched;
+    const std::vector<std::string> names = {"kmeans", "dijkstra", "x264",
+                                            "swish++", "blackscholes"};
+    const std::vector<double> caps = {60.0, 100.0, 140.0};
+    const std::vector<core::PowerDistPolicy> policies = {
+        core::PowerDistPolicy::kEvenSplit,
+        core::PowerDistPolicy::kCoreProportional};
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
     std::printf("=== Ablation: PUPiL socket power distribution policy "
                 "===\n\n");
+
+    std::vector<capping::OracleResult> oracles(names.size() * caps.size());
+    runner.forEach(oracles.size(), [&](size_t i) {
+        const auto apps = harness::singleApp(names[i / caps.size()]);
+        oracles[i] = capping::searchOptimal(sched, pm, apps,
+                                            caps[i % caps.size()]);
+    });
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(oracles.size() * policies.size());
+    for (const std::string& name : names) {
+        for (double cap : caps) {
+            for (core::PowerDistPolicy policy : policies) {
+                harness::SweepJob job;
+                job.kind = harness::GovernorKind::kPupil;
+                job.apps = harness::singleApp(name);
+                job.options = bench::defaultOptions(cap);
+                bench::applyFastMode(job.options);
+                job.options.pupilPolicy = policy;
+                job.label = name;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
     util::Table table({"benchmark", "cap (W)", "even-split",
                        "core-proportional", "gain"});
-    for (const char* name : {"kmeans", "dijkstra", "x264", "swish++",
-                             "blackscholes"}) {
-        for (double cap : {60.0, 100.0, 140.0}) {
-            const auto apps = harness::singleApp(name);
-            const auto oracle = capping::searchOptimal(sched, pm, apps, cap);
-            double perf[2] = {0, 0};
-            int i = 0;
-            for (auto policy : {core::PowerDistPolicy::kEvenSplit,
-                                core::PowerDistPolicy::kCoreProportional}) {
-                auto options = bench::defaultOptions(cap);
-                bench::applyFastMode(options);
-                options.pupilPolicy = policy;
-                const auto result = harness::runExperiment(
-                    harness::GovernorKind::kPupil, apps, options);
-                perf[i++] = result.aggregatePerf / oracle.aggregatePerf;
+    for (size_t n = 0; n < names.size(); ++n) {
+        for (size_t c = 0; c < caps.size(); ++c) {
+            const capping::OracleResult& oracle =
+                oracles[n * caps.size() + c];
+            double perf[2] = {0.0, 0.0};
+            for (size_t p = 0; p < policies.size(); ++p) {
+                const harness::SweepOutcome& outcome =
+                    outcomes[(n * caps.size() + c) * policies.size() + p];
+                if (outcome.ok)
+                    perf[p] = outcome.result.aggregatePerf /
+                              oracle.aggregatePerf;
             }
-            table.addRow({name, util::Table::cell(cap, 0),
+            table.addRow({names[n], util::Table::cell(caps[c], 0),
                           util::Table::cell(perf[0]),
                           util::Table::cell(perf[1]),
                           util::Table::cell(perf[1] / perf[0])});

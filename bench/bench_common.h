@@ -7,6 +7,7 @@
 
 #include "capping/oracle.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "machine/power_model.h"
 #include "sched/scheduler.h"
 #include "workload/catalog.h"
@@ -60,6 +61,24 @@ applyFastMode(harness::ExperimentOptions& options)
         options.durationSec = 150.0;
         options.statsWindowSec = 50.0;
     }
+}
+
+/**
+ * Sweep-runner options shared by the bench binaries: traces are dropped
+ * (the tables only read scalar metrics) and a `--serial` argument forces
+ * one worker thread. Thread count otherwise honors PUPIL_SWEEP_THREADS,
+ * falling back to hardware_concurrency.
+ */
+inline harness::SweepRunner::Options
+sweepOptions(int argc, char** argv)
+{
+    harness::SweepRunner::Options options;
+    options.keepTraces = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--serial")
+            options.threads = 1;
+    }
+    return options;
 }
 
 }  // namespace pupil::bench

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Smoke test for the bench harness: a tiny sweep (2 apps x 1 cap x 2
+ * governors, ~5 simulated seconds each) through the SweepRunner, wired
+ * into ctest as `bench_smoke`. Exits nonzero if any job fails or reports
+ * non-positive performance, so CI catches harness/bench plumbing breakage
+ * without paying for a full table run.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace pupil;
+
+int
+main(int argc, char** argv)
+{
+    const std::vector<std::string> names = {"swaptions", "kmeans"};
+    const std::vector<harness::GovernorKind> kinds = {
+        harness::GovernorKind::kRapl, harness::GovernorKind::kPupil};
+    const double cap = 140.0;
+
+    std::vector<harness::SweepJob> jobs;
+    for (const std::string& name : names) {
+        for (harness::GovernorKind kind : kinds) {
+            harness::SweepJob job;
+            job.kind = kind;
+            job.apps = harness::singleApp(name);
+            job.options.capWatts = cap;
+            job.options.durationSec = 5.0;
+            job.options.statsWindowSec = 2.0;
+            job.label = name;
+            jobs.push_back(std::move(job));
+        }
+    }
+
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
+    int failures = 0;
+    for (const harness::SweepOutcome& outcome : outcomes) {
+        if (!outcome.ok) {
+            std::printf("FAIL %-14s job %zu: %s\n", outcome.label.c_str(),
+                        outcome.jobIndex, outcome.error.c_str());
+            ++failures;
+            continue;
+        }
+        if (outcome.result.aggregatePerf <= 0.0) {
+            std::printf("FAIL %-14s job %zu: non-positive perf %.4f\n",
+                        outcome.label.c_str(), outcome.jobIndex,
+                        outcome.result.aggregatePerf);
+            ++failures;
+            continue;
+        }
+        std::printf("ok   %-14s job %zu: perf %.4f, power %.1f W\n",
+                    outcome.label.c_str(), outcome.jobIndex,
+                    outcome.result.aggregatePerf,
+                    outcome.result.meanPowerWatts);
+    }
+    if (failures > 0) {
+        std::printf("bench_smoke: %d of %zu jobs failed\n", failures,
+                    outcomes.size());
+        return 1;
+    }
+    std::printf("bench_smoke: all %zu jobs ok\n", outcomes.size());
+    return 0;
+}

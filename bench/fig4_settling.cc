@@ -4,6 +4,8 @@
  * every benchmark under the 140 W cap. Settling time is the time until
  * the cap is durably enforced (Section 4.3.1); Soft-Modeling is omitted
  * like in the paper (it is an offline approach with no settling notion).
+ * The 20 x 4 runs execute on the SweepRunner pool (--serial /
+ * PUPIL_SWEEP_THREADS control the worker count).
  */
 #include <cstdio>
 #include <iostream>
@@ -15,7 +17,7 @@
 using namespace pupil;
 
 int
-main()
+main(int argc, char** argv)
 {
     const double cap = 140.0;
     std::printf("=== Fig. 4: settling time (ms) per benchmark, %.0f W cap "
@@ -24,19 +26,37 @@ main()
     const std::vector<harness::GovernorKind> kinds = {
         harness::GovernorKind::kRapl, harness::GovernorKind::kSoftDvfs,
         harness::GovernorKind::kSoftDecision, harness::GovernorKind::kPupil};
+    const std::vector<std::string> names = bench::benchmarkNames();
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(names.size() * kinds.size());
+    for (const std::string& name : names) {
+        for (harness::GovernorKind kind : kinds) {
+            harness::SweepJob job;
+            job.kind = kind;
+            job.apps = harness::singleApp(name);
+            job.options = bench::defaultOptions(cap);
+            bench::applyFastMode(job.options);
+            job.label = name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
 
     util::Table table({"benchmark", "RAPL", "Soft-DVFS", "Soft-Decision",
                        "PUPiL"});
     std::vector<std::vector<double>> settle(kinds.size());
-    for (const std::string& name : bench::benchmarkNames()) {
-        std::vector<std::string> row = {name};
+    for (size_t n = 0; n < names.size(); ++n) {
+        std::vector<std::string> row = {names[n]};
         for (size_t g = 0; g < kinds.size(); ++g) {
-            auto options = bench::defaultOptions(cap);
-            bench::applyFastMode(options);
-            const auto result =
-                harness::runExperiment(kinds[g], harness::singleApp(name),
-                                       options);
-            const double ms = result.settlingTimeSec * 1000.0;
+            const harness::SweepOutcome& outcome =
+                outcomes[n * kinds.size() + g];
+            if (!outcome.ok) {
+                row.push_back("err");
+                continue;
+            }
+            const double ms = outcome.result.settlingTimeSec * 1000.0;
             settle[g].push_back(ms);
             row.push_back(util::Table::cell(ms, 0));
         }

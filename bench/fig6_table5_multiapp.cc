@@ -10,6 +10,8 @@
  * rate under the same cap). Runs are completion experiments -- every app
  * carries a fixed amount of work and exits when done, so a slow, polling
  * application poisons the machine exactly as long as it actually runs.
+ * Oracle searches and the 240 experiment runs execute on the SweepRunner
+ * pool (--serial / PUPIL_SWEEP_THREADS control the worker count).
  */
 #include <cstdio>
 #include <iostream>
@@ -29,53 +31,87 @@ workSeconds()
     return std::getenv("PUPIL_BENCH_FAST") != nullptr ? 90.0 : 180.0;
 }
 
+const std::vector<workload::Scenario> kScenarios = {
+    workload::Scenario::kCooperative, workload::Scenario::kOblivious};
+
+const std::vector<harness::GovernorKind> kKinds = {
+    harness::GovernorKind::kRapl, harness::GovernorKind::kPupil};
+
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     const machine::PowerModel pm;
     const sched::Scheduler sched;
+    const std::vector<double>& caps = bench::powerCaps();
+    const std::vector<workload::Mix>& mixes = workload::multiAppMixes();
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
     std::printf("=== Fig. 6 / Table 5: PUPiL-to-RAPL weighted speedup "
                 "ratios ===\n\n");
 
+    // One cell per (scenario, cap, mix); each needs per-app solo-optimal
+    // work targets from the oracle before its two experiments can run.
+    const size_t cells = kScenarios.size() * caps.size() * mixes.size();
+    std::vector<std::vector<double>> cellWork(cells);
+    runner.forEach(cells, [&](size_t i) {
+        const workload::Scenario scenario =
+            kScenarios[i / (caps.size() * mixes.size())];
+        const double cap = caps[i / mixes.size() % caps.size()];
+        const workload::Mix& mix = mixes[i % mixes.size()];
+        for (const auto& app : harness::mixApps(mix, scenario)) {
+            const auto oracle = capping::searchOptimal(sched, pm, {app}, cap);
+            cellWork[i].push_back(oracle.appItemsPerSec[0] * workSeconds());
+        }
+    });
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(cells * kKinds.size());
+    for (size_t i = 0; i < cells; ++i) {
+        const workload::Scenario scenario =
+            kScenarios[i / (caps.size() * mixes.size())];
+        const double cap = caps[i / mixes.size() % caps.size()];
+        const workload::Mix& mix = mixes[i % mixes.size()];
+        for (harness::GovernorKind kind : kKinds) {
+            harness::SweepJob job;
+            job.kind = kind;
+            job.apps = harness::mixApps(mix, scenario);
+            job.options.capWatts = cap;
+            job.options.workItems = cellWork[i];
+            job.label = mix.name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
     std::vector<std::vector<double>> summary(2);  // per scenario, per cap
-    for (auto scenario : {workload::Scenario::kCooperative,
-                          workload::Scenario::kOblivious}) {
-        const size_t scenarioIdx =
-            scenario == workload::Scenario::kCooperative ? 0 : 1;
+    for (size_t s = 0; s < kScenarios.size(); ++s) {
         std::printf("--- %s scenario ---\n",
-                    workload::scenarioName(scenario));
+                    workload::scenarioName(kScenarios[s]));
         util::Table table({"mix", "60W", "100W", "140W", "180W", "220W"});
-        std::vector<std::vector<double>> perCap(bench::powerCaps().size());
+        std::vector<std::vector<double>> perCap(caps.size());
         std::vector<std::vector<std::string>> rows;
-        for (const auto& mix : workload::multiAppMixes())
+        for (const auto& mix : mixes)
             rows.push_back({mix.name});
-        for (size_t c = 0; c < bench::powerCaps().size(); ++c) {
-            const double cap = bench::powerCaps()[c];
-            for (size_t m = 0; m < workload::multiAppMixes().size(); ++m) {
-                const auto& mix = workload::multiAppMixes()[m];
-                const auto apps = harness::mixApps(mix, scenario);
-                harness::ExperimentOptions options;
-                options.capWatts = cap;
-                std::vector<double> soloTime;
-                for (const auto& app : apps) {
-                    const auto oracle =
-                        capping::searchOptimal(sched, pm, {app}, cap);
-                    options.workItems.push_back(oracle.appItemsPerSec[0] *
-                                                workSeconds());
-                    soloTime.push_back(workSeconds());
-                }
+        for (size_t c = 0; c < caps.size(); ++c) {
+            for (size_t m = 0; m < mixes.size(); ++m) {
+                const size_t cell =
+                    (s * caps.size() + c) * mixes.size() + m;
                 double ws[2] = {0.0, 0.0};
-                int g = 0;
-                for (auto kind : {harness::GovernorKind::kRapl,
-                                  harness::GovernorKind::kPupil}) {
-                    const auto result =
-                        harness::runExperiment(kind, apps, options);
-                    for (size_t i = 0; i < apps.size(); ++i)
-                        ws[g] += soloTime[i] / result.completionTimes[i] /
-                                 double(apps.size());
-                    ++g;
+                bool ok = true;
+                for (size_t g = 0; g < kKinds.size(); ++g) {
+                    const harness::SweepOutcome& outcome =
+                        outcomes[cell * kKinds.size() + g];
+                    ok = ok && outcome.ok;
+                    if (!outcome.ok)
+                        continue;
+                    const auto& times = outcome.result.completionTimes;
+                    for (double t : times)
+                        ws[g] += workSeconds() / t / double(times.size());
+                }
+                if (!ok || ws[0] <= 0.0) {
+                    rows[m].push_back("err");
+                    continue;
                 }
                 const double ratio = ws[1] / ws[0];
                 perCap[c].push_back(ratio);
@@ -87,7 +123,7 @@ main()
         std::vector<std::string> meanRow = {"Harm.Mean"};
         for (size_t c = 0; c < perCap.size(); ++c) {
             const double hm = util::harmonicMean(perCap[c]);
-            summary[scenarioIdx].push_back(hm);
+            summary[s].push_back(hm);
             meanRow.push_back(util::Table::cell(hm));
         }
         table.addSeparator();
@@ -99,8 +135,8 @@ main()
     std::printf("=== Table 5 summary: ratio of PUPiL to RAPL performance "
                 "===\n");
     util::Table t5({"Power Cap", "Cooperative", "Oblivious"});
-    for (size_t c = 0; c < bench::powerCaps().size(); ++c) {
-        t5.addRow({util::Table::cell((long long)bench::powerCaps()[c]) + "W",
+    for (size_t c = 0; c < caps.size(); ++c) {
+        t5.addRow({util::Table::cell((long long)caps[c]) + "W",
                    util::Table::cell(summary[0][c]),
                    util::Table::cell(summary[1][c])});
     }

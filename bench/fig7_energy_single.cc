@@ -3,6 +3,8 @@
  * Reproduces Fig. 7: single-application energy efficiency (performance
  * per watt, i.e. work per joule) of each power control technique,
  * normalized to the optimal configuration's efficiency, for all five caps.
+ * All runs execute on the SweepRunner pool (--serial /
+ * PUPIL_SWEEP_THREADS control the worker count).
  */
 #include <cstdio>
 #include <iostream>
@@ -14,37 +16,64 @@
 using namespace pupil;
 
 int
-main()
+main(int argc, char** argv)
 {
     const machine::PowerModel pm;
     const sched::Scheduler sched;
     const std::vector<harness::GovernorKind> kinds = {
         harness::GovernorKind::kRapl, harness::GovernorKind::kSoftDvfs,
         harness::GovernorKind::kSoftDecision, harness::GovernorKind::kPupil};
+    const std::vector<std::string> names = bench::benchmarkNames();
+    const std::vector<double>& caps = bench::powerCaps();
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
 
     std::printf("=== Fig. 7: energy efficiency normalized to optimal ===\n");
-    for (double cap : bench::powerCaps()) {
+
+    std::vector<capping::OracleResult> oracles(caps.size() * names.size());
+    runner.forEach(oracles.size(), [&](size_t i) {
+        const double cap = caps[i / names.size()];
+        const auto apps = harness::singleApp(names[i % names.size()]);
+        oracles[i] = capping::searchOptimal(sched, pm, apps, cap);
+    });
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(oracles.size() * kinds.size());
+    for (double cap : caps) {
+        for (const std::string& name : names) {
+            for (harness::GovernorKind kind : kinds) {
+                harness::SweepJob job;
+                job.kind = kind;
+                job.apps = harness::singleApp(name);
+                job.options = bench::defaultOptions(cap);
+                bench::applyFastMode(job.options);
+                job.label = name;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
+    for (size_t c = 0; c < caps.size(); ++c) {
         util::Table table({"benchmark", "RAPL", "Soft-DVFS", "Soft-Decision",
                            "PUPiL"});
         std::vector<std::vector<double>> normalized(kinds.size());
         std::vector<int> infeasible(kinds.size(), 0);
-        for (const std::string& name : bench::benchmarkNames()) {
-            const auto apps = harness::singleApp(name);
-            const auto oracle = capping::searchOptimal(sched, pm, apps, cap);
+        for (size_t n = 0; n < names.size(); ++n) {
+            const capping::OracleResult& oracle =
+                oracles[c * names.size() + n];
             const double oracleEff =
                 oracle.aggregatePerf / std::max(oracle.powerWatts, 1.0);
-            std::vector<std::string> row = {name};
+            std::vector<std::string> row = {names[n]};
             for (size_t g = 0; g < kinds.size(); ++g) {
-                auto options = bench::defaultOptions(cap);
-                bench::applyFastMode(options);
-                const auto result =
-                    harness::runExperiment(kinds[g], apps, options);
-                if (!result.capFeasible) {
+                const harness::SweepOutcome& outcome =
+                    outcomes[(c * names.size() + n) * kinds.size() + g];
+                if (!outcome.ok || !outcome.result.capFeasible) {
                     ++infeasible[g];
-                    row.push_back("-");
+                    row.push_back(outcome.ok ? "-" : "err");
                     continue;
                 }
-                const double norm = result.perfPerJoule / oracleEff;
+                const double norm =
+                    outcome.result.perfPerJoule / oracleEff;
                 normalized[g].push_back(norm);
                 row.push_back(util::Table::cell(norm));
             }
@@ -59,7 +88,7 @@ main()
         }
         table.addSeparator();
         table.addRow(meanRow);
-        std::printf("\n--- Power cap %.0f W ---\n", cap);
+        std::printf("\n--- Power cap %.0f W ---\n", caps[c]);
         table.print(std::cout);
     }
     std::printf(

@@ -3,7 +3,8 @@
  * Reproduces Fig. 8: the ratio of PUPiL to RAPL energy efficiency for the
  * multi-application mixes, cooperative and oblivious, across the caps.
  * Efficiency is the mix's total (normalized) work divided by the energy
- * consumed getting all of it done.
+ * consumed getting all of it done. All runs execute on the SweepRunner
+ * pool (--serial / PUPIL_SWEEP_THREADS control the worker count).
  */
 #include <cstdio>
 #include <iostream>
@@ -14,8 +15,18 @@
 
 using namespace pupil;
 
+namespace {
+
+const std::vector<workload::Scenario> kScenarios = {
+    workload::Scenario::kCooperative, workload::Scenario::kOblivious};
+
+const std::vector<harness::GovernorKind> kKinds = {
+    harness::GovernorKind::kRapl, harness::GovernorKind::kPupil};
+
+}  // namespace
+
 int
-main()
+main(int argc, char** argv)
 {
     const machine::PowerModel pm;
     const sched::Scheduler sched;
@@ -27,39 +38,69 @@ main()
         std::getenv("PUPIL_BENCH_FAST") != nullptr
             ? std::vector<double>{60.0, 140.0, 220.0}
             : bench::powerCaps();
+    const std::vector<workload::Mix>& mixes = workload::multiAppMixes();
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
 
     std::printf("=== Fig. 8: PUPiL-to-RAPL energy-efficiency ratio ===\n\n");
-    for (auto scenario : {workload::Scenario::kCooperative,
-                          workload::Scenario::kOblivious}) {
+
+    // One cell per (scenario, mix, cap) -- the mixes are rows here, so the
+    // cell order follows the table's row-major presentation order.
+    const size_t cells = kScenarios.size() * mixes.size() * caps.size();
+    std::vector<std::vector<double>> cellWork(cells);
+    runner.forEach(cells, [&](size_t i) {
+        const workload::Scenario scenario =
+            kScenarios[i / (mixes.size() * caps.size())];
+        const workload::Mix& mix = mixes[i / caps.size() % mixes.size()];
+        const double cap = caps[i % caps.size()];
+        for (const auto& app : harness::mixApps(mix, scenario)) {
+            const auto oracle = capping::searchOptimal(sched, pm, {app}, cap);
+            cellWork[i].push_back(oracle.appItemsPerSec[0] * workSec);
+        }
+    });
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(cells * kKinds.size());
+    for (size_t i = 0; i < cells; ++i) {
+        const workload::Scenario scenario =
+            kScenarios[i / (mixes.size() * caps.size())];
+        const workload::Mix& mix = mixes[i / caps.size() % mixes.size()];
+        const double cap = caps[i % caps.size()];
+        for (harness::GovernorKind kind : kKinds) {
+            harness::SweepJob job;
+            job.kind = kind;
+            job.apps = harness::mixApps(mix, scenario);
+            job.options.capWatts = cap;
+            job.options.workItems = cellWork[i];
+            job.label = mix.name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
+    for (size_t s = 0; s < kScenarios.size(); ++s) {
         std::printf("--- %s scenario ---\n",
-                    workload::scenarioName(scenario));
+                    workload::scenarioName(kScenarios[s]));
         std::vector<std::string> header = {"mix"};
         for (double cap : caps)
             header.push_back(util::Table::cell((long long)cap) + "W");
         util::Table table(header);
         std::vector<std::vector<double>> perCap(caps.size());
-        for (const auto& mix : workload::multiAppMixes()) {
-            std::vector<std::string> row = {mix.name};
+        for (size_t m = 0; m < mixes.size(); ++m) {
+            std::vector<std::string> row = {mixes[m].name};
             for (size_t c = 0; c < caps.size(); ++c) {
-                const auto apps = harness::mixApps(mix, scenario);
-                harness::ExperimentOptions options;
-                options.capWatts = caps[c];
-                for (const auto& app : apps) {
-                    const auto oracle =
-                        capping::searchOptimal(sched, pm, {app}, caps[c]);
-                    options.workItems.push_back(oracle.appItemsPerSec[0] *
-                                                workSec);
+                const size_t cell =
+                    (s * mixes.size() + m) * caps.size() + c;
+                const harness::SweepOutcome& raplOut =
+                    outcomes[cell * kKinds.size()];
+                const harness::SweepOutcome& pupilOut =
+                    outcomes[cell * kKinds.size() + 1];
+                if (!raplOut.ok || !pupilOut.ok ||
+                    raplOut.result.perfPerJoule <= 0.0) {
+                    row.push_back("err");
+                    continue;
                 }
-                double eff[2] = {0, 0};
-                int g = 0;
-                for (auto kind : {harness::GovernorKind::kRapl,
-                                  harness::GovernorKind::kPupil}) {
-                    const auto result =
-                        harness::runExperiment(kind, apps, options);
-                    eff[g] = result.perfPerJoule;
-                    ++g;
-                }
-                const double ratio = eff[1] / eff[0];
+                const double ratio = pupilOut.result.perfPerJoule /
+                                     raplOut.result.perfPerJoule;
                 perCap[c].push_back(ratio);
                 row.push_back(util::Table::cell(ratio));
             }

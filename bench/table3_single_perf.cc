@@ -6,7 +6,10 @@
  *
  * For every benchmark and cap, each governor runs on the simulated
  * platform; performance is measured over the converged window and
- * normalized to the exhaustive-search optimal configuration.
+ * normalized to the exhaustive-search optimal configuration. The
+ * 20 x 5 x 5 = 500 runs (plus the 100 oracle searches) execute on the
+ * SweepRunner thread pool; pass --serial or set PUPIL_SWEEP_THREADS to
+ * control the worker count -- the tables are bit-identical either way.
  */
 #include <cstdlib>
 #include <iostream>
@@ -18,40 +21,65 @@
 using namespace pupil;
 
 int
-main()
+main(int argc, char** argv)
 {
     const machine::PowerModel powerModel;
     const sched::Scheduler scheduler;
     const std::vector<std::string> names = bench::benchmarkNames();
+    const std::vector<double>& caps = bench::powerCaps();
+    const std::vector<harness::GovernorKind>& governors =
+        harness::allGovernors();
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
 
     std::printf("=== Fig. 3 / Table 3: single-application performance "
                 "normalized to optimal ===\n\n");
 
+    // Oracle reference per (cap, benchmark), computed on the pool too.
+    std::vector<capping::OracleResult> oracles(caps.size() * names.size());
+    runner.forEach(oracles.size(), [&](size_t i) {
+        const double cap = caps[i / names.size()];
+        const auto apps = harness::singleApp(names[i % names.size()]);
+        oracles[i] = capping::searchOptimal(scheduler, powerModel, apps, cap);
+    });
+
+    // One job per (cap, benchmark, governor), in presentation order.
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(oracles.size() * governors.size());
+    for (double cap : caps) {
+        for (const std::string& name : names) {
+            for (harness::GovernorKind kind : governors) {
+                harness::SweepJob job;
+                job.kind = kind;
+                job.apps = harness::singleApp(name);
+                job.options = bench::defaultOptions(cap);
+                bench::applyFastMode(job.options);
+                job.label = name;
+                jobs.push_back(std::move(job));
+            }
+        }
+    }
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
     std::vector<std::vector<double>> harmonicRows;
-    for (double cap : bench::powerCaps()) {
+    for (size_t c = 0; c < caps.size(); ++c) {
         util::Table table({"benchmark", "RAPL", "Soft-DVFS", "Soft-Modeling",
                            "Soft-Decision", "PUPiL"});
-        std::vector<std::vector<double>> normalized(
-            harness::allGovernors().size());
-        std::vector<int> infeasible(harness::allGovernors().size(), 0);
-        for (const std::string& name : names) {
-            const auto apps = harness::singleApp(name);
-            const auto oracle =
-                capping::searchOptimal(scheduler, powerModel, apps, cap);
-            std::vector<std::string> row = {name};
-            for (size_t g = 0; g < harness::allGovernors().size(); ++g) {
-                const auto kind = harness::allGovernors()[g];
-                auto options = bench::defaultOptions(cap);
-                bench::applyFastMode(options);
-                const auto result =
-                    harness::runExperiment(kind, apps, options);
-                if (!result.capFeasible) {
+        std::vector<std::vector<double>> normalized(governors.size());
+        std::vector<int> infeasible(governors.size(), 0);
+        for (size_t n = 0; n < names.size(); ++n) {
+            const capping::OracleResult& oracle =
+                oracles[c * names.size() + n];
+            std::vector<std::string> row = {names[n]};
+            for (size_t g = 0; g < governors.size(); ++g) {
+                const harness::SweepOutcome& outcome =
+                    outcomes[(c * names.size() + n) * governors.size() + g];
+                if (!outcome.ok || !outcome.result.capFeasible) {
                     ++infeasible[g];
-                    row.push_back("-");
+                    row.push_back(outcome.ok ? "-" : "err");
                     continue;
                 }
                 const double norm =
-                    result.aggregatePerf / oracle.aggregatePerf;
+                    outcome.result.aggregatePerf / oracle.aggregatePerf;
                 normalized[g].push_back(norm);
                 row.push_back(util::Table::cell(norm));
             }
@@ -73,7 +101,7 @@ main()
         }
         table.addSeparator();
         table.addRow(meanRow);
-        std::printf("--- Power cap %.0f W ---\n", cap);
+        std::printf("--- Power cap %.0f W ---\n", caps[c]);
         table.print(std::cout);
         std::printf("\n");
     }
@@ -81,9 +109,9 @@ main()
     std::printf("=== Table 3 summary (harmonic mean performance) ===\n");
     util::Table summary({"Power Cap", "RAPL", "Soft-DVFS", "Soft-Modeling",
                          "Soft-Decision", "PUPiL"});
-    for (size_t c = 0; c < bench::powerCaps().size(); ++c) {
+    for (size_t c = 0; c < caps.size(); ++c) {
         std::vector<std::string> row = {
-            util::Table::cell((long long)bench::powerCaps()[c]) + "W"};
+            util::Table::cell((long long)caps[c]) + "W"};
         for (double hm : harmonicRows[c])
             row.push_back(hm > 0 ? util::Table::cell(hm) : std::string("-"));
         summary.addRow(row);

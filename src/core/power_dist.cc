@@ -16,21 +16,51 @@ splitCap(const machine::PowerModel& powerModel,
         powerModel.staticSocketPower(cfg, 0),
         powerModel.staticSocketPower(cfg, 1),
     };
-    const double totalStatic = staticPower[0] + staticPower[1];
-    const double dynamicBudget = std::max(0.0, capWatts - totalStatic);
 
-    const double totalCores = std::max(1, cfg.totalCores());
-    std::array<double, 2> caps = {0.0, 0.0};
+    // A socket with no active cores draws its package-sleep floor no
+    // matter what cap it is given: budget above the floor is stranded and
+    // a cap below it is unenforceable. Reserve exactly that floor and
+    // re-donate everything else to the sockets actually running cores.
+    double idleStatic = 0.0;
+    double activeStatic = 0.0;
     for (int s = 0; s < 2; ++s) {
+        if (cfg.activeCores(s) > 0)
+            activeStatic += staticPower[s];
+        else
+            idleStatic += staticPower[s];
+    }
+
+    std::array<double, 2> caps = {0.0, 0.0};
+    const double activeBudget = capWatts - idleStatic;
+    if (activeBudget <= 0.0) {
+        // Degenerate: the cap cannot even cover the idle floors. Split
+        // proportionally to static draw (RAPL will duty-cycle).
+        const double totalStatic =
+            std::max(idleStatic + activeStatic, 1e-12);
+        for (int s = 0; s < 2; ++s)
+            caps[s] = capWatts * staticPower[s] / totalStatic;
+        return caps;
+    }
+
+    const double dynamicBudget = std::max(0.0, activeBudget - activeStatic);
+    const double totalCores = std::max(1, cfg.totalCores());
+    for (int s = 0; s < 2; ++s) {
+        if (cfg.activeCores(s) == 0) {
+            caps[s] = staticPower[s];
+            continue;
+        }
         const double share = double(cfg.activeCores(s)) / totalCores;
         caps[s] = staticPower[s] + dynamicBudget * share;
     }
-    // If the cap cannot even cover static power, shrink proportionally so
-    // the shares still sum to the cap (RAPL will duty-cycle).
-    if (totalStatic > capWatts && totalStatic > 0.0) {
-        const double scale = capWatts / totalStatic;
-        for (double& c : caps)
-            c *= scale;
+    // Tight cap: the active sockets' static power alone exceeds what is
+    // left after the idle floors. Shrink only the active sockets so the
+    // shares still sum to the cap (RAPL will duty-cycle them).
+    if (activeStatic > activeBudget) {
+        const double scale = activeBudget / activeStatic;
+        for (int s = 0; s < 2; ++s) {
+            if (cfg.activeCores(s) > 0)
+                caps[s] *= scale;
+        }
     }
     return caps;
 }

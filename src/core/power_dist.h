@@ -23,8 +23,9 @@ enum class PowerDistPolicy {
 /**
  * Split @p capWatts across sockets for configuration @p cfg under
  * @p policy. The shares always sum to the total cap. With the
- * core-proportional policy an inactive socket receives just enough for
- * its idle draw, so an asymmetric configuration (e.g. one socket at 8
+ * core-proportional policy an inactive socket receives exactly its idle
+ * static draw -- even under a tight cap, where only the active sockets
+ * are shrunk -- so an asymmetric configuration (e.g. one socket at 8
  * cores, one off) concentrates the dynamic budget where the threads are.
  */
 std::array<double, 2> splitCap(const machine::PowerModel& powerModel,

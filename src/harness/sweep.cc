@@ -1,0 +1,155 @@
+#include "sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.h"
+
+namespace pupil::harness {
+
+SweepRunner::SweepRunner(Options options) : options_(std::move(options)) {}
+
+int
+SweepRunner::resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char* env = std::getenv("PUPIL_SWEEP_THREADS")) {
+        char* end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && n > 0)
+            return static_cast<int>(std::min<long>(n, 1024));
+        util::Log(util::LogLevel::kWarn)
+            << "ignoring invalid PUPIL_SWEEP_THREADS=\"" << env << "\"";
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int
+SweepRunner::threadsFor(size_t count) const
+{
+    const int resolved = resolveThreads(options_.threads);
+    return static_cast<int>(
+        std::min<size_t>(static_cast<size_t>(resolved), std::max<size_t>(count, 1)));
+}
+
+uint64_t
+SweepRunner::deriveSeed(uint64_t base, size_t jobIndex)
+{
+    // SplitMix64 finalizer over a golden-ratio-strided stream. jobIndex+1
+    // keeps job 0 from reusing the base seed verbatim.
+    uint64_t x = base + (static_cast<uint64_t>(jobIndex) + 1) *
+                            0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+void
+SweepRunner::logProgress(const SweepProgress& progress)
+{
+    if (util::logLevel() > util::LogLevel::kInfo)
+        return;
+    util::Log(util::LogLevel::kInfo)
+        << "sweep: " << progress.done << "/" << progress.total
+        << " jobs done, " << progress.elapsedSec << " s elapsed";
+}
+
+std::vector<std::string>
+SweepRunner::forEach(size_t count, const std::function<void(size_t)>& fn)
+{
+    std::vector<std::string> errors(count);
+    if (count == 0)
+        return errors;
+
+    const int threads = threadsFor(count);
+    const auto startedAt = std::chrono::steady_clock::now();
+    const auto& progress =
+        options_.progress ? options_.progress : logProgress;
+
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex progressMutex;
+
+    auto worker = [&]() {
+        for (;;) {
+            const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count)
+                return;
+            try {
+                fn(i);
+            } catch (const std::exception& e) {
+                errors[i] = e.what()[0] != '\0' ? e.what() : "exception";
+            } catch (...) {
+                errors[i] = "unknown exception";
+            }
+            const size_t finished = done.fetch_add(1) + 1;
+            const double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - startedAt)
+                    .count();
+            std::lock_guard<std::mutex> lock(progressMutex);
+            progress({finished, count, elapsed});
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<size_t>(threads));
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& t : pool)
+            t.join();
+    }
+    return errors;
+}
+
+std::vector<SweepOutcome>
+SweepRunner::run(const std::vector<SweepJob>& jobs)
+{
+    std::vector<SweepOutcome> outcomes(jobs.size());
+    const std::vector<std::string> errors =
+        forEach(jobs.size(), [&](size_t i) {
+            const SweepJob& job = jobs[i];
+            SweepOutcome& out = outcomes[i];
+            out.jobIndex = i;
+            out.label = job.label;
+            if (job.apps.empty())
+                throw std::invalid_argument("sweep job has no applications");
+            ExperimentOptions options = job.options;
+            if (options_.deriveSeeds)
+                options.seed = deriveSeed(job.options.seed, i);
+            out.result = runExperiment(job.kind, job.apps, options);
+            if (!options_.keepTraces) {
+                out.result.powerTrace = {};
+                out.result.perfTrace = {};
+            }
+            out.ok = true;
+        });
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (errors[i].empty())
+            continue;
+        // Failed-run marker: keep the slot so submission-order indexing
+        // holds, but flag it instead of surfacing a half-built result.
+        outcomes[i] = SweepOutcome();
+        outcomes[i].jobIndex = i;
+        outcomes[i].label = jobs[i].label;
+        outcomes[i].error = errors[i];
+        util::Log(util::LogLevel::kWarn)
+            << "sweep job " << i
+            << (jobs[i].label.empty() ? std::string()
+                                      : " (" + jobs[i].label + ")")
+            << " failed: " << errors[i];
+    }
+    return outcomes;
+}
+
+}  // namespace pupil::harness

@@ -1,0 +1,137 @@
+#ifndef PUPIL_HARNESS_SWEEP_H_
+#define PUPIL_HARNESS_SWEEP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+
+namespace pupil::harness {
+
+/** One unit of work in a sweep: a governor on a workload under options. */
+struct SweepJob
+{
+    GovernorKind kind = GovernorKind::kRapl;
+    std::vector<sched::AppDemand> apps;
+    ExperimentOptions options;
+    /** Free-form tag carried into the outcome (e.g. "x264@140W"). */
+    std::string label;
+};
+
+/** Result of one sweep job. Outcomes are returned in submission order. */
+struct SweepOutcome
+{
+    size_t jobIndex = 0;
+    std::string label;
+    /** False when the job threw; @c result is then default-constructed. */
+    bool ok = false;
+    /** Exception text of a failed run (empty when ok). */
+    std::string error;
+    ExperimentResult result;
+};
+
+/** Snapshot handed to the progress callback after each finished job. */
+struct SweepProgress
+{
+    size_t done = 0;
+    size_t total = 0;
+    double elapsedSec = 0.0;
+};
+
+/**
+ * Executes experiment sweeps on a bounded thread pool.
+ *
+ * Every evaluation artifact in the paper is a sweep -- Table 3 alone is
+ * 20 apps x 5 caps x 5 governors = 500 independent simulations -- and the
+ * runs are embarrassingly parallel: each job owns its Platform, Machine,
+ * governor, and RNG streams, and nothing in the library below the harness
+ * holds cross-run mutable state (see DESIGN.md section 4, "Harness
+ * parallelism").
+ *
+ * Determinism: each job's seed is derived as SplitMix64(options.seed,
+ * jobIndex) before submission, so results are bit-identical regardless of
+ * the thread count or completion order. The determinism is covered by
+ * sweep_test.cc and is what makes `--serial` a pure debugging aid rather
+ * than a different experiment.
+ *
+ * Failure isolation: a job that throws is recorded as a failed-run marker
+ * (ok = false, the exception text in @c error) instead of aborting the
+ * sweep; the remaining jobs still run.
+ */
+class SweepRunner
+{
+  public:
+    struct Options
+    {
+        /**
+         * Worker threads. 0 = automatic: the PUPIL_SWEEP_THREADS
+         * environment variable if set to a positive integer, otherwise
+         * std::thread::hardware_concurrency(). 1 runs the sweep serially
+         * on the calling thread (the `--serial` bench flag sets this).
+         */
+        int threads = 0;
+        /** Derive per-job seeds (SplitMix64 of seed and job index). */
+        bool deriveSeeds = true;
+        /**
+         * Keep per-run power/perf traces. Large sweeps that only read
+         * scalar metrics should turn this off: 500 full-length runs of
+         * retained traces cost hundreds of megabytes.
+         */
+        bool keepTraces = true;
+        /**
+         * Called after each finished job (serialized; never concurrently).
+         * When empty, progress is reported through util::log at kInfo.
+         */
+        std::function<void(const SweepProgress&)> progress;
+    };
+
+    SweepRunner() = default;
+    explicit SweepRunner(Options options);
+
+    /**
+     * Run every job and return outcomes in submission order (outcome i
+     * belongs to jobs[i], whatever order the pool finished them in).
+     */
+    std::vector<SweepOutcome> run(const std::vector<SweepJob>& jobs);
+
+    /**
+     * Generic bounded-pool loop: invoke fn(0..count-1) across the worker
+     * threads. Returns one string per index: empty on success, the
+     * exception text on failure. Used directly by benches whose work items
+     * are not (governor, apps, options) triples (oracle searches, custom
+     * platforms).
+     */
+    std::vector<std::string> forEach(
+        size_t count, const std::function<void(size_t)>& fn);
+
+    /** Thread count this runner will use for @p count work items. */
+    int threadsFor(size_t count) const;
+
+    /**
+     * Resolve a requested thread count: positive values win, then a
+     * positive PUPIL_SWEEP_THREADS, then hardware_concurrency (min 1).
+     */
+    static int resolveThreads(int requested);
+
+    /**
+     * Seed of job @p jobIndex in a sweep rooted at @p base: one SplitMix64
+     * finalizer over base + (jobIndex+1) * golden ratio. Stable across
+     * thread counts, platforms, and releases -- recorded results stay
+     * reproducible.
+     */
+    static uint64_t deriveSeed(uint64_t base, size_t jobIndex);
+
+    /** Default progress reporter: "sweep: done/total (elapsed)" via log. */
+    static void logProgress(const SweepProgress& progress);
+
+    const Options& options() const { return options_; }
+
+  private:
+    Options options_;
+};
+
+}  // namespace pupil::harness
+
+#endif  // PUPIL_HARNESS_SWEEP_H_

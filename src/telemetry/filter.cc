@@ -56,7 +56,10 @@ SigmaFilter::filtered() const
     double sum = 0.0;
     size_t kept = 0;
     for (double x : samples_) {
-        if (std::fabs(x - mu) < bound || bound == 0.0) {
+        // Inclusive bound: paper Eqs. 1-4 keep samples lying exactly on
+        // the 3-sigma boundary. (<= also covers the degenerate bound == 0
+        // window, where every sample equals the mean.)
+        if (std::fabs(x - mu) <= bound) {
             sum += x;
             ++kept;
         }

@@ -38,9 +38,9 @@ class SigmaFilter
 
     /**
      * Filtered feedback X_feedback: mean of in-window samples within
-     * sigmaBound standard deviations of the unfiltered mean. Returns the
-     * plain mean when every sample is an outlier by that rule (degenerate
-     * windows) and 0 when empty.
+     * sigmaBound standard deviations (inclusive) of the unfiltered mean.
+     * Returns the plain mean when every sample is an outlier by that rule
+     * (degenerate windows) and 0 when empty.
      */
     double filtered() const;
 

@@ -43,6 +43,12 @@ settlingTime(const std::vector<TracePoint>& trace, double capWatts,
     const double capLimit =
         capWatts + std::max(bands.capRelTol * capWatts, bands.capAbsTol);
 
+    // Never settled: the trace still violates the cap at its end. Report
+    // the full trace duration so this case cannot be mistaken for
+    // "settled immediately" (which returns 0).
+    if (smoothed.back().value > capLimit)
+        return smoothed.back().timeSec - t0;
+
     // Scan backward for the last violating sample.
     double settleAt = t0;
     for (size_t i = smoothed.size(); i-- > 0;) {
@@ -78,6 +84,11 @@ convergenceTime(const std::vector<TracePoint>& trace,
                                             : smoothed.back().value;
     const double valueBand =
         std::max(bands.relBand * std::fabs(finalValue), bands.absBand);
+
+    // Never converged: the trace ends outside the steady-state band (e.g.
+    // a still-ramping signal). Report the full duration, not 0.
+    if (std::fabs(smoothed.back().value - finalValue) > valueBand)
+        return tEnd - t0;
 
     double settleAt = t0;
     for (size_t i = smoothed.size(); i-- > 0;) {

@@ -43,7 +43,9 @@ struct SettlingBands
  *
  * @param trace   (time, power) samples, time ascending, t_0 = first sample
  * @param capWatts the enforced power cap
- * @return settling time in seconds (0 if the cap is never violated).
+ * @return settling time in seconds: 0 if the cap is never violated
+ *         ("settled immediately"), the full trace duration if the trace
+ *         still violates the cap at its end ("never settled").
  */
 double settlingTime(const std::vector<TracePoint>& trace, double capWatts,
                     const SettlingBands& bands = SettlingBands());
@@ -53,7 +55,9 @@ double settlingTime(const std::vector<TracePoint>& trace, double capWatts,
  * within a band of its steady-state (trace tail) value. This is the
  * control-theoretic settling notion, reported alongside the paper's
  * cap-enforcement metric because it also captures how long a controller
- * keeps reconfiguring *below* the cap.
+ * keeps reconfiguring *below* the cap. Returns 0 for a trace that is in
+ * band throughout and the full trace duration for one that ends out of
+ * band (never converged).
  */
 double convergenceTime(const std::vector<TracePoint>& trace,
                        const SettlingBands& bands = SettlingBands());

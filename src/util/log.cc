@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace pupil::util {
 
@@ -40,7 +41,15 @@ logMessage(LogLevel level, const std::string& message)
 {
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
-    std::cerr << "[pupil " << levelName(level) << "] " << message << '\n';
+    // Compose first and emit under a lock so messages from concurrent
+    // sweep workers land on stderr as whole lines.
+    std::string line;
+    line.reserve(message.size() + 16);
+    line.append("[pupil ").append(levelName(level)).append("] ");
+    line.append(message).push_back('\n');
+    static std::mutex sinkMutex;
+    std::lock_guard<std::mutex> lock(sinkMutex);
+    std::cerr << line;
 }
 
 }  // namespace pupil::util

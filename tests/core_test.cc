@@ -328,6 +328,43 @@ TEST(PowerDist, TinyCapShrinksProportionally)
     EXPECT_GT(caps[1], 0.0);
 }
 
+TEST(PowerDist, SingleSocketTightCapKeepsIdleFloor)
+{
+    // Regression: under a cap too tight to cover even the active socket's
+    // static power, the idle socket must still receive exactly its
+    // package-sleep floor -- it physically cannot go lower, and scaling it
+    // down used to strand the difference as an unenforceable share.
+    const machine::PowerModel pm;
+    MachineConfig cfg;
+    cfg.coresPerSocket = 8;
+    cfg.sockets = 1;
+    const double idle = pm.staticSocketPower(cfg, 1);
+    const double active = pm.staticSocketPower(cfg, 0);
+    const double tightCap = 0.8 * (active + idle);
+    ASSERT_LT(tightCap - idle, active);  // genuinely tight
+    const auto caps =
+        splitCap(pm, cfg, tightCap, PowerDistPolicy::kCoreProportional);
+    EXPECT_DOUBLE_EQ(caps[1], idle);
+    EXPECT_DOUBLE_EQ(caps[0], tightCap - idle);
+    EXPECT_NEAR(caps[0] + caps[1], tightCap, 1e-9);
+}
+
+TEST(PowerDist, CapBelowIdleFloorsStillSumsToCap)
+{
+    // Even the fully degenerate case (cap below the combined idle floors)
+    // must hand out shares that sum to the cap.
+    const machine::PowerModel pm;
+    MachineConfig cfg;
+    cfg.coresPerSocket = 8;
+    cfg.sockets = 1;
+    const double cap = 0.5 * pm.staticSocketPower(cfg, 1);
+    const auto caps =
+        splitCap(pm, cfg, cap, PowerDistPolicy::kCoreProportional);
+    EXPECT_NEAR(caps[0] + caps[1], cap, 1e-9);
+    EXPECT_GE(caps[0], 0.0);
+    EXPECT_GE(caps[1], 0.0);
+}
+
 // Property sweep: in software mode the walker's final configuration
 // respects every paper cap for representative apps.
 class WalkerCapSweep

@@ -66,6 +66,21 @@ TEST(SigmaFilter, ConstantSignalPassesThrough)
     EXPECT_DOUBLE_EQ(filter.rawStddev(), 0.0);
 }
 
+TEST(SigmaFilter, KeepsSampleExactlyOnSigmaBound)
+{
+    // Regression: the bound is inclusive. Nine 0.0s and one 10.0 give
+    // mu = 1, sigma = 3 exactly, so |10 - mu| == 3 sigma == 9: the outlier
+    // lies exactly on the boundary and must be kept (a strict < silently
+    // dropped it, biasing the filtered mean to 0).
+    SigmaFilter filter(10);
+    for (int i = 0; i < 9; ++i)
+        filter.add(0.0);
+    filter.add(10.0);
+    EXPECT_DOUBLE_EQ(filter.rawMean(), 1.0);
+    EXPECT_DOUBLE_EQ(filter.rawStddev(), 3.0);
+    EXPECT_DOUBLE_EQ(filter.filtered(), 1.0);
+}
+
 TEST(SigmaFilter, ResetClears)
 {
     SigmaFilter filter(4);
@@ -147,6 +162,25 @@ TEST(Settling, ConvergenceTimeSeesBelowCapWandering)
     auto trace = stepTrace(40.0, 120.0, 10.0, 40.0);
     EXPECT_NEAR(settlingTime(trace, 140.0), 0.0, 0.2);
     EXPECT_NEAR(convergenceTime(trace), 10.0, 0.3);
+}
+
+TEST(Settling, NeverSettledReportsFullDuration)
+{
+    // Regression: a trace that still violates the cap at its end must
+    // report the full trace duration, not 0 -- "never settled" and
+    // "settled immediately" are opposite outcomes.
+    const auto trace = stepTrace(200.0, 200.0, 0.0, 30.0);
+    EXPECT_NEAR(settlingTime(trace, 140.0), 30.0, 0.2);
+}
+
+TEST(Settling, NeverConvergedReportsFullDuration)
+{
+    // A signal still ramping at the trace end never entered its
+    // steady-state band: convergence time is the full duration.
+    std::vector<TracePoint> trace;
+    for (double t = 0.0; t < 30.0; t += 0.01)
+        trace.push_back({t, 10.0 * t});
+    EXPECT_NEAR(convergenceTime(trace), 30.0, 0.2);
 }
 
 TEST(Settling, SmoothingSuppressesSingleSpike)
