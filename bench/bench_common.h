@@ -1,7 +1,9 @@
 #ifndef PUPIL_BENCH_BENCH_COMMON_H_
 #define PUPIL_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -33,12 +35,30 @@ benchmarkNames()
     return names;
 }
 
+/**
+ * Root experiment seed: the PUPIL_SEED environment variable when set to a
+ * valid integer, otherwise @p fallback. Lets reproducibility studies rerun
+ * any bench under a different seed family without recompiling (per-job
+ * seeds are still derived from this root by the SweepRunner).
+ */
+inline uint64_t
+envSeed(uint64_t fallback)
+{
+    const char* text = std::getenv("PUPIL_SEED");
+    if (text == nullptr || *text == '\0')
+        return fallback;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(text, &end, 10);
+    return (end != text && *end == '\0') ? value : fallback;
+}
+
 /** Default experiment options shared by the bench binaries. */
 inline harness::ExperimentOptions
 defaultOptions(double capWatts)
 {
     harness::ExperimentOptions options;
     options.capWatts = capWatts;
+    options.seed = envSeed(options.seed);
     // Efficiency is measured over the final window of a long run, i.e.
     // each controller's *converged* behaviour (the paper's Fig. 1
     // discussion compares performance "once the software approach

@@ -5,6 +5,12 @@
  * into ctest as `bench_smoke`. Exits nonzero if any job fails or reports
  * non-positive performance, so CI catches harness/bench plumbing breakage
  * without paying for a full table run.
+ *
+ * A second pair of jobs smoke-tests the resilience-sweep path: Soft-DVFS
+ * and PUPiL under a dead power meter. The meter dies at t = 0, so blind
+ * Soft-DVFS never leaves the uncapped warm start while PUPiL's hardware
+ * fallback enforces the cap -- the check asserts exactly that contrast
+ * (plus that PUPiL actually records a detection).
  */
 #include <cstdio>
 #include <vector>
@@ -30,9 +36,26 @@ main(int argc, char** argv)
             job.options.capWatts = cap;
             job.options.durationSec = 5.0;
             job.options.statsWindowSec = 2.0;
+            job.options.seed = bench::envSeed(job.options.seed);
             job.label = name;
             jobs.push_back(std::move(job));
         }
+    }
+
+    // Resilience path: the same cap with the power meter dead all run.
+    const size_t faultFirst = jobs.size();
+    for (harness::GovernorKind kind : {harness::GovernorKind::kSoftDvfs,
+                                       harness::GovernorKind::kPupil}) {
+        harness::SweepJob job;
+        job.kind = kind;
+        job.apps = harness::singleApp("swaptions");
+        job.options.capWatts = cap;
+        job.options.durationSec = 8.0;
+        job.options.statsWindowSec = 2.0;
+        job.options.seed = bench::envSeed(job.options.seed);
+        job.options.platform.faultSpec = "sensor-dropout,power,0,100";
+        job.label = "dropout";
+        jobs.push_back(std::move(job));
     }
 
     harness::SweepRunner runner(bench::sweepOptions(argc, argv));
@@ -58,6 +81,27 @@ main(int argc, char** argv)
                     outcome.result.aggregatePerf,
                     outcome.result.meanPowerWatts);
     }
+    if (failures == 0) {
+        const harness::ExperimentResult& blind =
+            outcomes[faultFirst].result;        // Soft-DVFS, meter dead
+        const harness::ExperimentResult& hybrid =
+            outcomes[faultFirst + 1].result;    // PUPiL, meter dead
+        if (hybrid.capViolationSec >= blind.capViolationSec) {
+            std::printf(
+                "FAIL dropout: PUPiL violated %.2f s >= Soft-DVFS %.2f s\n",
+                hybrid.capViolationSec, blind.capViolationSec);
+            ++failures;
+        }
+        if (hybrid.faultsDetected == 0 || hybrid.degradedSec <= 0.0) {
+            std::printf(
+                "FAIL dropout: PUPiL never degraded (detected %llu, "
+                "degraded %.2f s)\n",
+                (unsigned long long)hybrid.faultsDetected,
+                hybrid.degradedSec);
+            ++failures;
+        }
+    }
+
     if (failures > 0) {
         std::printf("bench_smoke: %d of %zu jobs failed\n", failures,
                     outcomes.size());

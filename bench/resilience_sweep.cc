@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Resilience sweep: how each capping technique behaves when its inputs
+ * fail. Every fault scenario (src/faults/) is run against RAPL-only,
+ * Soft-DVFS, Soft-Decision, and PUPiL on the same workload and cap, and
+ * the tables report the cap-violation rate (fraction of the run the true
+ * power exceeded the cap) and performance normalized to each governor's
+ * own fault-free run.
+ *
+ * The punchline is the paper's robustness argument for the hybrid design:
+ * when the software-visible power meter dies, Soft-DVFS is left blind at
+ * whatever operating point it had (here: the uncapped warm start, a
+ * persistent violation), while PUPiL detects the dead channel, falls back
+ * to hardware-only enforcement, and matches RAPL's violation rate.
+ *
+ * Scenarios run on the SweepRunner pool (--serial / PUPIL_SWEEP_THREADS
+ * control workers); PUPIL_BENCH_FAST=1 shortens runs, PUPIL_SEED reseeds.
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+struct Scenario
+{
+    const char* name;
+    const char* spec;  ///< faults::FaultSchedule spec; "" = fault-free
+};
+
+/** The fault catalog, one scenario per injector boundary. */
+const std::vector<Scenario>&
+scenarios()
+{
+    static const std::vector<Scenario> list = {
+        {"baseline", ""},
+        {"sensor-dropout", "sensor-dropout,power,0,100000"},
+        {"sensor-stuck", "sensor-stuck,power,30,100000"},
+        {"sensor-spike", "sensor-spike,power,30,100000,3.0,0.25"},
+        {"msr-write-ignored", "msr-write-ignored,*,0,100000"},
+        {"alloc-refused", "alloc-refused,*,0,100000"},
+        {"actuation-delay", "actuation-delay,*,0,100000,2.0"},
+    };
+    return list;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    const double cap = 140.0;
+    const std::string app = "x264";
+    std::printf("=== Resilience sweep: %s under a %.0f W cap, per fault "
+                "scenario ===\n\n", app.c_str(), cap);
+
+    const std::vector<harness::GovernorKind> kinds = {
+        harness::GovernorKind::kRapl, harness::GovernorKind::kSoftDvfs,
+        harness::GovernorKind::kSoftDecision, harness::GovernorKind::kPupil};
+
+    std::vector<harness::SweepJob> jobs;
+    jobs.reserve(scenarios().size() * kinds.size());
+    for (const Scenario& scenario : scenarios()) {
+        for (harness::GovernorKind kind : kinds) {
+            harness::SweepJob job;
+            job.kind = kind;
+            job.apps = harness::singleApp(app);
+            job.options = bench::defaultOptions(cap);
+            bench::applyFastMode(job.options);
+            job.options.platform.faultSpec = scenario.spec;
+            job.label = scenario.name;
+            jobs.push_back(std::move(job));
+        }
+    }
+    harness::SweepRunner runner(bench::sweepOptions(argc, argv));
+    const std::vector<harness::SweepOutcome> outcomes = runner.run(jobs);
+
+    const auto at = [&](size_t s, size_t g) -> const harness::SweepOutcome& {
+        return outcomes[s * kinds.size() + g];
+    };
+
+    const std::vector<std::string> headers = {
+        "scenario", "RAPL", "Soft-DVFS", "Soft-Decision", "PUPiL"};
+
+    std::printf("--- Cap-violation rate (%% of run over the cap) ---\n");
+    util::Table violations(headers);
+    for (size_t s = 0; s < scenarios().size(); ++s) {
+        std::vector<std::string> row = {scenarios()[s].name};
+        for (size_t g = 0; g < kinds.size(); ++g) {
+            const harness::SweepOutcome& outcome = at(s, g);
+            if (!outcome.ok) {
+                row.push_back("err");
+                continue;
+            }
+            const double rate = 100.0 * outcome.result.capViolationSec /
+                                std::max(outcome.result.durationSec, 1e-9);
+            row.push_back(util::Table::cell(rate, 1));
+        }
+        violations.addRow(row);
+    }
+    violations.print(std::cout);
+
+    std::printf("\n--- Performance normalized to each governor's own "
+                "fault-free run ---\n");
+    util::Table perf(headers);
+    for (size_t s = 0; s < scenarios().size(); ++s) {
+        std::vector<std::string> row = {scenarios()[s].name};
+        for (size_t g = 0; g < kinds.size(); ++g) {
+            const harness::SweepOutcome& outcome = at(s, g);
+            const harness::SweepOutcome& base = at(0, g);
+            if (!outcome.ok || !base.ok ||
+                base.result.aggregatePerf <= 0.0) {
+                row.push_back("err");
+                continue;
+            }
+            row.push_back(util::Table::cell(
+                outcome.result.aggregatePerf / base.result.aggregatePerf,
+                2));
+        }
+        perf.addRow(row);
+    }
+    perf.print(std::cout);
+
+    std::printf("\n--- PUPiL degradation accounting (whole run) ---\n");
+    util::Table account(
+        {"scenario", "degraded s", "injected", "detected"});
+    const size_t pupil = kinds.size() - 1;
+    for (size_t s = 0; s < scenarios().size(); ++s) {
+        const harness::SweepOutcome& outcome = at(s, pupil);
+        if (!outcome.ok) {
+            account.addRow({scenarios()[s].name, "err", "err", "err"});
+            continue;
+        }
+        account.addRow(
+            {scenarios()[s].name,
+             util::Table::cell(outcome.result.degradedSec, 1),
+             util::Table::cell((long long)outcome.result.faultsInjected),
+             util::Table::cell((long long)outcome.result.faultsDetected)});
+    }
+    account.print(std::cout);
+
+    std::printf(
+        "\nReading: under sensor faults the software-only controllers are\n"
+        "steering on garbage -- Soft-DVFS sits blind at its last operating\n"
+        "point (the uncapped warm start: a persistent violation) -- while\n"
+        "PUPiL's watchdog detects the unhealthy channel and falls back to\n"
+        "hardware-only enforcement, matching RAPL's violation rate at the\n"
+        "cost of running the default configuration. Actuator faults slow\n"
+        "or freeze the software walk but never break the cap, because the\n"
+        "hardware path is programmed first.\n");
+    return 0;
+}

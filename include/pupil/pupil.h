@@ -9,6 +9,8 @@
  *
  * Layering (each layer depends only on those above it):
  *   util       -- rng, statistics, small linear algebra, tables/CSV
+ *   faults     -- deterministic fault schedules and the injector that
+ *                 imposes them at the sensor/MSR/actuator/node seams
  *   machine    -- topology, DVFS, the 1024-point configuration space,
  *                 calibrated power model, stateful machine w/ latencies
  *   workload   -- analytic application models, 20-benchmark catalog,
@@ -54,6 +56,8 @@
 #include "core/pupil.h"
 #include "core/resource.h"
 #include "core/soft_decision.h"
+#include "faults/injector.h"
+#include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "machine/config.h"
 #include "machine/dvfs.h"
@@ -69,6 +73,7 @@
 #include "telemetry/counters.h"
 #include "telemetry/energy.h"
 #include "telemetry/filter.h"
+#include "telemetry/health.h"
 #include "telemetry/sensor.h"
 #include "telemetry/settling.h"
 #include "util/csv.h"

@@ -13,13 +13,15 @@ PowerShifter::PowerShifter(const Options& options) : options_(options)
 size_t
 PowerShifter::addNode(const std::string& name,
                       const std::vector<sched::AppDemand>& apps,
-                      harness::GovernorKind kind, uint64_t seed)
+                      harness::GovernorKind kind, uint64_t seed,
+                      const std::string& faultSpec)
 {
     assert(!started_);
     auto node = std::make_unique<Node>();
     node->name = name;
     sim::PlatformOptions popts;
     popts.seed = seed;
+    popts.faultSpec = faultSpec;
     node->platform = std::make_unique<sim::Platform>(popts, apps);
     node->platform->warmStart(machine::maximalConfig());
     node->rapl = std::make_unique<rapl::RaplController>();
@@ -44,9 +46,89 @@ double
 PowerShifter::totalPowerWatts() const
 {
     double total = 0.0;
-    for (const auto& node : nodes_)
-        total += node->platform->truePower();
+    for (const auto& node : nodes_) {
+        if (node->online)
+            total += node->platform->truePower();
+    }
     return total;
+}
+
+void
+PowerShifter::pushCaps()
+{
+    // Push the current caps to every online node's capping system. Node
+    // governors with hardware backing re-enforce within milliseconds.
+    for (auto& node : nodes_) {
+        if (!node->online)
+            continue;
+        node->governor->setCap(node->capWatts);
+        node->rapl->setTotalCapEvenSplit(node->capWatts);
+    }
+}
+
+void
+PowerShifter::updateMembership()
+{
+    if (schedule_ == nullptr)
+        return;
+    std::vector<Node*> rejoined;
+    bool changed = false;
+    for (auto& nodePtr : nodes_) {
+        Node& node = *nodePtr;
+        const bool lost = schedule_->anyActive(faults::FaultKind::kNodeLoss,
+                                               node.name, now_);
+        if (lost && node.online) {
+            // Node down: it draws nothing, and its budget share must not
+            // evaporate with it -- the survivors absorb it below.
+            node.online = false;
+            node.capWatts = 0.0;
+            ++lossEvents_;
+            changed = true;
+        } else if (!lost && !node.online) {
+            node.online = true;
+            ++rejoinEvents_;
+            rejoined.push_back(&node);
+            changed = true;
+        }
+    }
+    if (!changed)
+        return;
+
+    std::vector<Node*> online;
+    for (auto& node : nodes_) {
+        if (node->online)
+            online.push_back(node.get());
+    }
+    if (online.empty())
+        return;  // whole cluster dark; budget re-granted at first rejoin
+
+    // Restore the invariant sum(online caps) == global budget. Survivors
+    // keep their relative shares (so shifting history is preserved);
+    // rejoiners start from an even share of the budget.
+    const double budget = options_.globalBudgetWatts;
+    const double share = budget / double(online.size());
+    double survivorSum = 0.0;
+    for (Node* node : online) {
+        if (std::find(rejoined.begin(), rejoined.end(), node) ==
+            rejoined.end())
+            survivorSum += node->capWatts;
+    }
+    if (survivorSum <= 0.0) {
+        for (Node* node : online)
+            node->capWatts = share;
+    } else {
+        const double survivorBudget =
+            budget - share * double(rejoined.size());
+        const double factor = survivorBudget / survivorSum;
+        for (Node* node : online) {
+            if (std::find(rejoined.begin(), rejoined.end(), node) !=
+                rejoined.end())
+                node->capWatts = share;
+            else
+                node->capWatts *= factor;
+        }
+    }
+    pushCaps();
 }
 
 void
@@ -54,12 +136,17 @@ PowerShifter::reallocate()
 {
     // Collect headroom (cap - consumption). Donors give away a fraction of
     // their headroom; the pool is granted to nodes at their cap,
-    // proportionally to consumption (a proxy for demand).
+    // proportionally to consumption (a proxy for demand). Offline nodes
+    // hold no budget and take no part.
     double pool = 0.0;
     std::vector<double> grantWeight(nodes_.size(), 0.0);
     double weightSum = 0.0;
+    size_t onlineCount = 0;
     for (size_t i = 0; i < nodes_.size(); ++i) {
         Node& node = *nodes_[i];
+        if (!node.online)
+            continue;
+        ++onlineCount;
         const double power = node.platform->truePower();
         const double headroom = node.capWatts - power;
         if (headroom > 0.05 * node.capWatts) {
@@ -75,24 +162,21 @@ PowerShifter::reallocate()
             weightSum += power;
         }
     }
-    if (pool <= 0.0)
+    if (pool <= 0.0 || onlineCount == 0)
         return;
     if (weightSum <= 0.0) {
         // Nobody is constrained: return the pool evenly.
-        for (auto& node : nodes_)
-            node->capWatts += pool / double(nodes_.size());
+        for (auto& node : nodes_) {
+            if (node->online)
+                node->capWatts += pool / double(onlineCount);
+        }
     } else {
         for (size_t i = 0; i < nodes_.size(); ++i) {
             if (grantWeight[i] > 0.0)
                 nodes_[i]->capWatts += pool * grantWeight[i] / weightSum;
         }
     }
-    // Push the new caps to every node's capping system. Node governors
-    // with hardware backing re-enforce within milliseconds.
-    for (auto& node : nodes_) {
-        node->governor->setCap(node->capWatts);
-        node->rapl->setTotalCapEvenSplit(node->capWatts);
-    }
+    pushCaps();
     ++shifts_;
 }
 
@@ -111,10 +195,13 @@ PowerShifter::run(double untilSec)
         }
     }
     while (now_ < untilSec - 1e-9) {
+        updateMembership();
         const double step = std::min(options_.periodSec, untilSec - now_);
         now_ += step;
-        for (auto& node : nodes_)
-            node->platform->run(now_);
+        for (auto& node : nodes_) {
+            if (node->online)
+                node->platform->run(now_);
+        }
         reallocate();
     }
 }

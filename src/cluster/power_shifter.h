@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "capping/governor.h"
+#include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "rapl/rapl.h"
 #include "sim/platform.h"
@@ -24,6 +25,8 @@ struct Node
     std::unique_ptr<rapl::RaplController> rapl;
     std::unique_ptr<capping::Governor> governor;
     double capWatts = 0.0;
+    /** False while a node-loss fault has the node offline. */
+    bool online = true;
 };
 
 /**
@@ -54,12 +57,25 @@ class PowerShifter
 
     /**
      * Add a node running @p apps under @p kind. Returns its index.
-     * Call before run().
+     * @p faultSpec optionally injects node-local faults (sensor/MSR/
+     * actuator) into the node's own platform. Call before run().
      */
     size_t addNode(const std::string& name,
                    const std::vector<sched::AppDemand>& apps,
                    harness::GovernorKind kind = harness::GovernorKind::kPupil,
-                   uint64_t seed = 1);
+                   uint64_t seed = 1, const std::string& faultSpec = "");
+
+    /**
+     * Attach a cluster-level fault schedule. Only node-loss events are
+     * interpreted here: a node whose name matches an active event goes
+     * offline (its platform freezes, its watts are redistributed to the
+     * survivors) and rejoins with a fresh even share when the window
+     * ends. Null detaches. Not owned; must outlive run().
+     */
+    void setFaultSchedule(const faults::FaultSchedule* schedule)
+    {
+        schedule_ = schedule;
+    }
 
     /** Advance every node to @p untilSec, reallocating caps on the way. */
     void run(double untilSec);
@@ -67,22 +83,37 @@ class PowerShifter
     size_t nodeCount() const { return nodes_.size(); }
     const Node& node(size_t i) const { return *nodes_[i]; }
 
-    /** Sum of per-node caps (== the global budget, by construction). */
+    /**
+     * Sum of per-node caps. Equals the global budget by construction
+     * whenever at least one node is online (lost watts are redistributed,
+     * never destroyed).
+     */
     double totalCapWatts() const;
 
-    /** Sum of per-node measured power. */
+    /** Sum of measured power over online nodes. */
     double totalPowerWatts() const;
 
     /** Number of reallocations performed. */
     int shifts() const { return shifts_; }
 
+    /** Node-loss transitions observed (offline events). */
+    int lossEvents() const { return lossEvents_; }
+
+    /** Node rejoin transitions observed. */
+    int rejoinEvents() const { return rejoinEvents_; }
+
   private:
     void reallocate();
+    void updateMembership();
+    void pushCaps();
 
     Options options_;
     std::vector<std::unique_ptr<Node>> nodes_;
+    const faults::FaultSchedule* schedule_ = nullptr;
     double now_ = 0.0;
     int shifts_ = 0;
+    int lossEvents_ = 0;
+    int rejoinEvents_ = 0;
     bool started_ = false;
 };
 

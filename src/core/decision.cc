@@ -10,7 +10,9 @@ DecisionWalker::DecisionWalker(std::vector<Resource> order,
     : order_(std::move(order)),
       options_(options),
       perfFilter_(size_t(options.windowSamples)),
-      powerFilter_(size_t(options.windowSamples))
+      powerFilter_(size_t(options.windowSamples)),
+      perfHealth_(options.perfHealth),
+      powerHealth_(options.powerHealth)
 {
 }
 
@@ -76,8 +78,21 @@ DecisionWalker::enterMonitor(double now)
 void
 DecisionWalker::addSample(double perf, double power, double now)
 {
-    if (phase_ == Phase::kIdle || now < waitUntil_)
+    if (phase_ == Phase::kIdle)
         return;
+    // Watchdog first: staleness tracking must see every sample, including
+    // those discarded while settling.
+    const bool perfOk = perfHealth_.accept(perf);
+    const bool powerOk = powerHealth_.accept(power);
+    if (now < waitUntil_)
+        return;
+    if (!perfOk || !powerOk) {
+        // Implausible or stuck reading: better to stall the walk than to
+        // decide on garbage. PUPiL's degradation machine (and hardware
+        // caps) covers the stall; software-only governors simply freeze.
+        ++samplesRejected_;
+        return;
+    }
     perfFilter_.add(perf);
     powerFilter_.add(power);
     if (!perfFilter_.full())

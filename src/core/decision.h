@@ -7,6 +7,7 @@
 #include "core/resource.h"
 #include "machine/config.h"
 #include "telemetry/filter.h"
+#include "telemetry/health.h"
 
 namespace pupil::core {
 
@@ -57,6 +58,20 @@ class DecisionWalker
         double settleExtraSec = 0.5;
         /** Minimum time between convergence and a drift-triggered walk. */
         double monitorCooldownSec = 30.0;
+        /**
+         * Stale-sample watchdog and sanity bounds on the feedback
+         * channels: implausible or stuck readings are rejected before
+         * they reach the filters, so a dead power meter stalls the walk
+         * instead of steering it (see src/faults/). On healthy channels
+         * no sample is ever rejected and behaviour is unchanged.
+         *
+         * Staleness is off by default (limit 0): the exact-repeat test
+         * only makes sense on noisy sensor streams, and walkers are also
+         * driven directly from noiseless model evaluations in tests.
+         * Governors sampling platform telemetry turn it on.
+         */
+        telemetry::HealthOptions powerHealth{0.5, 2000.0, 0, 10, 0.25};
+        telemetry::HealthOptions perfHealth{1e-9, 1e9, 0, 10, 0.25};
     };
 
     DecisionWalker(std::vector<Resource> order, const Options& options);
@@ -85,6 +100,15 @@ class DecisionWalker
 
     /** Number of measurement windows consumed (decision steps). */
     int stepsTaken() const { return steps_; }
+
+    /** Samples rejected by the telemetry watchdog (after settling). */
+    uint64_t samplesRejected() const { return samplesRejected_; }
+
+    /** Whether both feedback channels currently look healthy. */
+    bool telemetryHealthy() const
+    {
+        return perfHealth_.healthy() && powerHealth_.healthy();
+    }
 
     /** Name of the current phase (diagnostics). */
     std::string phaseName() const;
@@ -119,6 +143,9 @@ class DecisionWalker
 
     telemetry::SigmaFilter perfFilter_;
     telemetry::SigmaFilter powerFilter_;
+    telemetry::HealthMonitor perfHealth_;
+    telemetry::HealthMonitor powerHealth_;
+    uint64_t samplesRejected_ = 0;
 };
 
 }  // namespace pupil::core

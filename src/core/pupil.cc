@@ -9,7 +9,15 @@
 namespace pupil::core {
 
 Pupil::Pupil(PowerDistPolicy policy, const DecisionWalker::Options& options)
-    : policy_(policy), options_(options)
+    : Pupil(policy, options, Resilience())
+{
+}
+
+Pupil::Pupil(PowerDistPolicy policy, const DecisionWalker::Options& options,
+             const Resilience& resilience)
+    : policy_(policy), options_(options), resilience_(resilience),
+      powerHealth_(resilience.powerHealth),
+      perfHealth_(resilience.perfHealth)
 {
     options_.checkPower = false;  // RAPL guarantees the cap
 }
@@ -54,6 +62,11 @@ Pupil::programRapl(sim::Platform& platform,
 void
 Pupil::onStart(sim::Platform& platform)
 {
+    mode_ = Mode::kHybrid;
+    powerHealth_.reset();
+    perfHealth_.reset();
+    healthyStreak_ = 0;
+
     // Timeliness first: hand the cap to hardware before exploring anything.
     machine::MachineConfig initial = machine::minimalConfig();
     initial.setUniformPState(machine::DvfsTable::kTurboPState);
@@ -74,6 +87,24 @@ Pupil::onTick(sim::Platform& platform, double now)
 {
     const double perf = platform.readPerformance();
     const double power = platform.readPower();
+    const bool perfOk = perfHealth_.accept(perf);
+    const bool powerOk = powerHealth_.accept(power);
+
+    if (mode_ == Mode::kDegraded) {
+        // Hardware-only fallback: RAPL enforces the cap; software only
+        // watches for the telemetry to come back.
+        platform.mutableCounters().addDegradedTime(periodSec());
+        healthyStreak_ = (perfOk && powerOk) ? healthyStreak_ + 1 : 0;
+        if (healthyStreak_ >= resilience_.reengageHealthySamples)
+            reengage(platform, now);
+        return;
+    }
+
+    if (!perfHealth_.healthy() || !powerHealth_.healthy()) {
+        enterDegraded(platform, now);
+        return;
+    }
+
     walker_->addSample(perf, power, now);
     if (walker_->takeConfigDirty()) {
         const machine::MachineConfig& cfg = walker_->config();
@@ -89,6 +120,40 @@ Pupil::onTick(sim::Platform& platform, double now)
         }
         capsPending_ = false;
     }
+}
+
+void
+Pupil::enterDegraded(sim::Platform& platform, double now)
+{
+    mode_ = Mode::kDegraded;
+    ++degradedEntries_;
+    healthyStreak_ = 0;
+    platform.mutableCounters().addFaultsDetected(1);
+    // Hand the whole problem to hardware: the RAPL-only operating point
+    // (everything on) with the cap split evenly between the sockets. The
+    // config request may itself fail under an actuator fault; the caps go
+    // through the hardware path, which stays trustworthy.
+    rapl_->setTotalCapEvenSplit(cap_);
+    appliedCaps_ = targetCaps_ = {cap_ / 2.0, cap_ / 2.0};
+    capsPending_ = false;
+    platform.machine().requestConfig(machine::maximalConfig(), now);
+}
+
+void
+Pupil::reengage(sim::Platform& platform, double now)
+{
+    mode_ = Mode::kHybrid;
+    ++reengagements_;
+    powerHealth_.reset();
+    perfHealth_.reset();
+    // Fresh walk from the minimal configuration, exactly as at start:
+    // whatever happened while blind, the exploration state is stale.
+    machine::MachineConfig initial = machine::minimalConfig();
+    initial.setUniformPState(machine::DvfsTable::kTurboPState);
+    programRapl(platform, initial);
+    walker_->start(initial, cap_, now);
+    if (walker_->takeConfigDirty())
+        platform.machine().requestConfig(walker_->config(), now);
 }
 
 }  // namespace pupil::core

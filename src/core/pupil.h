@@ -6,6 +6,7 @@
 #include "capping/governor.h"
 #include "core/decision.h"
 #include "core/power_dist.h"
+#include "telemetry/health.h"
 
 namespace pupil::core {
 
@@ -28,13 +29,39 @@ namespace pupil::core {
  * socket receives its static power plus a dynamic share proportional to
  * its active core count (Section 3.3.2), letting asymmetric configurations
  * concentrate the budget where the threads run.
+ *
+ * Graceful degradation: the governor watches its own telemetry through a
+ * stale-sample watchdog with sanity bounds. When the software-visible
+ * channels go unhealthy (a dead or stuck meter, see src/faults/) PUPiL
+ * falls back to RAPL-only enforcement -- even-split hardware caps, the
+ * default all-on configuration, no software exploration -- which is
+ * exactly the paper's robustness argument for the hybrid design: hardware
+ * keeps the cap while software is blind. After a run of consecutive
+ * healthy samples the software layer re-engages with a fresh walk.
+ * Degraded-mode time and detections are recorded in the platform's
+ * telemetry::Counters.
  */
 class Pupil : public capping::Governor
 {
   public:
+    /** Degradation state: software exploring, or hardware-only fallback. */
+    enum class Mode { kHybrid, kDegraded };
+
+    /** Knobs of the degradation state machine. */
+    struct Resilience
+    {
+        /** Watchdog rules for the power / performance channels. */
+        telemetry::HealthOptions powerHealth{0.5, 2000.0, 12, 10, 0.25};
+        telemetry::HealthOptions perfHealth{1e-9, 1e9, 12, 10, 0.25};
+        /** Consecutive healthy samples required to re-engage software. */
+        int reengageHealthySamples = 20;
+    };
+
     explicit Pupil(
         PowerDistPolicy policy = PowerDistPolicy::kCoreProportional,
         const DecisionWalker::Options& options = defaultOptions());
+    Pupil(PowerDistPolicy policy, const DecisionWalker::Options& options,
+          const Resilience& resilience);
 
     static DecisionWalker::Options defaultOptions();
 
@@ -48,16 +75,35 @@ class Pupil : public capping::Governor
     const DecisionWalker* walker() const { return walker_.get(); }
     PowerDistPolicy policy() const { return policy_; }
 
+    /** Current degradation state. */
+    Mode mode() const { return mode_; }
+
+    /** Times the governor fell back to hardware-only enforcement. */
+    int degradedEntries() const { return degradedEntries_; }
+
+    /** Times the software layer re-engaged after a fallback. */
+    int reengagements() const { return reengagements_; }
+
   private:
     void programRapl(sim::Platform& platform,
                      const machine::MachineConfig& cfg);
+    void enterDegraded(sim::Platform& platform, double now);
+    void reengage(sim::Platform& platform, double now);
 
     PowerDistPolicy policy_;
     DecisionWalker::Options options_;
+    Resilience resilience_;
     std::unique_ptr<DecisionWalker> walker_;
     std::array<double, 2> appliedCaps_ = {0.0, 0.0};
     std::array<double, 2> targetCaps_ = {0.0, 0.0};
     bool capsPending_ = false;
+
+    Mode mode_ = Mode::kHybrid;
+    telemetry::HealthMonitor powerHealth_;
+    telemetry::HealthMonitor perfHealth_;
+    int healthyStreak_ = 0;
+    int degradedEntries_ = 0;
+    int reengagements_ = 0;
 };
 
 }  // namespace pupil::core

@@ -17,6 +17,10 @@ SoftDecision::defaultOptions()
     DecisionWalker::Options options;
     options.windowSamples = 30;   // 2 s windows at the 100 ms sample period
     options.checkPower = true;
+    // Feedback comes from the platform's noisy meters, where exact
+    // repeats only happen when a sensor is stuck.
+    options.powerHealth.staleRepeatLimit = 12;
+    options.perfHealth.staleRepeatLimit = 12;
     return options;
 }
 

@@ -1,0 +1,128 @@
+#include "injector.h"
+
+namespace pupil::faults {
+
+const char*
+channelName(SensorChannel channel)
+{
+    switch (channel) {
+      case SensorChannel::kPower: return "power";
+      case SensorChannel::kPerf: return "perf";
+      case SensorChannel::kRaplSocket0: return "rapl0";
+      case SensorChannel::kRaplSocket1: return "rapl1";
+    }
+    return "?";
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule, uint64_t seed)
+    : schedule_(std::move(schedule)), rng_(seed),
+      activated_(schedule_.events().size(), false)
+{
+}
+
+void
+FaultInjector::setNow(double now)
+{
+    now_ = now;
+    // Activation accounting: count each scheduled event once, when the
+    // clock first enters its window.
+    for (size_t i = 0; i < schedule_.events().size(); ++i) {
+        const FaultEvent& event = schedule_.events()[i];
+        if (!activated_[i] && now >= event.startSec && now < event.endSec) {
+            activated_[i] = true;
+            ++activatedCount_;
+        }
+    }
+}
+
+double
+FaultInjector::sensorSample(SensorChannel channel, double measured,
+                            double now)
+{
+    const std::string target = channelName(channel);
+    const size_t idx = size_t(channel);
+    double out = measured;
+    bool stuck = false;
+    for (const FaultEvent& event : schedule_.events()) {
+        if (!event.active(now, target))
+            continue;
+        switch (event.kind) {
+          case FaultKind::kSensorDropout:
+            out = 0.0;
+            ++injections_;
+            break;
+          case FaultKind::kSensorStuck:
+            if (hasReported_[idx]) {
+                out = lastReported_[idx];
+                stuck = true;
+                ++injections_;
+            }
+            break;
+          case FaultKind::kSensorSpike:
+            if (event.prob >= 1.0 || rng_.bernoulli(event.prob)) {
+                out *= event.param;
+                ++injections_;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    if (!stuck) {
+        lastReported_[idx] = out;
+        hasReported_[idx] = true;
+    }
+    return out;
+}
+
+bool
+FaultInjector::socketFaultActive(FaultKind kind, int socket, double now) const
+{
+    return schedule_.anyActive(kind, std::to_string(socket), now);
+}
+
+bool
+FaultInjector::msrWriteIgnored(int socket)
+{
+    if (!socketFaultActive(FaultKind::kMsrWriteIgnored, socket, now_))
+        return false;
+    ++injections_;
+    return true;
+}
+
+bool
+FaultInjector::msrEnergyStale(int socket)
+{
+    if (!socketFaultActive(FaultKind::kMsrStaleEnergy, socket, now_))
+        return false;
+    ++injections_;
+    return true;
+}
+
+bool
+FaultInjector::allocRefused(double now)
+{
+    if (!schedule_.anyActive(FaultKind::kAllocRefused, "*", now))
+        return false;
+    ++injections_;
+    return true;
+}
+
+bool
+FaultInjector::dvfsRejected(double now)
+{
+    if (!schedule_.anyActive(FaultKind::kDvfsRejected, "*", now))
+        return false;
+    ++injections_;
+    return true;
+}
+
+double
+FaultInjector::actuationExtraDelay(double now) const
+{
+    const FaultEvent* event =
+        schedule_.firstActive(FaultKind::kActuationDelay, "*", now);
+    return event != nullptr ? event->param : 0.0;
+}
+
+}  // namespace pupil::faults

@@ -1,0 +1,101 @@
+#ifndef PUPIL_FAULTS_INJECTOR_H_
+#define PUPIL_FAULTS_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/schedule.h"
+#include "util/rng.h"
+
+namespace pupil::faults {
+
+/** Sensor channels the injector can corrupt. */
+enum class SensorChannel { kPower = 0, kPerf = 1, kRaplSocket0 = 2,
+                           kRaplSocket1 = 3 };
+
+/** Spec-string target name of @p channel ("power", "perf", "rapl0", ...). */
+const char* channelName(SensorChannel channel);
+
+/**
+ * Imposes a FaultSchedule at the simulator's component boundaries.
+ *
+ * One injector serves one platform. The consuming components hold a
+ * pointer and query it at their existing seams -- sensor reads
+ * (sim::Platform), OS actuation (machine::Machine), the MSR register file
+ * (rapl::MsrFile) -- so a null pointer (no schedule) leaves every code
+ * path and RNG stream untouched: with injection disabled the simulation
+ * is byte-identical to a build without the subsystem.
+ *
+ * Determinism: the only randomness is the per-sample Bernoulli draw of
+ * probabilistic spike events, taken from a dedicated RNG stream derived
+ * from the platform seed, so a scenario replays bit-for-bit from
+ * (spec, seed) regardless of sweep thread count.
+ *
+ * MSR queries have no time parameter at their call sites, so the platform
+ * publishes the simulation clock through setNow() each tick; boundaries
+ * that do know the time pass it explicitly.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultSchedule schedule, uint64_t seed);
+
+    const FaultSchedule& schedule() const { return schedule_; }
+
+    /** Publish the simulation clock (called by the platform each tick). */
+    void setNow(double now);
+    double now() const { return now_; }
+
+    // ----- sensor boundary ------------------------------------------------
+    /**
+     * Pass a measured sample through the active sensor faults for
+     * @p channel and return what the governor actually sees.
+     */
+    double sensorSample(SensorChannel channel, double measured, double now);
+
+    // ----- MSR boundary (timed via setNow) --------------------------------
+    /** Whether a PKG_POWER_LIMIT write to @p socket should be dropped. */
+    bool msrWriteIgnored(int socket);
+
+    /** Whether @p socket's energy-status counter is frozen. */
+    bool msrEnergyStale(int socket);
+
+    // ----- OS actuation boundary ------------------------------------------
+    /** Whether a core/socket/HT/MC reconfiguration is refused at @p now. */
+    bool allocRefused(double now);
+
+    /** Whether a p-state-only OS request is rejected at @p now. */
+    bool dvfsRejected(double now);
+
+    /** Extra OS actuation latency in force at @p now (0 when healthy). */
+    double actuationExtraDelay(double now) const;
+
+    // ----- accounting -----------------------------------------------------
+    /** Schedule events whose window has been entered so far. */
+    uint64_t eventsActivated() const { return activatedCount_; }
+
+    /** Individual injections performed (corrupted samples, dropped
+     *  writes, refused requests, frozen counter updates). */
+    uint64_t injectionsPerformed() const { return injections_; }
+
+  private:
+    bool socketFaultActive(FaultKind kind, int socket, double now) const;
+
+    FaultSchedule schedule_;
+    util::Rng rng_;
+    double now_ = 0.0;
+
+    /** Last value each channel reported while unfrozen (for stuck-at). */
+    std::array<double, 4> lastReported_ = {0.0, 0.0, 0.0, 0.0};
+    std::array<bool, 4> hasReported_ = {false, false, false, false};
+
+    std::vector<bool> activated_;
+    uint64_t activatedCount_ = 0;
+    uint64_t injections_ = 0;
+};
+
+}  // namespace pupil::faults
+
+#endif  // PUPIL_FAULTS_INJECTOR_H_

@@ -1,0 +1,146 @@
+#include "schedule.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pupil::faults {
+
+namespace {
+
+const struct
+{
+    FaultKind kind;
+    const char* name;
+} kKindNames[] = {
+    {FaultKind::kSensorDropout, "sensor-dropout"},
+    {FaultKind::kSensorStuck, "sensor-stuck"},
+    {FaultKind::kSensorSpike, "sensor-spike"},
+    {FaultKind::kMsrStaleEnergy, "msr-stale-energy"},
+    {FaultKind::kMsrWriteIgnored, "msr-write-ignored"},
+    {FaultKind::kAllocRefused, "alloc-refused"},
+    {FaultKind::kDvfsRejected, "dvfs-rejected"},
+    {FaultKind::kActuationDelay, "actuation-delay"},
+    {FaultKind::kNodeLoss, "node-loss"},
+};
+
+std::string
+trim(const std::string& text)
+{
+    const size_t first = text.find_first_not_of(" \t\r");
+    if (first == std::string::npos)
+        return "";
+    const size_t last = text.find_last_not_of(" \t\r");
+    return text.substr(first, last - first + 1);
+}
+
+std::vector<std::string>
+splitOn(const std::string& text, char sep)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (true) {
+        const size_t next = text.find(sep, pos);
+        if (next == std::string::npos) {
+            parts.push_back(text.substr(pos));
+            return parts;
+        }
+        parts.push_back(text.substr(pos, next - pos));
+        pos = next + 1;
+    }
+}
+
+double
+parseNumber(const std::string& field, const std::string& entry)
+{
+    char* end = nullptr;
+    const double value = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0')
+        throw std::invalid_argument("fault spec: bad number '" + field +
+                                    "' in entry '" + entry + "'");
+    return value;
+}
+
+FaultKind
+parseKind(const std::string& name, const std::string& entry)
+{
+    for (const auto& entryKind : kKindNames) {
+        if (name == entryKind.name)
+            return entryKind.kind;
+    }
+    throw std::invalid_argument("fault spec: unknown kind '" + name +
+                                "' in entry '" + entry + "'");
+}
+
+}  // namespace
+
+const char*
+kindName(FaultKind kind)
+{
+    for (const auto& entry : kKindNames) {
+        if (entry.kind == kind)
+            return entry.name;
+    }
+    return "?";
+}
+
+FaultSchedule
+FaultSchedule::parse(const std::string& spec)
+{
+    FaultSchedule schedule;
+    std::string normalized = spec;
+    for (char& c : normalized) {
+        if (c == '\n')
+            c = ';';
+    }
+    for (const std::string& rawEntry : splitOn(normalized, ';')) {
+        std::string entry = rawEntry;
+        const size_t comment = entry.find('#');
+        if (comment != std::string::npos)
+            entry = entry.substr(0, comment);
+        entry = trim(entry);
+        if (entry.empty())
+            continue;
+        const std::vector<std::string> fields = splitOn(entry, ',');
+        if (fields.size() < 4 || fields.size() > 6)
+            throw std::invalid_argument(
+                "fault spec: expected kind,target,start,end[,param[,prob]]"
+                " in entry '" + entry + "'");
+        FaultEvent event;
+        event.kind = parseKind(trim(fields[0]), entry);
+        event.target = trim(fields[1]);
+        if (event.target.empty())
+            event.target = "*";
+        event.startSec = parseNumber(trim(fields[2]), entry);
+        event.endSec = parseNumber(trim(fields[3]), entry);
+        if (event.endSec <= event.startSec)
+            throw std::invalid_argument(
+                "fault spec: window must be non-empty in entry '" + entry +
+                "'");
+        if (fields.size() >= 5)
+            event.param = parseNumber(trim(fields[4]), entry);
+        if (fields.size() >= 6)
+            event.prob = parseNumber(trim(fields[5]), entry);
+        schedule.events_.push_back(std::move(event));
+    }
+    return schedule;
+}
+
+bool
+FaultSchedule::anyActive(FaultKind kind, const std::string& target,
+                         double now) const
+{
+    return firstActive(kind, target, now) != nullptr;
+}
+
+const FaultEvent*
+FaultSchedule::firstActive(FaultKind kind, const std::string& target,
+                           double now) const
+{
+    for (const FaultEvent& event : events_) {
+        if (event.kind == kind && event.active(now, target))
+            return &event;
+    }
+    return nullptr;
+}
+
+}  // namespace pupil::faults

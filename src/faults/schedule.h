@@ -1,0 +1,98 @@
+#ifndef PUPIL_FAULTS_SCHEDULE_H_
+#define PUPIL_FAULTS_SCHEDULE_H_
+
+#include <string>
+#include <vector>
+
+namespace pupil::faults {
+
+/**
+ * The fault classes the injector can impose at the simulator's component
+ * boundaries. Each targets one of the interposition points the paper's
+ * robustness argument (Sections 3, 6) rests on: the governor-visible
+ * sensors, the emulated RAPL MSR file, the OS actuation path, and cluster
+ * membership.
+ */
+enum class FaultKind {
+    kSensorDropout,   ///< "sensor-dropout": channel reads as 0 (meter offline)
+    kSensorStuck,     ///< "sensor-stuck": channel frozen at its last reading
+    kSensorSpike,     ///< "sensor-spike": reading multiplied by param
+    kMsrStaleEnergy,  ///< "msr-stale-energy": energy counter stops advancing
+    kMsrWriteIgnored, ///< "msr-write-ignored": PKG_POWER_LIMIT writes dropped
+    kAllocRefused,    ///< "alloc-refused": core/socket/HT/MC changes refused
+    kDvfsRejected,    ///< "dvfs-rejected": p-state-only OS requests refused
+    kActuationDelay,  ///< "actuation-delay": extra param seconds of latency
+    kNodeLoss,        ///< "node-loss": cluster node offline during the window
+};
+
+/** Spec-string name of @p kind (e.g. "sensor-dropout"). */
+const char* kindName(FaultKind kind);
+
+/**
+ * One scheduled fault: @p kind imposed on @p target over [start, end).
+ *
+ * @p target selects the victim: a sensor channel ("power", "perf",
+ * "rapl0", "rapl1"), an MSR socket ("0", "1"), a cluster node name, or
+ * "*" for every instance of the boundary. Actuator faults ignore it.
+ *
+ * @p param is kind-specific (spike multiplier, delay seconds); @p prob is
+ * the per-sample injection probability for kSensorSpike (1 = every
+ * sample), drawn from the injector's own deterministic RNG stream.
+ */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::kSensorDropout;
+    std::string target = "*";
+    double startSec = 0.0;
+    double endSec = 0.0;
+    double param = 0.0;
+    double prob = 1.0;
+
+    /** Whether the event is in force at @p now for @p target. */
+    bool active(double now, const std::string& target_) const
+    {
+        return now >= startSec && now < endSec &&
+               (target == "*" || target == target_);
+    }
+};
+
+/**
+ * A seed-deterministic, time-indexed fault scenario.
+ *
+ * Parsed from a small CSV spec so tests and benches share scenarios:
+ * entries are separated by ';' or newlines, fields by ','; '#' starts a
+ * comment. Each entry is
+ *
+ *     kind,target,start,end[,param[,prob]]
+ *
+ * e.g. "sensor-dropout,power,0,60" (the external meter is dead for the
+ * first minute) or "sensor-spike,power,30,90,3.0,0.25" (a 3x spike on a
+ * quarter of the samples). An empty spec parses to an empty schedule,
+ * which disables injection entirely.
+ */
+class FaultSchedule
+{
+  public:
+    FaultSchedule() = default;
+
+    /** Parse @p spec; throws std::invalid_argument on malformed entries. */
+    static FaultSchedule parse(const std::string& spec);
+
+    const std::vector<FaultEvent>& events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+    /** Whether any @p kind event targeting @p target is active at @p now. */
+    bool anyActive(FaultKind kind, const std::string& target,
+                   double now) const;
+
+    /** First active @p kind event for @p target, or nullptr. */
+    const FaultEvent* firstActive(FaultKind kind, const std::string& target,
+                                  double now) const;
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+}  // namespace pupil::faults
+
+#endif  // PUPIL_FAULTS_SCHEDULE_H_

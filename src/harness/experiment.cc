@@ -110,6 +110,9 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     result.capFeasible = governor->capFeasible();
     result.converged = governor->converged();
     result.durationSec = duration;
+    result.degradedSec = platform.counters().degradedSeconds();
+    result.faultsInjected = platform.counters().faultsInjected();
+    result.faultsDetected = platform.counters().faultsDetected();
     if (!options.workItems.empty()) {
         for (size_t i = 0; i < platform.appCount(); ++i) {
             const double done = platform.completionTime(i);

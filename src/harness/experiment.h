@@ -1,6 +1,7 @@
 #ifndef PUPIL_HARNESS_EXPERIMENT_H_
 #define PUPIL_HARNESS_EXPERIMENT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -76,6 +77,15 @@ struct ExperimentResult
     std::vector<double> completionTimes;
     /** Actual simulated duration. */
     double durationSec = 0.0;
+    /**
+     * Resilience accounting (whole-run scope; all zero unless the
+     * platform options carried a fault spec and/or the governor degraded):
+     * seconds spent in hardware-only fallback, fault events injected by
+     * the schedule, and faults detected by the governor's watchdog.
+     */
+    double degradedSec = 0.0;
+    uint64_t faultsInjected = 0;
+    uint64_t faultsDetected = 0;
     std::vector<telemetry::TracePoint> powerTrace;
     std::vector<telemetry::TracePoint> perfTrace;
 };

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "faults/injector.h"
+
 namespace pupil::machine {
 
 Machine::Machine(const Topology& topo) : topo_(topo)
@@ -23,8 +25,15 @@ Machine::requestConfig(const MachineConfig& cfg, double now)
                           cfg.sockets == base.sockets &&
                           cfg.hyperthreading == base.hyperthreading &&
                           cfg.memControllers == base.memControllers;
+    double latency = dvfsOnly ? kDvfsLatencySec : kMigrationLatencySec;
+    if (faults_ != nullptr) {
+        if (dvfsOnly ? faults_->dvfsRejected(now)
+                     : faults_->allocRefused(now))
+            return;  // the OS write failed; the request is lost
+        latency += faults_->actuationExtraDelay(now);
+    }
     pending_ = cfg;
-    applyAt_ = now + (dvfsOnly ? kDvfsLatencySec : kMigrationLatencySec);
+    applyAt_ = now + latency;
 }
 
 void

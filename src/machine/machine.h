@@ -5,6 +5,10 @@
 
 #include "machine/config.h"
 
+namespace pupil::faults {
+class FaultInjector;
+}
+
 namespace pupil::machine {
 
 /**
@@ -38,9 +42,19 @@ class Machine
     const Topology& topology() const { return topo_; }
 
     /**
+     * Interpose the fault injector on the OS actuation path (allocation
+     * refusal, DVFS rejection, delayed actuation). Null detaches; the
+     * hardware (RAPL clamp) path is never faulted -- its robustness is
+     * the property under study.
+     */
+    void attachFaults(faults::FaultInjector* faults) { faults_ = faults; }
+
+    /**
      * OS-level request to move the machine to @p cfg at time @p now.
      * Takes effect after the migration (or DVFS-only) latency. A new
-     * request supersedes any pending one.
+     * request supersedes any pending one. Under an active actuator fault
+     * the request may be silently dropped (a refused taskset/cpufreq
+     * write) or take extra time to land.
      */
     void requestConfig(const MachineConfig& cfg, double now);
 
@@ -80,6 +94,7 @@ class Machine
     };
 
     Topology topo_;
+    faults::FaultInjector* faults_ = nullptr;
 
     // Pending changes are committed lazily as accessors observe time
     // advance, so the applied state is mutable behind const accessors.

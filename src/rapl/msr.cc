@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "faults/injector.h"
+
 namespace pupil::rapl {
 
 namespace {
@@ -38,10 +40,20 @@ MsrFile::read(uint32_t addr) const
 }
 
 void
+MsrFile::attachFaults(faults::FaultInjector* faults, int socket)
+{
+    faults_ = faults;
+    socket_ = socket;
+}
+
+void
 MsrFile::write(uint32_t addr, uint64_t value)
 {
     if (addr == kMsrRaplPowerUnit || addr == kMsrPkgEnergyStatus)
         return;  // read-only
+    if (faults_ != nullptr && addr == kMsrPkgPowerLimit &&
+        faults_->msrWriteIgnored(socket_))
+        return;  // the cap write never reached the register
     regs_[addr] = value;
 }
 
@@ -69,12 +81,14 @@ MsrFile::setPowerLimit(const PowerLimit& limit)
     uint64_t raw = powerRaw | (timeRaw << kTimeShift);
     if (limit.enabled)
         raw |= uint64_t{1} << kEnableShift;
-    regs_[kMsrPkgPowerLimit] = raw;
+    write(kMsrPkgPowerLimit, raw);
 }
 
 void
 MsrFile::addEnergy(double joules)
 {
+    if (faults_ != nullptr && faults_->msrEnergyStale(socket_))
+        return;  // counter frozen: readers see a stale energy value
     energyRemainder_ += joules / units_.energyUnitJoules;
     const auto whole = uint64_t(energyRemainder_);
     energyRemainder_ -= double(whole);

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <unordered_map>
 
+namespace pupil::faults {
+class FaultInjector;
+}
+
 namespace pupil::rapl {
 
 /**
@@ -50,6 +54,13 @@ class MsrFile
   public:
     MsrFile();
 
+    /**
+     * Interpose the fault injector: a write-ignored fault drops cap
+     * writes (a wedged msr module), a stale-energy fault freezes the
+     * energy counter. @p socket selects which schedule targets apply.
+     */
+    void attachFaults(faults::FaultInjector* faults, int socket);
+
     /** Raw register read; unknown addresses read as 0. */
     uint64_t read(uint32_t addr) const;
 
@@ -74,6 +85,8 @@ class MsrFile
     RaplUnits units_;
     std::unordered_map<uint32_t, uint64_t> regs_;
     double energyRemainder_ = 0.0;  ///< sub-unit energy not yet counted
+    faults::FaultInjector* faults_ = nullptr;
+    int socket_ = 0;
 };
 
 }  // namespace pupil::rapl

@@ -47,7 +47,8 @@ RaplController::zoneStatus(int s) const
 void
 RaplController::onStart(sim::Platform& platform)
 {
-    (void)platform;
+    for (int s = 0; s < 2; ++s)
+        msr_[s].attachFaults(platform.faults(), s);
     for (Zone& zone : zones_) {
         zone.window.clear();
         zone.windowSum = 0.0;

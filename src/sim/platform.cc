@@ -22,6 +22,11 @@ seededRng(uint64_t seed, uint64_t stream)
 Platform::Platform(const PlatformOptions& options,
                    std::vector<sched::AppDemand> apps)
     : options_(options),
+      injector_(options.faultSpec.empty()
+                    ? nullptr
+                    : std::make_unique<faults::FaultInjector>(
+                          faults::FaultSchedule::parse(options.faultSpec),
+                          seededRng(options.seed, 5).next())),
       machine_(),
       powerModel_(options.powerParams),
       scheduler_(options.mcBandwidthGBs),
@@ -39,6 +44,8 @@ Platform::Platform(const PlatformOptions& options,
                  telemetry::NoisySensor(options.raplNoise,
                                         seededRng(options.seed, 4))}
 {
+    if (injector_ != nullptr)
+        machine_.attachFaults(injector_.get());
     itemLags_.assign(apps_.size(),
                      telemetry::FirstOrderLag(options.perfLagTau));
     laggedItems_.assign(apps_.size(), 0.0);
@@ -111,7 +118,11 @@ Platform::resolveSteadyState()
 double
 Platform::readPower()
 {
-    return powerMeter_.sample(laggedTotalPower_);
+    const double measured = powerMeter_.sample(laggedTotalPower_);
+    if (injector_ == nullptr)
+        return measured;
+    return injector_->sensorSample(faults::SensorChannel::kPower, measured,
+                                   now_);
 }
 
 double
@@ -120,7 +131,11 @@ Platform::readPerformance()
     double aggregate = 0.0;
     for (size_t i = 0; i < apps_.size(); ++i)
         aggregate += laggedItems_[i] / soloRef_[i];
-    return perfMeter_.sample(aggregate);
+    const double measured = perfMeter_.sample(aggregate);
+    if (injector_ == nullptr)
+        return measured;
+    return injector_->sensorSample(faults::SensorChannel::kPerf, measured,
+                                   now_);
 }
 
 double
@@ -130,7 +145,14 @@ Platform::readSocketPowerEstimate(int socket)
     // The firmware's event-count-based estimator tracks the package's
     // electrical power essentially instantaneously; only the external
     // meter channel sees the thermal/measurement lag.
-    return raplMeter_[socket].sample(steadySocketPower_[socket]);
+    const double measured = raplMeter_[socket].sample(
+        steadySocketPower_[socket]);
+    if (injector_ == nullptr)
+        return measured;
+    return injector_->sensorSample(socket == 0
+                                       ? faults::SensorChannel::kRaplSocket0
+                                       : faults::SensorChannel::kRaplSocket1,
+                                   measured, now_);
 }
 
 void
@@ -196,6 +218,15 @@ void
 Platform::tick()
 {
     const double dt = options_.tickSec;
+
+    if (injector_ != nullptr) {
+        // Publish the clock for boundaries without a time parameter (the
+        // MSR file) and surface newly entered fault windows.
+        injector_->setNow(now_);
+        const uint64_t activated = injector_->eventsActivated();
+        counters_.addFaultsInjected(activated - injectorActivatedSeen_);
+        injectorActivatedSeen_ = activated;
+    }
 
     resolveSteadyState();
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/injector.h"
 #include "machine/machine.h"
 #include "machine/power_model.h"
 #include "sched/scheduler.h"
@@ -34,6 +35,13 @@ struct PlatformOptions
 
     machine::PowerParams powerParams;
     double mcBandwidthGBs = 40.0;
+
+    /**
+     * Fault scenario (faults::FaultSchedule spec string). Empty disables
+     * injection entirely: no injector is constructed and every component
+     * boundary behaves byte-identically to a faultless build.
+     */
+    std::string faultSpec;
 };
 
 /**
@@ -70,6 +78,10 @@ class Platform
     const machine::Machine& machine() const { return machine_; }
     const machine::PowerModel& powerModel() const { return powerModel_; }
     const sched::Scheduler& scheduler() const { return scheduler_; }
+
+    /** Fault injector, or nullptr when options.faultSpec is empty. */
+    faults::FaultInjector* faults() { return injector_.get(); }
+    const faults::FaultInjector* faults() const { return injector_.get(); }
 
     /** Sample total system power through the noisy meter channel (W). */
     double readPower();
@@ -131,6 +143,8 @@ class Platform
     const telemetry::EnergyAccount& energy() const { return energy_; }
     /** Low-level counters since the last resetStatsWindow(). */
     const telemetry::Counters& counters() const { return counters_; }
+    /** Mutable counters, for governors recording resilience accounting. */
+    telemetry::Counters& mutableCounters() { return counters_; }
     /** Per-app items accumulated since the last resetStatsWindow(). */
     double appItems(size_t i) const { return appItems_[i]; }
     /** Restart the measurement window (e.g. to exclude convergence). */
@@ -162,6 +176,8 @@ class Platform
     void resolveSteadyState();
 
     PlatformOptions options_;
+    std::unique_ptr<faults::FaultInjector> injector_;
+    uint64_t injectorActivatedSeen_ = 0;
     machine::Machine machine_;
     machine::PowerModel powerModel_;
     sched::Scheduler scheduler_;

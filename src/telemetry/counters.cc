@@ -23,6 +23,14 @@ Counters::reset()
     seconds_ = 0.0;
 }
 
+void
+Counters::resetFaults()
+{
+    degradedSeconds_ = 0.0;
+    faultsInjected_ = 0;
+    faultsDetected_ = 0;
+}
+
 double
 Counters::gips() const
 {

@@ -1,6 +1,8 @@
 #ifndef PUPIL_TELEMETRY_COUNTERS_H_
 #define PUPIL_TELEMETRY_COUNTERS_H_
 
+#include <cstdint>
+
 namespace pupil::telemetry {
 
 /**
@@ -8,6 +10,13 @@ namespace pupil::telemetry {
  * paper collects for Table 6: giga-instructions per second, achieved
  * memory bandwidth, and the fraction of busy cycles spent spinning
  * (retiring instructions without forward progress).
+ *
+ * Also carries the resilience accounting surfaced by the faults
+ * subsystem: time spent in a governor's degraded (hardware-only) mode and
+ * injected-vs-detected fault counts. Unlike the activity accumulators,
+ * which are scoped to the measurement window via reset(), fault
+ * accounting spans the whole run (resetFaults() clears it explicitly) so
+ * a fault injected before the stats window still shows up in the result.
  */
 class Counters
 {
@@ -22,7 +31,7 @@ class Counters
     void add(double ips, double bytesPerSec, double spinCtx, double busyCtx,
              double dt);
 
-    /** Clear accumulated state. */
+    /** Clear the windowed activity accumulators (not fault accounting). */
     void reset();
 
     double seconds() const { return seconds_; }
@@ -36,12 +45,32 @@ class Counters
     /** Spin cycles as a percentage of busy cycles (Table 6). */
     double spinPercent() const;
 
+    // ----- resilience accounting (whole-run, see class comment) ----------
+    /** Accumulate @p dt seconds spent in degraded (hardware-only) mode. */
+    void addDegradedTime(double dt) { degradedSeconds_ += dt; }
+
+    /** Record @p n fault events injected by the fault schedule. */
+    void addFaultsInjected(uint64_t n) { faultsInjected_ += n; }
+
+    /** Record @p n faults detected by a governor's telemetry watchdog. */
+    void addFaultsDetected(uint64_t n) { faultsDetected_ += n; }
+
+    /** Clear fault accounting (independent of reset()). */
+    void resetFaults();
+
+    double degradedSeconds() const { return degradedSeconds_; }
+    uint64_t faultsInjected() const { return faultsInjected_; }
+    uint64_t faultsDetected() const { return faultsDetected_; }
+
   private:
     double instructions_ = 0.0;
     double bytes_ = 0.0;
     double spinCtxSeconds_ = 0.0;
     double busyCtxSeconds_ = 0.0;
     double seconds_ = 0.0;
+    double degradedSeconds_ = 0.0;
+    uint64_t faultsInjected_ = 0;
+    uint64_t faultsDetected_ = 0;
 };
 
 }  // namespace pupil::telemetry

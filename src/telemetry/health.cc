@@ -1,0 +1,61 @@
+#include "health.h"
+
+namespace pupil::telemetry {
+
+bool
+HealthMonitor::accept(double value)
+{
+    if (hasLast_ && value == lastValue_)
+        ++repeats_;
+    else
+        repeats_ = 0;
+    lastValue_ = value;
+    hasLast_ = true;
+
+    const bool inBounds =
+        value >= options_.minValue && value <= options_.maxValue;
+    const bool stale = options_.staleRepeatLimit > 0 &&
+                       repeats_ >= options_.staleRepeatLimit;
+    const bool ok = inBounds && !stale;
+
+    window_.push_back(ok);
+    if (!ok)
+        ++windowRejects_;
+    while (int(window_.size()) > options_.window) {
+        if (!window_.front())
+            --windowRejects_;
+        window_.pop_front();
+    }
+
+    if (ok) {
+        ++streak_;
+    } else {
+        streak_ = 0;
+        ++rejected_;
+    }
+    return ok;
+}
+
+bool
+HealthMonitor::healthy() const
+{
+    // A single implausible reading is a glitch, not a fault: the verdict
+    // needs at least two rejects in the window before turning unhealthy.
+    if (windowRejects_ < 2)
+        return true;
+    return double(windowRejects_) <=
+           options_.maxRejectFraction * double(window_.size());
+}
+
+void
+HealthMonitor::reset()
+{
+    hasLast_ = false;
+    repeats_ = 0;
+    window_.clear();
+    windowRejects_ = 0;
+    streak_ = 0;
+    rejected_ = 0;
+}
+
+}  // namespace pupil::telemetry

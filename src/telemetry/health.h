@@ -1,0 +1,82 @@
+#ifndef PUPIL_TELEMETRY_HEALTH_H_
+#define PUPIL_TELEMETRY_HEALTH_H_
+
+#include <cstdint>
+#include <deque>
+
+namespace pupil::telemetry {
+
+/** Plausibility and staleness rules for one measurement channel. */
+struct HealthOptions
+{
+    /** Readings outside [minValue, maxValue] are implausible. */
+    double minValue = 0.5;
+    double maxValue = 2000.0;
+    /**
+     * Exact-repeat count at which a channel is declared stuck. Real
+     * sensors carry continuous noise, so identical consecutive readings
+     * essentially never occur on a healthy channel. Only meaningful for
+     * noisy channels: a walker fed noiseless model evaluations repeats
+     * values legitimately, so <= 0 disables the staleness check.
+     */
+    int staleRepeatLimit = 12;
+    /** Recent samples considered by healthy(). */
+    int window = 10;
+    /** Fraction of rejected samples in the window above which the
+     *  channel is unhealthy. */
+    double maxRejectFraction = 0.25;
+};
+
+/**
+ * Stale-sample watchdog and sanity bounds for a sensor channel.
+ *
+ * The decision framework and the PUPiL governor feed every raw sample
+ * through a monitor before acting on it: implausible (out-of-bounds) and
+ * stale (stuck-at) readings are rejected, and a channel whose recent
+ * window contains too many rejects is flagged unhealthy -- the trigger
+ * for PUPiL's fallback to hardware-only enforcement. On healthy streams
+ * the monitor accepts every sample and changes no behaviour.
+ */
+class HealthMonitor
+{
+  public:
+    HealthMonitor() = default;
+    explicit HealthMonitor(const HealthOptions& options)
+        : options_(options)
+    {
+    }
+
+    /**
+     * Classify one sample; returns true when it is plausible and fresh.
+     * Updates the staleness tracker and the recent-health window.
+     */
+    bool accept(double value);
+
+    /** Whether the recent window is mostly accepted samples. */
+    bool healthy() const;
+
+    /** Total rejected samples since construction/reset(). */
+    uint64_t rejected() const { return rejected_; }
+
+    /** Consecutive accepted samples ending now. */
+    int consecutiveAccepted() const { return streak_; }
+
+    /** Forget all history (e.g. when re-engaging after degradation). */
+    void reset();
+
+    const HealthOptions& options() const { return options_; }
+
+  private:
+    HealthOptions options_;
+    double lastValue_ = 0.0;
+    bool hasLast_ = false;
+    int repeats_ = 0;
+    std::deque<bool> window_;
+    int windowRejects_ = 0;
+    uint64_t rejected_ = 0;
+    int streak_ = 0;
+};
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_HEALTH_H_

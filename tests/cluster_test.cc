@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/power_shifter.h"
+#include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "workload/catalog.h"
 
@@ -73,6 +74,56 @@ TEST(PowerShifter, MinimumNodeCapIsRespected)
     cluster.run(60.0);
     for (size_t i = 0; i < cluster.nodeCount(); ++i)
         EXPECT_GE(cluster.node(i).capWatts, 39.9) << i;
+}
+
+TEST(PowerShifter, NodeLossMidShiftRedistributesItsWatts)
+{
+    // n1 drops out of the cluster at t = 10 s, mid-shift, and rejoins at
+    // t = 30 s. The global budget invariant must hold throughout: the
+    // lost node's watts flow to the survivors immediately, never vanish,
+    // and the rejoined node is folded back in without exceeding the
+    // budget.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 300.0;
+    PowerShifter cluster(options);
+    const size_t n0 = cluster.addNode("n0", harness::singleApp("swaptions"),
+                                      harness::GovernorKind::kPupil, 21);
+    const size_t n1 = cluster.addNode("n1", harness::singleApp("x264"),
+                                      harness::GovernorKind::kPupil, 22);
+    const size_t n2 = cluster.addNode("n2", harness::singleApp("btree"),
+                                      harness::GovernorKind::kPupil, 23);
+    const faults::FaultSchedule schedule =
+        faults::FaultSchedule::parse("node-loss,n1,10,30");
+    cluster.setFaultSchedule(&schedule);
+
+    cluster.run(8.0);
+    ASSERT_TRUE(cluster.node(n1).online);
+    const double capBefore = cluster.node(n1).capWatts;
+    EXPECT_GT(capBefore, 0.0);
+
+    // Caps sum to the budget at every observation point, lost node or not.
+    for (double t = 12.0; t <= 50.0; t += 4.0) {
+        cluster.run(t);
+        EXPECT_NEAR(cluster.totalCapWatts(), 300.0, 0.5) << "t=" << t;
+        if (t < 30.0) {
+            EXPECT_FALSE(cluster.node(n1).online) << "t=" << t;
+            EXPECT_DOUBLE_EQ(cluster.node(n1).capWatts, 0.0) << "t=" << t;
+            // The survivors hold the whole budget between them.
+            EXPECT_NEAR(cluster.node(n0).capWatts +
+                            cluster.node(n2).capWatts,
+                        300.0, 0.5)
+                << "t=" << t;
+        }
+    }
+
+    // After the window the node is back with a real share.
+    EXPECT_TRUE(cluster.node(n1).online);
+    EXPECT_GT(cluster.node(n1).capWatts, options.minNodeCapWatts - 0.1);
+    EXPECT_EQ(cluster.lossEvents(), 1);
+    EXPECT_EQ(cluster.rejoinEvents(), 1);
+    // An offline node's platform is frozen, so the cluster-wide power
+    // measurement keeps respecting the budget.
+    EXPECT_LE(cluster.totalPowerWatts(), 300.0 * 1.03);
 }
 
 TEST(PowerShifter, WorksWithRaplOnlyNodes)

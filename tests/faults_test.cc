@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the fault-injection subsystem (src/faults/) and the graceful
+ * degradation it exercises: schedule parsing, the injector's boundary
+ * semantics, determinism from (spec, seed), zero-cost interposition when
+ * disabled, and the PUPiL governor's fallback/re-engage state machine.
+ */
+#include <gtest/gtest.h>
+
+#include "core/pupil.h"
+#include "faults/injector.h"
+#include "faults/schedule.h"
+#include "machine/machine.h"
+#include "rapl/msr.h"
+#include "rapl/rapl.h"
+#include "sim/platform.h"
+#include "workload/catalog.h"
+
+namespace pupil::faults {
+namespace {
+
+TEST(FaultSchedule, ParsesAllFields)
+{
+    const FaultSchedule schedule = FaultSchedule::parse(
+        "sensor-spike,power,30,90,3.0,0.25;"
+        "node-loss,n1,10,20");
+    ASSERT_EQ(schedule.events().size(), 2u);
+    const FaultEvent& spike = schedule.events()[0];
+    EXPECT_EQ(spike.kind, FaultKind::kSensorSpike);
+    EXPECT_EQ(spike.target, "power");
+    EXPECT_DOUBLE_EQ(spike.startSec, 30.0);
+    EXPECT_DOUBLE_EQ(spike.endSec, 90.0);
+    EXPECT_DOUBLE_EQ(spike.param, 3.0);
+    EXPECT_DOUBLE_EQ(spike.prob, 0.25);
+    const FaultEvent& loss = schedule.events()[1];
+    EXPECT_EQ(loss.kind, FaultKind::kNodeLoss);
+    EXPECT_EQ(loss.target, "n1");
+    EXPECT_DOUBLE_EQ(loss.prob, 1.0);
+}
+
+TEST(FaultSchedule, NewlinesCommentsAndBlanksAreAccepted)
+{
+    const FaultSchedule schedule = FaultSchedule::parse(
+        "# the meter dies for a minute\n"
+        "sensor-dropout,power,0,60\n"
+        "\n"
+        "msr-write-ignored,0,5,15  # socket 0 wedged\n");
+    ASSERT_EQ(schedule.events().size(), 2u);
+    EXPECT_EQ(schedule.events()[0].kind, FaultKind::kSensorDropout);
+    EXPECT_EQ(schedule.events()[1].kind, FaultKind::kMsrWriteIgnored);
+    EXPECT_EQ(schedule.events()[1].target, "0");
+}
+
+TEST(FaultSchedule, EmptySpecDisablesEverything)
+{
+    EXPECT_TRUE(FaultSchedule::parse("").empty());
+    EXPECT_TRUE(FaultSchedule::parse("  # comment only ").empty());
+}
+
+TEST(FaultSchedule, MalformedSpecsThrow)
+{
+    EXPECT_THROW(FaultSchedule::parse("bogus-kind,power,0,10"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("sensor-dropout,power,10"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("sensor-dropout,power,20,10"),
+                 std::invalid_argument);
+    EXPECT_THROW(FaultSchedule::parse("sensor-dropout,power,0,10,1,2,3"),
+                 std::invalid_argument);
+}
+
+TEST(FaultSchedule, ActivityWindowIsHalfOpenAndTargeted)
+{
+    const FaultSchedule schedule =
+        FaultSchedule::parse("sensor-dropout,power,10,20");
+    EXPECT_FALSE(schedule.anyActive(FaultKind::kSensorDropout, "power", 9.9));
+    EXPECT_TRUE(schedule.anyActive(FaultKind::kSensorDropout, "power", 10.0));
+    EXPECT_TRUE(schedule.anyActive(FaultKind::kSensorDropout, "power", 19.9));
+    EXPECT_FALSE(schedule.anyActive(FaultKind::kSensorDropout, "power", 20.0));
+    EXPECT_FALSE(schedule.anyActive(FaultKind::kSensorDropout, "perf", 15.0));
+    // A "*" target hits every instance of the boundary.
+    const FaultSchedule any = FaultSchedule::parse("sensor-dropout,*,0,5");
+    EXPECT_TRUE(any.anyActive(FaultKind::kSensorDropout, "perf", 1.0));
+    EXPECT_TRUE(any.anyActive(FaultKind::kSensorDropout, "rapl1", 1.0));
+}
+
+TEST(FaultSchedule, KindNamesRoundTrip)
+{
+    EXPECT_STREQ(kindName(FaultKind::kSensorStuck), "sensor-stuck");
+    EXPECT_STREQ(kindName(FaultKind::kActuationDelay), "actuation-delay");
+    EXPECT_STREQ(channelName(SensorChannel::kRaplSocket1), "rapl1");
+}
+
+TEST(FaultInjector, DropoutStuckAndSpikeSemantics)
+{
+    FaultInjector injector(
+        FaultSchedule::parse("sensor-dropout,power,10,20;"
+                             "sensor-stuck,perf,10,20;"
+                             "sensor-spike,rapl0,10,20,3.0"),
+        1);
+    // Healthy before the window: samples pass through untouched.
+    EXPECT_DOUBLE_EQ(injector.sensorSample(SensorChannel::kPower, 150.0, 5.0),
+                     150.0);
+    EXPECT_DOUBLE_EQ(injector.sensorSample(SensorChannel::kPerf, 0.8, 5.0),
+                     0.8);
+    EXPECT_DOUBLE_EQ(
+        injector.sensorSample(SensorChannel::kRaplSocket0, 70.0, 5.0), 70.0);
+    // In the window: dead, frozen at the last healthy value, and 3x.
+    EXPECT_DOUBLE_EQ(
+        injector.sensorSample(SensorChannel::kPower, 151.0, 15.0), 0.0);
+    EXPECT_DOUBLE_EQ(injector.sensorSample(SensorChannel::kPerf, 0.9, 15.0),
+                     0.8);
+    EXPECT_DOUBLE_EQ(
+        injector.sensorSample(SensorChannel::kRaplSocket0, 70.0, 15.0),
+        210.0);
+    // After the window everything recovers.
+    EXPECT_DOUBLE_EQ(
+        injector.sensorSample(SensorChannel::kPower, 152.0, 25.0), 152.0);
+    EXPECT_DOUBLE_EQ(injector.sensorSample(SensorChannel::kPerf, 0.9, 25.0),
+                     0.9);
+    EXPECT_GT(injector.injectionsPerformed(), 0u);
+}
+
+TEST(FaultInjector, ProbabilisticSpikesAreSeedDeterministic)
+{
+    const std::string spec = "sensor-spike,power,0,100,2.0,0.5";
+    FaultInjector a(FaultSchedule::parse(spec), 7);
+    FaultInjector b(FaultSchedule::parse(spec), 7);
+    FaultInjector c(FaultSchedule::parse(spec), 8);
+    int spikesA = 0;
+    int spikesB = 0;
+    int spikesC = 0;
+    bool seedsDiffer = false;
+    for (int i = 0; i < 200; ++i) {
+        const double t = 0.1 * i;
+        const double va = a.sensorSample(SensorChannel::kPower, 100.0, t);
+        const double vb = b.sensorSample(SensorChannel::kPower, 100.0, t);
+        const double vc = c.sensorSample(SensorChannel::kPower, 100.0, t);
+        EXPECT_DOUBLE_EQ(va, vb) << "sample " << i;
+        spikesA += va > 100.0;
+        spikesB += vb > 100.0;
+        spikesC += vc > 100.0;
+        seedsDiffer = seedsDiffer || va != vc;
+    }
+    EXPECT_EQ(spikesA, spikesB);
+    // Roughly half the samples spike, and a different seed reorders them.
+    EXPECT_GT(spikesA, 50);
+    EXPECT_LT(spikesA, 150);
+    EXPECT_TRUE(seedsDiffer);
+}
+
+TEST(FaultInjector, ActivationAccountingCountsEnteredWindows)
+{
+    FaultInjector injector(
+        FaultSchedule::parse("sensor-dropout,power,10,20;"
+                             "alloc-refused,*,30,40"),
+        1);
+    injector.setNow(5.0);
+    EXPECT_EQ(injector.eventsActivated(), 0u);
+    injector.setNow(12.0);
+    EXPECT_EQ(injector.eventsActivated(), 1u);
+    injector.setNow(35.0);
+    EXPECT_EQ(injector.eventsActivated(), 2u);
+    injector.setNow(50.0);  // leaving windows never decrements
+    EXPECT_EQ(injector.eventsActivated(), 2u);
+}
+
+TEST(MsrFaults, WriteIgnoredDropsCapWrites)
+{
+    FaultInjector injector(
+        FaultSchedule::parse("msr-write-ignored,0,10,20"), 1);
+    rapl::MsrFile msr;
+    msr.attachFaults(&injector, /*socket=*/0);
+
+    injector.setNow(5.0);
+    msr.setPowerLimit({100.0, 0.25, true});
+    EXPECT_NEAR(msr.powerLimit().powerWatts, 100.0, 0.5);
+
+    injector.setNow(15.0);  // wedged: the write is silently lost
+    msr.setPowerLimit({60.0, 0.25, true});
+    EXPECT_NEAR(msr.powerLimit().powerWatts, 100.0, 0.5);
+
+    injector.setNow(25.0);  // recovered
+    msr.setPowerLimit({60.0, 0.25, true});
+    EXPECT_NEAR(msr.powerLimit().powerWatts, 60.0, 0.5);
+
+    // The other socket is never affected.
+    rapl::MsrFile other;
+    other.attachFaults(&injector, /*socket=*/1);
+    injector.setNow(15.0);
+    other.setPowerLimit({80.0, 0.25, true});
+    EXPECT_NEAR(other.powerLimit().powerWatts, 80.0, 0.5);
+}
+
+TEST(MsrFaults, StaleEnergyFreezesTheCounter)
+{
+    FaultInjector injector(
+        FaultSchedule::parse("msr-stale-energy,*,10,20"), 1);
+    rapl::MsrFile msr;
+    msr.attachFaults(&injector, /*socket=*/0);
+
+    injector.setNow(5.0);
+    msr.addEnergy(100.0);
+    const double before = msr.energyJoules();
+    EXPECT_NEAR(before, 100.0, 0.01);
+
+    injector.setNow(15.0);
+    msr.addEnergy(50.0);  // frozen: the update is dropped
+    EXPECT_DOUBLE_EQ(msr.energyJoules(), before);
+
+    injector.setNow(25.0);
+    msr.addEnergy(50.0);
+    EXPECT_NEAR(msr.energyJoules(), before + 50.0, 0.01);
+}
+
+TEST(MachineFaults, AllocRefusedDropsMigrationsNotDvfs)
+{
+    FaultInjector injector(FaultSchedule::parse("alloc-refused,*,0,100"), 1);
+    machine::Machine machine;
+    machine.attachFaults(&injector);
+
+    // A migration-class request is refused outright.
+    machine.requestConfig(machine::maximalConfig(), 1.0);
+    EXPECT_EQ(machine.osConfig(10.0).coresPerSocket,
+              machine::minimalConfig().coresPerSocket);
+
+    // A p-state-only request goes through the cpufreq path and still works.
+    machine::MachineConfig dvfs = machine::minimalConfig();
+    dvfs.setUniformPState(machine::DvfsTable::kTurboPState);
+    machine.requestConfig(dvfs, 10.0);
+    EXPECT_EQ(machine.osConfig(20.0).pstate[0],
+              machine::DvfsTable::kTurboPState);
+}
+
+TEST(MachineFaults, DvfsRejectedDropsDvfsNotMigrations)
+{
+    FaultInjector injector(FaultSchedule::parse("dvfs-rejected,*,0,100"), 1);
+    machine::Machine machine;
+    machine.attachFaults(&injector);
+
+    machine::MachineConfig dvfs = machine::minimalConfig();
+    dvfs.setUniformPState(machine::DvfsTable::kTurboPState);
+    machine.requestConfig(dvfs, 1.0);  // rejected: stays at p-state 0
+    EXPECT_EQ(machine.osConfig(10.0).pstate[0], 0);
+
+    machine.requestConfig(machine::maximalConfig(), 10.0);
+    EXPECT_EQ(machine.osConfig(20.0).coresPerSocket,
+              machine::maximalConfig().coresPerSocket);
+}
+
+TEST(MachineFaults, ActuationDelayPostponesTheChange)
+{
+    FaultInjector injector(
+        FaultSchedule::parse("actuation-delay,*,0,100,2.0"), 1);
+    machine::Machine machine;
+    machine.attachFaults(&injector);
+
+    machine.requestConfig(machine::maximalConfig(), 1.0);
+    // Normal migration latency (150 ms) has passed, but the extra 2 s of
+    // fault latency has not.
+    EXPECT_TRUE(machine.configChangePending(1.5));
+    EXPECT_FALSE(machine.configChangePending(3.5));
+    EXPECT_EQ(machine.osConfig(3.5).coresPerSocket,
+              machine::maximalConfig().coresPerSocket);
+}
+
+TEST(ZeroCost, InactiveScheduleIsByteIdenticalToNoSchedule)
+{
+    // A platform with no fault spec and one whose only event starts long
+    // after the run must produce bit-identical observable histories: the
+    // interposition itself costs nothing until a window opens.
+    const std::vector<sched::AppDemand> apps = {
+        {&workload::findBenchmark("x264"), 32}};
+    sim::PlatformOptions bare;
+    bare.seed = 99;
+    sim::PlatformOptions armed = bare;
+    armed.faultSpec = "sensor-dropout,power,500,600";
+
+    sim::Platform a(bare, apps);
+    sim::Platform b(armed, apps);
+    EXPECT_EQ(a.faults(), nullptr);
+    ASSERT_NE(b.faults(), nullptr);
+    a.warmStart(machine::maximalConfig());
+    b.warmStart(machine::maximalConfig());
+    a.run(5.0);
+    b.run(5.0);
+
+    EXPECT_EQ(a.truePower(), b.truePower());
+    EXPECT_EQ(a.energy().meanPower(), b.energy().meanPower());
+    EXPECT_EQ(a.readPower(), b.readPower());
+    EXPECT_EQ(a.readPerformance(), b.readPerformance());
+    ASSERT_EQ(a.powerTrace().size(), b.powerTrace().size());
+    for (size_t i = 0; i < a.powerTrace().size(); ++i)
+        EXPECT_EQ(a.powerTrace()[i].value, b.powerTrace()[i].value) << i;
+    EXPECT_EQ(b.counters().faultsInjected(), 0u);
+}
+
+/** Drive PUPiL on a faulted platform; returns the platform's violations. */
+class PupilDegradationTest : public ::testing::Test
+{
+  protected:
+    void
+    runScenario(core::Pupil& pupil, sim::Platform& platform,
+                rapl::RaplController& rapl, double untilSec)
+    {
+        platform.warmStart(machine::maximalConfig());
+        pupil.attachRapl(&rapl);
+        pupil.setCap(140.0);
+        platform.addActor(&rapl);
+        platform.addActor(&pupil);
+        platform.run(untilSec);
+    }
+};
+
+TEST_F(PupilDegradationTest, FallsBackAndReengagesDeterministically)
+{
+    // The power meter dies at t = 10 s and recovers at t = 20 s. PUPiL
+    // must degrade to hardware-only enforcement shortly after the dropout
+    // begins, ride it out on RAPL, and re-engage software after its
+    // healthy streak -- all while the cap stays enforced.
+    sim::PlatformOptions options;
+    options.seed = 11;
+    options.faultSpec = "sensor-dropout,power,10,20";
+    sim::Platform platform(
+        options, {{&workload::findBenchmark("x264"), 32}});
+    rapl::RaplController rapl;
+    core::Pupil pupil;
+
+    runScenario(pupil, platform, rapl, 9.0);
+    EXPECT_EQ(pupil.mode(), core::Pupil::Mode::kHybrid);
+    EXPECT_EQ(pupil.degradedEntries(), 0);
+
+    platform.run(15.0);
+    EXPECT_EQ(pupil.mode(), core::Pupil::Mode::kDegraded);
+    EXPECT_EQ(pupil.degradedEntries(), 1);
+    EXPECT_EQ(pupil.reengagements(), 0);
+
+    platform.run(60.0);
+    EXPECT_EQ(pupil.mode(), core::Pupil::Mode::kHybrid);
+    EXPECT_EQ(pupil.degradedEntries(), 1);
+    EXPECT_EQ(pupil.reengagements(), 1);
+
+    // Resilience accounting reached the platform's counters.
+    EXPECT_GT(platform.counters().degradedSeconds(), 5.0);
+    EXPECT_LT(platform.counters().degradedSeconds(), 20.0);
+    EXPECT_GE(platform.counters().faultsInjected(), 1u);
+    EXPECT_EQ(platform.counters().faultsDetected(), 1u);
+
+    // Hardware kept the cap while software was blind.
+    EXPECT_LT(platform.capViolationSec(140.0), 2.0);
+}
+
+TEST_F(PupilDegradationTest, TransitionsAreReproducibleFromSpecAndSeed)
+{
+    // Two identical runs agree on every transition count and on the
+    // degraded-time accounting to the last bit.
+    auto runOnce = [](double& degradedSec, int& entries, int& reengaged) {
+        sim::PlatformOptions options;
+        options.seed = 11;
+        options.faultSpec = "sensor-dropout,power,10,20";
+        sim::Platform platform(
+            options, {{&workload::findBenchmark("x264"), 32}});
+        platform.warmStart(machine::maximalConfig());
+        rapl::RaplController rapl;
+        core::Pupil pupil;
+        pupil.attachRapl(&rapl);
+        pupil.setCap(140.0);
+        platform.addActor(&rapl);
+        platform.addActor(&pupil);
+        platform.run(40.0);
+        degradedSec = platform.counters().degradedSeconds();
+        entries = pupil.degradedEntries();
+        reengaged = pupil.reengagements();
+    };
+    double degradedA = 0.0;
+    double degradedB = 0.0;
+    int entriesA = 0;
+    int entriesB = 0;
+    int reengagedA = 0;
+    int reengagedB = 0;
+    runOnce(degradedA, entriesA, reengagedA);
+    runOnce(degradedB, entriesB, reengagedB);
+    EXPECT_EQ(degradedA, degradedB);
+    EXPECT_EQ(entriesA, entriesB);
+    EXPECT_EQ(reengagedA, reengagedB);
+    EXPECT_EQ(entriesA, 1);
+}
+
+TEST_F(PupilDegradationTest, HealthyRunNeverDegrades)
+{
+    sim::PlatformOptions options;
+    options.seed = 3;
+    sim::Platform platform(
+        options, {{&workload::findBenchmark("swaptions"), 32}});
+    rapl::RaplController rapl;
+    core::Pupil pupil;
+    runScenario(pupil, platform, rapl, 30.0);
+    EXPECT_EQ(pupil.mode(), core::Pupil::Mode::kHybrid);
+    EXPECT_EQ(pupil.degradedEntries(), 0);
+    EXPECT_EQ(platform.counters().degradedSeconds(), 0.0);
+    EXPECT_EQ(platform.counters().faultsDetected(), 0u);
+}
+
+}  // namespace
+}  // namespace pupil::faults
