@@ -84,6 +84,24 @@ applyFastMode(harness::ExperimentOptions& options)
 }
 
 /**
+ * Structured-trace output path: the value following a `--trace` argument
+ * if present, otherwise the PUPIL_TRACE environment variable, otherwise
+ * empty (tracing disabled). Benches that honor this create a
+ * trace::Recorder only when the path is non-empty, so an untraced
+ * invocation stays byte-identical to a build without the trace layer.
+ */
+inline std::string
+tracePathFromArgs(int argc, char** argv)
+{
+    for (int i = 1; i + 1 < argc; ++i) {
+        if (std::string(argv[i]) == "--trace")
+            return argv[i + 1];
+    }
+    const char* env = std::getenv("PUPIL_TRACE");
+    return env != nullptr ? env : "";
+}
+
+/**
  * Sweep-runner options shared by the bench binaries: traces are dropped
  * (the tables only read scalar metrics) and a `--serial` argument forces
  * one worker thread. Thread count otherwise honors PUPIL_SWEEP_THREADS,

@@ -8,6 +8,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/csv.h"
 
 using namespace pupil;
@@ -29,7 +31,7 @@ traceValueAt(const std::vector<telemetry::TracePoint>& trace, double t)
 }  // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
     const double cap = 140.0;
     harness::ExperimentOptions options = bench::defaultOptions(cap);
@@ -37,6 +39,14 @@ main()
     const double horizon = std::min(150.0, options.durationSec);
     options.durationSec = horizon;
     options.statsWindowSec = horizon;
+
+    // Optional structured trace (--trace <path> or PUPIL_TRACE). Both runs
+    // record into one timeline; with no path the experiments run untraced
+    // and the output below is byte-identical to an uninstrumented build.
+    const std::string tracePath = bench::tracePathFromArgs(argc, argv);
+    trace::Recorder recorder;
+    if (!tracePath.empty())
+        options.trace = &recorder;
 
     std::printf("=== Fig. 1: RAPL vs Soft-Decision, x264 under a %.0f W cap "
                 "===\n\n", cap);
@@ -85,5 +95,11 @@ main()
             soft.perfTrace[i].value * fpsPerUnit});
     }
     std::printf("\nFull traces written to fig1_trace.csv\n");
+    if (!tracePath.empty() &&
+        trace::writeFile(tracePath, trace::toChromeJson(recorder))) {
+        std::printf("Structured trace (%zu events) written to %s "
+                    "(chrome://tracing / ui.perfetto.dev)\n",
+                    recorder.size(), tracePath.c_str());
+    }
     return 0;
 }

@@ -16,6 +16,7 @@
 #include "sched/scheduler.h"
 #include "sim/platform.h"
 #include "telemetry/filter.h"
+#include "trace/trace.h"
 #include "workload/catalog.h"
 #include "workload/mixes.h"
 
@@ -123,6 +124,80 @@ BM_RaplControlInterval(benchmark::State& state)
     }
 }
 BENCHMARK(BM_RaplControlInterval);
+
+void
+BM_TraceEmit(benchmark::State& state)
+{
+    trace::Recorder recorder;
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 0.001;
+        trace::emit(&recorder, now, trace::EventKind::kClampChange, 0.8,
+                    120.0, 0, 7);
+    }
+    benchmark::DoNotOptimize(recorder.size());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmit);
+
+void
+BM_TraceEmitDisabled(benchmark::State& state)
+{
+    // The cost every instrumentation point pays when no recorder is
+    // attached: one null test. This is the "tracing off" tax on the 1 ms
+    // firmware path.
+    trace::Recorder* recorder = nullptr;
+    benchmark::DoNotOptimize(recorder);
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 0.001;
+        trace::emit(recorder, now, trace::EventKind::kClampChange, 0.8,
+                    120.0, 0, 7);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceEmitDisabled);
+
+void
+BM_PlatformTickTraced(benchmark::State& state)
+{
+    // Pair with BM_PlatformTickMillisecond: the same simulation loop with
+    // a recorder attached. The acceptance bar is <2% overhead enabled
+    // (and exact equality of simulation results, covered by trace_test).
+    sim::PlatformOptions options;
+    sim::Platform platform(options, {{&workload::findBenchmark("x264"), 32}});
+    platform.warmStart(machine::maximalConfig());
+    trace::Recorder recorder;
+    platform.attachTrace(&recorder);
+    double t = 0.001;
+    for (auto _ : state) {
+        platform.run(t);
+        t += 0.001;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PlatformTickTraced);
+
+void
+BM_RaplControlIntervalTraced(benchmark::State& state)
+{
+    // Pair with BM_RaplControlInterval: the firmware loop recording limit
+    // writes, budget-window edges, and clamp changes.
+    sim::PlatformOptions options;
+    sim::Platform platform(options, {{&workload::findBenchmark("x264"), 32}});
+    platform.warmStart(machine::maximalConfig());
+    trace::Recorder recorder;
+    platform.attachTrace(&recorder);
+    rapl::RaplController rapl;
+    rapl.setTotalCapEvenSplit(140.0);
+    rapl.onStart(platform);
+    double now = 0.0;
+    for (auto _ : state) {
+        now += 0.001;
+        rapl.onTick(platform, now);
+    }
+}
+BENCHMARK(BM_RaplControlIntervalTraced);
 
 void
 BM_OracleSearchUserSpace(benchmark::State& state)

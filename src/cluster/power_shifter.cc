@@ -29,8 +29,17 @@ PowerShifter::addNode(const std::string& name,
     node->governor->attachRapl(node->rapl.get());
     node->platform->addActor(node->rapl.get());
     node->platform->addActor(node->governor.get());
+    node->platform->attachTrace(trace_);
     nodes_.push_back(std::move(node));
     return nodes_.size() - 1;
+}
+
+void
+PowerShifter::attachTrace(trace::Recorder* recorder)
+{
+    trace_ = recorder;
+    for (auto& node : nodes_)
+        node->platform->attachTrace(recorder);
 }
 
 double
@@ -73,13 +82,15 @@ PowerShifter::updateMembership()
         return;
     std::vector<Node*> rejoined;
     bool changed = false;
-    for (auto& nodePtr : nodes_) {
-        Node& node = *nodePtr;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        Node& node = *nodes_[i];
         const bool lost = schedule_->anyActive(faults::FaultKind::kNodeLoss,
                                                node.name, now_);
         if (lost && node.online) {
             // Node down: it draws nothing, and its budget share must not
             // evaporate with it -- the survivors absorb it below.
+            trace::emit(trace_, now_, trace::EventKind::kNodeLoss,
+                        node.capWatts, 0.0, int32_t(i));
             node.online = false;
             node.capWatts = 0.0;
             ++lossEvents_;
@@ -127,6 +138,12 @@ PowerShifter::updateMembership()
             else
                 node->capWatts *= factor;
         }
+    }
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (std::find(rejoined.begin(), rejoined.end(), nodes_[i].get()) !=
+            rejoined.end())
+            trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
+                        nodes_[i]->capWatts, 0.0, int32_t(i));
     }
     pushCaps();
 }
@@ -178,6 +195,8 @@ PowerShifter::reallocate()
     }
     pushCaps();
     ++shifts_;
+    trace::emit(trace_, now_, trace::EventKind::kRebalance, totalCapWatts(),
+                totalPowerWatts(), shifts_);
 }
 
 void

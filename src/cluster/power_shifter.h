@@ -10,6 +10,7 @@
 #include "harness/experiment.h"
 #include "rapl/rapl.h"
 #include "sim/platform.h"
+#include "trace/trace.h"
 
 namespace pupil::cluster {
 
@@ -77,6 +78,14 @@ class PowerShifter
         schedule_ = schedule;
     }
 
+    /**
+     * Record cluster-level events (rebalances, node loss/rejoin) into
+     * @p recorder, and thread it through to every node platform so
+     * node-local subsystems share the same timeline. Null detaches. Not
+     * owned; must outlive run().
+     */
+    void attachTrace(trace::Recorder* recorder);
+
     /** Advance every node to @p untilSec, reallocating caps on the way. */
     void run(double untilSec);
 
@@ -110,6 +119,7 @@ class PowerShifter
     Options options_;
     std::vector<std::unique_ptr<Node>> nodes_;
     const faults::FaultSchedule* schedule_ = nullptr;
+    trace::Recorder* trace_ = nullptr;
     double now_ = 0.0;
     int shifts_ = 0;
     int lossEvents_ = 0;

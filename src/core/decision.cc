@@ -30,6 +30,9 @@ DecisionWalker::start(const machine::MachineConfig& initial, double capWatts,
     perfFilter_.reset();
     powerFilter_.reset();
     ++walkCount_;
+    walkStartedAt_ = now;
+    trace::emit(trace_, now, trace::EventKind::kWalkStart, capWatts, 0.0,
+                walkCount_);
     if (phase_ == Phase::kMonitor)
         enterMonitor(now);
 }
@@ -52,6 +55,8 @@ DecisionWalker::setResource(const Resource& r, int settingIndex, double now)
     waitUntil_ = now + r.delaySec() + options_.settleExtraSec;
     perfFilter_.reset();
     powerFilter_.reset();
+    trace::emit(trace_, now, trace::EventKind::kConfigTry, 0.0, 0.0,
+                int32_t(resourceIdx_), settingIndex);
 }
 
 void
@@ -73,6 +78,8 @@ DecisionWalker::enterMonitor(double now)
     phase_ = Phase::kMonitor;
     monitorSince_ = now;
     baselinePerf_ = 0.0;  // captured from the first full monitor window
+    trace::emit(trace_, now, trace::EventKind::kWalkConverged,
+                now - walkStartedAt_, 0.0, steps_);
 }
 
 void
@@ -91,6 +98,8 @@ DecisionWalker::addSample(double perf, double power, double now)
         // decide on garbage. PUPiL's degradation machine (and hardware
         // caps) covers the stall; software-only governors simply freeze.
         ++samplesRejected_;
+        trace::emit(trace_, now, trace::EventKind::kSampleRejected, perf,
+                    power);
         return;
     }
     perfFilter_.add(perf);
@@ -100,6 +109,8 @@ DecisionWalker::addSample(double perf, double power, double now)
     const double perfF = perfFilter_.filtered();
     const double powerF = powerFilter_.filtered();
     ++steps_;
+    trace::emit(trace_, now, trace::EventKind::kWalkStep, perfF, powerF,
+                int(phase_));
 
     switch (phase_) {
       case Phase::kIdle:
@@ -121,9 +132,13 @@ DecisionWalker::addSample(double perf, double power, double now)
 
       case Phase::kAfterSet: {
         const Resource& r = order_[resourceIdx_];
+        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
         if (perfF < perfOld_ * (1.0 + options_.perfEpsilon)) {
             // No improvement: return the resource to its lowest setting.
             setResource(r, savedSetting_, now);
+            trace::emit(trace_, now, trace::EventKind::kConfigReject,
+                        speedup, powerF, int32_t(resourceIdx_),
+                        savedSetting_);
             advanceResource(now);
         } else if (options_.checkPower && powerF > cap_) {
             // Improved but over budget: binary-search the highest setting
@@ -132,6 +147,9 @@ DecisionWalker::addSample(double perf, double power, double now)
             binaryHi_ = r.settings() - 2;
             if (binaryLo_ > binaryHi_) {
                 setResource(r, savedSetting_, now);
+                trace::emit(trace_, now, trace::EventKind::kConfigAccept,
+                            speedup, powerF, int32_t(resourceIdx_),
+                            savedSetting_);
                 advanceResource(now);
                 break;
             }
@@ -139,7 +157,12 @@ DecisionWalker::addSample(double perf, double power, double now)
             setResource(r, binaryMid_, now);
             phase_ = Phase::kBinaryProbe;
         } else {
-            advanceResource(now);  // keep the highest setting
+            // Keep the highest setting: performance improved and the cap
+            // (when software-checked) holds.
+            trace::emit(trace_, now, trace::EventKind::kConfigAccept,
+                        speedup, powerF, int32_t(resourceIdx_),
+                        r.setting(cfg_));
+            advanceResource(now);
         }
         break;
       }
@@ -150,8 +173,11 @@ DecisionWalker::addSample(double perf, double power, double now)
             binaryHi_ = binaryMid_ - 1;
         else
             binaryLo_ = binaryMid_;
+        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
         if (binaryLo_ >= binaryHi_) {
             setResource(r, binaryLo_, now);
+            trace::emit(trace_, now, trace::EventKind::kConfigAccept,
+                        speedup, powerF, int32_t(resourceIdx_), binaryLo_);
             advanceResource(now);
             break;
         }
@@ -161,6 +187,9 @@ DecisionWalker::addSample(double perf, double power, double now)
             binaryLo_ = binaryMid_;
             if (binaryLo_ >= binaryHi_) {
                 setResource(r, binaryLo_, now);
+                trace::emit(trace_, now, trace::EventKind::kConfigAccept,
+                            speedup, powerF, int32_t(resourceIdx_),
+                            binaryLo_);
                 advanceResource(now);
                 break;
             }

@@ -8,6 +8,7 @@
 #include "machine/config.h"
 #include "telemetry/filter.h"
 #include "telemetry/health.h"
+#include "trace/trace.h"
 
 namespace pupil::core {
 
@@ -113,6 +114,15 @@ class DecisionWalker
     /** Name of the current phase (diagnostics). */
     std::string phaseName() const;
 
+    /**
+     * Attach a structured-event recorder (null detaches). The walker
+     * emits walk-start/step, config-try and accept/reject (with the
+     * speedup estimate that justified the decision), convergence, and
+     * watchdog rejections. Purely observational: no decision, filter, or
+     * RNG state depends on whether a recorder is attached.
+     */
+    void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
+
   private:
     enum class Phase { kIdle, kBaseline, kAfterSet, kBinaryProbe, kMonitor };
 
@@ -146,6 +156,8 @@ class DecisionWalker
     telemetry::HealthMonitor perfHealth_;
     telemetry::HealthMonitor powerHealth_;
     uint64_t samplesRejected_ = 0;
+    trace::Recorder* trace_ = nullptr;
+    double walkStartedAt_ = 0.0;
 };
 
 }  // namespace pupil::core

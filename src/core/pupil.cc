@@ -49,6 +49,9 @@ Pupil::programRapl(sim::Platform& platform,
     // minimum of the old and new splits immediately, and relax to the new
     // split once the machine change has landed.
     targetCaps_ = splitCap(platform.powerModel(), cfg, cap_, policy_);
+    trace::emit(platform.trace(), platform.now(),
+                trace::EventKind::kCapSplit, targetCaps_[0], targetCaps_[1]);
+    platform.metrics().addCounter("pupil.cap_splits");
     for (int s = 0; s < 2; ++s) {
         const double tight = appliedCaps_[s] > 0.0
                                  ? std::min(appliedCaps_[s], targetCaps_[s])
@@ -77,6 +80,7 @@ Pupil::onStart(sim::Platform& platform)
         workload::calibrationApp());
     walker_ = std::make_unique<DecisionWalker>(
         report.orderedResources(/*includeDvfs=*/false), options_);
+    walker_->attachTrace(platform.trace());
     walker_->start(initial, cap_, platform.now());
     if (walker_->takeConfigDirty())
         platform.machine().requestConfig(walker_->config(), platform.now());
@@ -120,6 +124,11 @@ Pupil::onTick(sim::Platform& platform, double now)
         }
         capsPending_ = false;
     }
+    telemetry::MetricsRegistry& metrics = platform.metrics();
+    metrics.setGauge("decision.walks", walker_->walkCount());
+    metrics.setGauge("decision.steps", walker_->stepsTaken());
+    metrics.setGauge("decision.samples_rejected",
+                     double(walker_->samplesRejected()));
 }
 
 void
@@ -129,6 +138,9 @@ Pupil::enterDegraded(sim::Platform& platform, double now)
     ++degradedEntries_;
     healthyStreak_ = 0;
     platform.mutableCounters().addFaultsDetected(1);
+    trace::emit(platform.trace(), now, trace::EventKind::kModeDegraded, 0.0,
+                0.0, degradedEntries_);
+    platform.metrics().addCounter("pupil.degraded_entries");
     // Hand the whole problem to hardware: the RAPL-only operating point
     // (everything on) with the cap split evenly between the sockets. The
     // config request may itself fail under an actuator fault; the caps go
@@ -146,6 +158,9 @@ Pupil::reengage(sim::Platform& platform, double now)
     ++reengagements_;
     powerHealth_.reset();
     perfHealth_.reset();
+    trace::emit(platform.trace(), now, trace::EventKind::kModeReengage, 0.0,
+                0.0, reengagements_);
+    platform.metrics().addCounter("pupil.reengagements");
     // Fresh walk from the minimal configuration, exactly as at start:
     // whatever happened while blind, the exploration state is stale.
     machine::MachineConfig initial = machine::minimalConfig();

@@ -40,6 +40,7 @@ SoftDecision::onStart(sim::Platform& platform)
         workload::calibrationApp());
     walker_ = std::make_unique<DecisionWalker>(
         report.orderedResources(/*includeDvfs=*/true), options_);
+    walker_->attachTrace(platform.trace());
     walker_->start(machine::minimalConfig(), cap_, platform.now());
     if (walker_->takeConfigDirty())
         platform.machine().requestConfig(walker_->config(), platform.now());
@@ -53,6 +54,11 @@ SoftDecision::onTick(sim::Platform& platform, double now)
     walker_->addSample(perf, power, now);
     if (walker_->takeConfigDirty())
         platform.machine().requestConfig(walker_->config(), now);
+    telemetry::MetricsRegistry& metrics = platform.metrics();
+    metrics.setGauge("decision.walks", walker_->walkCount());
+    metrics.setGauge("decision.steps", walker_->stepsTaken());
+    metrics.setGauge("decision.samples_rejected",
+                     double(walker_->samplesRejected()));
 }
 
 }  // namespace pupil::core

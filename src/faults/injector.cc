@@ -31,6 +31,9 @@ FaultInjector::setNow(double now)
         if (!activated_[i] && now >= event.startSec && now < event.endSec) {
             activated_[i] = true;
             ++activatedCount_;
+            trace::emit(trace_, now, trace::EventKind::kFaultActivated,
+                        event.endSec - event.startSec, 0.0, int32_t(i),
+                        int32_t(event.kind));
         }
     }
 }

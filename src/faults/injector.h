@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "faults/schedule.h"
+#include "trace/trace.h"
 #include "util/rng.h"
 
 namespace pupil::faults {
@@ -43,6 +44,13 @@ class FaultInjector
     FaultInjector(FaultSchedule schedule, uint64_t seed);
 
     const FaultSchedule& schedule() const { return schedule_; }
+
+    /**
+     * Attach a structured-event recorder (not owned, null detaches).
+     * Each schedule event emits trace::EventKind::kFaultActivated once,
+     * when the clock first enters its window.
+     */
+    void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
 
     /** Publish the simulation clock (called by the platform each tick). */
     void setNow(double now);
@@ -85,6 +93,7 @@ class FaultInjector
 
     FaultSchedule schedule_;
     util::Rng rng_;
+    trace::Recorder* trace_ = nullptr;
     double now_ = 0.0;
 
     /** Last value each channel reported while unfrozen (for stuck-at). */

@@ -63,6 +63,17 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     sim::Platform platform(platformOptions, apps);
     // The machine is busy and uncapped before the governor engages.
     platform.warmStart(machine::maximalConfig());
+    // Per-job accounting starts from zero no matter how the caller obtained
+    // the platform: a reused sweep worker must never leak activity or fault
+    // accounting from a previous job into this result (regression covered
+    // by sweep_test).
+    platform.mutableCounters().reset();
+    platform.mutableCounters().resetFaults();
+    platform.metrics().reset();
+    platform.attachTrace(options.trace);
+    trace::emit(options.trace, platform.now(),
+                trace::EventKind::kExperimentStart, options.capWatts,
+                options.durationSec, int32_t(kind), int32_t(apps.size()));
 
     rapl::RaplController rapl;
     std::unique_ptr<capping::Governor> governor =
@@ -121,6 +132,24 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     }
     result.powerTrace = platform.powerTrace();
     result.perfTrace = platform.perfTrace();
+
+    // Republish the legacy ad-hoc Counters fields through the registry so
+    // every number a run produces flows out through one interface.
+    telemetry::MetricsRegistry& metrics = platform.metrics();
+    metrics.setGauge("counters.gips", result.gips);
+    metrics.setGauge("counters.bandwidth_gbs", result.bandwidthGBs);
+    metrics.setGauge("counters.spin_percent", result.spinPercent);
+    metrics.setGauge("faults.injected", double(result.faultsInjected));
+    metrics.setGauge("faults.detected", double(result.faultsDetected));
+    metrics.setGauge("pupil.degraded_sec", result.degradedSec);
+    metrics.setGauge("experiment.duration_sec", duration);
+    metrics.setGauge("experiment.mean_power_watts", result.meanPowerWatts);
+    result.metrics = metrics.snapshot();
+
+    trace::emit(options.trace, platform.now(),
+                trace::EventKind::kExperimentEnd, result.aggregatePerf,
+                result.meanPowerWatts, int32_t(kind),
+                result.converged ? 1 : 0);
     return result;
 }
 

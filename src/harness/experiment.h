@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "capping/governor.h"
@@ -11,6 +12,7 @@
 #include "sched/scheduler.h"
 #include "sim/platform.h"
 #include "telemetry/settling.h"
+#include "trace/trace.h"
 #include "workload/mixes.h"
 
 namespace pupil::harness {
@@ -51,6 +53,15 @@ struct ExperimentOptions
      */
     std::vector<double> workItems;
     double maxDurationSec = 2000.0;
+
+    /**
+     * Structured-event recorder for this run (not owned; null = untraced).
+     * The harness attaches it to the platform (which propagates it to the
+     * fault injector and to every actor at onStart) and brackets the run
+     * with experiment-start/end events. Tracing is observational only:
+     * attaching a recorder changes no governor decision and no metric.
+     */
+    trace::Recorder* trace = nullptr;
 };
 
 /** Everything measured in one experiment run. */
@@ -88,6 +99,14 @@ struct ExperimentResult
     uint64_t faultsDetected = 0;
     std::vector<telemetry::TracePoint> powerTrace;
     std::vector<telemetry::TracePoint> perfTrace;
+    /**
+     * Flattened snapshot of the run's MetricsRegistry (sorted by name):
+     * every counter/gauge value plus .count/.mean/.min/.max per histogram,
+     * and the legacy Counters fields republished under stable names
+     * (counters.gips, counters.bandwidth_gbs, counters.spin_percent,
+     * faults.injected, faults.detected, pupil.degraded_sec).
+     */
+    std::vector<std::pair<std::string, double>> metrics;
 };
 
 /** Instantiate a governor of @p kind. */

@@ -22,6 +22,13 @@ RaplController::setSocketCap(int s, double watts, bool enabled)
     limit.windowSec = 0.25;
     limit.enabled = enabled;
     msr_[s].setPowerLimit(limit);
+    // Software programming the limit register. setSocketCap carries no
+    // timestamp (it mirrors an MSR write), so the event is stamped with
+    // the last firmware control-interval time.
+    trace::emit(trace_, lastNow_, trace::EventKind::kLimitWrite, watts, 0.0,
+                s, enabled ? 1 : 0);
+    if (metrics_ != nullptr)
+        metrics_->addCounter("rapl.limit_writes");
 }
 
 void
@@ -54,12 +61,17 @@ RaplController::onStart(sim::Platform& platform)
         zone.windowSum = 0.0;
         zone.clampPState = DvfsTable::kTurboPState;
         zone.duty = 1.0;
+        zone.overBudget = false;
     }
+    trace_ = platform.trace();
+    metrics_ = &platform.metrics();
+    lastNow_ = platform.now();
 }
 
 void
 RaplController::onTick(sim::Platform& platform, double now)
 {
+    lastNow_ = now;
     for (int s = 0; s < 2; ++s)
         controlZone(platform, s, now);
 }
@@ -85,6 +97,20 @@ RaplController::controlZone(sim::Platform& platform, int s, double now)
     }
     const double avg = zone.windowSum / double(zone.window.size());
     zone.lastAvg = avg;
+
+    // Budget-window state edges: record when the sliding-window average
+    // first exceeds the programmed cap and when repayment brings it back
+    // under, so a trace shows exactly when hardware was clamping and why.
+    if (limit.enabled) {
+        const bool over = avg > limit.powerWatts;
+        if (over != zone.overBudget) {
+            zone.overBudget = over;
+            trace::emit(trace_, now, trace::EventKind::kBudgetWindow, avg,
+                        limit.powerWatts, s, over ? 1 : 0);
+        }
+    } else {
+        zone.overBudget = false;
+    }
 
     if (!limit.enabled) {
         if (zone.clampPState != DvfsTable::kTurboPState || zone.duty != 1.0) {
@@ -177,6 +203,12 @@ RaplController::controlZone(sim::Platform& platform, int s, double now)
         zone.clampPState = newPState;
         zone.duty = newDuty;
         platform.machine().requestRaplClamp(s, newPState, newDuty, now);
+        trace::emit(trace_, now, trace::EventKind::kClampChange, newDuty,
+                    avg, s, newPState);
+        if (metrics_ != nullptr) {
+            metrics_->addCounter("rapl.clamp_changes");
+            metrics_->observe("rapl.clamp_pstate", double(newPState));
+        }
     }
 }
 

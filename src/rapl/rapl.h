@@ -6,6 +6,8 @@
 
 #include "rapl/msr.h"
 #include "sim/actor.h"
+#include "telemetry/metrics.h"
+#include "trace/trace.h"
 
 namespace pupil::rapl {
 
@@ -70,12 +72,19 @@ class RaplController : public sim::Actor
         int clampPState = 15;
         double duty = 1.0;
         double lastAvg = 0.0;
+        bool overBudget = false;     ///< window average above the cap
     };
 
     void controlZone(sim::Platform& platform, int s, double now);
 
     std::array<MsrFile, 2> msr_;
     std::array<Zone, 2> zones_;
+
+    // Observability (attached from the platform at onStart; both null /
+    // inactive until then, so pre-run cap programming is never recorded).
+    trace::Recorder* trace_ = nullptr;
+    telemetry::MetricsRegistry* metrics_ = nullptr;
+    double lastNow_ = 0.0;
 };
 
 }  // namespace pupil::rapl

@@ -76,6 +76,14 @@ Platform::addActor(Actor* actor)
 }
 
 void
+Platform::attachTrace(trace::Recorder* recorder)
+{
+    trace_ = recorder;
+    if (injector_ != nullptr)
+        injector_->attachTrace(recorder);
+}
+
+void
 Platform::warmStart(const machine::MachineConfig& cfg)
 {
     machine_.requestConfig(cfg, now_ - 1.0);
@@ -113,6 +121,12 @@ Platform::resolveSteadyState()
         steadySocketPower_[s] =
             powerModel_.socketPower(cfg, s, steady_.loads[s], duty[s]);
     }
+    // A fresh allocation is in force: the effective configuration (or its
+    // duty cycle) changed and the scheduler re-placed every thread.
+    trace::emit(trace_, now_, trace::EventKind::kAllocApplied,
+                cfg.pstate[0], cfg.pstate[1], cfg.activeCores(0),
+                cfg.activeCores(1));
+    metrics_.addCounter("sched.resolves");
 }
 
 double
@@ -224,7 +238,11 @@ Platform::tick()
         // MSR file) and surface newly entered fault windows.
         injector_->setNow(now_);
         const uint64_t activated = injector_->eventsActivated();
-        counters_.addFaultsInjected(activated - injectorActivatedSeen_);
+        if (activated != injectorActivatedSeen_) {
+            counters_.addFaultsInjected(activated - injectorActivatedSeen_);
+            metrics_.addCounter("faults.activated",
+                                activated - injectorActivatedSeen_);
+        }
         injectorActivatedSeen_ = activated;
     }
 
@@ -250,6 +268,9 @@ Platform::tick()
             completionTime_[i] = now_;
             apps_[i].threads = 0;
             ++appsVersion_;
+            trace::emit(trace_, now_, trace::EventKind::kAppComplete, now_,
+                        0.0, int32_t(i));
+            metrics_.addCounter("sched.app_completions");
         }
     }
     const double ips = ipsLag_.step(steady_.totalIps, dt);
@@ -274,6 +295,10 @@ Platform::tick()
         const double t = bucketStart_ + options_.traceResolutionSec / 2.0;
         powerTrace_.push_back({t, bucketPowerSum_ / bucketCount_});
         perfTrace_.push_back({t, bucketPerfSum_ / bucketCount_});
+        metrics_.observe("platform.power_watts",
+                         bucketPowerSum_ / bucketCount_);
+        metrics_.observe("platform.perf_normalized",
+                         bucketPerfSum_ / bucketCount_);
         bucketStart_ = now_ + dt;
         bucketPowerSum_ = bucketPerfSum_ = 0.0;
         bucketCount_ = 0;

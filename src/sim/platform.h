@@ -12,8 +12,10 @@
 #include "sim/actor.h"
 #include "telemetry/counters.h"
 #include "telemetry/energy.h"
+#include "telemetry/metrics.h"
 #include "telemetry/sensor.h"
 #include "telemetry/settling.h"
+#include "trace/trace.h"
 
 namespace pupil::sim {
 
@@ -69,6 +71,19 @@ class Platform
     // ----- setup ---------------------------------------------------------
     /** Register an actor; not owned. Call before run(). */
     void addActor(Actor* actor);
+
+    /**
+     * Attach a structured-event recorder (not owned, null detaches). The
+     * platform emits scheduler re-solves, app completions, and fault
+     * activations, propagates the recorder to the fault injector, and
+     * hands it to actors (firmware, governors) at onStart. Attaching a
+     * recorder never changes simulation behaviour: instrumentation is
+     * observational only and draws from no RNG stream.
+     */
+    void attachTrace(trace::Recorder* recorder);
+
+    /** The attached recorder, or nullptr (the untraced default). */
+    trace::Recorder* trace() const { return trace_; }
 
     /** Change the initial machine configuration (applied instantly). */
     void warmStart(const machine::MachineConfig& cfg);
@@ -145,6 +160,13 @@ class Platform
     const telemetry::Counters& counters() const { return counters_; }
     /** Mutable counters, for governors recording resilience accounting. */
     telemetry::Counters& mutableCounters() { return counters_; }
+    /**
+     * Named-metric registry (run-scoped). Components register counters,
+     * gauges, and histograms here; the harness snapshots the registry
+     * into ExperimentResult::metrics when the run ends.
+     */
+    telemetry::MetricsRegistry& metrics() { return metrics_; }
+    const telemetry::MetricsRegistry& metrics() const { return metrics_; }
     /** Per-app items accumulated since the last resetStatsWindow(). */
     double appItems(size_t i) const { return appItems_[i]; }
     /** Restart the measurement window (e.g. to exclude convergence). */
@@ -213,6 +235,8 @@ class Platform
     // Accounting.
     telemetry::EnergyAccount energy_;
     telemetry::Counters counters_;
+    telemetry::MetricsRegistry metrics_;
+    trace::Recorder* trace_ = nullptr;
     std::vector<double> appItems_;
     std::vector<double> cumItems_;
     std::vector<double> workItems_;       // 0 = run forever

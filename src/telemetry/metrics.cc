@@ -1,0 +1,99 @@
+#include "metrics.h"
+
+#include <algorithm>
+
+namespace pupil::telemetry {
+
+MetricsRegistry::Metric&
+MetricsRegistry::upsert(std::string_view name, Type type)
+{
+    const auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        // First writer wins on type; a mismatched later writer falls
+        // through and updates the existing slot as its original type
+        // (harmless for the numeric fields we track).
+        return it->second;
+    }
+    Metric metric;
+    metric.type = type;
+    return metrics_.emplace(std::string(name), metric).first->second;
+}
+
+void
+MetricsRegistry::addCounter(std::string_view name, uint64_t delta)
+{
+    upsert(name, Type::kCounter).value += double(delta);
+}
+
+void
+MetricsRegistry::setGauge(std::string_view name, double value)
+{
+    upsert(name, Type::kGauge).value = value;
+}
+
+void
+MetricsRegistry::observe(std::string_view name, double value)
+{
+    Metric& metric = upsert(name, Type::kHistogram);
+    if (metric.count == 0) {
+        metric.min = metric.max = value;
+    } else {
+        metric.min = std::min(metric.min, value);
+        metric.max = std::max(metric.max, value);
+    }
+    ++metric.count;
+    metric.sum += value;
+}
+
+const MetricsRegistry::Metric*
+MetricsRegistry::find(std::string_view name) const
+{
+    const auto it = metrics_.find(name);
+    return it != metrics_.end() ? &it->second : nullptr;
+}
+
+double
+MetricsRegistry::value(std::string_view name) const
+{
+    const Metric* metric = find(name);
+    if (metric == nullptr)
+        return 0.0;
+    if (metric->type == Type::kHistogram)
+        return metric->count > 0 ? metric->sum / double(metric->count) : 0.0;
+    return metric->value;
+}
+
+std::vector<std::pair<std::string, double>>
+MetricsRegistry::snapshot() const
+{
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(metrics_.size());
+    for (const auto& [name, metric] : metrics_) {
+        if (metric.type == Type::kHistogram) {
+            out.emplace_back(name + ".count", double(metric.count));
+            out.emplace_back(name + ".mean",
+                             metric.count > 0
+                                 ? metric.sum / double(metric.count)
+                                 : 0.0);
+            out.emplace_back(name + ".min", metric.min);
+            out.emplace_back(name + ".max", metric.max);
+        } else {
+            out.emplace_back(name, metric.value);
+        }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+double
+metricOr(const std::vector<std::pair<std::string, double>>& snapshot,
+         std::string_view name, double fallback)
+{
+    for (const auto& [key, value] : snapshot) {
+        if (key == name)
+            return value;
+    }
+    return fallback;
+}
+
+}  // namespace pupil::telemetry

@@ -1,0 +1,85 @@
+#ifndef PUPIL_TELEMETRY_METRICS_H_
+#define PUPIL_TELEMETRY_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pupil::telemetry {
+
+/**
+ * Unified named-metric registry: counters (monotonic event counts),
+ * gauges (last-written values), and histograms (count/sum/min/max
+ * summaries of observed samples).
+ *
+ * One registry belongs to one platform/experiment -- the same per-run
+ * ownership as telemetry::Counters and trace::Recorder -- so sweeps stay
+ * deterministic and lock-free; the harness snapshots it into
+ * ExperimentResult::metrics when the run ends. Registration happens
+ * implicitly on first touch; names are dotted lowercase paths
+ * ("rapl.limit_writes", "pupil.degraded_entries").
+ *
+ * Updates are a map lookup (transparent, so string literals don't
+ * allocate) plus a few stores; cheap enough for every control-period
+ * call site, though the 1 ms firmware inner loop records through the
+ * trace ring instead.
+ */
+class MetricsRegistry
+{
+  public:
+    enum class Type { kCounter, kGauge, kHistogram };
+
+    struct Metric
+    {
+        Type type = Type::kCounter;
+        double value = 0.0;    ///< counter total or gauge value
+        uint64_t count = 0;    ///< histogram observations
+        double sum = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+    };
+
+    /** Add @p delta to counter @p name (created at zero on first use). */
+    void addCounter(std::string_view name, uint64_t delta = 1);
+
+    /** Set gauge @p name to @p value. */
+    void setGauge(std::string_view name, double value);
+
+    /** Record @p value into histogram @p name. */
+    void observe(std::string_view name, double value);
+
+    /** Counter total / gauge value / histogram mean; 0 when absent. */
+    double value(std::string_view name) const;
+
+    /** The metric registered under @p name, or nullptr. */
+    const Metric* find(std::string_view name) const;
+
+    size_t size() const { return metrics_.size(); }
+    bool empty() const { return metrics_.empty(); }
+
+    /**
+     * Flatten to (name, value) pairs sorted by name: counters and gauges
+     * as-is; a histogram expands to name.count/.mean/.min/.max. This is
+     * the form carried into ExperimentResult and the bench outputs.
+     */
+    std::vector<std::pair<std::string, double>> snapshot() const;
+
+    /** Drop every metric (per-job reset when an owner is reused). */
+    void reset() { metrics_.clear(); }
+
+  private:
+    Metric& upsert(std::string_view name, Type type);
+
+    std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+/** Lookup helper for flattened snapshots (tests, bench tables). */
+double metricOr(const std::vector<std::pair<std::string, double>>& snapshot,
+                std::string_view name, double fallback = 0.0);
+
+}  // namespace pupil::telemetry
+
+#endif  // PUPIL_TELEMETRY_METRICS_H_

@@ -1,0 +1,101 @@
+#include "export.h"
+
+#include <charconv>
+#include <fstream>
+
+#include "util/log.h"
+
+namespace pupil::trace {
+
+std::string
+formatDouble(double value)
+{
+    // std::to_chars renders the shortest decimal string that round-trips,
+    // independent of locale and of any printf precision setting -- the
+    // exports must be byte-stable for golden pinning.
+    char buf[32];
+    const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+    return ec == std::errc() ? std::string(buf, end) : std::string("nan");
+}
+
+std::string
+toChromeJson(const Recorder& recorder)
+{
+    std::string out;
+    out.reserve(160 * recorder.size() + 64);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    for (const Event& event : recorder.snapshot()) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        const Subsystem subsystem = kindSubsystem(event.kind);
+        out += "{\"name\":\"";
+        out += kindName(event.kind);
+        out += "\",\"cat\":\"";
+        out += subsystemName(subsystem);
+        // Instant event, thread scope; one track (tid) per subsystem so
+        // Perfetto lays the layers out as parallel swimlanes.
+        out += "\",\"ph\":\"i\",\"s\":\"t\",\"pid\":0,\"tid\":";
+        out += std::to_string(int(subsystem));
+        out += ",\"ts\":";
+        out += formatDouble(event.timeSec * 1e6);
+        out += ",\"args\":{\"a\":";
+        out += formatDouble(event.a);
+        out += ",\"b\":";
+        out += formatDouble(event.b);
+        out += ",\"i0\":";
+        out += std::to_string(event.i0);
+        out += ",\"i1\":";
+        out += std::to_string(event.i1);
+        out += "}}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+std::string
+toCsv(const Recorder& recorder)
+{
+    std::string out;
+    out.reserve(64 * recorder.size() + 40);
+    out += "time_sec,subsystem,event,a,b,i0,i1\n";
+    for (const Event& event : recorder.snapshot()) {
+        out += formatDouble(event.timeSec);
+        out += ',';
+        out += subsystemName(kindSubsystem(event.kind));
+        out += ',';
+        out += kindName(event.kind);
+        out += ',';
+        out += formatDouble(event.a);
+        out += ',';
+        out += formatDouble(event.b);
+        out += ',';
+        out += std::to_string(event.i0);
+        out += ',';
+        out += std::to_string(event.i1);
+        out += '\n';
+    }
+    return out;
+}
+
+bool
+writeFile(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        util::Log(util::LogLevel::kWarn)
+            << "trace: cannot open \"" << path << "\" for writing";
+        return false;
+    }
+    out.write(content.data(), std::streamsize(content.size()));
+    out.flush();
+    if (!out) {
+        util::Log(util::LogLevel::kWarn)
+            << "trace: short write to \"" << path << "\"";
+        return false;
+    }
+    return true;
+}
+
+}  // namespace pupil::trace

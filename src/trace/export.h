@@ -1,0 +1,42 @@
+#ifndef PUPIL_TRACE_EXPORT_H_
+#define PUPIL_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "trace/trace.h"
+
+namespace pupil::trace {
+
+/**
+ * Render the recorder's retained events as Chrome trace-event JSON
+ * (the `{"traceEvents": [...]}` object form), loadable directly in
+ * chrome://tracing or https://ui.perfetto.dev. Events are emitted as
+ * instant events; the subsystem becomes the category and the track
+ * (tid), timestamps are simulation microseconds, and the payload slots
+ * appear under "args".
+ *
+ * Formatting is locale-independent and uses shortest-round-trip decimal
+ * output, so the same event stream always renders to the same bytes --
+ * the property the golden-trace and determinism tests pin.
+ */
+std::string toChromeJson(const Recorder& recorder);
+
+/**
+ * Render the retained events as flat CSV:
+ *
+ *     time_sec,subsystem,event,a,b,i0,i1
+ *
+ * One line per event, oldest first, same deterministic number formatting
+ * as the JSON exporter.
+ */
+std::string toCsv(const Recorder& recorder);
+
+/** Write @p content to @p path. Returns false (and logs) on I/O failure. */
+bool writeFile(const std::string& path, const std::string& content);
+
+/** Deterministic shortest-round-trip rendering of @p value (internal). */
+std::string formatDouble(double value);
+
+}  // namespace pupil::trace
+
+#endif  // PUPIL_TRACE_EXPORT_H_

@@ -1,0 +1,122 @@
+#include "trace.h"
+
+namespace pupil::trace {
+
+const char*
+subsystemName(Subsystem subsystem)
+{
+    switch (subsystem) {
+      case Subsystem::kDecision: return "decision";
+      case Subsystem::kCore: return "core";
+      case Subsystem::kRapl: return "rapl";
+      case Subsystem::kSched: return "sched";
+      case Subsystem::kFaults: return "faults";
+      case Subsystem::kCluster: return "cluster";
+      case Subsystem::kHarness: return "harness";
+    }
+    return "?";
+}
+
+const char*
+kindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kWalkStart: return "walk-start";
+      case EventKind::kWalkStep: return "walk-step";
+      case EventKind::kConfigTry: return "config-try";
+      case EventKind::kConfigAccept: return "config-accept";
+      case EventKind::kConfigReject: return "config-reject";
+      case EventKind::kWalkConverged: return "walk-converged";
+      case EventKind::kSampleRejected: return "sample-rejected";
+      case EventKind::kModeDegraded: return "mode-degraded";
+      case EventKind::kModeReengage: return "mode-reengage";
+      case EventKind::kCapSplit: return "cap-split";
+      case EventKind::kLimitWrite: return "limit-write";
+      case EventKind::kClampChange: return "clamp-change";
+      case EventKind::kBudgetWindow: return "budget-window";
+      case EventKind::kAllocApplied: return "alloc-applied";
+      case EventKind::kAppComplete: return "app-complete";
+      case EventKind::kFaultActivated: return "fault-activated";
+      case EventKind::kRebalance: return "rebalance";
+      case EventKind::kNodeLoss: return "node-loss";
+      case EventKind::kNodeRejoin: return "node-rejoin";
+      case EventKind::kExperimentStart: return "experiment-start";
+      case EventKind::kExperimentEnd: return "experiment-end";
+    }
+    return "?";
+}
+
+Subsystem
+kindSubsystem(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::kWalkStart:
+      case EventKind::kWalkStep:
+      case EventKind::kConfigTry:
+      case EventKind::kConfigAccept:
+      case EventKind::kConfigReject:
+      case EventKind::kWalkConverged:
+      case EventKind::kSampleRejected:
+        return Subsystem::kDecision;
+      case EventKind::kModeDegraded:
+      case EventKind::kModeReengage:
+      case EventKind::kCapSplit:
+        return Subsystem::kCore;
+      case EventKind::kLimitWrite:
+      case EventKind::kClampChange:
+      case EventKind::kBudgetWindow:
+        return Subsystem::kRapl;
+      case EventKind::kAllocApplied:
+      case EventKind::kAppComplete:
+        return Subsystem::kSched;
+      case EventKind::kFaultActivated:
+        return Subsystem::kFaults;
+      case EventKind::kRebalance:
+      case EventKind::kNodeLoss:
+      case EventKind::kNodeRejoin:
+        return Subsystem::kCluster;
+      case EventKind::kExperimentStart:
+      case EventKind::kExperimentEnd:
+        return Subsystem::kHarness;
+    }
+    return Subsystem::kHarness;
+}
+
+Recorder::Recorder(size_t capacity)
+    : ring_(capacity > 0 ? capacity : 1)
+{
+}
+
+std::vector<Event>
+Recorder::snapshot() const
+{
+    std::vector<Event> events;
+    events.reserve(count_);
+    // Oldest event first: when the ring has wrapped, it sits at head_.
+    const size_t start = count_ < ring_.size() ? 0 : head_;
+    for (size_t i = 0; i < count_; ++i)
+        events.push_back(ring_[(start + i) % ring_.size()]);
+    return events;
+}
+
+std::array<uint64_t, kSubsystemCount>
+Recorder::subsystemCounts() const
+{
+    std::array<uint64_t, kSubsystemCount> counts{};
+    const size_t start = count_ < ring_.size() ? 0 : head_;
+    for (size_t i = 0; i < count_; ++i) {
+        const Event& event = ring_[(start + i) % ring_.size()];
+        ++counts[size_t(kindSubsystem(event.kind))];
+    }
+    return counts;
+}
+
+void
+Recorder::clear()
+{
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+}  // namespace pupil::trace

@@ -1,0 +1,179 @@
+#ifndef PUPIL_TRACE_TRACE_H_
+#define PUPIL_TRACE_TRACE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pupil::trace {
+
+/** The subsystem an event originates from (one category per layer). */
+enum class Subsystem : uint8_t {
+    kDecision,  ///< core::DecisionWalker (Algorithm 1 state machine)
+    kCore,      ///< core::Pupil mode machine and power distribution
+    kRapl,      ///< firmware control loop and MSR limit writes
+    kSched,     ///< scheduler re-solves and app lifecycle
+    kFaults,    ///< fault-schedule activations
+    kCluster,   ///< PowerShifter membership and rebalances
+    kHarness,   ///< experiment start/end markers
+};
+
+/** Number of subsystems (for per-category accounting). */
+inline constexpr int kSubsystemCount = 7;
+
+/** Stable lowercase category name ("decision", "rapl", ...). */
+const char* subsystemName(Subsystem subsystem);
+
+/**
+ * Every structured event the stack can emit. The numeric values are part
+ * of the CSV export format; append new kinds at the end of their group
+ * rather than renumbering.
+ */
+enum class EventKind : uint8_t {
+    // decision walker
+    kWalkStart,        ///< a=capWatts, i0=walk number
+    kWalkStep,         ///< a=filtered perf, b=filtered power, i0=phase
+    kConfigTry,        ///< i0=resource index, i1=setting written
+    kConfigAccept,     ///< a=perf speedup estimate, b=filtered power,
+                       ///< i0=resource index, i1=setting kept
+    kConfigReject,     ///< a=perf ratio, b=filtered power,
+                       ///< i0=resource index, i1=setting restored
+    kWalkConverged,    ///< a=seconds since walk start, i0=steps taken
+    kSampleRejected,   ///< a=perf sample, b=power sample
+
+    // core (PUPiL mode machine / power distribution)
+    kModeDegraded,     ///< i0=entry count
+    kModeReengage,     ///< i0=reengagement count
+    kCapSplit,         ///< a=socket0 cap (W), b=socket1 cap (W)
+
+    // RAPL firmware
+    kLimitWrite,       ///< a=cap watts, i0=socket, i1=enabled
+    kClampChange,      ///< a=duty cycle, b=window avg (W), i0=socket,
+                       ///< i1=new clamp p-state
+    kBudgetWindow,     ///< a=window avg (W), b=cap (W), i0=socket,
+                       ///< i1=1 over budget / 0 back under
+
+    // scheduler / platform
+    kAllocApplied,     ///< a=pstate0, b=pstate1, i0=cores0, i1=cores1
+    kAppComplete,      ///< a=completion time (s), i0=app index
+
+    // faults
+    kFaultActivated,   ///< i0=schedule event index, i1=FaultKind
+
+    // cluster
+    kRebalance,        ///< a=total cap (W), b=total power (W), i0=shift#
+    kNodeLoss,         ///< i0=node index
+    kNodeRejoin,       ///< i0=node index, a=new cap share (W)
+
+    // harness
+    kExperimentStart,  ///< a=cap watts, i0=app count
+    kExperimentEnd,    ///< a=simulated duration (s)
+};
+
+/** Stable kebab-case event name ("walk-start", "limit-write", ...). */
+const char* kindName(EventKind kind);
+
+/** The subsystem an event kind belongs to. */
+Subsystem kindSubsystem(EventKind kind);
+
+/**
+ * One recorded event: a timestamp, a kind, and four fixed payload slots
+ * whose meaning is documented per kind above. Plain trivially-copyable
+ * data -- recording is a couple of stores, no allocation, no formatting.
+ */
+struct Event
+{
+    double timeSec = 0.0;
+    EventKind kind = EventKind::kWalkStart;
+    int32_t i0 = 0;
+    int32_t i1 = 0;
+    double a = 0.0;
+    double b = 0.0;
+};
+
+/**
+ * Fixed-capacity flight recorder for structured events.
+ *
+ * The ring is allocated once at construction; emit() is a handful of
+ * stores and never allocates, so it is safe on the 1 ms firmware path.
+ * When the ring is full the oldest events are overwritten (classic
+ * flight-recorder semantics) and dropped() counts the overwrites, so a
+ * consumer can tell a complete trace from a truncated one.
+ *
+ * Instrumented components hold a `Recorder*` that is null by default;
+ * the null-safe free function emit() below compiles to a test-and-skip,
+ * so an untraced run executes no recording code and is byte-identical
+ * to a build without instrumentation (covered by trace_test.cc).
+ *
+ * Not thread safe: one recorder belongs to one platform/experiment, the
+ * same ownership discipline as every other per-run object (see DESIGN.md
+ * section 4 on harness parallelism).
+ */
+class Recorder
+{
+  public:
+    explicit Recorder(size_t capacity = kDefaultCapacity);
+
+    static constexpr size_t kDefaultCapacity = 1 << 16;
+
+    /** Append an event, overwriting the oldest if the ring is full. */
+    void emit(double timeSec, EventKind kind, double a = 0.0, double b = 0.0,
+              int32_t i0 = 0, int32_t i1 = 0)
+    {
+        Event& slot = ring_[head_];
+        slot.timeSec = timeSec;
+        slot.kind = kind;
+        slot.i0 = i0;
+        slot.i1 = i1;
+        slot.a = a;
+        slot.b = b;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (count_ < ring_.size())
+            ++count_;
+        else
+            ++dropped_;
+    }
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Events currently held (<= capacity). */
+    size_t size() const { return count_; }
+
+    /** Events overwritten because the ring was full. */
+    uint64_t dropped() const { return dropped_; }
+
+    bool empty() const { return count_ == 0; }
+
+    /** The retained events in emission order (oldest first). */
+    std::vector<Event> snapshot() const;
+
+    /** Retained-event count per subsystem (indexed by Subsystem). */
+    std::array<uint64_t, kSubsystemCount> subsystemCounts() const;
+
+    /** Forget every event (capacity and allocation are kept). */
+    void clear();
+
+  private:
+    std::vector<Event> ring_;
+    size_t head_ = 0;    ///< next slot to write
+    size_t count_ = 0;   ///< valid events in the ring
+    uint64_t dropped_ = 0;
+};
+
+/**
+ * Null-safe emission helper: every instrumentation point calls this with
+ * its (possibly null) recorder pointer, so disabled tracing costs one
+ * predictable branch.
+ */
+inline void
+emit(Recorder* recorder, double timeSec, EventKind kind, double a = 0.0,
+     double b = 0.0, int32_t i0 = 0, int32_t i1 = 0)
+{
+    if (recorder != nullptr)
+        recorder->emit(timeSec, kind, a, b, i0, i1);
+}
+
+}  // namespace pupil::trace
+
+#endif  // PUPIL_TRACE_TRACE_H_

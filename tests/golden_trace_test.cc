@@ -1,0 +1,231 @@
+/** @file Golden-trace regression test: a fixed-seed single-app PUPiL run
+ *  must render to byte-identical trace exports forever. The full exports
+ *  are pinned by FNV-1a digests; a human-readable excerpt of the CSV is
+ *  stored alongside so a digest mismatch reports the first diverging
+ *  event instead of just "hash changed". Regenerate intentionally
+ *  changed goldens with --update-golden (or PUPIL_UPDATE_GOLDEN=1). */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+#ifndef PUPIL_TESTS_GOLDEN_DIR
+#error "PUPIL_TESTS_GOLDEN_DIR must point at tests/golden"
+#endif
+
+static bool gUpdateGolden = false;
+
+namespace pupil {
+namespace {
+
+constexpr int kExcerptLines = 200;
+
+std::string
+goldenPath(const std::string& file)
+{
+    return std::string(PUPIL_TESTS_GOLDEN_DIR) + "/" + file;
+}
+
+/** FNV-1a 64-bit digest rendered as 16 hex digits. */
+std::string
+fnv1a(const std::string& content)
+{
+    uint64_t hash = 14695981039346656037ULL;
+    for (const unsigned char c : content) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  (unsigned long long)hash);
+    return buffer;
+}
+
+std::string
+readFileOrEmpty(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return "";
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+bool
+writeFileOrDie(const std::string& path, const std::string& content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return bool(out);
+}
+
+std::vector<std::string>
+splitLines(const std::string& content)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    std::istringstream in(content);
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+std::string
+excerptOf(const std::string& csv)
+{
+    const auto lines = splitLines(csv);
+    std::string excerpt;
+    for (int i = 0; i < kExcerptLines && i < int(lines.size()); ++i) {
+        excerpt += lines[size_t(i)];
+        excerpt += '\n';
+    }
+    return excerpt;
+}
+
+/**
+ * The pinned scenario: PUPiL on x264 under a 140 W cap, seed 42, 30
+ * simulated seconds. Everything downstream of the seed is deterministic,
+ * so the exports must be stable to the byte across platforms and
+ * refactors -- any diff is a behaviour change, intended or not.
+ */
+struct GoldenRun
+{
+    std::string csv;
+    std::string json;
+    size_t events = 0;
+};
+
+const GoldenRun&
+goldenRun()
+{
+    static const GoldenRun run = [] {
+        trace::Recorder recorder(1 << 17);
+        harness::ExperimentOptions options;
+        options.capWatts = 140.0;
+        options.durationSec = 30.0;
+        options.statsWindowSec = 15.0;
+        options.seed = 42;
+        options.trace = &recorder;
+        harness::runExperiment(harness::GovernorKind::kPupil,
+                               harness::singleApp("x264"), options);
+        GoldenRun result;
+        result.csv = trace::toCsv(recorder);
+        result.json = trace::toChromeJson(recorder);
+        result.events = recorder.size();
+        return result;
+    }();
+    return run;
+}
+
+std::map<std::string, std::string>
+parseDigestFile(const std::string& content)
+{
+    std::map<std::string, std::string> fields;
+    for (const std::string& line : splitLines(content)) {
+        const size_t space = line.find(' ');
+        if (space != std::string::npos)
+            fields[line.substr(0, space)] = line.substr(space + 1);
+    }
+    return fields;
+}
+
+std::string
+renderDigestFile(const GoldenRun& run)
+{
+    std::string out;
+    out += "csv " + fnv1a(run.csv) + "\n";
+    out += "json " + fnv1a(run.json) + "\n";
+    out += "events " + std::to_string(run.events) + "\n";
+    return out;
+}
+
+/** First line where current and golden differ, with both sides. */
+std::string
+firstDivergence(const std::string& current, const std::string& golden)
+{
+    const auto currentLines = splitLines(current);
+    const auto goldenLines = splitLines(golden);
+    const size_t n = std::min(currentLines.size(), goldenLines.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (currentLines[i] != goldenLines[i]) {
+            return "first divergence at line " + std::to_string(i + 1) +
+                   ":\n  golden:  " + goldenLines[i] +
+                   "\n  current: " + currentLines[i];
+        }
+    }
+    if (currentLines.size() != goldenLines.size()) {
+        return "traces diverge in length at line " + std::to_string(n + 1) +
+               " (golden " + std::to_string(goldenLines.size()) +
+               " lines, current " + std::to_string(currentLines.size()) +
+               " lines)";
+    }
+    return "no divergence within the excerpt (diff is beyond the first " +
+           std::to_string(kExcerptLines) + " events)";
+}
+
+TEST(GoldenTrace, DigestsMatchPinnedRun)
+{
+    const GoldenRun& run = goldenRun();
+    ASSERT_GT(run.events, 0u);
+    const std::string digestPath = goldenPath("pupil_x264_140w.digest");
+    if (gUpdateGolden) {
+        ASSERT_TRUE(writeFileOrDie(digestPath, renderDigestFile(run)));
+        GTEST_SKIP() << "golden digests regenerated at " << digestPath;
+    }
+    const std::string stored = readFileOrEmpty(digestPath);
+    ASSERT_FALSE(stored.empty())
+        << "missing " << digestPath
+        << "; run golden_trace_test --update-golden to create it";
+    const auto fields = parseDigestFile(stored);
+    const std::string goldenExcerpt =
+        readFileOrEmpty(goldenPath("pupil_x264_140w.head.csv"));
+    EXPECT_EQ(fnv1a(run.csv), fields.at("csv"))
+        << firstDivergence(run.csv, goldenExcerpt);
+    EXPECT_EQ(fnv1a(run.json), fields.at("json"))
+        << "Chrome JSON export diverged from the pinned run";
+    EXPECT_EQ(std::to_string(run.events), fields.at("events"));
+}
+
+TEST(GoldenTrace, ExcerptMatchesPinnedRun)
+{
+    const GoldenRun& run = goldenRun();
+    const std::string excerptPath = goldenPath("pupil_x264_140w.head.csv");
+    const std::string excerpt = excerptOf(run.csv);
+    if (gUpdateGolden) {
+        ASSERT_TRUE(writeFileOrDie(excerptPath, excerpt));
+        GTEST_SKIP() << "golden excerpt regenerated at " << excerptPath;
+    }
+    const std::string stored = readFileOrEmpty(excerptPath);
+    ASSERT_FALSE(stored.empty())
+        << "missing " << excerptPath
+        << "; run golden_trace_test --update-golden to create it";
+    EXPECT_EQ(excerpt, stored) << firstDivergence(excerpt, stored);
+}
+
+}  // namespace
+}  // namespace pupil
+
+int
+main(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--update-golden")
+            gUpdateGolden = true;
+    }
+    if (std::getenv("PUPIL_UPDATE_GOLDEN") != nullptr)
+        gUpdateGolden = true;
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

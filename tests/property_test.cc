@@ -1,0 +1,205 @@
+/** @file Property-based invariant tests: ~100 fixed-seed random cases per
+ *  property, exercising cap splitting, cluster power shifting, and the
+ *  decision walker's accept rule across the input space rather than at
+ *  hand-picked points. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/power_shifter.h"
+#include "core/decision.h"
+#include "core/ordering.h"
+#include "core/power_dist.h"
+#include "faults/schedule.h"
+#include "harness/experiment.h"
+#include "machine/power_model.h"
+#include "sched/scheduler.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+
+namespace pupil {
+namespace {
+
+using machine::MachineConfig;
+
+constexpr int kCases = 100;
+
+TEST(SplitCapProperty, SharesAlwaysSumToTheCap)
+{
+    const machine::PowerModel pm;
+    const auto configs = machine::enumerateExtendedConfigs();
+    util::Rng rng(2024);
+    for (int c = 0; c < kCases; ++c) {
+        const MachineConfig& cfg =
+            configs[rng.uniformInt(configs.size())];
+        const double cap = rng.uniform(10.0, 260.0);
+        for (const auto policy : {core::PowerDistPolicy::kEvenSplit,
+                                  core::PowerDistPolicy::kCoreProportional}) {
+            const auto shares = core::splitCap(pm, cfg, cap, policy);
+            EXPECT_NEAR(shares[0] + shares[1], cap, 1e-9)
+                << cfg.toString() << " cap=" << cap
+                << " policy=" << core::policyName(policy);
+        }
+    }
+}
+
+TEST(SplitCapProperty, FeasibleCapsNeverStarveASocketBelowItsFloor)
+{
+    // Whenever the cap covers the machine's static draw, the
+    // core-proportional policy hands every socket at least its static
+    // floor (an inactive socket exactly its idle draw), so no socket is
+    // asked to enforce a cap hardware cannot reach.
+    const machine::PowerModel pm;
+    const auto configs = machine::enumerateExtendedConfigs();
+    util::Rng rng(77);
+    for (int c = 0; c < kCases; ++c) {
+        const MachineConfig& cfg =
+            configs[rng.uniformInt(configs.size())];
+        const double floor0 = pm.staticSocketPower(cfg, 0);
+        const double floor1 = pm.staticSocketPower(cfg, 1);
+        const double cap = floor0 + floor1 + rng.uniform(0.0, 200.0);
+        const auto shares = core::splitCap(
+            pm, cfg, cap, core::PowerDistPolicy::kCoreProportional);
+        EXPECT_GE(shares[0], floor0 - 1e-9) << cfg.toString();
+        EXPECT_GE(shares[1], floor1 - 1e-9) << cfg.toString();
+        for (int s = 0; s < 2; ++s) {
+            if (!cfg.socketActive(s)) {
+                EXPECT_NEAR(shares[s], pm.staticSocketPower(cfg, s), 1e-9)
+                    << cfg.toString();
+            }
+        }
+    }
+}
+
+TEST(PowerShifterProperty, CapsSumToTheBudgetAcrossRandomLossAndRejoin)
+{
+    // Across random cluster sizes, budgets, and node-loss windows, the
+    // per-node caps must sum to the global budget at every reallocation
+    // boundary whenever at least one node is online: watts travel between
+    // nodes but are never created or destroyed.
+    const char* names[4] = {"n0", "n1", "n2", "n3"};
+    const char* apps[4] = {"x264", "kmeans", "swish++", "blackscholes"};
+    util::Rng rng(4242);
+    for (int c = 0; c < 20; ++c) {
+        cluster::PowerShifter::Options opts;
+        const int nodeCount = 2 + int(rng.uniformInt(3));
+        opts.globalBudgetWatts = rng.uniform(150.0, 500.0);
+        opts.minNodeCapWatts = 20.0;
+        cluster::PowerShifter shifter(opts);
+        for (int n = 0; n < nodeCount; ++n)
+            shifter.addNode(names[n], harness::singleApp(apps[n], 16),
+                            harness::GovernorKind::kPupil, c * 7 + n + 1);
+        // One or two random loss windows inside the run.
+        std::string spec;
+        const int windows = 1 + int(rng.uniformInt(2));
+        for (int w = 0; w < windows; ++w) {
+            const int victim = int(rng.uniformInt(uint64_t(nodeCount)));
+            const double start = rng.uniform(2.0, 10.0);
+            const double end = start + rng.uniform(2.0, 8.0);
+            if (!spec.empty())
+                spec += ';';
+            spec += std::string("node-loss,") + names[victim] + ',' +
+                    std::to_string(start) + ',' + std::to_string(end);
+        }
+        const auto schedule = faults::FaultSchedule::parse(spec);
+        shifter.setFaultSchedule(&schedule);
+        for (double t = 2.0; t <= 20.0; t += 2.0) {
+            shifter.run(t);
+            bool anyOnline = false;
+            double offlineCaps = 0.0;
+            for (size_t n = 0; n < shifter.nodeCount(); ++n) {
+                if (shifter.node(n).online)
+                    anyOnline = true;
+                else
+                    offlineCaps += shifter.node(n).capWatts;
+            }
+            EXPECT_DOUBLE_EQ(offlineCaps, 0.0) << spec;
+            if (anyOnline) {
+                EXPECT_NEAR(shifter.totalCapWatts(),
+                            opts.globalBudgetWatts, 1e-6)
+                    << "t=" << t << " spec=" << spec;
+            }
+        }
+    }
+}
+
+TEST(WalkerProperty, NeverAcceptsAConfigWhoseModeledPowerExceedsTheCap)
+{
+    // Software-only mode (checkPower = true): drive the walker with
+    // noiseless model feedback under random caps and workloads, and on
+    // every accept event check the configuration it just committed to
+    // against the analytic power model. Algorithm 1's accept rule must
+    // only ever keep settings the measured power justified.
+    const sched::Scheduler scheduler;
+    const machine::PowerModel pm;
+    const auto order =
+        core::calibrateOrdering(scheduler, pm, workload::calibrationApp())
+            .orderedResources(true);
+    const auto& catalog = workload::benchmarkCatalog();
+    util::Rng rng(31337);
+    int accepts = 0;
+    for (int c = 0; c < kCases; ++c) {
+        const auto& app = catalog[rng.uniformInt(catalog.size())];
+        const double cap = rng.uniform(60.0, 220.0);
+        core::DecisionWalker::Options options;
+        options.windowSamples = 5;
+        options.checkPower = true;
+        core::DecisionWalker walker(order, options);
+        trace::Recorder recorder;
+        walker.attachTrace(&recorder);
+        walker.start(machine::minimalConfig(), cap, 0.0);
+        const std::vector<sched::AppDemand> apps = {{&app, 32}};
+        double now = 0.0;
+        while (!walker.converged() && now < 600.0) {
+            now += 0.1;
+            const auto out =
+                scheduler.solve(walker.config(), {1.0, 1.0}, apps);
+            const double perf = out.apps[0].itemsPerSec / 1e6;
+            const double power = pm.totalPower(walker.config(), out.loads);
+            walker.addSample(perf, power, now);
+        }
+        EXPECT_TRUE(walker.converged())
+            << app.name << " cap=" << cap << " stuck in "
+            << walker.phaseName();
+
+        // Replay the event stream into a shadow configuration: config-try
+        // events reproduce every setting the walker wrote, so at each
+        // accept event the shadow holds exactly the configuration the
+        // walker committed to (the walker itself has already raised the
+        // next resource by the time addSample returns).
+        MachineConfig shadow = machine::minimalConfig();
+        for (const auto& event : recorder.snapshot()) {
+            switch (event.kind) {
+              case trace::EventKind::kWalkStart:
+                shadow = machine::minimalConfig();
+                break;
+              case trace::EventKind::kConfigTry:
+                order[size_t(event.i0)].apply(shadow, event.i1);
+                break;
+              case trace::EventKind::kConfigAccept: {
+                order[size_t(event.i0)].apply(shadow, event.i1);
+                ++accepts;
+                const auto committed =
+                    scheduler.solve(shadow, {1.0, 1.0}, apps);
+                const double committedPower =
+                    pm.totalPower(shadow, committed.loads);
+                EXPECT_LE(committedPower, cap + 1e-6)
+                    << app.name << " cap=" << cap << " accepted "
+                    << shadow.toString();
+                break;
+              }
+              default:
+                break;
+            }
+        }
+    }
+    // The property is vacuous if walks never accept anything.
+    EXPECT_GT(accepts, kCases);
+}
+
+}  // namespace
+}  // namespace pupil

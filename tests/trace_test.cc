@@ -1,0 +1,371 @@
+/** @file Tests for the structured trace layer and the metrics registry:
+ *  ring semantics, exporters, determinism (tracing never changes a
+ *  result; same seed renders to the same bytes), and the per-job
+ *  accounting reset in the harness. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/power_shifter.h"
+#include "faults/schedule.h"
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "telemetry/metrics.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace pupil {
+namespace {
+
+using trace::Event;
+using trace::EventKind;
+using trace::Recorder;
+using trace::Subsystem;
+
+TEST(Recorder, EmptyByDefault)
+{
+    Recorder recorder;
+    EXPECT_TRUE(recorder.empty());
+    EXPECT_EQ(recorder.size(), 0u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+    EXPECT_EQ(recorder.capacity(), Recorder::kDefaultCapacity);
+    EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(Recorder, KeepsEverythingUnderCapacity)
+{
+    Recorder recorder(8);
+    for (int i = 0; i < 5; ++i)
+        recorder.emit(double(i), EventKind::kLimitWrite, 100.0 + i, 0.0, i);
+    EXPECT_EQ(recorder.size(), 5u);
+    EXPECT_EQ(recorder.dropped(), 0u);
+    const auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_DOUBLE_EQ(events[i].timeSec, double(i));
+        EXPECT_EQ(events[i].i0, i);
+        EXPECT_DOUBLE_EQ(events[i].a, 100.0 + i);
+    }
+}
+
+TEST(Recorder, OverwritesOldestWhenFull)
+{
+    Recorder recorder(4);
+    for (int i = 0; i < 7; ++i)
+        recorder.emit(double(i), EventKind::kWalkStep, 0.0, 0.0, i);
+    EXPECT_EQ(recorder.size(), 4u);
+    EXPECT_EQ(recorder.dropped(), 3u);
+    const auto events = recorder.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    // Flight-recorder semantics: the most recent four survive, in order.
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(events[i].i0, i + 3);
+}
+
+TEST(Recorder, ClearKeepsCapacity)
+{
+    Recorder recorder(16);
+    for (int i = 0; i < 20; ++i)
+        recorder.emit(double(i), EventKind::kWalkStep);
+    recorder.clear();
+    EXPECT_TRUE(recorder.empty());
+    EXPECT_EQ(recorder.dropped(), 0u);
+    EXPECT_EQ(recorder.capacity(), 16u);
+    recorder.emit(1.0, EventKind::kWalkStart);
+    EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(Recorder, NullSafeEmitHelperIsANoOp)
+{
+    trace::emit(nullptr, 1.0, EventKind::kClampChange, 0.5, 120.0, 0, 7);
+    Recorder recorder;
+    trace::emit(&recorder, 1.0, EventKind::kClampChange, 0.5, 120.0, 0, 7);
+    EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(Recorder, SubsystemCountsBucketByCategory)
+{
+    Recorder recorder;
+    recorder.emit(0.0, EventKind::kWalkStart);
+    recorder.emit(0.1, EventKind::kConfigTry);
+    recorder.emit(0.2, EventKind::kLimitWrite);
+    recorder.emit(0.3, EventKind::kModeDegraded);
+    recorder.emit(0.4, EventKind::kAllocApplied);
+    recorder.emit(0.5, EventKind::kFaultActivated);
+    recorder.emit(0.6, EventKind::kRebalance);
+    recorder.emit(0.7, EventKind::kExperimentStart);
+    const auto counts = recorder.subsystemCounts();
+    EXPECT_EQ(counts[size_t(Subsystem::kDecision)], 2u);
+    EXPECT_EQ(counts[size_t(Subsystem::kRapl)], 1u);
+    EXPECT_EQ(counts[size_t(Subsystem::kCore)], 1u);
+    EXPECT_EQ(counts[size_t(Subsystem::kSched)], 1u);
+    EXPECT_EQ(counts[size_t(Subsystem::kFaults)], 1u);
+    EXPECT_EQ(counts[size_t(Subsystem::kCluster)], 1u);
+    EXPECT_EQ(counts[size_t(Subsystem::kHarness)], 1u);
+}
+
+TEST(Recorder, EveryKindHasANameAndSubsystem)
+{
+    for (int k = 0; k <= int(EventKind::kExperimentEnd); ++k) {
+        const auto kind = EventKind(k);
+        EXPECT_STRNE(trace::kindName(kind), "?") << k;
+        const Subsystem subsystem = trace::kindSubsystem(kind);
+        EXPECT_GE(int(subsystem), 0);
+        EXPECT_LT(int(subsystem), trace::kSubsystemCount);
+        EXPECT_STRNE(trace::subsystemName(subsystem), "?") << k;
+    }
+}
+
+TEST(Export, FormatDoubleIsShortestRoundTrip)
+{
+    EXPECT_EQ(trace::formatDouble(0.0), "0");
+    EXPECT_EQ(trace::formatDouble(137.5), "137.5");
+    EXPECT_EQ(trace::formatDouble(-2.25), "-2.25");
+    const double value = 0.1 + 0.2;
+    EXPECT_DOUBLE_EQ(std::strtod(trace::formatDouble(value).c_str(), nullptr),
+                     value);
+}
+
+TEST(Export, ChromeJsonHasTraceEventShape)
+{
+    Recorder recorder;
+    recorder.emit(1.5, EventKind::kLimitWrite, 70.0, 0.0, 1, 1);
+    const std::string json = trace::toChromeJson(recorder);
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"limit-write\""), std::string::npos);
+    EXPECT_NE(json.find("\"cat\":\"rapl\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    // 1.5 simulated seconds render as 1.5e6 Chrome microseconds.
+    EXPECT_NE(json.find("\"ts\":1500000"), std::string::npos);
+    EXPECT_NE(json.find("\"a\":70"), std::string::npos);
+}
+
+TEST(Export, CsvHasHeaderAndOneLinePerEvent)
+{
+    Recorder recorder;
+    recorder.emit(0.25, EventKind::kCapSplit, 80.0, 60.0);
+    recorder.emit(0.5, EventKind::kNodeLoss, 0.0, 0.0, 2);
+    const std::string csv = trace::toCsv(recorder);
+    EXPECT_EQ(csv.find("time_sec,subsystem,event,a,b,i0,i1\n"), 0u);
+    EXPECT_NE(csv.find("0.25,core,cap-split,80,60,0,0\n"), std::string::npos);
+    EXPECT_NE(csv.find("0.5,cluster,node-loss,0,0,2,0\n"), std::string::npos);
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+harness::ExperimentOptions
+shortOptions()
+{
+    harness::ExperimentOptions options;
+    options.capWatts = 140.0;
+    options.durationSec = 20.0;
+    options.statsWindowSec = 10.0;
+    options.seed = 42;
+    return options;
+}
+
+TEST(TraceDeterminism, SameSeedRendersToIdenticalBytes)
+{
+    const auto apps = harness::singleApp("x264");
+    Recorder first, second;
+    harness::ExperimentOptions options = shortOptions();
+    options.trace = &first;
+    harness::runExperiment(harness::GovernorKind::kPupil, apps, options);
+    options.trace = &second;
+    harness::runExperiment(harness::GovernorKind::kPupil, apps, options);
+    ASSERT_GT(first.size(), 0u);
+    EXPECT_EQ(trace::toChromeJson(first), trace::toChromeJson(second));
+    EXPECT_EQ(trace::toCsv(first), trace::toCsv(second));
+}
+
+TEST(TraceDeterminism, TracingChangesNoResult)
+{
+    const auto apps = harness::singleApp("x264");
+    harness::ExperimentOptions options = shortOptions();
+    const auto untraced = harness::runExperiment(
+        harness::GovernorKind::kPupil, apps, options);
+    Recorder recorder;
+    options.trace = &recorder;
+    const auto traced = harness::runExperiment(
+        harness::GovernorKind::kPupil, apps, options);
+    ASSERT_GT(recorder.size(), 0u);
+    // Bitwise equality: instrumentation draws from no RNG stream and
+    // perturbs no control decision.
+    EXPECT_EQ(traced.aggregatePerf, untraced.aggregatePerf);
+    EXPECT_EQ(traced.meanPowerWatts, untraced.meanPowerWatts);
+    EXPECT_EQ(traced.perfPerJoule, untraced.perfPerJoule);
+    EXPECT_EQ(traced.settlingTimeSec, untraced.settlingTimeSec);
+    EXPECT_EQ(traced.capViolationSec, untraced.capViolationSec);
+    EXPECT_EQ(traced.gips, untraced.gips);
+    ASSERT_EQ(traced.powerTrace.size(), untraced.powerTrace.size());
+    for (size_t i = 0; i < traced.powerTrace.size(); ++i)
+        EXPECT_EQ(traced.powerTrace[i].value, untraced.powerTrace[i].value);
+    ASSERT_EQ(traced.metrics.size(), untraced.metrics.size());
+    for (size_t i = 0; i < traced.metrics.size(); ++i) {
+        EXPECT_EQ(traced.metrics[i].first, untraced.metrics[i].first);
+        EXPECT_EQ(traced.metrics[i].second, untraced.metrics[i].second);
+    }
+}
+
+TEST(TraceDeterminism, FullStackRunCoversAtLeastFiveSubsystems)
+{
+    Recorder recorder(1 << 17);
+    harness::ExperimentOptions options = shortOptions();
+    options.durationSec = 40.0;
+    options.statsWindowSec = 20.0;
+    options.platform.faultSpec = "sensor-dropout,power,10,20";
+    options.trace = &recorder;
+    harness::runExperiment(harness::GovernorKind::kPupil,
+                           harness::singleApp("x264"), options);
+
+    cluster::PowerShifter::Options copts;
+    cluster::PowerShifter shifter(copts);
+    shifter.attachTrace(&recorder);
+    shifter.addNode("n0", harness::singleApp("x264", 16));
+    shifter.addNode("n1", harness::singleApp("kmeans", 16));
+    const faults::FaultSchedule schedule =
+        faults::FaultSchedule::parse("node-loss,n1,4,10");
+    shifter.setFaultSchedule(&schedule);
+    shifter.run(16.0);
+
+    const auto counts = recorder.subsystemCounts();
+    int covered = 0;
+    for (int s = 0; s < trace::kSubsystemCount; ++s)
+        covered += counts[s] > 0 ? 1 : 0;
+    EXPECT_GE(covered, 5)
+        << "decision=" << counts[size_t(Subsystem::kDecision)]
+        << " core=" << counts[size_t(Subsystem::kCore)]
+        << " rapl=" << counts[size_t(Subsystem::kRapl)]
+        << " sched=" << counts[size_t(Subsystem::kSched)]
+        << " faults=" << counts[size_t(Subsystem::kFaults)]
+        << " cluster=" << counts[size_t(Subsystem::kCluster)]
+        << " harness=" << counts[size_t(Subsystem::kHarness)];
+    EXPECT_GT(counts[size_t(Subsystem::kDecision)], 0u);
+    EXPECT_GT(counts[size_t(Subsystem::kRapl)], 0u);
+    EXPECT_GT(counts[size_t(Subsystem::kSched)], 0u);
+    EXPECT_GT(counts[size_t(Subsystem::kFaults)], 0u);
+    EXPECT_GT(counts[size_t(Subsystem::kCluster)], 0u);
+}
+
+TEST(MetricsRegistry, CountersAccumulate)
+{
+    telemetry::MetricsRegistry metrics;
+    EXPECT_TRUE(metrics.empty());
+    metrics.addCounter("rapl.limit_writes");
+    metrics.addCounter("rapl.limit_writes", 3);
+    EXPECT_DOUBLE_EQ(metrics.value("rapl.limit_writes"), 4.0);
+    ASSERT_NE(metrics.find("rapl.limit_writes"), nullptr);
+    EXPECT_EQ(metrics.find("rapl.limit_writes")->type,
+              telemetry::MetricsRegistry::Type::kCounter);
+}
+
+TEST(MetricsRegistry, GaugesKeepLastValue)
+{
+    telemetry::MetricsRegistry metrics;
+    metrics.setGauge("decision.steps", 3.0);
+    metrics.setGauge("decision.steps", 7.0);
+    EXPECT_DOUBLE_EQ(metrics.value("decision.steps"), 7.0);
+}
+
+TEST(MetricsRegistry, HistogramsSummarize)
+{
+    telemetry::MetricsRegistry metrics;
+    metrics.observe("platform.power_watts", 100.0);
+    metrics.observe("platform.power_watts", 140.0);
+    metrics.observe("platform.power_watts", 120.0);
+    const auto* metric = metrics.find("platform.power_watts");
+    ASSERT_NE(metric, nullptr);
+    EXPECT_EQ(metric->count, 3u);
+    EXPECT_DOUBLE_EQ(metric->min, 100.0);
+    EXPECT_DOUBLE_EQ(metric->max, 140.0);
+    EXPECT_DOUBLE_EQ(metrics.value("platform.power_watts"), 120.0);
+}
+
+TEST(MetricsRegistry, SnapshotFlattensSorted)
+{
+    telemetry::MetricsRegistry metrics;
+    metrics.observe("b.hist", 2.0);
+    metrics.observe("b.hist", 4.0);
+    metrics.addCounter("a.count", 5);
+    metrics.setGauge("c.gauge", -1.5);
+    const auto snapshot = metrics.snapshot();
+    ASSERT_EQ(snapshot.size(), 6u);
+    EXPECT_EQ(snapshot[0].first, "a.count");
+    EXPECT_DOUBLE_EQ(snapshot[0].second, 5.0);
+    EXPECT_EQ(snapshot[1].first, "b.hist.count");
+    EXPECT_DOUBLE_EQ(telemetry::metricOr(snapshot, "b.hist.mean", -1.0), 3.0);
+    EXPECT_DOUBLE_EQ(telemetry::metricOr(snapshot, "b.hist.min", -1.0), 2.0);
+    EXPECT_DOUBLE_EQ(telemetry::metricOr(snapshot, "b.hist.max", -1.0), 4.0);
+    EXPECT_DOUBLE_EQ(telemetry::metricOr(snapshot, "c.gauge", 0.0), -1.5);
+    EXPECT_DOUBLE_EQ(telemetry::metricOr(snapshot, "missing", 9.0), 9.0);
+}
+
+TEST(MetricsRegistry, ResetDropsEverything)
+{
+    telemetry::MetricsRegistry metrics;
+    metrics.addCounter("x");
+    metrics.reset();
+    EXPECT_TRUE(metrics.empty());
+    EXPECT_EQ(metrics.find("x"), nullptr);
+}
+
+TEST(Harness, ResultCarriesMetricsSnapshot)
+{
+    const auto result = harness::runExperiment(
+        harness::GovernorKind::kPupil, harness::singleApp("x264"),
+        shortOptions());
+    ASSERT_FALSE(result.metrics.empty());
+    EXPECT_DOUBLE_EQ(
+        telemetry::metricOr(result.metrics, "counters.gips", -1.0),
+        result.gips);
+    EXPECT_DOUBLE_EQ(
+        telemetry::metricOr(result.metrics, "faults.injected", -1.0),
+        double(result.faultsInjected));
+    EXPECT_GT(telemetry::metricOr(result.metrics, "rapl.limit_writes"), 0.0);
+    EXPECT_GT(telemetry::metricOr(result.metrics, "pupil.cap_splits"), 0.0);
+    EXPECT_GT(
+        telemetry::metricOr(result.metrics, "platform.power_watts.count"),
+        0.0);
+}
+
+TEST(Harness, SweepJobsDoNotLeakCountersBetweenRuns)
+{
+    // Regression: a faulty job followed by a clean job on the same worker
+    // must leave the clean job's resilience accounting at zero. The
+    // harness resets per-job accounting explicitly, so even a platform
+    // reused across jobs could not leak.
+    harness::SweepRunner::Options ropts;
+    ropts.threads = 1;
+    ropts.progress = [](const harness::SweepProgress&) {};
+    harness::SweepRunner runner(ropts);
+
+    harness::SweepJob faulty;
+    faulty.kind = harness::GovernorKind::kPupil;
+    faulty.apps = harness::singleApp("x264");
+    faulty.options = shortOptions();
+    faulty.options.durationSec = 30.0;
+    faulty.options.platform.faultSpec = "sensor-dropout,power,5,15";
+    faulty.label = "faulty";
+
+    harness::SweepJob clean = faulty;
+    clean.options.platform.faultSpec.clear();
+    clean.label = "clean";
+
+    const auto outcomes = runner.run({faulty, clean});
+    ASSERT_EQ(outcomes.size(), 2u);
+    ASSERT_TRUE(outcomes[0].ok);
+    ASSERT_TRUE(outcomes[1].ok);
+    EXPECT_GT(outcomes[0].result.faultsInjected, 0u);
+    EXPECT_GT(outcomes[0].result.degradedSec, 0.0);
+    EXPECT_EQ(outcomes[1].result.faultsInjected, 0u);
+    EXPECT_EQ(outcomes[1].result.faultsDetected, 0u);
+    EXPECT_DOUBLE_EQ(outcomes[1].result.degradedSec, 0.0);
+    EXPECT_DOUBLE_EQ(
+        telemetry::metricOr(outcomes[1].result.metrics, "faults.injected",
+                            -1.0),
+        0.0);
+}
+
+}  // namespace
+}  // namespace pupil
