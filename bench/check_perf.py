@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_perf.json produced by bench/perf_regression against the
+checked-in baseline (bench/perf_baseline.json) and fail on regression.
+
+Only dimensionless speedup ratios are compared -- absolute throughput
+depends on the host, but cached-vs-uncached ratios on the same host in
+the same process are stable. A ratio regresses when it falls below
+baseline * (1 - tolerance) (default tolerance 25%), or below an absolute
+floor (the walker-convergence >= 3x target from the perf issue).
+
+Exit status: 0 ok, 1 regression or malformed input.
+
+Usage: check_perf.py [--bench PATH] [--baseline PATH]
+"""
+
+import argparse
+import json
+import sys
+
+
+def lookup(tree, dotted):
+    node = tree
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(dotted)
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise KeyError(dotted)
+    return float(node)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="build/bench/BENCH_perf.json",
+                        help="BENCH_perf.json written by perf_regression")
+    parser.add_argument("--baseline", default="bench/perf_baseline.json",
+                        help="checked-in baseline ratios")
+    args = parser.parse_args(argv)
+
+    try:
+        with open(args.bench) as f:
+            bench = json.load(f)
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"check_perf: cannot load inputs: {err}", file=sys.stderr)
+        return 1
+
+    if bench.get("schema") != "pupil-perf-regression-v1":
+        print(f"check_perf: unexpected bench schema {bench.get('schema')!r}",
+              file=sys.stderr)
+        return 1
+
+    tolerance = float(baseline.get("tolerance", 0.25))
+    ratios = baseline.get("ratios", {})
+    floors = baseline.get("floors", {})
+    if not ratios:
+        print("check_perf: baseline has no ratios", file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'metric':<38} {'measured':>9} {'baseline':>9} {'min ok':>8}")
+    for name in sorted(set(ratios) | set(floors)):
+        try:
+            measured = lookup(bench, name)
+        except KeyError:
+            failures.append(f"{name}: missing from bench output")
+            continue
+        minimum = 0.0
+        if name in ratios:
+            minimum = max(minimum, float(ratios[name]) * (1.0 - tolerance))
+        if name in floors:
+            minimum = max(minimum, float(floors[name]))
+        base = ratios.get(name, "-")
+        status = "ok" if measured >= minimum else "REGRESSED"
+        print(f"{name:<38} {measured:>9.3f} {base!s:>9} {minimum:>8.3f}"
+              f"  {status}")
+        if measured < minimum:
+            failures.append(
+                f"{name}: measured {measured:.3f} < minimum {minimum:.3f}")
+
+    if failures:
+        print("\ncheck_perf: performance regression detected:",
+              file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncheck_perf: all ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

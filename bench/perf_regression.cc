@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Performance regression bench for the memoized scheduler solve.
+ *
+ * Three sections, each timed cached (SolveCache) vs. uncached over
+ * fixed-seed repetitions, reporting median and p95:
+ *
+ *  - walker_convergence: Algorithm 1/2 decision walks to convergence
+ *    against the noiseless analytic model, the workload where memoization
+ *    pays: every measurement window re-solves its configuration once per
+ *    sample and the binary search revisits settings. Target: >= 3x
+ *    throughput (walks/s) with the cache on.
+ *  - solve_throughput: raw memoized vs. plain solve rate while cycling a
+ *    32-configuration working set (the cache's steady hit regime).
+ *  - end_to_end: a fig1-style traced PUPiL run (wall-clock); ticking
+ *    dominates here, so the expectation is parity, not speedup -- the
+ *    section exists to catch the cache *hurting* a real run.
+ *
+ * Every section first self-checks decision-invariance (cached and
+ * uncached results bit-identical) and aborts non-zero on any mismatch.
+ * Results go to stdout and to a machine-readable BENCH_perf.json
+ * (default; override with --out PATH) that bench/check_perf.py compares
+ * against bench/perf_baseline.json in CI. --quick shrinks the workload
+ * for the smoke tier.
+ */
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/decision.h"
+#include "core/ordering.h"
+#include "machine/config.h"
+#include "sched/solve_cache.h"
+#include "trace/export.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+double
+timeSec(const std::function<void()>& body)
+{
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+}
+
+struct Summary
+{
+    double median = 0.0;
+    double p95 = 0.0;
+};
+
+Summary
+summarize(const std::vector<double>& samples)
+{
+    return {util::percentile(samples, 50.0), util::percentile(samples, 95.0)};
+}
+
+/** One decision walk to convergence over the noiseless analytic model;
+ *  solves go through @p cache when non-null. Returns a bit-sensitive
+ *  checksum of every sample fed to the walker plus the final config. */
+struct WalkOutcome
+{
+    machine::MachineConfig finalConfig;
+    int steps = 0;
+    uint64_t solves = 0;
+    double checksum = 0.0;
+};
+
+WalkOutcome
+runWalk(const sched::Scheduler& sched, const machine::PowerModel& pm,
+        const std::vector<sched::AppDemand>& apps, double cap,
+        const std::vector<core::Resource>& order, sched::SolveCache* cache,
+        sched::SolveScratch& scratch)
+{
+    core::DecisionWalker::Options options;
+    options.windowSamples = 30;  // matches the production PUPiL governor
+    options.checkPower = true;
+    core::DecisionWalker walker(order, options);
+    walker.start(machine::minimalConfig(), cap, 0.0);
+
+    WalkOutcome outcome;
+    sched::SystemOutcome out;
+    const auto evaluate = [&](const machine::MachineConfig& cfg,
+                              double& perf, double& power) {
+        const sched::SystemOutcome* result;
+        if (cache != nullptr) {
+            result = cache->solveRef(sched, cfg, {1.0, 1.0}, apps, scratch);
+        } else {
+            sched.solve(cfg, {1.0, 1.0}, apps, scratch, out);
+            result = &out;
+        }
+        ++outcome.solves;
+        perf = result->totalIps / 1e9;
+        power = pm.totalPower(cfg, result->loads);
+    };
+    double now = 0.0;
+    while (!walker.converged() && now < 600.0) {
+        now += 0.1;
+        double perf = 0.0;
+        double power = 0.0;
+        evaluate(walker.config(), perf, power);
+        walker.addSample(perf, power, now);
+        outcome.checksum += perf + power;
+    }
+    outcome.finalConfig = walker.config();
+    outcome.steps = walker.stepsTaken();
+    return outcome;
+}
+
+struct WalkCase
+{
+    std::string label;
+    std::vector<sched::AppDemand> apps;
+    double cap;
+};
+
+int
+checkWalksIdentical(const sched::Scheduler& sched,
+                    const machine::PowerModel& pm,
+                    const std::vector<WalkCase>& cases,
+                    const std::vector<core::Resource>& order)
+{
+    sched::SolveScratch scratch;
+    for (const WalkCase& c : cases) {
+        sched::SolveCache cache(sched::SolveCache::kDefaultCapacity);
+        const WalkOutcome plain =
+            runWalk(sched, pm, c.apps, c.cap, order, nullptr, scratch);
+        const WalkOutcome cached =
+            runWalk(sched, pm, c.apps, c.cap, order, &cache, scratch);
+        if (plain.finalConfig != cached.finalConfig ||
+            plain.checksum != cached.checksum ||
+            plain.steps != cached.steps) {
+            std::fprintf(stderr,
+                         "FAIL: cached walk diverged from uncached for %s "
+                         "@ %.0f W (checksum %.17g vs %.17g)\n",
+                         c.label.c_str(), c.cap, cached.checksum,
+                         plain.checksum);
+            return 1;
+        }
+    }
+    return 0;
+}
+
+std::string
+jsonSummary(const Summary& s)
+{
+    return "{\"median\":" + trace::formatDouble(s.median) +
+           ",\"p95\":" + trace::formatDouble(s.p95) + "}";
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_perf.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    const int reps = quick ? 5 : 9;
+    const uint64_t seed = bench::envSeed(42);
+
+    std::printf("=== Perf regression: memoized solves & allocation-free "
+                "tick (%s mode) ===\n\n",
+                quick ? "quick" : "full");
+
+    const sched::Scheduler sched;
+    const machine::PowerModel pm;
+    const auto order = core::calibrateOrdering(sched, pm,
+                                               workload::calibrationApp())
+                           .orderedResources(true);
+
+    // ----- section 1: walker convergence --------------------------------
+    // Multi-application walks (paper Section 5.4, cooperative scenario):
+    // the 4-app contention solve is the expensive one, and each
+    // measurement window re-solves its configuration windowSamples times,
+    // which is exactly the repetition the cache memoizes.
+    std::vector<WalkCase> cases;
+    const std::vector<const char*> walkMixes =
+        quick ? std::vector<const char*>{"mix5", "mix9"}
+              : std::vector<const char*>{"mix1", "mix3", "mix5", "mix7",
+                                         "mix9", "mix11"};
+    const std::vector<double> walkCaps =
+        quick ? std::vector<double>{60.0, 140.0} : bench::powerCaps();
+    for (const char* name : walkMixes) {
+        for (double cap : walkCaps)
+            cases.push_back({name,
+                             harness::mixApps(workload::findMix(name),
+                                              workload::Scenario::kOblivious),
+                             cap});
+    }
+    if (checkWalksIdentical(sched, pm, cases, order) != 0)
+        return 1;
+
+    sched::SolveScratch scratch;
+    // Warm caches model the steady-state regime: a long-running governor
+    // owns one cache for its whole run, so every re-convergence (after a
+    // cap change, a phase change, a fault clearing) walks configurations
+    // it has already solved. Cold = a fresh cache per walk, the
+    // first-convergence cost.
+    std::vector<sched::SolveCache> warmCaches;
+    for (size_t i = 0; i < cases.size(); ++i)
+        warmCaches.emplace_back(sched::SolveCache::kDefaultCapacity);
+    for (size_t i = 0; i < cases.size(); ++i)  // pre-warm, untimed
+        runWalk(sched, pm, cases[i].apps, cases[i].cap, order,
+                &warmCaches[i], scratch);
+    std::vector<double> walkPlain, walkCold, walkWarm;
+    for (int r = 0; r < reps; ++r) {
+        walkPlain.push_back(timeSec([&] {
+            for (const WalkCase& c : cases)
+                runWalk(sched, pm, c.apps, c.cap, order, nullptr, scratch);
+        }));
+        walkCold.push_back(timeSec([&] {
+            for (const WalkCase& c : cases) {
+                sched::SolveCache cache(sched::SolveCache::kDefaultCapacity);
+                runWalk(sched, pm, c.apps, c.cap, order, &cache, scratch);
+            }
+        }));
+        walkWarm.push_back(timeSec([&] {
+            for (size_t i = 0; i < cases.size(); ++i)
+                runWalk(sched, pm, cases[i].apps, cases[i].cap, order,
+                        &warmCaches[i], scratch);
+        }));
+    }
+    const double nWalks = double(cases.size());
+    auto toRate = [](std::vector<double> secs, double count) {
+        for (double& s : secs)
+            s = count / s;
+        return secs;
+    };
+    const Summary walkPlainRate = summarize(toRate(walkPlain, nWalks));
+    const Summary walkColdRate = summarize(toRate(walkCold, nWalks));
+    const Summary walkWarmRate = summarize(toRate(walkWarm, nWalks));
+    const double walkColdSpeedup =
+        walkColdRate.median / walkPlainRate.median;
+    const double walkSpeedup = walkWarmRate.median / walkPlainRate.median;
+
+    // ----- section 2: raw solve throughput ------------------------------
+    const auto space = machine::enumerateUserConfigs();
+    std::vector<machine::MachineConfig> ring;
+    for (size_t i = 0; i < 32; ++i)
+        ring.push_back(space[(i * 37) % space.size()]);
+    const std::vector<sched::AppDemand> apps = harness::mixApps(
+        workload::findMix("mix9"), workload::Scenario::kOblivious);
+    const int cycles = quick ? 60 : 300;
+    const double nSolves = double(cycles) * double(ring.size());
+
+    {
+        // Invariance self-check for the ring before timing it.
+        sched::SolveCache cache(64);
+        sched::SystemOutcome cached, plain;
+        for (const auto& cfg : ring) {
+            sched.solve(cfg, {1.0, 1.0}, apps, scratch, plain);
+            cache.solve(sched, cfg, {1.0, 1.0}, apps, scratch, cached);
+            if (plain.totalIps != cached.totalIps ||
+                plain.spinFraction != cached.spinFraction) {
+                std::fprintf(stderr,
+                             "FAIL: cached solve diverged on config %s\n",
+                             cfg.toString().c_str());
+                return 1;
+            }
+        }
+    }
+    std::vector<double> solvePlain, solveCached;
+    volatile double sink = 0.0;
+    for (int r = 0; r < reps; ++r) {
+        solvePlain.push_back(timeSec([&] {
+            sched::SystemOutcome out;
+            for (int k = 0; k < cycles; ++k) {
+                for (const auto& cfg : ring) {
+                    sched.solve(cfg, {1.0, 1.0}, apps, scratch, out);
+                    sink = sink + out.totalIps;
+                }
+            }
+        }));
+        solveCached.push_back(timeSec([&] {
+            sched::SolveCache cache(64);
+            for (int k = 0; k < cycles; ++k) {
+                for (const auto& cfg : ring) {
+                    const sched::SystemOutcome* out = cache.solveRef(
+                        sched, cfg, {1.0, 1.0}, apps, scratch);
+                    sink = sink + out->totalIps;
+                }
+            }
+        }));
+    }
+    const Summary solvePlainRate = summarize(toRate(solvePlain, nSolves));
+    const Summary solveCachedRate = summarize(toRate(solveCached, nSolves));
+    const double solveSpeedup =
+        solveCachedRate.median / solvePlainRate.median;
+
+    // ----- section 3: end-to-end traced run -----------------------------
+    harness::ExperimentOptions e2e;
+    e2e.capWatts = 140.0;
+    e2e.durationSec = quick ? 6.0 : 20.0;
+    e2e.statsWindowSec = e2e.durationSec / 2.0;
+    e2e.seed = seed;
+    const std::vector<sched::AppDemand> e2eApps = harness::singleApp("x264");
+
+    harness::ExperimentOptions uncachedOptions = e2e;
+    uncachedOptions.platform.solveCacheCapacity = 0;
+    {
+        const auto a = harness::runExperiment(harness::GovernorKind::kPupil,
+                                              e2eApps, e2e);
+        const auto b = harness::runExperiment(harness::GovernorKind::kPupil,
+                                              e2eApps, uncachedOptions);
+        if (a.aggregatePerf != b.aggregatePerf ||
+            a.meanPowerWatts != b.meanPowerWatts) {
+            std::fprintf(stderr, "FAIL: cached end-to-end run diverged "
+                                 "(%.17g vs %.17g normalized perf)\n",
+                         a.aggregatePerf, b.aggregatePerf);
+            return 1;
+        }
+    }
+    std::vector<double> e2ePlainMs, e2eCachedMs;
+    for (int r = 0; r < reps; ++r) {
+        e2ePlainMs.push_back(1e3 * timeSec([&] {
+            harness::runExperiment(harness::GovernorKind::kPupil, e2eApps,
+                                   uncachedOptions);
+        }));
+        e2eCachedMs.push_back(1e3 * timeSec([&] {
+            harness::runExperiment(harness::GovernorKind::kPupil, e2eApps,
+                                   e2e);
+        }));
+    }
+    const Summary e2ePlain = summarize(e2ePlainMs);
+    const Summary e2eCached = summarize(e2eCachedMs);
+    const double e2eSpeedup = e2ePlain.median / e2eCached.median;
+
+    // ----- report -------------------------------------------------------
+    util::Table table({"section", "uncached", "cached", "speedup"});
+    auto rate2 = [](const Summary& s) {
+        return util::Table::cell(s.median, 1) + " /s";
+    };
+    table.addRow({"walker first convergence (walks/s)",
+                  rate2(walkPlainRate), rate2(walkColdRate),
+                  util::Table::cell(walkColdSpeedup, 2)});
+    table.addRow({"walker re-convergence, warm (walks/s)",
+                  rate2(walkPlainRate), rate2(walkWarmRate),
+                  util::Table::cell(walkSpeedup, 2)});
+    table.addRow({"raw solve throughput (solves/s)",
+                  util::Table::cell(solvePlainRate.median, 0),
+                  util::Table::cell(solveCachedRate.median, 0),
+                  util::Table::cell(solveSpeedup, 2)});
+    table.addRow({"end-to-end PUPiL run (ms)",
+                  util::Table::cell(e2ePlain.median, 1),
+                  util::Table::cell(e2eCached.median, 1),
+                  util::Table::cell(e2eSpeedup, 2)});
+    table.print(std::cout);
+    std::printf("\nDecision-invariance self-checks passed: cached and "
+                "uncached results are bit-identical.\n");
+    std::printf("Walker-convergence speedup target (>= 3x): %s\n",
+                walkSpeedup >= 3.0 ? "met" : "NOT MET");
+
+    std::string json;
+    json += "{\n  \"schema\": \"pupil-perf-regression-v1\",\n";
+    json += "  \"mode\": \"" + std::string(quick ? "quick" : "full") +
+            "\",\n  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"walker_convergence\": {\n";
+    json += "    \"uncached_walks_per_sec\": " + jsonSummary(walkPlainRate) +
+            ",\n";
+    json += "    \"cold_cached_walks_per_sec\": " +
+            jsonSummary(walkColdRate) + ",\n";
+    json += "    \"warm_cached_walks_per_sec\": " +
+            jsonSummary(walkWarmRate) + ",\n";
+    json += "    \"cold_speedup\": " + trace::formatDouble(walkColdSpeedup) +
+            ",\n";
+    json += "    \"speedup\": " + trace::formatDouble(walkSpeedup) + "\n"
+            "  },\n";
+    json += "  \"solve_throughput\": {\n";
+    json += "    \"uncached_solves_per_sec\": " +
+            jsonSummary(solvePlainRate) + ",\n";
+    json += "    \"cached_solves_per_sec\": " + jsonSummary(solveCachedRate) +
+            ",\n";
+    json += "    \"speedup\": " + trace::formatDouble(solveSpeedup) + "\n"
+            "  },\n";
+    json += "  \"end_to_end\": {\n";
+    json += "    \"uncached_ms\": " + jsonSummary(e2ePlain) + ",\n";
+    json += "    \"cached_ms\": " + jsonSummary(e2eCached) + ",\n";
+    json += "    \"speedup\": " + trace::formatDouble(e2eSpeedup) + "\n"
+            "  }\n}\n";
+    if (!trace::writeFile(outPath, json)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("\nWrote %s\n", outPath.c_str());
+
+    // The tentpole's headline claim is enforced here, not just reported:
+    // regressing the walker below 3x fails the bench (and CI).
+    if (walkSpeedup < 3.0)
+        return 2;
+    return 0;
+}

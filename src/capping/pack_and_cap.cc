@@ -47,11 +47,11 @@ PackAndCap::onStart(sim::Platform& platform)
     double bestPerf = -1.0;
     int bestPack = 32;
     int bestPState = 0;
+    sched::SystemOutcome out;
     for (int k = 1; k <= 32; ++k) {
         for (int p = DvfsTable::kNumPStates - 1; p >= 0; --p) {
             const MachineConfig cfg = configFor(k, p);
-            const auto out = platform.scheduler().solve(cfg, {1.0, 1.0},
-                                                        apps);
+            platform.solveCached(cfg, {1.0, 1.0}, apps, out);
             if (platform.powerModel().totalPower(cfg, out.loads) > cap_)
                 continue;
             double aggregate = 0.0;

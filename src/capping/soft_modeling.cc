@@ -27,9 +27,12 @@ SoftModeling::onStart(sim::Platform& platform)
 
     std::vector<double> power(space.size());
     std::vector<double> perf(space.size());
+    sched::SystemOutcome out;
     for (size_t k = 0; k < space.size(); ++k) {
-        const sched::SystemOutcome out =
-            platform.scheduler().solve(space[k], {1.0, 1.0}, profileApps);
+        // Memoized through the platform's solve cache: a re-profiling
+        // governor (or several model-driven ones sharing a platform)
+        // answers repeated configuration probes from memory.
+        platform.solveCached(space[k], {1.0, 1.0}, profileApps, out);
         power[k] = platform.powerModel().totalPower(space[k], out.loads);
         perf[k] = out.apps[0].itemsPerSec;
     }

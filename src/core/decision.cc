@@ -78,6 +78,7 @@ DecisionWalker::enterMonitor(double now)
     phase_ = Phase::kMonitor;
     monitorSince_ = now;
     baselinePerf_ = 0.0;  // captured from the first full monitor window
+    ++convergedCount_;
     trace::emit(trace_, now, trace::EventKind::kWalkConverged,
                 now - walkStartedAt_, 0.0, steps_);
 }

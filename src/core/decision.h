@@ -99,6 +99,13 @@ class DecisionWalker
     /** Number of walks started (>1 means phase-change re-walks). */
     int walkCount() const { return walkCount_; }
 
+    /**
+     * Number of walks that reached convergence (entered monitoring).
+     * The perf-regression bench divides this by wall time to report
+     * walker-convergence throughput.
+     */
+    int convergedCount() const { return convergedCount_; }
+
     /** Number of measurement windows consumed (decision steps). */
     int stepsTaken() const { return steps_; }
 
@@ -149,6 +156,7 @@ class DecisionWalker
     double monitorSince_ = 0.0;
     double baselinePerf_ = 0.0;
     int walkCount_ = 0;
+    int convergedCount_ = 0;
     int steps_ = 0;
 
     telemetry::SigmaFilter perfFilter_;

@@ -1,5 +1,6 @@
 #include "schedule.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -57,6 +58,12 @@ parseNumber(const std::string& field, const std::string& entry)
     if (end == field.c_str() || *end != '\0')
         throw std::invalid_argument("fault spec: bad number '" + field +
                                     "' in entry '" + entry + "'");
+    // strtod happily produces inf (overflowing literals, "inf") and nan;
+    // a NaN window would defeat every subsequent range check (NaN
+    // comparisons are false), so non-finite values are rejected here, once.
+    if (!std::isfinite(value))
+        throw std::invalid_argument("fault spec: non-finite number '" +
+                                    field + "' in entry '" + entry + "'");
     return value;
 }
 
@@ -112,14 +119,23 @@ FaultSchedule::parse(const std::string& spec)
             event.target = "*";
         event.startSec = parseNumber(trim(fields[2]), entry);
         event.endSec = parseNumber(trim(fields[3]), entry);
+        if (event.startSec < 0.0)
+            throw std::invalid_argument(
+                "fault spec: window start must be >= 0 in entry '" + entry +
+                "'");
         if (event.endSec <= event.startSec)
             throw std::invalid_argument(
                 "fault spec: window must be non-empty in entry '" + entry +
                 "'");
         if (fields.size() >= 5)
             event.param = parseNumber(trim(fields[4]), entry);
-        if (fields.size() >= 6)
+        if (fields.size() >= 6) {
             event.prob = parseNumber(trim(fields[5]), entry);
+            if (event.prob < 0.0 || event.prob > 1.0)
+                throw std::invalid_argument(
+                    "fault spec: probability must be in [0, 1] in entry '" +
+                    entry + "'");
+        }
         schedule.events_.push_back(std::move(event));
     }
     return schedule;

@@ -75,7 +75,13 @@ class FaultSchedule
   public:
     FaultSchedule() = default;
 
-    /** Parse @p spec; throws std::invalid_argument on malformed entries. */
+    /**
+     * Parse @p spec; throws std::invalid_argument on malformed entries:
+     * unknown kinds, wrong field counts, unparseable or non-finite
+     * numbers, windows with start < 0 or end <= start, and probabilities
+     * outside [0, 1]. Rejection is the only failure mode -- the parser
+     * never crashes on hostile input (fuzzed in faults_test.cc).
+     */
     static FaultSchedule parse(const std::string& spec);
 
     const std::vector<FaultEvent>& events() const { return events_; }

@@ -144,6 +144,14 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     metrics.setGauge("pupil.degraded_sec", result.degradedSec);
     metrics.setGauge("experiment.duration_sec", duration);
     metrics.setGauge("experiment.mean_power_watts", result.meanPowerWatts);
+    const uint64_t cacheHits = metrics.counterTotal("sched.solve_cache.hits");
+    const uint64_t cacheMisses =
+        metrics.counterTotal("sched.solve_cache.misses");
+    if (cacheHits + cacheMisses > 0) {
+        metrics.setGauge("sched.solve_cache.hit_rate",
+                         double(cacheHits) /
+                             double(cacheHits + cacheMisses));
+    }
     result.metrics = metrics.snapshot();
 
     trace::emit(options.trace, platform.now(),

@@ -15,24 +15,7 @@ using machine::MachineConfig;
 using workload::AppParams;
 using workload::SyncKind;
 
-/** Working state for one app during the solve. */
-struct Work
-{
-    const AppParams* p = nullptr;
-    int threads = 0;
-    double runnablePar = 0.0;   ///< runnable threads during parallel phase
-    double runnable = 0.0;      ///< time-averaged runnable threads
-    std::array<double, 2> share = {0.0, 0.0};  ///< ctx-sec/s per socket
-    double shareCtx = 0.0;      ///< total allocated contexts
-    double shareEquiv = 0.0;    ///< core-equivalents (HT-adjusted)
-    double freq = 0.0;          ///< share-weighted effective GHz
-    bool spans = false;
-    double speedup = 0.0;       ///< effective speedup incl. serial stretch
-    double serialSpeed = 1.0;   ///< progress speed of a serial section
-    double spinTime = 0.0;      ///< wall-time fraction spent spin-waiting
-    double idealIps = 0.0;
-    double demandBytes = 0.0;
-};
+using Work = detail::SolveWork;
 
 }  // namespace
 
@@ -45,14 +28,28 @@ SystemOutcome
 Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
                  const std::vector<AppDemand>& apps) const
 {
+    SolveScratch scratch;
     SystemOutcome out;
-    out.apps.resize(apps.size());
+    solve(cfg, duty, apps, scratch, out);
+    return out;
+}
+
+void
+Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
+                 const std::vector<AppDemand>& apps, SolveScratch& scratch,
+                 SystemOutcome& out) const
+{
+    out.apps.assign(apps.size(), AppOutcome{});
+    out.loads = {};
+    out.totalIps = 0.0;
+    out.totalBytesPerSec = 0.0;
+    out.spinFraction = 0.0;
 
     const std::array<double, 2> ctx = {double(cfg.contexts(0)),
                                        double(cfg.contexts(1))};
     const double totalCtx = ctx[0] + ctx[1];
     if (totalCtx <= 0.0)
-        return out;
+        return;
 
     std::array<double, 2> freq = {0.0, 0.0};
     for (int s = 0; s < 2; ++s) {
@@ -69,7 +66,8 @@ Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
     // runnable (extras block on work queues); spin and EP apps keep all of
     // them busy. During serial phases one thread runs; spin apps keep the
     // rest polling, condvar/EP apps put them to sleep.
-    std::vector<Work> work(apps.size());
+    std::vector<Work>& work = scratch.work;
+    work.assign(apps.size(), Work{});
     for (size_t i = 0; i < apps.size(); ++i) {
         Work& w = work[i];
         w.p = apps[i].params;
@@ -146,7 +144,8 @@ Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
     // throughput (threads of the same address space are cheap to switch
     // between). Spin-pool surplus threads pollute less (tight polling
     // loops) and count at half weight.
-    std::vector<double> thrashWeight(work.size(), 0.0);
+    std::vector<double>& thrashWeight = scratch.thrashWeight;
+    thrashWeight.assign(work.size(), 0.0);
     double thrashLoad = 0.0;
     for (size_t i = 0; i < work.size(); ++i) {
         const Work& w = work[i];
@@ -249,7 +248,8 @@ Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
     const double coherenceEff = 1.0 / (1.0 + 0.15 * spanningSpinCtx);
     const double availBytes = cfg.memControllers * mcBandwidthBytes_ *
                               htEfficiency * coherenceEff;
-    std::vector<size_t> order(apps.size());
+    std::vector<size_t>& order = scratch.order;
+    order.resize(apps.size());
     std::iota(order.begin(), order.end(), size_t{0});
     std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
         return work[a].demandBytes < work[b].demandBytes;
@@ -340,7 +340,6 @@ Scheduler::solve(const MachineConfig& cfg, const std::array<double, 2>& duty,
         load.activity = busy > 0.0 ? actSum / busyCtx[s] : 0.0;
     }
     out.spinFraction = totalBusy > 0.0 ? totalSpin / totalBusy : 0.0;
-    return out;
 }
 
 }  // namespace pupil::sched

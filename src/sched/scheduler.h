@@ -40,6 +40,47 @@ struct SystemOutcome
     double spinFraction = 0.0;
 };
 
+namespace detail {
+
+/**
+ * Per-app working state of one solve. Lives in a caller-owned scratch
+ * arena (SolveScratch) so the hot loop never touches the heap; the
+ * contents are transient and fully rewritten by every solve.
+ */
+struct SolveWork
+{
+    const workload::AppParams* p = nullptr;
+    int threads = 0;
+    double runnablePar = 0.0;   ///< runnable threads during parallel phase
+    double runnable = 0.0;      ///< time-averaged runnable threads
+    std::array<double, 2> share = {0.0, 0.0};  ///< ctx-sec/s per socket
+    double shareCtx = 0.0;      ///< total allocated contexts
+    double shareEquiv = 0.0;    ///< core-equivalents (HT-adjusted)
+    double freq = 0.0;          ///< share-weighted effective GHz
+    bool spans = false;
+    double speedup = 0.0;       ///< effective speedup incl. serial stretch
+    double serialSpeed = 1.0;   ///< progress speed of a serial section
+    double spinTime = 0.0;      ///< wall-time fraction spent spin-waiting
+    double idealIps = 0.0;
+    double demandBytes = 0.0;
+};
+
+}  // namespace detail
+
+/**
+ * Caller-owned scratch arenas for Scheduler::solve. The vectors are
+ * resized (never shrunk) per call, so a scratch reused across solves of
+ * the same app count performs zero heap allocations after the first call.
+ * One scratch belongs to one solving thread; sharing across threads is a
+ * data race.
+ */
+struct SolveScratch
+{
+    std::vector<detail::SolveWork> work;
+    std::vector<double> thrashWeight;
+    std::vector<size_t> order;
+};
+
 /**
  * Analytic model of the OS scheduler and shared-resource contention.
  *
@@ -81,6 +122,18 @@ class Scheduler
     SystemOutcome solve(const machine::MachineConfig& cfg,
                         const std::array<double, 2>& duty,
                         const std::vector<AppDemand>& apps) const;
+
+    /**
+     * Allocation-free form: solve into @p out using @p scratch arenas.
+     * Produces bit-identical results to the returning overload; @p out is
+     * fully overwritten (its vector keeps its capacity, so reusing the
+     * same outcome across calls stays off the heap). This is the form the
+     * simulation tick and the solve cache use on their hot paths.
+     */
+    void solve(const machine::MachineConfig& cfg,
+               const std::array<double, 2>& duty,
+               const std::vector<AppDemand>& apps, SolveScratch& scratch,
+               SystemOutcome& out) const;
 
   private:
     double mcBandwidthBytes_;

@@ -1,0 +1,335 @@
+#include "solve_cache.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+
+namespace pupil::sched {
+
+namespace {
+
+/** Writes object representations through a bump cursor. Doubles are keyed
+ *  by bit pattern so distinct values never collide and -0.0 != 0.0 keeps
+ *  exactness (a spurious distinction is harmless; a merge would not be). */
+class BitWriter
+{
+  public:
+    explicit BitWriter(char* cursor) : cursor_(cursor) {}
+
+    template <typename T>
+    void put(T value)
+    {
+        std::memcpy(cursor_, &value, sizeof(T));
+        cursor_ += sizeof(T);
+    }
+
+  private:
+    char* cursor_;
+};
+
+// Key layout: one packed word for the config knobs and app count, the two
+// duty-cycle bit patterns, the invalidation epoch, then (params pointer,
+// threads) per app. Every section is a multiple of 8 bytes so the hash
+// consumes whole words.
+constexpr size_t kKeyHeaderBytes = sizeof(uint64_t) + 2 * sizeof(double) +
+                                   sizeof(uint64_t);
+constexpr size_t kKeyPerAppBytes = sizeof(uint64_t) + 2 * sizeof(int32_t);
+static_assert(kKeyHeaderBytes % 8 == 0 && kKeyPerAppBytes % 8 == 0);
+
+/** The config fields each span a handful of bits; packing them into one
+ *  word keeps the key (and the hash over it) short. Range-checked by the
+ *  shifts: every field is < 2^8 for any valid Topology, and the app count
+ *  occupies the upper 16 bits. */
+uint64_t
+packConfig(const machine::MachineConfig& cfg, size_t appCount)
+{
+    return uint64_t(uint8_t(cfg.coresPerSocket)) |
+           uint64_t(uint8_t(cfg.sockets)) << 8 |
+           uint64_t(cfg.hyperthreading ? 1 : 0) << 16 |
+           uint64_t(uint8_t(cfg.memControllers)) << 24 |
+           uint64_t(uint8_t(cfg.pstate[0])) << 32 |
+           uint64_t(uint8_t(cfg.pstate[1])) << 40 |
+           uint64_t(uint16_t(appCount)) << 48;
+}
+
+/** Two-lane word-at-a-time mix. libstdc++'s default byte-wise string
+ *  hashing costs more than the lookup it guards at our ~50-100 key
+ *  bytes; two independent multiply lanes break the serial dependency so
+ *  the whole key hashes in a few nanoseconds. Keys are a multiple of 8
+ *  bytes by construction (static_assert above). */
+uint64_t
+hashKey(const char* data, size_t size)
+{
+    uint64_t h1 = 0x9E3779B97F4A7C15ULL ^ size;
+    uint64_t h2 = 0xC2B2AE3D27D4EB4FULL;
+    size_t i = 0;
+    for (; i + 16 <= size; i += 16) {
+        uint64_t a, b;
+        std::memcpy(&a, data + i, 8);
+        std::memcpy(&b, data + i + 8, 8);
+        h1 = (h1 ^ a) * 0xBF58476D1CE4E5B9ULL;
+        h1 ^= h1 >> 29;
+        h2 = (h2 ^ b) * 0x94D049BB133111EBULL;
+        h2 ^= h2 >> 31;
+    }
+    for (; i + 8 <= size; i += 8) {
+        uint64_t a;
+        std::memcpy(&a, data + i, 8);
+        h1 = (h1 ^ a) * 0xBF58476D1CE4E5B9ULL;
+        h1 ^= h1 >> 29;
+    }
+    uint64_t h = h1 ^ (h2 * 0xD6E8FEB86659FD93ULL);
+    h ^= h >> 32;
+    return h;
+}
+
+size_t
+tableSizeFor(size_t capacity)
+{
+    // <= 25% load keeps linear-probe chains near length 1.
+    size_t size = 16;
+    while (size < capacity * 4)
+        size <<= 1;
+    return size;
+}
+
+}  // namespace
+
+SolveCache::SolveCache(size_t capacity) : capacity_(capacity)
+{
+    if (capacity_ > 0) {
+        entries_.reserve(capacity_);
+        table_.assign(tableSizeFor(capacity_), Slot{});
+        tableMask_ = table_.size() - 1;
+    }
+}
+
+bool
+SolveCache::envDisabled()
+{
+    const char* value = std::getenv("PUPIL_NO_SOLVE_CACHE");
+    return value != nullptr && *value != '\0';
+}
+
+void
+SolveCache::buildKey(const machine::MachineConfig& cfg,
+                     const std::array<double, 2>& duty,
+                     const std::vector<AppDemand>& apps)
+{
+    const size_t total = kKeyHeaderBytes + apps.size() * kKeyPerAppBytes;
+    keyScratch_.resize(total);  // reuses capacity once warm
+    BitWriter key(keyScratch_.data());
+    key.put(packConfig(cfg, apps.size()));
+    key.put(duty[0]);
+    key.put(duty[1]);
+    key.put(appsEpoch_);
+    for (const AppDemand& app : apps) {
+        // Identity + epoch, not content: see the class comment for the
+        // stability contract that makes this exact.
+        key.put(uint64_t(reinterpret_cast<uintptr_t>(app.params)));
+        key.put(int32_t(app.threads));
+        key.put(int32_t(0));  // pad to an 8-byte boundary for hashKey
+    }
+    keyHash_ = hashKey(keyScratch_.data(), total);
+}
+
+int32_t
+SolveCache::lookup() const
+{
+    size_t i = keyHash_ & tableMask_;
+    while (table_[i].entry != kEmpty) {
+        if (table_[i].hash == keyHash_ &&
+            entries_[size_t(table_[i].entry)].key == keyScratch_)
+            return table_[i].entry;
+        i = (i + 1) & tableMask_;
+    }
+    return kEmpty;
+}
+
+void
+SolveCache::unlink(int32_t idx)
+{
+    Entry& entry = entries_[size_t(idx)];
+    if (entry.prev != kEmpty)
+        entries_[size_t(entry.prev)].next = entry.next;
+    else
+        head_ = entry.next;
+    if (entry.next != kEmpty)
+        entries_[size_t(entry.next)].prev = entry.prev;
+    else
+        tail_ = entry.prev;
+}
+
+void
+SolveCache::linkFront(int32_t idx)
+{
+    Entry& entry = entries_[size_t(idx)];
+    entry.prev = kEmpty;
+    entry.next = head_;
+    if (head_ != kEmpty)
+        entries_[size_t(head_)].prev = idx;
+    head_ = idx;
+    if (tail_ == kEmpty)
+        tail_ = idx;
+}
+
+void
+SolveCache::moveToFront(int32_t idx)
+{
+    if (head_ == idx)
+        return;
+    unlink(idx);
+    linkFront(idx);
+}
+
+void
+SolveCache::tableInsert(uint64_t hash, int32_t idx)
+{
+    size_t i = hash & tableMask_;
+    while (table_[i].entry != kEmpty)
+        i = (i + 1) & tableMask_;
+    table_[i] = {hash, idx};
+}
+
+void
+SolveCache::tableErase(const Entry& victim)
+{
+    size_t i = victim.hash & tableMask_;
+    while (!(table_[i].hash == victim.hash && table_[i].entry != kEmpty &&
+             entries_[size_t(table_[i].entry)].key == victim.key))
+        i = (i + 1) & tableMask_;
+    // Backward-shift deletion: pull each displaced follower into the hole
+    // so linear probing never needs tombstones.
+    size_t j = i;
+    while (true) {
+        table_[i].entry = kEmpty;
+        while (true) {
+            j = (j + 1) & tableMask_;
+            if (table_[j].entry == kEmpty)
+                return;
+            const size_t home = table_[j].hash & tableMask_;
+            // Move j into the hole unless its home lies strictly inside
+            // (i, j] -- in that case probing for it never visits i.
+            if (((j - home) & tableMask_) >= ((j - i) & tableMask_))
+                break;
+        }
+        table_[i] = table_[j];
+        i = j;
+    }
+}
+
+SolveCache::Entry&
+SolveCache::insertKeyed()
+{
+    ++stats_.insertions;
+    int32_t idx;
+    if (entries_.size() < capacity_) {
+        idx = int32_t(entries_.size());
+        entries_.emplace_back();  // slab reserved: never reallocates
+    } else {
+        // Recycle the least-recently-used entry in place: its key string
+        // and outcome vector keep their storage.
+        idx = tail_;
+        Entry& victim = entries_[size_t(idx)];
+        tableErase(victim);
+        unlink(idx);
+        ++stats_.evictions;
+    }
+    Entry& entry = entries_[size_t(idx)];
+    entry.key.assign(keyScratch_);
+    entry.hash = keyHash_;
+    linkFront(idx);
+    tableInsert(keyHash_, idx);
+    return entry;
+}
+
+void
+SolveCache::copyOutcome(const SystemOutcome& from, SystemOutcome& to)
+{
+    // assign() reuses the destination's capacity, so copying into a
+    // long-lived outcome (the platform's steady state) stays off the heap.
+    to.apps.assign(from.apps.begin(), from.apps.end());
+    to.loads = from.loads;
+    to.totalIps = from.totalIps;
+    to.totalBytesPerSec = from.totalBytesPerSec;
+    to.spinFraction = from.spinFraction;
+}
+
+bool
+SolveCache::solve(const Scheduler& scheduler,
+                  const machine::MachineConfig& cfg,
+                  const std::array<double, 2>& duty,
+                  const std::vector<AppDemand>& apps, SolveScratch& scratch,
+                  SystemOutcome& out)
+{
+    if (capacity_ == 0) {
+        scheduler.solve(cfg, duty, apps, scratch, out);
+        return false;
+    }
+    buildKey(cfg, duty, apps);
+    const int32_t idx = lookup();
+    if (idx != kEmpty) {
+        moveToFront(idx);
+        copyOutcome(entries_[size_t(idx)].value, out);
+        ++stats_.hits;
+        return true;
+    }
+    ++stats_.misses;
+    scheduler.solve(cfg, duty, apps, scratch, out);
+    copyOutcome(out, insertKeyed().value);
+    return false;
+}
+
+const SystemOutcome*
+SolveCache::solveRef(const Scheduler& scheduler,
+                     const machine::MachineConfig& cfg,
+                     const std::array<double, 2>& duty,
+                     const std::vector<AppDemand>& apps,
+                     SolveScratch& scratch, bool* hit)
+{
+    if (capacity_ == 0) {
+        scheduler.solve(cfg, duty, apps, scratch, passThrough_);
+        if (hit != nullptr)
+            *hit = false;
+        return &passThrough_;
+    }
+    buildKey(cfg, duty, apps);
+    const int32_t idx = lookup();
+    if (idx != kEmpty) {
+        moveToFront(idx);
+        ++stats_.hits;
+        if (hit != nullptr)
+            *hit = true;
+        return &entries_[size_t(idx)].value;
+    }
+    ++stats_.misses;
+    // Claim the slab entry first, then solve straight into it: the miss
+    // path pays one solve and zero outcome copies.
+    Entry& entry = insertKeyed();
+    scheduler.solve(cfg, duty, apps, scratch, entry.value);
+    if (hit != nullptr)
+        *hit = false;
+    return &entry.value;
+}
+
+bool
+SolveCache::contains(const machine::MachineConfig& cfg,
+                     const std::array<double, 2>& duty,
+                     const std::vector<AppDemand>& apps)
+{
+    if (capacity_ == 0)
+        return false;
+    buildKey(cfg, duty, apps);
+    return lookup() != kEmpty;
+}
+
+void
+SolveCache::clear()
+{
+    entries_.clear();
+    if (capacity_ > 0)
+        table_.assign(table_.size(), Slot{});
+    head_ = tail_ = kEmpty;
+}
+
+}  // namespace pupil::sched

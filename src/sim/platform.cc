@@ -30,6 +30,9 @@ Platform::Platform(const PlatformOptions& options,
       machine_(),
       powerModel_(options.powerParams),
       scheduler_(options.mcBandwidthGBs),
+      solveCache_(sched::SolveCache::envDisabled()
+                      ? 0
+                      : options.solveCacheCapacity),
       apps_(std::move(apps)),
       powerLag_{telemetry::FirstOrderLag(options.powerLagTau),
                 telemetry::FirstOrderLag(options.powerLagTau)},
@@ -113,7 +116,14 @@ Platform::resolveSteadyState()
         appsVersion_ == steadyAppsVersion_) {
         return;
     }
-    steady_ = scheduler_.solve(cfg, duty, apps_);
+    // The cache keys app params by identity; appsVersion_ is the epoch
+    // that invalidates entries after in-place mutation (touchApps).
+    solveCache_.setAppsEpoch(appsVersion_);
+    const bool hit =
+        solveCache_.solve(scheduler_, cfg, duty, apps_, solveScratch_,
+                          steady_);
+    metrics_.addCounter(hit ? "sched.solve_cache.hits"
+                            : "sched.solve_cache.misses");
     steadyCfg_ = cfg;
     steadyDuty_ = duty;
     steadyAppsVersion_ = appsVersion_;
@@ -127,6 +137,19 @@ Platform::resolveSteadyState()
                 cfg.pstate[0], cfg.pstate[1], cfg.activeCores(0),
                 cfg.activeCores(1));
     metrics_.addCounter("sched.resolves");
+}
+
+void
+Platform::solveCached(const machine::MachineConfig& cfg,
+                      const std::array<double, 2>& duty,
+                      const std::vector<sched::AppDemand>& apps,
+                      sched::SystemOutcome& out)
+{
+    solveCache_.setAppsEpoch(appsVersion_);
+    const bool hit =
+        solveCache_.solve(scheduler_, cfg, duty, apps, solveScratch_, out);
+    metrics_.addCounter(hit ? "sched.solve_cache.hits"
+                            : "sched.solve_cache.misses");
 }
 
 double
@@ -215,8 +238,18 @@ Platform::capViolationSec(double cap) const
 }
 
 void
+Platform::reserveTraces(double untilSec)
+{
+    const size_t buckets =
+        size_t(std::max(0.0, untilSec) / options_.traceResolutionSec) + 2;
+    powerTrace_.reserve(buckets);
+    perfTrace_.reserve(buckets);
+}
+
+void
 Platform::run(double untilSec)
 {
+    reserveTraces(untilSec);
     if (!started_) {
         started_ = true;
         for (auto& reg : actors_) {

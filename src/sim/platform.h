@@ -9,6 +9,7 @@
 #include "machine/machine.h"
 #include "machine/power_model.h"
 #include "sched/scheduler.h"
+#include "sched/solve_cache.h"
 #include "sim/actor.h"
 #include "telemetry/counters.h"
 #include "telemetry/energy.h"
@@ -37,6 +38,15 @@ struct PlatformOptions
 
     machine::PowerParams powerParams;
     double mcBandwidthGBs = 40.0;
+
+    /**
+     * Entry bound of the scheduler solve cache (0 disables memoization).
+     * Caching is decision-invariant -- cached and uncached runs are
+     * byte-identical -- so this is a pure speed/memory knob. The
+     * PUPIL_NO_SOLVE_CACHE environment variable (any non-empty value)
+     * forces 0 at platform construction for debugging.
+     */
+    size_t solveCacheCapacity = sched::SolveCache::kDefaultCapacity;
 
     /**
      * Fault scenario (faults::FaultSchedule spec string). Empty disables
@@ -93,6 +103,20 @@ class Platform
     const machine::Machine& machine() const { return machine_; }
     const machine::PowerModel& powerModel() const { return powerModel_; }
     const sched::Scheduler& scheduler() const { return scheduler_; }
+
+    /** The platform's solve cache (capacity 0 when disabled). */
+    const sched::SolveCache& solveCache() const { return solveCache_; }
+
+    /**
+     * Memoized scheduler solve through the platform's cache, for
+     * model-driven governors (Soft-Modeling's profiling sweep) that
+     * repeatedly evaluate hypothetical configurations. Bit-identical to
+     * scheduler().solve(cfg, duty, apps).
+     */
+    void solveCached(const machine::MachineConfig& cfg,
+                     const std::array<double, 2>& duty,
+                     const std::vector<sched::AppDemand>& apps,
+                     sched::SystemOutcome& out);
 
     /** Fault injector, or nullptr when options.faultSpec is empty. */
     faults::FaultInjector* faults() { return injector_.get(); }
@@ -191,6 +215,16 @@ class Platform
     /** Advance the simulation until @p untilSec. */
     void run(double untilSec);
 
+    /**
+     * Pre-reserve the trace buffers for a run extending to @p untilSec.
+     * run() does this on entry, so after the first tick of a horizon the
+     * steady-state tick path performs zero heap allocations (the property
+     * the allocation regression test pins); call it ahead with the final
+     * horizon when allocation-free ticking must hold across several
+     * incremental run() calls.
+     */
+    void reserveTraces(double untilSec);
+
     const PlatformOptions& options() const { return options_; }
 
   private:
@@ -203,6 +237,8 @@ class Platform
     machine::Machine machine_;
     machine::PowerModel powerModel_;
     sched::Scheduler scheduler_;
+    sched::SolveCache solveCache_;
+    sched::SolveScratch solveScratch_;
     std::vector<sched::AppDemand> apps_;
     uint64_t appsVersion_ = 0;
 

@@ -63,6 +63,15 @@ MetricsRegistry::value(std::string_view name) const
     return metric->value;
 }
 
+uint64_t
+MetricsRegistry::counterTotal(std::string_view name) const
+{
+    const Metric* metric = find(name);
+    if (metric == nullptr || metric->type != Type::kCounter)
+        return 0;
+    return uint64_t(metric->value + 0.5);
+}
+
 std::vector<std::pair<std::string, double>>
 MetricsRegistry::snapshot() const
 {

@@ -54,6 +54,9 @@ class MetricsRegistry
     /** Counter total / gauge value / histogram mean; 0 when absent. */
     double value(std::string_view name) const;
 
+    /** Counter total as an integer count; 0 when absent or not a counter. */
+    uint64_t counterTotal(std::string_view name) const;
+
     /** The metric registered under @p name, or nullptr. */
     const Metric* find(std::string_view name) const;
 

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <fstream>
 
+#include "util/csv.h"
 #include "util/log.h"
 
 namespace pupil::trace {
@@ -63,9 +64,13 @@ toCsv(const Recorder& recorder)
     for (const Event& event : recorder.snapshot()) {
         out += formatDouble(event.timeSec);
         out += ',';
-        out += subsystemName(kindSubsystem(event.kind));
+        // Shared RFC 4180 escaping (util::csvEscape): today's subsystem
+        // and event names are clean identifiers, so this is byte-neutral
+        // for the pinned goldens, but a future name containing a comma or
+        // quote can no longer corrupt the record structure.
+        out += util::csvEscape(subsystemName(kindSubsystem(event.kind)));
         out += ',';
-        out += kindName(event.kind);
+        out += util::csvEscape(kindName(event.kind));
         out += ',';
         out += formatDouble(event.a);
         out += ',';

@@ -5,6 +5,55 @@
 
 namespace pupil::util {
 
+std::string
+csvEscape(std::string_view field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string_view::npos)
+        return std::string(field);
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::vector<std::string>
+csvSplitRecord(std::string_view record)
+{
+    std::vector<std::string> fields;
+    std::string current;
+    bool inQuotes = false;
+    for (size_t i = 0; i < record.size(); ++i) {
+        const char c = record[i];
+        if (inQuotes) {
+            if (c == '"') {
+                if (i + 1 < record.size() && record[i + 1] == '"') {
+                    current += '"';  // doubled quote inside a quoted field
+                    ++i;
+                } else {
+                    inQuotes = false;
+                }
+            } else {
+                current += c;
+            }
+        } else if (c == '"' && current.empty()) {
+            // Opening quote (only significant at the start of a field;
+            // a stray quote mid-field is kept as data, leniently).
+            inQuotes = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(current));
+            current.clear();
+        } else {
+            current += c;
+        }
+    }
+    fields.push_back(std::move(current));
+    return fields;
+}
+
 CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
     : out_(path), columns_(header.size())
 {
@@ -19,7 +68,7 @@ CsvWriter::row(const std::vector<std::string>& cells)
     for (size_t i = 0; i < cells.size(); ++i) {
         if (i > 0)
             out_ << ',';
-        out_ << escape(cells[i]);
+        out_ << csvEscape(cells[i]);
     }
     out_ << '\n';
 }
@@ -35,21 +84,6 @@ CsvWriter::row(const std::vector<double>& cells)
         text.push_back(oss.str());
     }
     row(text);
-}
-
-std::string
-CsvWriter::escape(const std::string& cell)
-{
-    if (cell.find_first_of(",\"\n") == std::string::npos)
-        return cell;
-    std::string quoted = "\"";
-    for (char c : cell) {
-        if (c == '"')
-            quoted += '"';
-        quoted += c;
-    }
-    quoted += '"';
-    return quoted;
 }
 
 }  // namespace pupil::util

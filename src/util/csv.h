@@ -3,9 +3,28 @@
 
 #include <fstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace pupil::util {
+
+/**
+ * RFC 4180 field escaping, shared by every CSV producer in the tree
+ * (CsvWriter, the trace exporter): a field containing a comma, double
+ * quote, newline, or carriage return is wrapped in double quotes with
+ * embedded quotes doubled; anything else passes through unchanged.
+ */
+std::string csvEscape(std::string_view field);
+
+/**
+ * Inverse of csvEscape over one logical record: split @p record into its
+ * fields, honoring quoted fields (embedded commas, doubled quotes, and
+ * newlines inside quotes). @p record is the full text of one record --
+ * which may span multiple physical lines -- without its terminating
+ * newline. Malformed quoting is tolerated leniently (bytes are kept), so
+ * the parse never fails; round-tripping csvEscape'd fields is exact.
+ */
+std::vector<std::string> csvSplitRecord(std::string_view record);
 
 /**
  * Small CSV writer for experiment traces (e.g. Fig. 1 time series).
@@ -32,8 +51,6 @@ class CsvWriter
     void row(const std::vector<double>& cells);
 
   private:
-    static std::string escape(const std::string& cell);
-
     std::ofstream out_;
     size_t columns_;
 };

@@ -7,6 +7,10 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
 #include "core/pupil.h"
 #include "faults/injector.h"
 #include "faults/schedule.h"
@@ -14,6 +18,7 @@
 #include "rapl/msr.h"
 #include "rapl/rapl.h"
 #include "sim/platform.h"
+#include "util/rng.h"
 #include "workload/catalog.h"
 
 namespace pupil::faults {
@@ -399,6 +404,147 @@ TEST_F(PupilDegradationTest, HealthyRunNeverDegrades)
     EXPECT_EQ(pupil.degradedEntries(), 0);
     EXPECT_EQ(platform.counters().degradedSeconds(), 0.0);
     EXPECT_EQ(platform.counters().faultsDetected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-style property tests for FaultSchedule::parse. The parser faces
+// user-written spec strings (CLI flags, scenario files); its contract is
+// reject-or-accept, never crash or UB -- these run under the ASan/UBSan CI
+// job. Every accepted schedule must satisfy the documented invariants.
+// ---------------------------------------------------------------------------
+
+/** Invariants every successfully parsed event must satisfy. */
+void
+expectEventInvariants(const FaultSchedule& schedule)
+{
+    for (const FaultEvent& event : schedule.events()) {
+        EXPECT_TRUE(std::isfinite(event.startSec));
+        EXPECT_TRUE(std::isfinite(event.endSec));
+        EXPECT_TRUE(std::isfinite(event.param));
+        EXPECT_GE(event.startSec, 0.0);
+        EXPECT_GT(event.endSec, event.startSec);
+        EXPECT_GE(event.prob, 0.0);
+        EXPECT_LE(event.prob, 1.0);
+        EXPECT_FALSE(event.target.empty());
+    }
+}
+
+TEST(FaultScheduleFuzz, StructuredInvalidSpecsAreRejected)
+{
+    const char* rejected[] = {
+        // Unknown / empty kinds.
+        "bogus,power,0,10",
+        ",power,0,10",
+        "SENSOR-DROPOUT,power,0,10",  // names are case-sensitive
+        // Field-count violations.
+        "sensor-dropout",
+        "sensor-dropout,power",
+        "sensor-dropout,power,0",
+        "sensor-dropout,power,0,10,1,0.5,extra",
+        // Unparseable numbers.
+        "sensor-dropout,power,zero,10",
+        "sensor-dropout,power,0,ten",
+        "sensor-spike,power,0,10,3.0x",
+        "sensor-spike,power,0,10,3.0,50%",
+        "sensor-dropout,power,0 0,10",
+        // Non-finite numbers (strtod accepts these spellings).
+        "sensor-dropout,power,nan,10",
+        "sensor-dropout,power,0,inf",
+        "sensor-spike,power,0,10,1e999",
+        "sensor-spike,power,0,10,3.0,-nan",
+        // Out-of-range times.
+        "sensor-dropout,power,-1,10",
+        "sensor-dropout,power,10,10",
+        "sensor-dropout,power,20,10",
+        "sensor-dropout,power,-20,-10",
+        // Out-of-range probabilities.
+        "sensor-spike,power,0,10,3.0,1.5",
+        "sensor-spike,power,0,10,3.0,-0.25",
+        "sensor-spike,power,0,10,3.0,1e6",
+        // A valid entry does not excuse an invalid sibling.
+        "sensor-dropout,power,0,10;bogus,power,0,10",
+    };
+    for (const char* spec : rejected) {
+        EXPECT_THROW(FaultSchedule::parse(spec), std::invalid_argument)
+            << "spec not rejected: \"" << spec << "\"";
+    }
+}
+
+TEST(FaultScheduleFuzz, RandomGarbageNeverCrashes)
+{
+    // Unstructured fuzz: random strings over an alphabet rich in the
+    // parser's meta-characters. Any outcome but a clean parse or a clean
+    // std::invalid_argument is a bug (a crash/UB surfaces under ASan).
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789,,;;##..--++eE  \t\r\n*\"'%";
+    util::Rng rng(0xFAu);
+    int accepted = 0;
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string spec;
+        const size_t length = rng.uniformInt(64);
+        for (size_t i = 0; i < length; ++i)
+            spec += kAlphabet[rng.uniformInt(sizeof(kAlphabet) - 1)];
+        try {
+            expectEventInvariants(FaultSchedule::parse(spec));
+            ++accepted;
+        } catch (const std::invalid_argument&) {
+            // Rejection is the expected outcome for garbage.
+        }
+    }
+    // Mostly comments/blanks parse fine; the count just documents that the
+    // accept path is exercised too.
+    EXPECT_GT(accepted, 0);
+}
+
+TEST(FaultScheduleFuzz, MutatedValidSpecsRejectOrHoldInvariants)
+{
+    // Mutation fuzz: start from a fully valid multi-entry spec and flip,
+    // insert, or delete random bytes. The parser must either reject the
+    // mutant or produce a schedule that still satisfies every invariant.
+    const std::string valid =
+        "sensor-spike,power,30,90,3.0,0.25;"
+        "sensor-dropout,perf,0,60;"
+        "msr-write-ignored,0,5,15;"
+        "actuation-delay,*,10,20,2.0;"
+        "node-loss,n1,10,20";
+    static const char kBytes[] = "0123456789,;#.-+eEnaif*x ";
+    util::Rng rng(0xF00Du);
+    for (int iter = 0; iter < 3000; ++iter) {
+        std::string spec = valid;
+        const int edits = 1 + int(rng.uniformInt(4));
+        for (int e = 0; e < edits; ++e) {
+            const size_t pos = rng.uniformInt(spec.size());
+            switch (rng.uniformInt(3)) {
+              case 0:
+                spec[pos] = kBytes[rng.uniformInt(sizeof(kBytes) - 1)];
+                break;
+              case 1:
+                spec.insert(pos, 1,
+                            kBytes[rng.uniformInt(sizeof(kBytes) - 1)]);
+                break;
+              default:
+                spec.erase(pos, 1);
+                break;
+            }
+        }
+        try {
+            expectEventInvariants(FaultSchedule::parse(spec));
+        } catch (const std::invalid_argument&) {
+        }
+    }
+}
+
+TEST(FaultScheduleFuzz, HugeAndTinyFiniteValuesSurvive)
+{
+    // Extreme but finite values must parse and stay usable: activity
+    // queries at any time must not trip UB (overflow is fine in double).
+    const FaultSchedule schedule = FaultSchedule::parse(
+        "sensor-spike,power,0,1e308,1e300,1;"
+        "actuation-delay,*,1e-300,2e-300,1e-308");
+    expectEventInvariants(schedule);
+    EXPECT_TRUE(schedule.anyActive(FaultKind::kSensorSpike, "power", 1e307));
+    EXPECT_FALSE(
+        schedule.anyActive(FaultKind::kActuationDelay, "power", 5e-300));
 }
 
 }  // namespace

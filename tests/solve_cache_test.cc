@@ -1,0 +1,336 @@
+/** @file Differential tests for the scheduler solve cache.
+ *
+ *  The cache's contract is decision-invariance: memoized and unmemoized
+ *  solves -- and whole traced experiment runs -- must be byte-identical.
+ *  These tests pin that contract over ~200 fixed-seed random
+ *  (config, duty, apps) tuples and over full traced runs, and pin the
+ *  LRU mechanics (eviction order, capacity bound, kill switches). */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "machine/config.h"
+#include "sched/scheduler.h"
+#include "sched/solve_cache.h"
+#include "sim/platform.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+#include "workload/mixes.h"
+
+namespace pupil {
+namespace {
+
+using machine::MachineConfig;
+using sched::AppDemand;
+using sched::Scheduler;
+using sched::SolveCache;
+using sched::SolveScratch;
+using sched::SystemOutcome;
+
+MachineConfig
+randomConfig(util::Rng& rng)
+{
+    MachineConfig cfg;
+    cfg.coresPerSocket = 1 + int(rng.uniformInt(8));
+    cfg.sockets = 1 + int(rng.uniformInt(2));
+    cfg.hyperthreading = rng.bernoulli(0.5);
+    cfg.memControllers = 1 + int(rng.uniformInt(2));
+    cfg.pstate = {int(rng.uniformInt(16)), int(rng.uniformInt(16))};
+    return cfg;
+}
+
+std::array<double, 2>
+randomDuty(util::Rng& rng)
+{
+    // Mostly the always-on duty the governors use, sometimes an arbitrary
+    // RAPL-style throttle; exact values on purpose -- the key must not
+    // quantize them.
+    if (rng.bernoulli(0.5))
+        return {1.0, 1.0};
+    return {0.3 + 0.7 * rng.uniform(), 0.3 + 0.7 * rng.uniform()};
+}
+
+std::vector<AppDemand>
+randomApps(util::Rng& rng)
+{
+    const auto& catalog = workload::benchmarkCatalog();
+    std::vector<AppDemand> apps(rng.uniformInt(4));  // 0..3 apps
+    for (AppDemand& app : apps) {
+        app.params = &catalog[rng.uniformInt(catalog.size())];
+        app.threads = 1 + int(rng.uniformInt(64));
+    }
+    return apps;
+}
+
+/** Exact equality on every SystemOutcome field (no tolerances). */
+void
+expectOutcomeIdentical(const SystemOutcome& a, const SystemOutcome& b)
+{
+    ASSERT_EQ(a.apps.size(), b.apps.size());
+    for (size_t i = 0; i < a.apps.size(); ++i) {
+        EXPECT_EQ(a.apps[i].itemsPerSec, b.apps[i].itemsPerSec);
+        EXPECT_EQ(a.apps[i].usefulIps, b.apps[i].usefulIps);
+        EXPECT_EQ(a.apps[i].bytesPerSec, b.apps[i].bytesPerSec);
+        EXPECT_EQ(a.apps[i].spinCtx, b.apps[i].spinCtx);
+        EXPECT_EQ(a.apps[i].shareCtx, b.apps[i].shareCtx);
+        EXPECT_EQ(a.apps[i].bwRetention, b.apps[i].bwRetention);
+    }
+    for (int s = 0; s < 2; ++s) {
+        EXPECT_EQ(a.loads[s].busyPrimary, b.loads[s].busyPrimary);
+        EXPECT_EQ(a.loads[s].busySibling, b.loads[s].busySibling);
+        EXPECT_EQ(a.loads[s].activity, b.loads[s].activity);
+    }
+    EXPECT_EQ(a.totalIps, b.totalIps);
+    EXPECT_EQ(a.totalBytesPerSec, b.totalBytesPerSec);
+    EXPECT_EQ(a.spinFraction, b.spinFraction);
+}
+
+TEST(SolveCache, DifferentialOverRandomTuples)
+{
+    Scheduler scheduler;
+    SolveCache cache(64);
+    SolveScratch cachedScratch, plainScratch;
+    SystemOutcome cached, plain;
+    util::Rng rng(0x5CA1E);
+    int hits = 0;
+    for (int iter = 0; iter < 200; ++iter) {
+        const MachineConfig cfg = randomConfig(rng);
+        const std::array<double, 2> duty = randomDuty(rng);
+        const std::vector<AppDemand> apps = randomApps(rng);
+        scheduler.solve(cfg, duty, apps, plainScratch, plain);
+        // Miss-then-hit: both paths must reproduce the plain solve
+        // exactly, and the second lookup must actually be a hit.
+        const bool first =
+            cache.solve(scheduler, cfg, duty, apps, cachedScratch, cached);
+        expectOutcomeIdentical(plain, cached);
+        cached = SystemOutcome{};  // poison, so a hit must fully rewrite it
+        const bool second =
+            cache.solve(scheduler, cfg, duty, apps, cachedScratch, cached);
+        EXPECT_TRUE(second);
+        expectOutcomeIdentical(plain, cached);
+        hits += first;
+    }
+    // A 64-entry cache over 200 random tuples sees few spontaneous
+    // first-lookup hits; the deliberate second lookups all hit.
+    EXPECT_EQ(cache.stats().hits, uint64_t(200 + hits));
+    EXPECT_EQ(cache.stats().misses, uint64_t(200 - hits));
+}
+
+TEST(SolveCache, LegacyAndScratchSolveAgree)
+{
+    Scheduler scheduler;
+    SolveScratch scratch;
+    SystemOutcome viaScratch;
+    util::Rng rng(0xBEEF);
+    for (int iter = 0; iter < 50; ++iter) {
+        const MachineConfig cfg = randomConfig(rng);
+        const std::array<double, 2> duty = randomDuty(rng);
+        const std::vector<AppDemand> apps = randomApps(rng);
+        const SystemOutcome legacy = scheduler.solve(cfg, duty, apps);
+        scheduler.solve(cfg, duty, apps, scratch, viaScratch);
+        expectOutcomeIdentical(legacy, viaScratch);
+    }
+}
+
+TEST(SolveCache, DutyIsKeyedExactly)
+{
+    // Two duty vectors one ulp apart must occupy distinct entries: any
+    // quantization in the key would alias them and break bit-identity.
+    Scheduler scheduler;
+    SolveCache cache(8);
+    SolveScratch scratch;
+    SystemOutcome out;
+    const MachineConfig cfg = machine::maximalConfig();
+    const std::vector<AppDemand> apps = harness::singleApp("x264", 8);
+    const std::array<double, 2> dutyA = {0.7, 1.0};
+    const std::array<double, 2> dutyB = {
+        std::nextafter(0.7, 1.0), 1.0};
+    cache.solve(scheduler, cfg, dutyA, apps, scratch, out);
+    EXPECT_FALSE(cache.contains(cfg, dutyB, apps));
+    cache.solve(scheduler, cfg, dutyB, apps, scratch, out);
+    EXPECT_TRUE(cache.contains(cfg, dutyA, apps));
+    EXPECT_TRUE(cache.contains(cfg, dutyB, apps));
+    EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsed)
+{
+    Scheduler scheduler;
+    SolveCache cache(3);
+    SolveScratch scratch;
+    SystemOutcome out;
+    const std::vector<AppDemand> apps = harness::singleApp("x264", 8);
+    std::vector<MachineConfig> cfgs;
+    for (int p = 0; p < 4; ++p) {
+        MachineConfig cfg = machine::maximalConfig();
+        cfg.setUniformPState(p);
+        cfgs.push_back(cfg);
+    }
+    const std::array<double, 2> duty = {1.0, 1.0};
+    // Fill with A, B, C; touch A so B becomes least recently used.
+    for (int i = 0; i < 3; ++i)
+        cache.solve(scheduler, cfgs[i], duty, apps, scratch, out);
+    EXPECT_TRUE(cache.solve(scheduler, cfgs[0], duty, apps, scratch, out));
+    // Inserting D must evict B, and only B.
+    cache.solve(scheduler, cfgs[3], duty, apps, scratch, out);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_TRUE(cache.contains(cfgs[0], duty, apps));
+    EXPECT_FALSE(cache.contains(cfgs[1], duty, apps));
+    EXPECT_TRUE(cache.contains(cfgs[2], duty, apps));
+    EXPECT_TRUE(cache.contains(cfgs[3], duty, apps));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    // The recycled entry must still serve exact results.
+    SystemOutcome plain = scheduler.solve(cfgs[3], duty, apps);
+    EXPECT_TRUE(cache.solve(scheduler, cfgs[3], duty, apps, scratch, out));
+    expectOutcomeIdentical(plain, out);
+}
+
+TEST(SolveCache, SizeNeverExceedsCapacity)
+{
+    Scheduler scheduler;
+    SolveCache cache(4);
+    SolveScratch scratch;
+    SystemOutcome out;
+    const std::vector<AppDemand> apps = harness::singleApp("blackscholes", 4);
+    const auto space = machine::enumerateUserConfigs();
+    for (size_t i = 0; i < 50; ++i) {
+        cache.solve(scheduler, space[i * 7 % space.size()], {1.0, 1.0}, apps,
+                    scratch, out);
+        EXPECT_LE(cache.size(), 4u);
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.stats().evictions,
+              cache.stats().insertions - cache.size());
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_FALSE(cache.contains(space[0], {1.0, 1.0}, apps));
+}
+
+TEST(SolveCache, CapacityZeroIsPassThrough)
+{
+    Scheduler scheduler;
+    SolveCache cache(0);
+    SolveScratch scratch;
+    SystemOutcome out;
+    const MachineConfig cfg = machine::maximalConfig();
+    const std::vector<AppDemand> apps = harness::singleApp("x264", 8);
+    EXPECT_FALSE(cache.enabled());
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(cache.solve(scheduler, cfg, {1.0, 1.0}, apps, scratch,
+                                 out));
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    expectOutcomeIdentical(scheduler.solve(cfg, {1.0, 1.0}, apps), out);
+}
+
+TEST(SolveCache, EnvKillSwitchDisablesPlatformCache)
+{
+    const std::vector<AppDemand> apps = harness::singleApp("x264", 8);
+    ASSERT_EQ(setenv("PUPIL_NO_SOLVE_CACHE", "1", 1), 0);
+    EXPECT_TRUE(SolveCache::envDisabled());
+    {
+        sim::Platform platform(sim::PlatformOptions{}, apps);
+        EXPECT_FALSE(platform.solveCache().enabled());
+    }
+    ASSERT_EQ(unsetenv("PUPIL_NO_SOLVE_CACHE"), 0);
+    EXPECT_FALSE(SolveCache::envDisabled());
+    {
+        sim::Platform platform(sim::PlatformOptions{}, apps);
+        EXPECT_TRUE(platform.solveCache().enabled());
+        EXPECT_EQ(platform.solveCache().capacity(),
+                  SolveCache::kDefaultCapacity);
+    }
+}
+
+// ----- full traced runs ----------------------------------------------------
+
+/** Metrics snapshot minus the cache's own activity counters, which are
+ *  the one legitimate difference between cached and uncached runs. */
+std::vector<std::pair<std::string, double>>
+metricsSansCacheCounters(const harness::ExperimentResult& result)
+{
+    std::vector<std::pair<std::string, double>> out;
+    for (const auto& entry : result.metrics) {
+        if (entry.first.rfind("sched.solve_cache.", 0) != 0)
+            out.push_back(entry);
+    }
+    return out;
+}
+
+void
+expectRunsByteIdentical(harness::GovernorKind kind,
+                        const std::vector<AppDemand>& apps)
+{
+    harness::ExperimentOptions options;
+    options.capWatts = 140.0;
+    options.durationSec = 12.0;
+    options.statsWindowSec = 6.0;
+    options.seed = 42;
+
+    trace::Recorder cachedTrace(1 << 16), uncachedTrace(1 << 16);
+    options.trace = &cachedTrace;
+    // Default options: memoization on.
+    const harness::ExperimentResult cached =
+        harness::runExperiment(kind, apps, options);
+    EXPECT_GT(cached.metrics.size(), 0u);
+
+    options.trace = &uncachedTrace;
+    options.platform.solveCacheCapacity = 0;
+    const harness::ExperimentResult uncached =
+        harness::runExperiment(kind, apps, options);
+
+    // Structured traces: byte-identical in both export formats.
+    EXPECT_EQ(trace::toCsv(cachedTrace), trace::toCsv(uncachedTrace));
+    EXPECT_EQ(trace::toChromeJson(cachedTrace),
+              trace::toChromeJson(uncachedTrace));
+
+    // Headline metrics: exact, not approximate.
+    EXPECT_EQ(cached.aggregatePerf, uncached.aggregatePerf);
+    EXPECT_EQ(cached.meanPowerWatts, uncached.meanPowerWatts);
+    EXPECT_EQ(cached.perfPerJoule, uncached.perfPerJoule);
+    EXPECT_EQ(cached.settlingTimeSec, uncached.settlingTimeSec);
+    EXPECT_EQ(cached.capViolationSec, uncached.capViolationSec);
+    EXPECT_EQ(cached.gips, uncached.gips);
+    EXPECT_EQ(cached.appItemsPerSec, uncached.appItemsPerSec);
+
+    // Dense traces: every bucket equal.
+    ASSERT_EQ(cached.powerTrace.size(), uncached.powerTrace.size());
+    for (size_t i = 0; i < cached.powerTrace.size(); ++i) {
+        EXPECT_EQ(cached.powerTrace[i].timeSec,
+                  uncached.powerTrace[i].timeSec);
+        EXPECT_EQ(cached.powerTrace[i].value, uncached.powerTrace[i].value);
+    }
+    ASSERT_EQ(cached.perfTrace.size(), uncached.perfTrace.size());
+    for (size_t i = 0; i < cached.perfTrace.size(); ++i)
+        EXPECT_EQ(cached.perfTrace[i].value, uncached.perfTrace[i].value);
+
+    // Full metrics registry, minus the cache's own hit/miss counters.
+    EXPECT_EQ(metricsSansCacheCounters(cached),
+              metricsSansCacheCounters(uncached));
+}
+
+TEST(SolveCacheDifferential, PupilTracedRunIsByteIdentical)
+{
+    expectRunsByteIdentical(harness::GovernorKind::kPupil,
+                            harness::singleApp("x264"));
+}
+
+TEST(SolveCacheDifferential, SoftModelingMixRunIsByteIdentical)
+{
+    // Soft-Modeling drives Platform::solveCached directly during its
+    // profiling sweep, so it exercises the memoized path hardest.
+    expectRunsByteIdentical(
+        harness::GovernorKind::kSoftModeling,
+        harness::mixApps(workload::findMix("mix9"),
+                         workload::Scenario::kCooperative));
+}
+
+}  // namespace
+}  // namespace pupil

@@ -208,5 +208,79 @@ TEST(Csv, WritesEscapedCells)
     std::remove(path.c_str());
 }
 
+TEST(Csv, EscapePassesCleanFieldsThrough)
+{
+    EXPECT_EQ(csvEscape(""), "");
+    EXPECT_EQ(csvEscape("plain"), "plain");
+    EXPECT_EQ(csvEscape("with space"), "with space");
+    EXPECT_EQ(csvEscape("semi;colon"), "semi;colon");
+}
+
+TEST(Csv, EscapeQuotesSpecialFields)
+{
+    EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+    EXPECT_EQ(csvEscape("cr\rhere"), "\"cr\rhere\"");
+    EXPECT_EQ(csvEscape("\""), "\"\"\"\"");
+}
+
+TEST(Csv, SplitRecordInvertsEscape)
+{
+    const std::vector<std::string> fields = {
+        "plain", "", "a,b", "say \"hi\"", "line\nbreak",
+        "tricky,\"mix\"\nof,everything", ",", "\"\"",
+    };
+    std::string record;
+    for (size_t i = 0; i < fields.size(); ++i) {
+        if (i > 0)
+            record += ',';
+        record += csvEscape(fields[i]);
+    }
+    EXPECT_EQ(csvSplitRecord(record), fields);
+}
+
+TEST(Csv, SplitRecordRoundTripsRandomFields)
+{
+    // Property: csvSplitRecord(join(csvEscape(f))) == f for arbitrary
+    // byte content, including the CSV metacharacters themselves.
+    static const char kBytes[] = "ab,\"\n\r;x0 ";
+    Rng rng(99);
+    for (int iter = 0; iter < 500; ++iter) {
+        std::vector<std::string> fields(1 + rng.uniformInt(6));
+        for (std::string& field : fields) {
+            const size_t length = rng.uniformInt(12);
+            for (size_t i = 0; i < length; ++i)
+                field += kBytes[rng.uniformInt(sizeof(kBytes) - 1)];
+        }
+        std::string record;
+        for (size_t i = 0; i < fields.size(); ++i) {
+            if (i > 0)
+                record += ',';
+            record += csvEscape(fields[i]);
+        }
+        ASSERT_EQ(csvSplitRecord(record), fields) << "record: " << record;
+    }
+}
+
+TEST(Csv, WriterRoundTripsThroughSplitRecord)
+{
+    const std::string path = "/tmp/pupil_csv_roundtrip_test.csv";
+    const std::vector<std::string> cells = {"a,b", "say \"hi\"", "plain"};
+    {
+        CsvWriter csv(path, {"c1", "c2", "c3"});
+        ASSERT_TRUE(csv.ok());
+        csv.row(cells);
+    }
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(csvSplitRecord(line),
+              (std::vector<std::string>{"c1", "c2", "c3"}));
+    std::getline(in, line);
+    EXPECT_EQ(csvSplitRecord(line), cells);
+    std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace pupil::util
