@@ -11,11 +11,20 @@
  * Soft-DVFS never leaves the uncapped warm start while PUPiL's hardware
  * fallback enforces the cap -- the check asserts exactly that contrast
  * (plus that PUPiL actually records a detection).
+ *
+ * A final section steps a tiny hierarchical budget tree (2 racks x 2
+ * nodes) through a node-loss window, asserting budget conservation at
+ * every level -- the cheap stand-in for the full bench/cluster_scale
+ * sweep.
  */
+#include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "cluster/budget_tree.h"
+#include "faults/schedule.h"
 
 using namespace pupil;
 
@@ -102,11 +111,58 @@ main(int argc, char** argv)
         }
     }
 
+    // Budget-tree path: a tiny 2-rack x 2-node tree stepped through a
+    // node-loss window, checking the plumbing the cluster_scale bench
+    // exercises at scale -- conservation at every level, work actually
+    // progressing, and shifting firing.
+    {
+        cluster::BudgetTree::Options topts;
+        topts.globalBudgetWatts = 500.0;
+        topts.threads = 1;
+        cluster::BudgetTree tree(topts);
+        const char* treeApps[4] = {"swaptions", "kmeans", "x264", "btree"};
+        for (int r = 0; r < 2; ++r) {
+            const size_t rack = tree.addRack("rack" + std::to_string(r));
+            for (int n = 0; n < 2; ++n)
+                tree.addNode(rack,
+                             "r" + std::to_string(r) + "n" +
+                                 std::to_string(n),
+                             harness::singleApp(treeApps[r * 2 + n]),
+                             harness::GovernorKind::kPupil,
+                             bench::envSeed(1) + uint64_t(r * 2 + n));
+        }
+        const auto schedule =
+            faults::FaultSchedule::parse("node-loss,r0n1,3,6");
+        tree.setFaultSchedule(&schedule);
+        double worstError = 0.0;
+        for (double t = 1.0; t <= 10.0; t += 1.0) {
+            tree.run(t);
+            worstError = std::max(worstError, tree.budgetErrorWatts());
+        }
+        if (worstError > 1e-6) {
+            std::printf("FAIL tree: budget conservation error %.9f W\n",
+                        worstError);
+            ++failures;
+        }
+        if (tree.aggregatePerformance() <= 0.0) {
+            std::printf("FAIL tree: non-positive aggregate perf\n");
+            ++failures;
+        }
+        if (tree.lossEvents() != 1 || tree.rejoinEvents() != 1) {
+            std::printf("FAIL tree: expected 1 loss + 1 rejoin, saw %d/%d\n",
+                        tree.lossEvents(), tree.rejoinEvents());
+            ++failures;
+        }
+        if (failures == 0)
+            std::printf("ok   budget-tree   4 nodes: perf %.4f, err %.1e W\n",
+                        tree.aggregatePerformance(), worstError);
+    }
+
     if (failures > 0) {
         std::printf("bench_smoke: %d of %zu jobs failed\n", failures,
                     outcomes.size());
         return 1;
     }
-    std::printf("bench_smoke: all %zu jobs ok\n", outcomes.size());
+    std::printf("bench_smoke: all %zu jobs ok\n", outcomes.size() + 1);
     return 0;
 }

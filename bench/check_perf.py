@@ -1,21 +1,33 @@
 #!/usr/bin/env python3
-"""Compare a BENCH_perf.json produced by bench/perf_regression against the
-checked-in baseline (bench/perf_baseline.json) and fail on regression.
+"""Compare bench JSON outputs against the checked-in baseline
+(bench/perf_baseline.json) and fail on regression.
 
-Only dimensionless speedup ratios are compared -- absolute throughput
-depends on the host, but cached-vs-uncached ratios on the same host in
-the same process are stable. A ratio regresses when it falls below
-baseline * (1 - tolerance) (default tolerance 25%), or below an absolute
-floor (the walker-convergence >= 3x target from the perf issue).
+Accepts one or more --bench files (repeat the flag): the perf-regression
+bench's BENCH_perf.json and the cluster-scale bench's BENCH_cluster.json.
+Each file's schema is validated and their metric trees are merged, so one
+baseline gates both.
+
+Only dimensionless ratios (and deterministic simulation outputs) are
+compared -- absolute throughput depends on the host, but cached-vs-uncached
+and step-vs-control ratios on the same host in the same process are
+stable, and fixed-seed simulation metrics are byte-stable everywhere. A
+metric regresses when it falls below baseline * (1 - tolerance) (default
+tolerance 25%), or below an absolute floor (e.g. the walker-convergence
+>= 3x target, or the cluster determinism bit which must be exactly 1).
 
 Exit status: 0 ok, 1 regression or malformed input.
 
-Usage: check_perf.py [--bench PATH] [--baseline PATH]
+Usage: check_perf.py [--bench PATH]... [--baseline PATH]
 """
 
 import argparse
 import json
 import sys
+
+KNOWN_SCHEMAS = {
+    "pupil-perf-regression-v1",
+    "pupil-cluster-scale-v1",
+}
 
 
 def lookup(tree, dotted):
@@ -31,24 +43,34 @@ def lookup(tree, dotted):
 
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--bench", default="build/bench/BENCH_perf.json",
-                        help="BENCH_perf.json written by perf_regression")
+    parser.add_argument("--bench", action="append", default=[],
+                        help="bench JSON output; repeat for several files "
+                             "(default: build/bench/BENCH_perf.json)")
     parser.add_argument("--baseline", default="bench/perf_baseline.json",
                         help="checked-in baseline ratios")
     args = parser.parse_args(argv)
+    bench_paths = args.bench or ["build/bench/BENCH_perf.json"]
 
+    merged = {}
     try:
-        with open(args.bench) as f:
-            bench = json.load(f)
+        for path in bench_paths:
+            with open(path) as f:
+                bench = json.load(f)
+            schema = bench.get("schema")
+            if schema not in KNOWN_SCHEMAS:
+                print(f"check_perf: unexpected bench schema {schema!r} "
+                      f"in {path}", file=sys.stderr)
+                return 1
+            overlap = set(merged) & set(bench) - {"schema", "mode", "seed"}
+            if overlap:
+                print(f"check_perf: {path} redefines {sorted(overlap)}",
+                      file=sys.stderr)
+                return 1
+            merged.update(bench)
         with open(args.baseline) as f:
             baseline = json.load(f)
     except (OSError, json.JSONDecodeError) as err:
         print(f"check_perf: cannot load inputs: {err}", file=sys.stderr)
-        return 1
-
-    if bench.get("schema") != "pupil-perf-regression-v1":
-        print(f"check_perf: unexpected bench schema {bench.get('schema')!r}",
-              file=sys.stderr)
         return 1
 
     tolerance = float(baseline.get("tolerance", 0.25))
@@ -62,7 +84,7 @@ def main(argv):
     print(f"{'metric':<38} {'measured':>9} {'baseline':>9} {'min ok':>8}")
     for name in sorted(set(ratios) | set(floors)):
         try:
-            measured = lookup(bench, name)
+            measured = lookup(merged, name)
         except KeyError:
             failures.append(f"{name}: missing from bench output")
             continue

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Datacenter-scale sweep over the hierarchical budget tree.
+ *
+ * Builds 3-level datacenter -> rack -> node trees (8 nodes per rack,
+ * mixed workloads from the benchmark catalog, a mixed governor
+ * population, and one scheduled node-loss window per rack), steps them
+ * to steady state, and reports:
+ *
+ *  - throughput-under-budget: aggregate normalized performance over the
+ *    converged second half of the run (deterministic for a fixed
+ *    PUPIL_SEED, so the per-node figure is byte-stable across hosts);
+ *  - rebalance latency: control-plane wall time (membership, both
+ *    rebalance levels, batched cap pushes) per period, plus the
+ *    dimensionless step/control wall-time ratio check_perf.py gates;
+ *  - parallel stepping speedup: serial vs pooled node stepping, which
+ *    by construction must agree bit-for-bit -- the determinism check
+ *    compares full state digests and fails the bench on any mismatch;
+ *  - worst budget-conservation error seen at any level in any period.
+ *
+ * --quick runs the 64-node tree only (the bench_smoke/CI tier); the full
+ * run sweeps 64/256/512 nodes. Results go to stdout and to a
+ * machine-readable BENCH_cluster.json (override with --out PATH) that
+ * bench/check_perf.py compares against bench/perf_baseline.json.
+ */
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/budget_tree.h"
+#include "faults/schedule.h"
+#include "trace/export.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+struct ScaleResult
+{
+    int nodes = 0;
+    int racks = 0;
+    int periods = 0;
+    double throughput = 0.0;        ///< mean normalized perf, 2nd half
+    double perfPerNode = 0.0;
+    double maxBudgetErrorWatts = 0.0;
+    double rebalanceLatencyMs = 0.0;
+    double controlStepRatio = 0.0;  ///< stepWall / controlWall
+    double parallelSpeedup = 0.0;   ///< serial stepWall / parallel stepWall
+    int lossEvents = 0;
+    int rejoinEvents = 0;
+    int shifts = 0;
+    bool deterministic = false;
+};
+
+constexpr int kNodesPerRack = 8;
+
+using cluster::BudgetTree;
+
+BudgetTree::Options
+treeOptions(int nodes, int threads)
+{
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 150.0 * nodes;  // tight vs the 270 W TDP
+    options.periodSec = 1.0;
+    options.threads = threads;
+    return options;
+}
+
+/** A 3-level tree: nodes/8 racks, catalog workloads and governor kinds
+ *  cycled node by node, per-node seeds derived from the sweep root. */
+BudgetTree
+makeTree(int nodes, int threads, uint64_t seed)
+{
+    BudgetTree tree(treeOptions(nodes, threads));
+    const auto& catalog = workload::benchmarkCatalog();
+    int id = 0;
+    for (int r = 0; r < nodes / kNodesPerRack; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < kNodesPerRack; ++n, ++id) {
+            const auto& app = catalog[size_t(id * 7) % catalog.size()];
+            const auto kind = (id % 4 == 3)
+                                  ? harness::GovernorKind::kRapl
+                                  : harness::GovernorKind::kPupil;
+            tree.addNode(rack,
+                         "r" + std::to_string(r) + "n" + std::to_string(n),
+                         harness::singleApp(app.name, 16), kind,
+                         harness::SweepRunner::deriveSeed(seed, size_t(id)));
+        }
+    }
+    return tree;
+}
+
+/** One node-loss window per rack, staggered so rebalances keep firing. */
+std::string
+faultSpec(int nodes)
+{
+    std::string spec;
+    for (int r = 0; r < nodes / kNodesPerRack; ++r) {
+        const double start = 4.0 + double(r % 5);
+        const double end = start + 6.0;
+        if (!spec.empty())
+            spec += ';';
+        spec += "node-loss,r" + std::to_string(r) + "n" +
+                std::to_string(r % kNodesPerRack) + ',' +
+                trace::formatDouble(start) + ',' + trace::formatDouble(end);
+    }
+    return spec;
+}
+
+struct RunOutcome
+{
+    double throughput = 0.0;
+    double maxBudgetError = 0.0;
+    uint64_t digest = 0;
+};
+
+RunOutcome
+drive(BudgetTree& tree, const faults::FaultSchedule& schedule,
+      double durationSec)
+{
+    tree.setFaultSchedule(&schedule);
+    RunOutcome outcome;
+    double perfSum = 0.0;
+    int perfSamples = 0;
+    for (double t = 1.0; t <= durationSec + 1e-9; t += 1.0) {
+        tree.run(t);
+        outcome.maxBudgetError =
+            std::max(outcome.maxBudgetError, tree.budgetErrorWatts());
+        if (t > durationSec / 2.0) {  // converged window only
+            perfSum += tree.aggregatePerformance();
+            ++perfSamples;
+        }
+    }
+    outcome.throughput = perfSamples > 0 ? perfSum / perfSamples : 0.0;
+    outcome.digest = tree.stateDigest();
+    return outcome;
+}
+
+ScaleResult
+runScale(int nodes, double durationSec, uint64_t seed, bool serialOnly)
+{
+    const auto schedule = faults::FaultSchedule::parse(faultSpec(nodes));
+
+    BudgetTree serial = makeTree(nodes, 1, seed);
+    const RunOutcome serialOut = drive(serial, schedule, durationSec);
+
+    BudgetTree parallel = makeTree(nodes, serialOnly ? 1 : 0, seed);
+    const RunOutcome parallelOut = drive(parallel, schedule, durationSec);
+
+    ScaleResult result;
+    result.nodes = nodes;
+    result.racks = nodes / kNodesPerRack;
+    result.periods = parallel.periods();
+    result.throughput = parallelOut.throughput;
+    result.perfPerNode = parallelOut.throughput / double(nodes);
+    result.maxBudgetErrorWatts =
+        std::max(serialOut.maxBudgetError, parallelOut.maxBudgetError);
+    // Latency figures come from the serial run: both numerator and
+    // denominator then scale with single-thread host speed, so the
+    // step/control ratio check_perf.py gates is independent of the CI
+    // runner's core count.
+    result.rebalanceLatencyMs =
+        1e3 * serial.controlWallSec() / double(serial.periods());
+    result.controlStepRatio =
+        serial.stepWallSec() / serial.controlWallSec();
+    result.parallelSpeedup =
+        parallel.stepWallSec() > 0.0
+            ? serial.stepWallSec() / parallel.stepWallSec()
+            : 0.0;
+    result.lossEvents = parallel.lossEvents();
+    result.rejoinEvents = parallel.rejoinEvents();
+    result.shifts = parallel.shifts();
+    result.deterministic = serialOut.digest == parallelOut.digest &&
+                           serialOut.throughput == parallelOut.throughput;
+    return result;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    bool serialOnly = false;
+    std::string outPath = "BENCH_cluster.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--serial")
+            serialOnly = true;
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    const uint64_t seed = bench::envSeed(42);
+    const double durationSec = quick ? 20.0 : 60.0;
+    const std::vector<int> scales =
+        quick ? std::vector<int>{64} : std::vector<int>{64, 256, 512};
+
+    std::printf("=== Cluster-scale budget tree (%s mode, %g s, seed %llu) "
+                "===\n\n",
+                quick ? "quick" : "full", durationSec,
+                static_cast<unsigned long long>(seed));
+
+    std::vector<ScaleResult> results;
+    int failures = 0;
+    for (int nodes : scales) {
+        const ScaleResult r = runScale(nodes, durationSec, seed, serialOnly);
+        if (!r.deterministic) {
+            std::fprintf(stderr,
+                         "FAIL: serial and parallel stepping diverged at "
+                         "%d nodes\n",
+                         nodes);
+            ++failures;
+        }
+        if (r.maxBudgetErrorWatts > 1e-6) {
+            std::fprintf(stderr,
+                         "FAIL: budget conservation error %.9f W at %d "
+                         "nodes\n",
+                         r.maxBudgetErrorWatts, nodes);
+            ++failures;
+        }
+        results.push_back(r);
+    }
+
+    util::Table table({"nodes", "racks", "perf/node", "rebal ms/period",
+                       "step/control", "par speedup", "loss", "shifts"});
+    for (const ScaleResult& r : results) {
+        table.addRow({std::to_string(r.nodes), std::to_string(r.racks),
+                      util::Table::cell(r.perfPerNode, 4),
+                      util::Table::cell(r.rebalanceLatencyMs, 3),
+                      util::Table::cell(r.controlStepRatio, 1),
+                      util::Table::cell(r.parallelSpeedup, 2),
+                      std::to_string(r.lossEvents),
+                      std::to_string(r.shifts)});
+    }
+    table.print(std::cout);
+    std::printf("\nDeterminism: serial and parallel stepping digests %s.\n",
+                failures == 0 ? "match at every scale" : "DIVERGED");
+
+    // The headline entry check_perf.py gates is the largest scale run (in
+    // CI's quick mode, the 64-node tree).
+    const ScaleResult& head = results.back();
+    std::string json;
+    json += "{\n  \"schema\": \"pupil-cluster-scale-v1\",\n";
+    json += "  \"mode\": \"" + std::string(quick ? "quick" : "full") +
+            "\",\n  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"cluster_scale\": {\n";
+    json += "    \"nodes\": " + std::to_string(head.nodes) + ",\n";
+    json += "    \"racks\": " + std::to_string(head.racks) + ",\n";
+    json += "    \"periods\": " + std::to_string(head.periods) + ",\n";
+    json += "    \"throughput_under_budget\": " +
+            trace::formatDouble(head.throughput) + ",\n";
+    json += "    \"perf_per_node\": " +
+            trace::formatDouble(head.perfPerNode) + ",\n";
+    json += "    \"max_budget_error_watts\": " +
+            trace::formatDouble(head.maxBudgetErrorWatts) + ",\n";
+    json += "    \"rebalance_latency_ms\": " +
+            trace::formatDouble(head.rebalanceLatencyMs) + ",\n";
+    json += "    \"control_step_ratio\": " +
+            trace::formatDouble(head.controlStepRatio) + ",\n";
+    json += "    \"parallel_speedup\": " +
+            trace::formatDouble(head.parallelSpeedup) + ",\n";
+    json += "    \"loss_events\": " + std::to_string(head.lossEvents) +
+            ",\n";
+    json += "    \"rejoin_events\": " + std::to_string(head.rejoinEvents) +
+            ",\n";
+    json += "    \"shifts\": " + std::to_string(head.shifts) + ",\n";
+    json += "    \"determinism_ok\": " +
+            std::string(failures == 0 ? "1" : "0") + "\n";
+    json += "  }\n}\n";
+    if (!trace::writeFile(outPath, json)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("Wrote %s\n", outPath.c_str());
+    return failures == 0 ? 0 : 2;
+}

@@ -1,0 +1,241 @@
+#include "budget_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pupil::cluster {
+
+double
+onlineCapSum(const std::vector<ChildBudget>& children)
+{
+    double sum = 0.0;
+    for (const ChildBudget& child : children) {
+        if (child.online)
+            sum += child.capWatts;
+    }
+    return sum;
+}
+
+size_t
+onlineCount(const std::vector<ChildBudget>& children)
+{
+    size_t count = 0;
+    for (const ChildBudget& child : children) {
+        if (child.online)
+            ++count;
+    }
+    return count;
+}
+
+double
+conservationError(const std::vector<ChildBudget>& children, double budget)
+{
+    double ceilingSum = 0.0;
+    bool anyOnline = false;
+    for (const ChildBudget& child : children) {
+        if (!child.online)
+            continue;
+        anyOnline = true;
+        ceilingSum += child.maxCapWatts;
+    }
+    if (!anyOnline)
+        return 0.0;
+    const double grantable = std::min(budget, ceilingSum);
+    return std::abs(onlineCapSum(children) - grantable);
+}
+
+double
+clampToCeilings(std::vector<ChildBudget>& children)
+{
+    double excess = 0.0;
+    for (ChildBudget& child : children) {
+        if (!child.online)
+            continue;
+        if (child.capWatts > child.maxCapWatts) {
+            excess += child.capWatts - child.maxCapWatts;
+            child.capWatts = child.maxCapWatts;
+        }
+    }
+    if (excess <= 0.0)
+        return 0.0;
+
+    // Water-fill the excess into remaining ceiling headroom. One pass is
+    // enough: each receiver gets at most its own room because the placed
+    // total never exceeds the total room.
+    double room = 0.0;
+    for (const ChildBudget& child : children) {
+        if (child.online)
+            room += child.maxCapWatts - child.capWatts;
+    }
+    if (room <= 0.0)
+        return excess;  // every online child at its ceiling: unplaceable
+    const double placed = std::min(excess, room);
+    for (ChildBudget& child : children) {
+        if (!child.online)
+            continue;
+        child.capWatts +=
+            placed * (child.maxCapWatts - child.capWatts) / room;
+    }
+    return excess - placed;
+}
+
+void
+enforceFloor(std::vector<ChildBudget>& children)
+{
+    double deficit = 0.0;
+    double surplus = 0.0;
+    for (const ChildBudget& child : children) {
+        if (!child.online)
+            continue;
+        if (child.capWatts < child.minShareWatts)
+            deficit += child.minShareWatts - child.capWatts;
+        else
+            surplus += child.capWatts - child.minShareWatts;
+    }
+    if (deficit <= 0.0 || surplus <= 0.0)
+        return;
+    // Raise the poor toward their floor, funded proportionally from the
+    // children above theirs. Sum-preserving; best effort when the online
+    // sum cannot cover everyone's floor.
+    const double take = std::min(deficit, surplus);
+    for (ChildBudget& child : children) {
+        if (!child.online)
+            continue;
+        if (child.capWatts < child.minShareWatts)
+            child.capWatts +=
+                (child.minShareWatts - child.capWatts) * take / deficit;
+        else
+            child.capWatts -=
+                (child.capWatts - child.minShareWatts) * take / surplus;
+    }
+}
+
+double
+rebalanceBudgets(std::vector<ChildBudget>& children,
+                 const BudgetPolicy& policy)
+{
+    // Collect headroom (cap - consumption). Donors give away a fraction
+    // of their headroom; the pool is granted to children at their cap,
+    // proportionally to consumption (a proxy for demand). Offline
+    // children hold no budget and take no part.
+    double pool = 0.0;
+    std::vector<double> grantWeight(children.size(), 0.0);
+    double weightSum = 0.0;
+    size_t online = 0;
+    for (size_t i = 0; i < children.size(); ++i) {
+        ChildBudget& child = children[i];
+        if (!child.online)
+            continue;
+        ++online;
+        const double power = child.powerWatts;
+        const double headroom = child.capWatts - power;
+        const bool implausible = power < policy.minPlausiblePowerWatts;
+        if (!implausible &&
+            headroom > policy.headroomSlackFraction * child.capWatts) {
+            const double donation =
+                std::min(headroom * policy.donationFraction,
+                         child.capWatts - child.minShareWatts);
+            if (donation > 0.0) {
+                child.capWatts -= donation;
+                pool += donation;
+            }
+        } else {
+            // Constrained -- or reading an implausible ~0 (dead meter,
+            // frozen child). Floor the weight so a zero measurement can
+            // never starve a child of grants forever.
+            grantWeight[i] =
+                std::max(power, std::max(child.minShareWatts, 1.0));
+            weightSum += grantWeight[i];
+        }
+    }
+    if (pool <= 0.0 || online == 0)
+        return 0.0;
+    if (weightSum <= 0.0) {
+        // Nobody is constrained: return the pool evenly.
+        for (ChildBudget& child : children) {
+            if (child.online)
+                child.capWatts += pool / double(online);
+        }
+    } else {
+        for (size_t i = 0; i < children.size(); ++i) {
+            if (grantWeight[i] > 0.0)
+                children[i].capWatts += pool * grantWeight[i] / weightSum;
+        }
+    }
+    // A grant above a child's TDP is budget it can never draw: clamp and
+    // hand the excess to children that still have ceiling headroom.
+    clampToCeilings(children);
+    return pool;
+}
+
+void
+reshareBudgets(std::vector<ChildBudget>& children, double budget,
+               const std::vector<size_t>& rejoined)
+{
+    for (ChildBudget& child : children) {
+        if (!child.online)
+            child.capWatts = 0.0;
+    }
+    const size_t online = onlineCount(children);
+    if (online == 0)
+        return;  // whole pool dark; budget re-granted at first rejoin
+
+    const auto isRejoined = [&](size_t i) {
+        return std::find(rejoined.begin(), rejoined.end(), i) !=
+               rejoined.end();
+    };
+
+    // Survivors keep their relative shares (so shifting history is
+    // preserved); rejoiners start from an even share of the budget.
+    const double share = budget / double(online);
+    double survivorSum = 0.0;
+    size_t rejoinedOnline = 0;
+    for (size_t i = 0; i < children.size(); ++i) {
+        if (!children[i].online)
+            continue;
+        if (isRejoined(i))
+            ++rejoinedOnline;
+        else
+            survivorSum += children[i].capWatts;
+    }
+    if (survivorSum <= 0.0) {
+        for (ChildBudget& child : children) {
+            if (child.online)
+                child.capWatts = share;
+        }
+    } else {
+        const double survivorBudget =
+            budget - share * double(rejoinedOnline);
+        const double factor = survivorBudget / survivorSum;
+        for (size_t i = 0; i < children.size(); ++i) {
+            if (!children[i].online)
+                continue;
+            if (isRejoined(i))
+                children[i].capWatts = share;
+            else
+                children[i].capWatts *= factor;
+        }
+    }
+    // Scaling survivors down to fund a rejoiner can push one below its
+    // floor; re-impose it (and the ceilings) before the caps go out.
+    enforceFloor(children);
+    clampToCeilings(children);
+}
+
+void
+evenShares(std::vector<ChildBudget>& children, double budget)
+{
+    const size_t online = onlineCount(children);
+    for (ChildBudget& child : children)
+        child.capWatts = 0.0;
+    if (online == 0)
+        return;
+    const double share = budget / double(online);
+    for (ChildBudget& child : children) {
+        if (child.online)
+            child.capWatts = share;
+    }
+    clampToCeilings(children);
+}
+
+}  // namespace pupil::cluster

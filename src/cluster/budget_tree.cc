@@ -1,0 +1,538 @@
+#include "budget_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+namespace pupil::cluster {
+
+namespace {
+
+double
+wallNow()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+// FNV-1a over 64-bit words; doubles are hashed by bit pattern so two runs
+// agree on the digest iff they agree on every byte of the state.
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void
+mix(uint64_t& hash, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xffu;
+        hash *= kFnvPrime;
+    }
+}
+
+void
+mixDouble(uint64_t& hash, double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    mix(hash, bits);
+}
+
+}  // namespace
+
+BudgetTree::BudgetTree(const Options& options) : options_(options)
+{
+    harness::SweepRunner::Options ropts;
+    ropts.threads = options.threads;
+    ropts.deriveSeeds = false;  // node seeds are fixed at addNode time
+    ropts.keepTraces = false;
+    ropts.progress = [](const harness::SweepProgress&) {};
+    runner_ = harness::SweepRunner(ropts);
+}
+
+size_t
+BudgetTree::addRack(const std::string& name)
+{
+    assert(!started_);
+    auto rack = std::make_unique<Rack>();
+    rack->name = name;
+    racks_.push_back(std::move(rack));
+    return racks_.size() - 1;
+}
+
+size_t
+BudgetTree::addNode(size_t rackIndex, const std::string& name,
+                    const std::vector<sched::AppDemand>& apps,
+                    harness::GovernorKind kind, uint64_t seed,
+                    const std::string& faultSpec)
+{
+    assert(!started_);
+    Rack& rack = *racks_[rackIndex];
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    sim::PlatformOptions popts;
+    popts.seed = seed;
+    popts.faultSpec = faultSpec;
+    node->platform = std::make_unique<sim::Platform>(popts, apps);
+    node->platform->warmStart(machine::maximalConfig());
+    node->rapl = std::make_unique<rapl::RaplController>();
+    node->governor = harness::makeGovernor(kind);
+    node->governor->attachRapl(node->rapl.get());
+    node->platform->addActor(node->rapl.get());
+    node->platform->addActor(node->governor.get());
+    // Node platforms stay untraced: a trace::Recorder is single-owner and
+    // the leaves step concurrently. The tree emits the cluster- and
+    // rack-level timeline into the recorder attached via attachTrace().
+    rack.nodes.push_back(std::move(node));
+    return rack.nodes.size() - 1;
+}
+
+size_t
+BudgetTree::totalNodes() const
+{
+    size_t count = 0;
+    for (const auto& rack : racks_)
+        count += rack->nodes.size();
+    return count;
+}
+
+double
+BudgetTree::totalGrantWatts() const
+{
+    double total = 0.0;
+    for (const auto& rack : racks_) {
+        if (rack->online)
+            total += rack->grantWatts;
+    }
+    return total;
+}
+
+double
+BudgetTree::totalCapWatts() const
+{
+    double total = 0.0;
+    for (const auto& rack : racks_) {
+        for (const auto& node : rack->nodes) {
+            if (node->online)
+                total += node->capWatts;
+        }
+    }
+    return total;
+}
+
+double
+BudgetTree::totalPowerWatts() const
+{
+    double total = 0.0;
+    for (const auto& rack : racks_) {
+        for (const auto& node : rack->nodes) {
+            if (node->online)
+                total += node->platform->truePower();
+        }
+    }
+    return total;
+}
+
+double
+BudgetTree::aggregatePerformance() const
+{
+    double total = 0.0;
+    for (const auto& rack : racks_) {
+        for (const auto& node : rack->nodes) {
+            if (!node->online)
+                continue;
+            for (size_t i = 0; i < node->platform->appCount(); ++i) {
+                const double solo = node->platform->soloReferenceRate(i);
+                if (solo > 0.0)
+                    total += node->platform->trueAppRate(i) / solo;
+            }
+        }
+    }
+    return total;
+}
+
+BudgetPolicy
+BudgetTree::policy() const
+{
+    BudgetPolicy policy;
+    policy.donationFraction = options_.donationFraction;
+    return policy;
+}
+
+std::vector<ChildBudget>
+BudgetTree::nodeChildren(const Rack& rack) const
+{
+    std::vector<ChildBudget> children(rack.nodes.size());
+    for (size_t i = 0; i < rack.nodes.size(); ++i) {
+        children[i].capWatts = rack.nodes[i]->capWatts;
+        children[i].maxCapWatts = options_.nodeTdpWatts;
+        children[i].minShareWatts = options_.minNodeCapWatts;
+        children[i].online = rack.nodes[i]->online;
+    }
+    return children;
+}
+
+std::vector<ChildBudget>
+BudgetTree::rackChildren() const
+{
+    // A rack's ceiling and floor scale with its live population: it can
+    // absorb at most onlineNodes * TDP and must always be able to hand
+    // every online node its floor.
+    std::vector<ChildBudget> children(racks_.size());
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        const Rack& rack = *racks_[r];
+        size_t online = 0;
+        double power = 0.0;
+        for (size_t i = 0; i < rack.nodes.size(); ++i) {
+            if (!rack.nodes[i]->online)
+                continue;
+            ++online;
+            if (r < measured_.size() && i < measured_[r].size())
+                power += measured_[r][i];
+        }
+        children[r].capWatts = rack.grantWatts;
+        children[r].powerWatts = power;
+        children[r].maxCapWatts = double(online) * options_.nodeTdpWatts;
+        children[r].minShareWatts =
+            double(online) * options_.minNodeCapWatts;
+        children[r].online = rack.online && online > 0;
+    }
+    return children;
+}
+
+double
+BudgetTree::budgetErrorWatts() const
+{
+    double worst =
+        conservationError(rackChildren(), options_.globalBudgetWatts);
+    for (const auto& rack : racks_) {
+        if (!rack->online)
+            continue;
+        worst = std::max(
+            worst, conservationError(nodeChildren(*rack), rack->grantWatts));
+    }
+    return worst;
+}
+
+void
+BudgetTree::applyNodeCaps(Rack& rack, const std::vector<ChildBudget>& state)
+{
+    for (size_t i = 0; i < rack.nodes.size(); ++i)
+        rack.nodes[i]->capWatts = state[i].capWatts;
+}
+
+void
+BudgetTree::distributeRackGrant(size_t rackIndex,
+                                const std::vector<size_t>& rejoinedNodes)
+{
+    Rack& rack = *racks_[rackIndex];
+    std::vector<ChildBudget> state = nodeChildren(rack);
+    reshareBudgets(state, rack.grantWatts, rejoinedNodes);
+    applyNodeCaps(rack, state);
+    rackDirty_[rackIndex] = true;
+}
+
+void
+BudgetTree::pushRackCaps(size_t rackIndex)
+{
+    // One batched push per rack: every online node's governor and its
+    // RAPL firmware get the new cap together, so the hardware backstop is
+    // armed from the same period the grant changes -- including for
+    // software-only node governors.
+    Rack& rack = *racks_[rackIndex];
+    for (auto& node : rack.nodes) {
+        if (!node->online || node->failed)
+            continue;
+        node->governor->setCap(node->capWatts);
+        node->rapl->setTotalCapEvenSplit(node->capWatts);
+    }
+    rackDirty_[rackIndex] = false;
+}
+
+void
+BudgetTree::updateMembership()
+{
+    // Phase 1: apply node-level liveness transitions (scheduled node-loss
+    // windows and step-failure isolation) and note what changed where.
+    std::vector<std::vector<size_t>> rejoinedNodes(racks_.size());
+    std::vector<bool> rackChanged(racks_.size(), false);
+    std::vector<size_t> rejoinedRacks;
+    bool rackLivenessChanged = false;
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        Rack& rack = *racks_[r];
+        size_t online = 0;
+        for (size_t i = 0; i < rack.nodes.size(); ++i) {
+            Node& node = *rack.nodes[i];
+            // A platform that threw during a step is isolated for good;
+            // scheduled node-loss windows end and the node rejoins.
+            const bool lost =
+                node.failed ||
+                (schedule_ != nullptr &&
+                 schedule_->anyActive(faults::FaultKind::kNodeLoss,
+                                      node.name, now_));
+            if (lost && node.online) {
+                trace::emit(trace_, now_, trace::EventKind::kNodeLoss,
+                            node.capWatts, 0.0, int32_t(r), int32_t(i));
+                node.online = false;
+                node.capWatts = 0.0;
+                ++lossEvents_;
+                metrics_.addCounter("cluster.node_loss");
+                rackChanged[r] = true;
+            } else if (!lost && !node.online) {
+                node.online = true;
+                ++rejoinEvents_;
+                metrics_.addCounter("cluster.node_rejoins");
+                rejoinedNodes[r].push_back(i);
+                rackChanged[r] = true;
+            }
+            if (node.online)
+                ++online;
+        }
+        const bool nowOnline = online > 0;
+        if (nowOnline != rack.online) {
+            rack.online = nowOnline;
+            rackLivenessChanged = true;
+            if (nowOnline)
+                rejoinedRacks.push_back(r);
+            else
+                rack.grantWatts = 0.0;  // dark rack returns its grant
+        }
+    }
+
+    // Phase 2: a rack going dark or coming back moves watts *between*
+    // racks, so the root reshares grants.
+    std::vector<bool> grantChanged(racks_.size(), false);
+    if (rackLivenessChanged) {
+        std::vector<ChildBudget> state = rackChildren();
+        reshareBudgets(state, options_.globalBudgetWatts, rejoinedRacks);
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            if (std::abs(state[r].capWatts - racks_[r]->grantWatts) <=
+                1e-12)
+                continue;
+            trace::emit(trace_, now_, trace::EventKind::kRackGrant,
+                        state[r].capWatts, racks_[r]->grantWatts,
+                        int32_t(r));
+            racks_[r]->grantWatts = state[r].capWatts;
+            grantChanged[r] = true;
+        }
+    }
+
+    // Phase 3: every rack whose population or grant moved re-divides
+    // internally (survivors keep relative shares, rejoiners get an even
+    // share, floors and ceilings re-imposed), then the caps go out in one
+    // batch per dirty rack.
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (!racks_[r]->online || (!rackChanged[r] && !grantChanged[r]))
+            continue;
+        distributeRackGrant(r, rejoinedNodes[r]);
+        for (size_t i : rejoinedNodes[r])
+            trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
+                        racks_[r]->nodes[i]->capWatts, 0.0, int32_t(r),
+                        int32_t(i));
+    }
+
+    assert(budgetErrorWatts() <
+           1e-6 * options_.globalBudgetWatts + 1e-9);
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (rackDirty_[r])
+            pushRackCaps(r);
+    }
+}
+
+void
+BudgetTree::stepNodes()
+{
+    // Advance every live node platform to now_ on the bounded pool. Nodes
+    // share no mutable state (each owns its platform, machine, governor,
+    // and RNG streams), so serial and parallel stepping are byte-identical
+    // -- the SweepRunner determinism argument at cluster scale. A node
+    // whose platform throws is isolated (failed, removed at the next
+    // membership update) instead of aborting the cluster.
+    std::vector<Node*> live;
+    live.reserve(totalNodes());
+    for (auto& rack : racks_) {
+        for (auto& node : rack->nodes) {
+            if (node->online && !node->failed)
+                live.push_back(node.get());
+        }
+    }
+    const double target = now_;
+    const double start = wallNow();
+    const std::vector<std::string> errors = runner_.forEach(
+        live.size(), [&](size_t i) { live[i]->platform->run(target); });
+    stepWallSec_ += wallNow() - start;
+    for (size_t i = 0; i < errors.size(); ++i) {
+        if (errors[i].empty())
+            continue;
+        live[i]->failed = true;
+        ++nodeFailures_;
+        metrics_.addCounter("cluster.node_failures");
+    }
+}
+
+void
+BudgetTree::measure()
+{
+    // All cross-node reads happen here, serially, in fixed rack-major
+    // order, after the stepping barrier -- the other half of the
+    // determinism argument. The meter channel (readPower) is what a real
+    // cluster manager sees: noisy and fault-prone, which is why the
+    // policy's implausible-reading guard exists.
+    measured_.resize(racks_.size());
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        Rack& rack = *racks_[r];
+        measured_[r].assign(rack.nodes.size(), 0.0);
+        for (size_t i = 0; i < rack.nodes.size(); ++i) {
+            Node& node = *rack.nodes[i];
+            if (node.online && !node.failed)
+                measured_[r][i] = node.platform->readPower();
+        }
+    }
+}
+
+void
+BudgetTree::rebalance()
+{
+    // Leaf level first: each rack shifts watts among its own nodes under
+    // its current grant.
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        Rack& rack = *racks_[r];
+        if (!rack.online)
+            continue;
+        std::vector<ChildBudget> state = nodeChildren(rack);
+        for (size_t i = 0; i < rack.nodes.size(); ++i)
+            state[i].powerWatts = measured_[r][i];
+        const double moved = rebalanceBudgets(state, policy());
+        if (moved <= 0.0)
+            continue;
+        applyNodeCaps(rack, state);
+        rackDirty_[r] = true;
+        ++shifts_;
+        metrics_.addCounter("cluster.rebalances");
+        double rackPower = 0.0;
+        for (size_t i = 0; i < rack.nodes.size(); ++i)
+            rackPower += measured_[r][i];
+        trace::emit(trace_, now_, trace::EventKind::kRackRebalance,
+                    rack.grantWatts, rackPower, int32_t(r),
+                    int32_t(moved));
+    }
+
+    // Root level: the same policy over racks. A changed grant is
+    // re-divided inside the rack proportionally before the push.
+    std::vector<ChildBudget> state = rackChildren();
+    const double moved = rebalanceBudgets(state, policy());
+    if (moved > 0.0) {
+        ++shifts_;
+        metrics_.addCounter("cluster.rebalances");
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            if (!racks_[r]->online ||
+                std::abs(state[r].capWatts - racks_[r]->grantWatts) <=
+                    1e-12)
+                continue;
+            trace::emit(trace_, now_, trace::EventKind::kRackGrant,
+                        state[r].capWatts, racks_[r]->grantWatts,
+                        int32_t(r));
+            racks_[r]->grantWatts = state[r].capWatts;
+            distributeRackGrant(r, {});
+        }
+        trace::emit(trace_, now_, trace::EventKind::kRebalance,
+                    totalCapWatts(), totalPowerWatts(), shifts_);
+    }
+
+    assert(budgetErrorWatts() <
+           1e-6 * options_.globalBudgetWatts + 1e-9);
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (rackDirty_[r])
+            pushRackCaps(r);
+    }
+}
+
+void
+BudgetTree::refreshInvariant()
+{
+    const double error = budgetErrorWatts();
+    metrics_.setGauge("cluster.budget_error", error);
+    size_t racksOnline = 0;
+    size_t nodesOnline = 0;
+    for (const auto& rack : racks_) {
+        if (rack->online)
+            ++racksOnline;
+        for (const auto& node : rack->nodes) {
+            if (node->online)
+                ++nodesOnline;
+        }
+    }
+    metrics_.setGauge("cluster.racks", double(racksOnline));
+    metrics_.setGauge("cluster.nodes_online", double(nodesOnline));
+    assert(error < 1e-6 * options_.globalBudgetWatts + 1e-9);
+}
+
+void
+BudgetTree::run(double untilSec)
+{
+    if (!started_) {
+        started_ = true;
+        measured_.resize(racks_.size());
+        for (size_t r = 0; r < racks_.size(); ++r)
+            measured_[r].assign(racks_[r]->nodes.size(), 0.0);
+        rackDirty_.assign(racks_.size(), false);
+        // Initial division: even shares root -> racks, then rack -> nodes,
+        // pushed to every node's governor AND its RAPL firmware before the
+        // first period (no node runs uncapped waiting for the first
+        // rebalance).
+        std::vector<ChildBudget> rackState = rackChildren();
+        evenShares(rackState, options_.globalBudgetWatts);
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            racks_[r]->grantWatts = rackState[r].capWatts;
+            std::vector<ChildBudget> nodeState =
+                nodeChildren(*racks_[r]);
+            evenShares(nodeState, racks_[r]->grantWatts);
+            applyNodeCaps(*racks_[r], nodeState);
+            pushRackCaps(r);
+        }
+        refreshInvariant();
+    }
+    while (now_ < untilSec - 1e-9) {
+        double mark = wallNow();
+        updateMembership();
+        controlWallSec_ += wallNow() - mark;
+        const double step = std::min(options_.periodSec, untilSec - now_);
+        now_ += step;
+        stepNodes();  // times itself into stepWallSec_
+        mark = wallNow();
+        measure();
+        rebalance();
+        refreshInvariant();
+        ++periods_;
+        controlWallSec_ += wallNow() - mark;
+    }
+}
+
+uint64_t
+BudgetTree::stateDigest() const
+{
+    uint64_t hash = kFnvOffset;
+    mixDouble(hash, now_);
+    mix(hash, uint64_t(shifts_));
+    mix(hash, uint64_t(lossEvents_));
+    mix(hash, uint64_t(rejoinEvents_));
+    mix(hash, uint64_t(nodeFailures_));
+    mix(hash, uint64_t(periods_));
+    for (const auto& rack : racks_) {
+        mixDouble(hash, rack->grantWatts);
+        mix(hash, rack->online ? 1 : 0);
+        for (const auto& node : rack->nodes) {
+            mixDouble(hash, node->capWatts);
+            mix(hash, (node->online ? 1u : 0u) |
+                          (node->failed ? 2u : 0u));
+            mixDouble(hash, node->platform->truePower());
+            for (size_t i = 0; i < node->platform->appCount(); ++i)
+                mixDouble(hash, node->platform->trueAppRate(i));
+        }
+    }
+    return hash;
+}
+
+}  // namespace pupil::cluster

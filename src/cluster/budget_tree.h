@@ -1,0 +1,225 @@
+#ifndef PUPIL_CLUSTER_BUDGET_TREE_H_
+#define PUPIL_CLUSTER_BUDGET_TREE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/budget_policy.h"
+#include "cluster/power_shifter.h"
+#include "harness/sweep.h"
+#include "telemetry/metrics.h"
+
+namespace pupil::cluster {
+
+/**
+ * A rack: one interior level of the budget tree. Holds a grant from the
+ * datacenter root and divides it among its nodes with the same
+ * headroom-donation policy the root uses to divide the global budget
+ * among racks.
+ */
+struct Rack
+{
+    std::string name;
+    double grantWatts = 0.0;
+    /** False while every node in the rack is offline (rack dark). */
+    bool online = true;
+    std::vector<std::unique_ptr<Node>> nodes;
+};
+
+/**
+ * Hierarchical datacenter-scale power budgeting: a budget *tree* --
+ * datacenter -> rack -> node -- instead of the flat PowerShifter's
+ * budget loop (the direction FastCap's bounded-per-period fair capping
+ * and Subramaniam & Feng's composable subsystem/node/cluster managers
+ * both point at).
+ *
+ * Every interior level runs the same policy over its children
+ * (budget_policy.h): measure demand, pool donated headroom, grant it
+ * demand-weighted, clamp to ceilings. Leaves are full sim::Platform +
+ * governor + RAPL stacks, exactly as under the flat shifter. Per period:
+ *
+ *  1. membership: node-loss faults and failed nodes leave (their watts
+ *     redistributed inside their rack), rejoiners are folded back in; a
+ *     rack whose last node left goes dark and its grant returns to the
+ *     root pool;
+ *  2. cap push: changed caps go out per rack in one batch (governor +
+ *     RAPL firmware per node);
+ *  3. step: every online node platform advances one period on a bounded
+ *     thread pool (PUPIL_SWEEP_THREADS / Options::threads; 1 = serial).
+ *     Nodes share no mutable state, so serial and parallel stepping are
+ *     byte-identical; a node that throws is isolated (marked failed,
+ *     removed at the next membership update) instead of aborting the
+ *     cluster -- the SweepRunner's seed-derivation and failure-isolation
+ *     idioms at cluster scale;
+ *  4. rebalance: each rack shifts watts among its nodes, then the root
+ *     shifts grants among racks; changed rack grants are re-divided
+ *     inside the rack proportionally and pushed.
+ *
+ * Budget conservation -- sum(child caps) == parent grant at every level,
+ * up to watts no child's TDP can absorb -- is asserted after every phase
+ * in debug builds and exported continuously as the cluster.budget_error
+ * gauge (see metrics()).
+ *
+ * Tracing: the tree emits cluster- and rack-level events (rebalances,
+ * rack grants, node loss/rejoin) into the attached recorder. Node
+ * platforms stay untraced: a Recorder is single-owner and the leaves
+ * step concurrently.
+ */
+class BudgetTree
+{
+  public:
+    struct Options
+    {
+        double globalBudgetWatts = 3200.0;
+        double periodSec = 1.0;       ///< reallocation period, every level
+        double minNodeCapWatts = 30.0;
+        /** Fraction of measured headroom donated per period (all levels). */
+        double donationFraction = 0.5;
+        /** Per-node cap ceiling (package TDPs of the modelled server). */
+        double nodeTdpWatts = 270.0;
+        /**
+         * Worker threads for node stepping. 0 = automatic
+         * (PUPIL_SWEEP_THREADS, then hardware_concurrency); 1 steps
+         * serially on the calling thread. Pure speed knob: results are
+         * byte-identical across thread counts.
+         */
+        int threads = 0;
+    };
+
+    explicit BudgetTree(const Options& options);
+
+    /** Add an (empty) rack. Returns its index. Call before run(). */
+    size_t addRack(const std::string& name);
+
+    /**
+     * Add a node under rack @p rack running @p apps. Returns its index
+     * within the rack. @p faultSpec injects node-local faults into the
+     * node's own platform. Call before run().
+     */
+    size_t addNode(size_t rack, const std::string& name,
+                   const std::vector<sched::AppDemand>& apps,
+                   harness::GovernorKind kind = harness::GovernorKind::kPupil,
+                   uint64_t seed = 1, const std::string& faultSpec = "");
+
+    /**
+     * Attach a cluster-level fault schedule; node-loss events match node
+     * names. Null detaches. Not owned; must outlive run().
+     */
+    void setFaultSchedule(const faults::FaultSchedule* schedule)
+    {
+        schedule_ = schedule;
+    }
+
+    /** Cluster/rack-level event recorder (null detaches; not owned). */
+    void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
+
+    /** Advance every node to @p untilSec, rebalancing period by period. */
+    void run(double untilSec);
+
+    // ----- topology -------------------------------------------------------
+    size_t rackCount() const { return racks_.size(); }
+    size_t nodeCount(size_t rack) const { return racks_[rack]->nodes.size(); }
+    size_t totalNodes() const;
+    const Rack& rack(size_t i) const { return *racks_[i]; }
+    const Node& node(size_t rack, size_t i) const
+    {
+        return *racks_[rack]->nodes[i];
+    }
+
+    // ----- budget state ---------------------------------------------------
+    /** Sum of online rack grants (== global budget while any rack is up). */
+    double totalGrantWatts() const;
+    /** Sum of per-node caps over online nodes. */
+    double totalCapWatts() const;
+    /** Sum of ground-truth power over online nodes (harness metric). */
+    double totalPowerWatts() const;
+    /**
+     * Aggregate normalized performance: sum over online nodes of each
+     * app's rate normalized by its solo rate in the maximal
+     * configuration (ground truth; the bench's throughput-under-budget).
+     */
+    double aggregatePerformance() const;
+    /**
+     * Worst conservation error across all levels right now:
+     * max over racks of |sum(node caps) - rack grant| and
+     * |sum(rack grants) - global budget|, each against what the level's
+     * ceilings can absorb.
+     */
+    double budgetErrorWatts() const;
+
+    // ----- accounting -----------------------------------------------------
+    /** Rack- or root-level reallocations that moved watts. */
+    int shifts() const { return shifts_; }
+    int lossEvents() const { return lossEvents_; }
+    int rejoinEvents() const { return rejoinEvents_; }
+    /** Nodes isolated after their platform threw during a step. */
+    int nodeFailures() const { return nodeFailures_; }
+    /** Periods executed so far. */
+    int periods() const { return periods_; }
+
+    /**
+     * Wall-clock seconds spent in the control plane (membership,
+     * measurement, both rebalance levels, cap pushes) -- everything
+     * except node stepping. rebalance latency = controlWallSec/periods.
+     * Not part of the deterministic state (never feeds back into it).
+     */
+    double controlWallSec() const { return controlWallSec_; }
+    /** Wall-clock seconds spent stepping node platforms. */
+    double stepWallSec() const { return stepWallSec_; }
+
+    /**
+     * Tree-level metrics: cluster.budget_error gauge (refreshed every
+     * period), cluster.rebalances / cluster.node_loss /
+     * cluster.node_rejoins / cluster.node_failures counters, and
+     * cluster.racks / cluster.nodes_online gauges.
+     */
+    const telemetry::MetricsRegistry& metrics() const { return metrics_; }
+
+    /**
+     * FNV-1a digest of the deterministic cluster state (per-node caps,
+     * true power, accumulated items, rack grants, event counts). Equal
+     * digests <=> byte-identical runs; used by the determinism checks in
+     * tests and bench/cluster_scale (serial vs parallel stepping).
+     */
+    uint64_t stateDigest() const;
+
+  private:
+    BudgetPolicy policy() const;
+    std::vector<ChildBudget> nodeChildren(const Rack& rack) const;
+    std::vector<ChildBudget> rackChildren() const;
+    void applyNodeCaps(Rack& rack, const std::vector<ChildBudget>& state);
+    /** Re-divide a changed rack grant among its online nodes. */
+    void distributeRackGrant(size_t rackIndex,
+                             const std::vector<size_t>& rejoinedNodes);
+    void pushRackCaps(size_t rackIndex);
+    void updateMembership();
+    void stepNodes();
+    void measure();
+    void rebalance();
+    void refreshInvariant();
+
+    Options options_;
+    std::vector<std::unique_ptr<Rack>> racks_;
+    /** Per-rack, per-node measured (meter-channel) power this period. */
+    std::vector<std::vector<double>> measured_;
+    std::vector<bool> rackDirty_;
+    harness::SweepRunner runner_;
+    const faults::FaultSchedule* schedule_ = nullptr;
+    trace::Recorder* trace_ = nullptr;
+    telemetry::MetricsRegistry metrics_;
+    double now_ = 0.0;
+    int shifts_ = 0;
+    int lossEvents_ = 0;
+    int rejoinEvents_ = 0;
+    int nodeFailures_ = 0;
+    int periods_ = 0;
+    double controlWallSec_ = 0.0;
+    double stepWallSec_ = 0.0;
+    bool started_ = false;
+};
+
+}  // namespace pupil::cluster
+
+#endif  // PUPIL_CLUSTER_BUDGET_TREE_H_

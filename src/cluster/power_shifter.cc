@@ -62,11 +62,41 @@ PowerShifter::totalPowerWatts() const
     return total;
 }
 
+BudgetPolicy
+PowerShifter::policy() const
+{
+    BudgetPolicy policy;
+    policy.donationFraction = options_.donationFraction;
+    return policy;
+}
+
+std::vector<ChildBudget>
+PowerShifter::children() const
+{
+    std::vector<ChildBudget> children(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        children[i].capWatts = nodes_[i]->capWatts;
+        children[i].maxCapWatts = options_.nodeTdpWatts;
+        children[i].minShareWatts = options_.minNodeCapWatts;
+        children[i].online = nodes_[i]->online;
+    }
+    return children;
+}
+
+double
+PowerShifter::budgetErrorWatts() const
+{
+    return conservationError(children(), options_.globalBudgetWatts);
+}
+
 void
 PowerShifter::pushCaps()
 {
-    // Push the current caps to every online node's capping system. Node
-    // governors with hardware backing re-enforce within milliseconds.
+    // Push the current caps to every online node's capping system -- the
+    // node governor AND the RAPL firmware, so the hardware backstop is
+    // armed even for software-only governors (a cluster deployment always
+    // gives every node the hardware safety net). Node governors with
+    // hardware backing re-enforce within milliseconds.
     for (auto& node : nodes_) {
         if (!node->online)
             continue;
@@ -80,7 +110,7 @@ PowerShifter::updateMembership()
 {
     if (schedule_ == nullptr)
         return;
-    std::vector<Node*> rejoined;
+    std::vector<size_t> rejoined;
     bool changed = false;
     for (size_t i = 0; i < nodes_.size(); ++i) {
         Node& node = *nodes_[i];
@@ -98,101 +128,46 @@ PowerShifter::updateMembership()
         } else if (!lost && !node.online) {
             node.online = true;
             ++rejoinEvents_;
-            rejoined.push_back(&node);
+            rejoined.push_back(i);
             changed = true;
         }
     }
     if (!changed)
         return;
 
-    std::vector<Node*> online;
-    for (auto& node : nodes_) {
-        if (node->online)
-            online.push_back(node.get());
-    }
-    if (online.empty())
-        return;  // whole cluster dark; budget re-granted at first rejoin
-
     // Restore the invariant sum(online caps) == global budget. Survivors
     // keep their relative shares (so shifting history is preserved);
-    // rejoiners start from an even share of the budget.
-    const double budget = options_.globalBudgetWatts;
-    const double share = budget / double(online.size());
-    double survivorSum = 0.0;
-    for (Node* node : online) {
-        if (std::find(rejoined.begin(), rejoined.end(), node) ==
-            rejoined.end())
-            survivorSum += node->capWatts;
-    }
-    if (survivorSum <= 0.0) {
-        for (Node* node : online)
-            node->capWatts = share;
-    } else {
-        const double survivorBudget =
-            budget - share * double(rejoined.size());
-        const double factor = survivorBudget / survivorSum;
-        for (Node* node : online) {
-            if (std::find(rejoined.begin(), rejoined.end(), node) !=
-                rejoined.end())
-                node->capWatts = share;
-            else
-                node->capWatts *= factor;
-        }
-    }
-    for (size_t i = 0; i < nodes_.size(); ++i) {
-        if (std::find(rejoined.begin(), rejoined.end(), nodes_[i].get()) !=
-            rejoined.end())
-            trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
-                        nodes_[i]->capWatts, 0.0, int32_t(i));
-    }
+    // rejoiners start from an even share of the budget; the per-node
+    // floor and TDP ceilings are re-imposed.
+    std::vector<ChildBudget> state = children();
+    reshareBudgets(state, options_.globalBudgetWatts, rejoined);
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->capWatts = state[i].capWatts;
+    for (size_t i : rejoined)
+        trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
+                    nodes_[i]->capWatts, 0.0, int32_t(i));
+    assert(budgetErrorWatts() < 1e-6 * options_.globalBudgetWatts + 1e-9);
     pushCaps();
 }
 
 void
 PowerShifter::reallocate()
 {
-    // Collect headroom (cap - consumption). Donors give away a fraction of
-    // their headroom; the pool is granted to nodes at their cap,
-    // proportionally to consumption (a proxy for demand). Offline nodes
-    // hold no budget and take no part.
-    double pool = 0.0;
-    std::vector<double> grantWeight(nodes_.size(), 0.0);
-    double weightSum = 0.0;
-    size_t onlineCount = 0;
+    // Demand is read through each node's governor-visible meter channel
+    // (noisy, fault-prone -- what a real cluster manager sees); the
+    // policy guards against implausible ~0 readings so a dead meter can
+    // neither drain a node's budget nor starve it of grants.
+    std::vector<ChildBudget> state = children();
     for (size_t i = 0; i < nodes_.size(); ++i) {
-        Node& node = *nodes_[i];
-        if (!node.online)
-            continue;
-        ++onlineCount;
-        const double power = node.platform->truePower();
-        const double headroom = node.capWatts - power;
-        if (headroom > 0.05 * node.capWatts) {
-            const double donation = std::min(
-                headroom * options_.donationFraction,
-                node.capWatts - options_.minNodeCapWatts);
-            if (donation > 0.0) {
-                node.capWatts -= donation;
-                pool += donation;
-            }
-        } else {
-            grantWeight[i] = power;
-            weightSum += power;
-        }
+        if (nodes_[i]->online)
+            state[i].powerWatts = nodes_[i]->platform->readPower();
     }
-    if (pool <= 0.0 || onlineCount == 0)
+    const double moved = rebalanceBudgets(state, policy());
+    if (moved <= 0.0)
         return;
-    if (weightSum <= 0.0) {
-        // Nobody is constrained: return the pool evenly.
-        for (auto& node : nodes_) {
-            if (node->online)
-                node->capWatts += pool / double(onlineCount);
-        }
-    } else {
-        for (size_t i = 0; i < nodes_.size(); ++i) {
-            if (grantWeight[i] > 0.0)
-                nodes_[i]->capWatts += pool * grantWeight[i] / weightSum;
-        }
-    }
+    for (size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->capWatts = state[i].capWatts;
+    assert(budgetErrorWatts() < 1e-6 * options_.globalBudgetWatts + 1e-9);
     pushCaps();
     ++shifts_;
     trace::emit(trace_, now_, trace::EventKind::kRebalance, totalCapWatts(),
@@ -204,14 +179,16 @@ PowerShifter::run(double untilSec)
 {
     if (!started_) {
         started_ = true;
-        // Initial even division of the global budget.
-        const double share =
-            options_.globalBudgetWatts / double(std::max<size_t>(
-                                             1, nodes_.size()));
-        for (auto& node : nodes_) {
-            node->capWatts = share;
-            node->governor->setCap(share);
-        }
+        // Initial even division of the global budget, pushed to every
+        // node's governor AND its RAPL firmware before the first period
+        // -- a node whose governor never programs the hardware itself
+        // (the software-only ones) must not run uncapped until the first
+        // reallocation.
+        std::vector<ChildBudget> state = children();
+        evenShares(state, options_.globalBudgetWatts);
+        for (size_t i = 0; i < nodes_.size(); ++i)
+            nodes_[i]->capWatts = state[i].capWatts;
+        pushCaps();
     }
     while (now_ < untilSec - 1e-9) {
         updateMembership();

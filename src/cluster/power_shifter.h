@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "capping/governor.h"
+#include "cluster/budget_policy.h"
 #include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "rapl/rapl.h"
@@ -28,6 +29,13 @@ struct Node
     double capWatts = 0.0;
     /** False while a node-loss fault has the node offline. */
     bool online = true;
+    /**
+     * Set when the node's platform threw during a (tree) step: the node
+     * is isolated -- treated as permanently lost at the next membership
+     * update -- instead of taking the whole cluster down. Unused by the
+     * flat PowerShifter, whose nodes step on the caller's thread.
+     */
+    bool failed = false;
 };
 
 /**
@@ -36,11 +44,16 @@ struct Node
  * power shifting"; Raghavendra et al.'s coordinated multi-level managers).
  *
  * A fixed global budget is divided among nodes. Periodically the manager
- * measures each node's power headroom (cap minus consumption); nodes with
- * persistent headroom donate watts, power-hungry nodes receive them, and
- * each node's own capping system (hardware-timely, e.g. PUPiL) re-enforces
- * its new cap locally. The invariant: per-node caps always sum to the
- * global budget, so the cluster never exceeds it even mid-shift.
+ * measures each node's power headroom (cap minus consumption, read from
+ * the node's governor-visible meter channel -- like a real cluster
+ * manager it only sees meters, so node-local sensor faults reach it and
+ * are guarded against); nodes with persistent headroom donate watts,
+ * power-hungry nodes receive them, and each node's own capping system
+ * (hardware-timely, e.g. PUPiL) re-enforces its new cap locally. The
+ * invariant: per-node caps always sum to the global budget (clamped to
+ * what the node TDPs can absorb), so the cluster never exceeds it even
+ * mid-shift. The shifting arithmetic itself lives in budget_policy.h and
+ * is shared with every interior level of cluster::BudgetTree.
  */
 class PowerShifter
 {
@@ -52,6 +65,14 @@ class PowerShifter
         double minNodeCapWatts = 30.0;
         /** Fraction of measured headroom a node donates per period. */
         double donationFraction = 0.5;
+        /**
+         * Per-node cap ceiling (the machine's package TDPs; the modelled
+         * dual-socket server carries 2 x 135 W). Grants above this are
+         * watts the node can never draw, so they are clamped and
+         * redistributed to nodes with ceiling headroom instead of being
+         * stranded.
+         */
+        double nodeTdpWatts = 270.0;
     };
 
     explicit PowerShifter(const Options& options);
@@ -111,10 +132,22 @@ class PowerShifter
     /** Node rejoin transitions observed. */
     int rejoinEvents() const { return rejoinEvents_; }
 
+    /**
+     * Conservation error of the budget invariant right now:
+     * |sum(online caps) - min(globalBudget, sum(online TDPs))|. Zero (to
+     * rounding) whenever at least one node is online; asserted in debug
+     * builds after every reallocation and membership change.
+     */
+    double budgetErrorWatts() const;
+
   private:
     void reallocate();
     void updateMembership();
     void pushCaps();
+    /** The per-level policy view of the options. */
+    BudgetPolicy policy() const;
+    /** Children snapshot (caps/ceilings/liveness; powers left zero). */
+    std::vector<ChildBudget> children() const;
 
     Options options_;
     std::vector<std::unique_ptr<Node>> nodes_;

@@ -40,6 +40,8 @@ kindName(EventKind kind)
       case EventKind::kRebalance: return "rebalance";
       case EventKind::kNodeLoss: return "node-loss";
       case EventKind::kNodeRejoin: return "node-rejoin";
+      case EventKind::kRackRebalance: return "rack-rebalance";
+      case EventKind::kRackGrant: return "rack-grant";
       case EventKind::kExperimentStart: return "experiment-start";
       case EventKind::kExperimentEnd: return "experiment-end";
     }
@@ -74,6 +76,8 @@ kindSubsystem(EventKind kind)
       case EventKind::kRebalance:
       case EventKind::kNodeLoss:
       case EventKind::kNodeRejoin:
+      case EventKind::kRackRebalance:
+      case EventKind::kRackGrant:
         return Subsystem::kCluster;
       case EventKind::kExperimentStart:
       case EventKind::kExperimentEnd:

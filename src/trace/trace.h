@@ -65,6 +65,10 @@ enum class EventKind : uint8_t {
     kRebalance,        ///< a=total cap (W), b=total power (W), i0=shift#
     kNodeLoss,         ///< i0=node index
     kNodeRejoin,       ///< i0=node index, a=new cap share (W)
+    kRackRebalance,    ///< a=rack grant (W), b=rack measured power (W),
+                       ///< i0=rack index, i1=watts moved inside the rack
+    kRackGrant,        ///< a=new grant (W), b=previous grant (W),
+                       ///< i0=rack index
 
     // harness
     kExperimentStart,  ///< a=cap watts, i0=app count

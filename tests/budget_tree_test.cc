@@ -1,0 +1,223 @@
+/** @file Tests for the hierarchical datacenter -> rack -> node budget
+ *  tree: conservation at every level and every period, byte-identical
+ *  serial vs parallel stepping, rack-dark handling, and the pure
+ *  budget-policy arithmetic it is built from. */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/budget_policy.h"
+#include "cluster/budget_tree.h"
+#include "faults/schedule.h"
+#include "harness/experiment.h"
+#include "trace/trace.h"
+
+namespace pupil::cluster {
+namespace {
+
+/** A small 3-rack x 3-node mixed-workload tree with distinct seeds. */
+BudgetTree
+makeTree(const BudgetTree::Options& options)
+{
+    const char* apps[9] = {"x264",    "swaptions", "kmeans",
+                           "btree",   "swish++",   "blackscholes",
+                           "cfd",     "dijkstra",  "x264"};
+    BudgetTree tree(options);
+    for (int r = 0; r < 3; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < 3; ++n) {
+            const int id = r * 3 + n;
+            tree.addNode(rack, "r" + std::to_string(r) + "n" +
+                                   std::to_string(n),
+                         harness::singleApp(apps[id], 16),
+                         harness::GovernorKind::kPupil,
+                         uint64_t(100 + id * 13));
+        }
+    }
+    return tree;
+}
+
+TEST(BudgetPolicy, RebalancePreservesTheSumAndClampsToCeilings)
+{
+    std::vector<ChildBudget> children(3);
+    for (auto& child : children) {
+        child.capWatts = 100.0;
+        child.maxCapWatts = 120.0;
+        child.minShareWatts = 20.0;
+    }
+    children[0].powerWatts = 20.0;   // big headroom: donor
+    children[1].powerWatts = 99.0;   // constrained
+    children[2].powerWatts = 98.0;   // constrained
+    const BudgetPolicy policy;
+    const double moved = rebalanceBudgets(children, policy);
+    EXPECT_GT(moved, 0.0);
+    EXPECT_NEAR(onlineCapSum(children), 300.0, 1e-9);
+    for (const auto& child : children) {
+        EXPECT_LE(child.capWatts, 120.0 + 1e-9);
+        EXPECT_GE(child.capWatts, 20.0 - 1e-9);
+    }
+}
+
+TEST(BudgetPolicy, ImplausibleReadingNeitherDonatesNorLosesGrants)
+{
+    std::vector<ChildBudget> children(3);
+    for (auto& child : children) {
+        child.capWatts = 100.0;
+        child.minShareWatts = 20.0;
+    }
+    children[0].powerWatts = 0.0;    // dead meter: must be held
+    children[1].powerWatts = 30.0;   // real headroom: donor
+    children[2].powerWatts = 99.0;   // constrained
+    const BudgetPolicy policy;
+    rebalanceBudgets(children, policy);
+    EXPECT_GE(children[0].capWatts, 100.0);  // never drained, may gain
+    EXPECT_LT(children[1].capWatts, 100.0);  // the donor paid
+    EXPECT_NEAR(onlineCapSum(children), 300.0, 1e-9);
+}
+
+TEST(BudgetPolicy, UnplaceableWattsAreReportedNotInvented)
+{
+    std::vector<ChildBudget> children(2);
+    for (auto& child : children) {
+        child.capWatts = 300.0;
+        child.maxCapWatts = 270.0;
+    }
+    const double unplaced = clampToCeilings(children);
+    EXPECT_NEAR(unplaced, 60.0, 1e-9);
+    EXPECT_NEAR(onlineCapSum(children), 540.0, 1e-9);
+    // Conservation is judged against the grantable budget.
+    EXPECT_NEAR(conservationError(children, 600.0), 0.0, 1e-9);
+}
+
+TEST(BudgetTree, ConservesTheBudgetAtEveryLevelEveryPeriod)
+{
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 1200.0;
+    options.threads = 1;
+    BudgetTree tree = makeTree(options);
+    for (int period = 0; period < 30; ++period) {
+        tree.run(double(period + 1));
+        EXPECT_LT(tree.budgetErrorWatts(), 1e-6) << "period=" << period;
+        EXPECT_NEAR(tree.totalGrantWatts(), 1200.0, 1e-6)
+            << "period=" << period;
+        EXPECT_NEAR(tree.totalCapWatts(), 1200.0, 1e-6)
+            << "period=" << period;
+        for (size_t r = 0; r < tree.rackCount(); ++r) {
+            for (size_t n = 0; n < tree.nodeCount(r); ++n) {
+                EXPECT_GE(tree.node(r, n).capWatts,
+                          options.minNodeCapWatts - 1e-9);
+                EXPECT_LE(tree.node(r, n).capWatts,
+                          options.nodeTdpWatts + 1e-9);
+            }
+        }
+    }
+    EXPECT_GT(tree.shifts(), 0);
+    EXPECT_GT(tree.aggregatePerformance(), 0.0);
+    EXPECT_NEAR(tree.metrics().value("cluster.budget_error"), 0.0, 1e-6);
+    EXPECT_EQ(tree.metrics().value("cluster.nodes_online"), 9.0);
+}
+
+TEST(BudgetTree, SerialAndParallelSteppingAreByteIdentical)
+{
+    // Node platforms share no mutable state and all cross-node reads
+    // happen serially after the stepping barrier, so the thread count is
+    // a pure speed knob: the full deterministic state digest must match
+    // bit for bit, faults and all.
+    const auto schedule = faults::FaultSchedule::parse(
+        "node-loss,r0n1,4,9;node-loss,r2n0,6,12");
+    BudgetTree::Options serialOpts;
+    serialOpts.globalBudgetWatts = 1100.0;
+    serialOpts.threads = 1;
+    BudgetTree serial = makeTree(serialOpts);
+    serial.setFaultSchedule(&schedule);
+
+    BudgetTree::Options parallelOpts = serialOpts;
+    parallelOpts.threads = 4;
+    BudgetTree parallel = makeTree(parallelOpts);
+    parallel.setFaultSchedule(&schedule);
+
+    for (double t = 5.0; t <= 20.0; t += 5.0) {
+        serial.run(t);
+        parallel.run(t);
+        EXPECT_EQ(serial.stateDigest(), parallel.stateDigest())
+            << "t=" << t;
+    }
+    EXPECT_EQ(serial.shifts(), parallel.shifts());
+    EXPECT_EQ(serial.lossEvents(), parallel.lossEvents());
+    EXPECT_DOUBLE_EQ(serial.aggregatePerformance(),
+                     parallel.aggregatePerformance());
+}
+
+TEST(BudgetTree, DarkRackReturnsItsGrantAndRejoins)
+{
+    // Both nodes of rack1 drop at t = 5 and return at t = 15: the rack
+    // goes dark, its whole grant flows to the other racks through the
+    // root, and the rejoin folds it back in -- conservation holding at
+    // every boundary in between.
+    const auto schedule = faults::FaultSchedule::parse(
+        "node-loss,r1n0,5,15;node-loss,r1n1,5,15;node-loss,r1n2,5,15");
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 1000.0;
+    options.threads = 1;
+    BudgetTree tree = makeTree(options);
+    tree.setFaultSchedule(&schedule);
+    trace::Recorder recorder;
+    tree.attachTrace(&recorder);
+
+    for (int period = 0; period < 25; ++period) {
+        tree.run(double(period + 1));
+        EXPECT_LT(tree.budgetErrorWatts(), 1e-6) << "period=" << period;
+        const double t = double(period + 1);
+        if (t > 5.5 && t < 15.0) {
+            EXPECT_FALSE(tree.rack(1).online) << "t=" << t;
+            EXPECT_DOUBLE_EQ(tree.rack(1).grantWatts, 0.0) << "t=" << t;
+            // Survivor racks hold the full budget between them.
+            EXPECT_NEAR(tree.rack(0).grantWatts + tree.rack(2).grantWatts,
+                        1000.0, 1e-6)
+                << "t=" << t;
+        }
+    }
+    EXPECT_TRUE(tree.rack(1).online);
+    EXPECT_GT(tree.rack(1).grantWatts, 0.0);
+    EXPECT_EQ(tree.lossEvents(), 3);
+    EXPECT_EQ(tree.rejoinEvents(), 3);
+
+    // The rack-level timeline made it into the trace.
+    int rackGrants = 0;
+    int rackRebalances = 0;
+    for (const auto& event : recorder.snapshot()) {
+        if (event.kind == trace::EventKind::kRackGrant)
+            ++rackGrants;
+        if (event.kind == trace::EventKind::kRackRebalance)
+            ++rackRebalances;
+    }
+    EXPECT_GT(rackGrants, 0);
+    EXPECT_GT(rackRebalances, 0);
+}
+
+TEST(BudgetTree, HardwareIsArmedFromTheFirstPeriod)
+{
+    // Same first-period guarantee as the flat shifter: the initial
+    // division reaches every node's RAPL firmware before any node steps,
+    // so even software-only governors are backstopped from t = 0.
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 400.0;
+    options.threads = 1;
+    BudgetTree tree(options);
+    const size_t rack = tree.addRack("rack0");
+    tree.addNode(rack, "a", harness::singleApp("swaptions"),
+                 harness::GovernorKind::kSoftDvfs, 50);
+    tree.addNode(rack, "b", harness::singleApp("x264"),
+                 harness::GovernorKind::kSoftDvfs, 51);
+    tree.run(0.5);  // inside the first period
+    for (size_t n = 0; n < tree.nodeCount(rack); ++n) {
+        const Node& node = tree.node(rack, n);
+        EXPECT_TRUE(node.rapl->zoneStatus(0).enabled) << n;
+        EXPECT_TRUE(node.rapl->zoneStatus(1).enabled) << n;
+        EXPECT_LE(node.platform->truePower(), node.capWatts * 1.10) << n;
+    }
+}
+
+}  // namespace
+}  // namespace pupil::cluster

@@ -126,6 +126,143 @@ TEST(PowerShifter, NodeLossMidShiftRedistributesItsWatts)
     EXPECT_LE(cluster.totalPowerWatts(), 300.0 * 1.03);
 }
 
+TEST(PowerShifter, InitialDivisionArmsHardwareBeforeFirstPeriod)
+{
+    // Regression: the initial budget division used to program only the
+    // node governors, never the RAPL firmware. A node under a
+    // software-only governor (no hardware backing of its own) then ran
+    // uncapped for the entire first reallocation period. The initial
+    // shares must reach governor AND firmware before any node steps.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 200.0;  // 100 W/node: a tight share
+    PowerShifter cluster(options);
+    cluster.addNode("s0", harness::singleApp("swaptions"),
+                    harness::GovernorKind::kSoftDvfs, 30);
+    cluster.addNode("s1", harness::singleApp("x264"),
+                    harness::GovernorKind::kSoftDvfs, 31);
+    cluster.run(1.0);  // still inside the first period (periodSec = 2)
+    for (size_t i = 0; i < cluster.nodeCount(); ++i) {
+        const Node& node = cluster.node(i);
+        const auto z0 = node.rapl->zoneStatus(0);
+        const auto z1 = node.rapl->zoneStatus(1);
+        EXPECT_TRUE(z0.enabled) << i;
+        EXPECT_TRUE(z1.enabled) << i;
+        EXPECT_NEAR(z0.capWatts + z1.capWatts, node.capWatts, 1e-6) << i;
+        // With the backstop armed, a node cannot blow through its share
+        // while its software governor is still settling (swaptions would
+        // otherwise burn ~230 W against a 100 W share).
+        EXPECT_LE(node.platform->truePower(), node.capWatts * 1.10) << i;
+    }
+}
+
+TEST(PowerShifter, DeadMeterNodeIsNeverStarvedOfBudget)
+{
+    // Regression: a node whose power meter reads ~0 (sensor dropout) used
+    // to look like it had maximal headroom -- it donated its cap down to
+    // the floor every period and, with measured power 0, took a zero
+    // grant weight, so it never received budget back. The implausible-
+    // reading guard must hold such a node's budget instead: it neither
+    // donates on the bogus number nor drops out of the grant pool.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 260.0;
+    PowerShifter cluster(options);
+    const size_t dead = cluster.addNode(
+        "dead", harness::singleApp("swaptions"),
+        harness::GovernorKind::kPupil, 32, "sensor-dropout,power,0,1000");
+    const size_t light = cluster.addNode(
+        "light", harness::singleApp("swish++"),
+        harness::GovernorKind::kPupil, 33);
+    cluster.run(60.0);
+    // The dead-meter node started from a 130 W even share; grants only
+    // ever add to it, so anything below that means it was drained on the
+    // bogus reading (pre-fix it decayed to the 30 W floor).
+    EXPECT_GE(cluster.node(dead).capWatts, 130.0 - 1e-6);
+    EXPECT_LT(cluster.budgetErrorWatts(), 1e-6);
+    // Shifting itself still happens (the light node donates real headroom).
+    EXPECT_GT(cluster.shifts(), 0);
+    (void)light;
+}
+
+TEST(PowerShifter, GrantsAreClampedToNodeTdp)
+{
+    // Regression: nothing used to bound a node's cap from above, so a
+    // donation-heavy run could grant one node more watts than its package
+    // TDPs can draw -- budget parked where it can never be spent. Caps
+    // must stay within the machine's 270 W TDP with the excess
+    // redistributed, preserving the budget sum.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 500.0;
+    PowerShifter cluster(options);
+    cluster.addNode("hungry", harness::singleApp("swaptions"),
+                    harness::GovernorKind::kPupil, 34);
+    cluster.addNode("quiet", harness::singleApp("dijkstra"),
+                    harness::GovernorKind::kPupil, 35);
+    for (double t = 10.0; t <= 60.0; t += 10.0) {
+        cluster.run(t);
+        for (size_t i = 0; i < cluster.nodeCount(); ++i) {
+            EXPECT_LE(cluster.node(i).capWatts,
+                      options.nodeTdpWatts + 1e-9)
+                << "t=" << t << " node=" << i;
+        }
+        // 500 W over two 270 W nodes is grantable in full.
+        EXPECT_NEAR(cluster.totalCapWatts(), 500.0, 1e-6) << "t=" << t;
+    }
+
+    // With a budget no online population can absorb, caps pin at the
+    // TDP sum instead of inventing capacity.
+    PowerShifter::Options over;
+    over.globalBudgetWatts = 600.0;
+    PowerShifter wide(over);
+    wide.addNode("a", harness::singleApp("x264"),
+                 harness::GovernorKind::kPupil, 36);
+    wide.addNode("b", harness::singleApp("btree"),
+                 harness::GovernorKind::kPupil, 37);
+    wide.run(20.0);
+    EXPECT_NEAR(wide.totalCapWatts(), 2 * over.nodeTdpWatts, 1e-6);
+    EXPECT_LT(wide.budgetErrorWatts(), 1e-6);
+}
+
+TEST(PowerShifter, SamePeriodLossAndRejoinConservesTheBudget)
+{
+    // a's loss window ends exactly where b's begins, so at t = 12 a
+    // single membership update sees one node rejoin and another drop out
+    // simultaneously. The reshare must hand b's watts over, fold a back
+    // in, and keep the caps summing to the budget through the swap.
+    PowerShifter::Options options;
+    options.globalBudgetWatts = 300.0;
+    PowerShifter cluster(options);
+    const size_t a = cluster.addNode("a", harness::singleApp("x264"),
+                                     harness::GovernorKind::kPupil, 38);
+    const size_t b = cluster.addNode("b", harness::singleApp("kmeans"),
+                                     harness::GovernorKind::kPupil, 39);
+    const size_t c = cluster.addNode("c", harness::singleApp("btree"),
+                                     harness::GovernorKind::kPupil, 40);
+    const faults::FaultSchedule schedule =
+        faults::FaultSchedule::parse("node-loss,a,4,12;node-loss,b,12,30");
+    cluster.setFaultSchedule(&schedule);
+
+    cluster.run(14.0);  // past the swap boundary
+    EXPECT_TRUE(cluster.node(a).online);
+    EXPECT_FALSE(cluster.node(b).online);
+    EXPECT_DOUBLE_EQ(cluster.node(b).capWatts, 0.0);
+    EXPECT_GE(cluster.node(a).capWatts, options.minNodeCapWatts - 1e-9);
+    EXPECT_NEAR(cluster.totalCapWatts(), 300.0, 0.5);
+    EXPECT_LT(cluster.budgetErrorWatts(), 1e-6);
+    EXPECT_EQ(cluster.lossEvents(), 2);
+    EXPECT_EQ(cluster.rejoinEvents(), 1);
+
+    cluster.run(40.0);  // b back as well
+    EXPECT_TRUE(cluster.node(b).online);
+    EXPECT_EQ(cluster.rejoinEvents(), 2);
+    EXPECT_NEAR(cluster.totalCapWatts(), 300.0, 0.5);
+    EXPECT_LT(cluster.budgetErrorWatts(), 1e-6);
+    for (size_t i = 0; i < cluster.nodeCount(); ++i)
+        EXPECT_GE(cluster.node(i).capWatts,
+                  options.minNodeCapWatts - 1e-9)
+            << i;
+    (void)c;
+}
+
 TEST(PowerShifter, WorksWithRaplOnlyNodes)
 {
     PowerShifter::Options options;

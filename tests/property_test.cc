@@ -78,13 +78,15 @@ TEST(SplitCapProperty, FeasibleCapsNeverStarveASocketBelowItsFloor)
 TEST(PowerShifterProperty, CapsSumToTheBudgetAcrossRandomLossAndRejoin)
 {
     // Across random cluster sizes, budgets, and node-loss windows, the
-    // per-node caps must sum to the global budget at every reallocation
-    // boundary whenever at least one node is online: watts travel between
-    // nodes but are never created or destroyed.
+    // per-node caps must sum to the grantable budget -- min(global budget,
+    // sum of online TDPs) -- at every reallocation boundary whenever at
+    // least one node is online: watts travel between nodes but are never
+    // created or destroyed, and a node is never granted watts its TDP
+    // cannot absorb nor dropped below the per-node floor.
     const char* names[4] = {"n0", "n1", "n2", "n3"};
     const char* apps[4] = {"x264", "kmeans", "swish++", "blackscholes"};
     util::Rng rng(4242);
-    for (int c = 0; c < 20; ++c) {
+    for (int c = 0; c < kCases; ++c) {
         cluster::PowerShifter::Options opts;
         const int nodeCount = 2 + int(rng.uniformInt(3));
         opts.globalBudgetWatts = rng.uniform(150.0, 500.0);
@@ -112,15 +114,20 @@ TEST(PowerShifterProperty, CapsSumToTheBudgetAcrossRandomLossAndRejoin)
             bool anyOnline = false;
             double offlineCaps = 0.0;
             for (size_t n = 0; n < shifter.nodeCount(); ++n) {
-                if (shifter.node(n).online)
+                const cluster::Node& node = shifter.node(n);
+                if (node.online) {
                     anyOnline = true;
-                else
-                    offlineCaps += shifter.node(n).capWatts;
+                    EXPECT_GE(node.capWatts, opts.minNodeCapWatts - 1e-9)
+                        << "t=" << t << " n=" << n << " spec=" << spec;
+                    EXPECT_LE(node.capWatts, opts.nodeTdpWatts + 1e-9)
+                        << "t=" << t << " n=" << n << " spec=" << spec;
+                } else {
+                    offlineCaps += node.capWatts;
+                }
             }
             EXPECT_DOUBLE_EQ(offlineCaps, 0.0) << spec;
             if (anyOnline) {
-                EXPECT_NEAR(shifter.totalCapWatts(),
-                            opts.globalBudgetWatts, 1e-6)
+                EXPECT_LT(shifter.budgetErrorWatts(), 1e-6)
                     << "t=" << t << " spec=" << spec;
             }
         }
