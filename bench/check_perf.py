@@ -3,9 +3,9 @@
 (bench/perf_baseline.json) and fail on regression.
 
 Accepts one or more --bench files (repeat the flag): the perf-regression
-bench's BENCH_perf.json and the cluster-scale bench's BENCH_cluster.json.
-Each file's schema is validated and their metric trees are merged, so one
-baseline gates both.
+bench's BENCH_perf.json, the cluster-scale bench's BENCH_cluster.json,
+and the strategy tournament's BENCH_strategy.json. Each file's schema is
+validated and their metric trees are merged, so one baseline gates all.
 
 Only dimensionless ratios (and deterministic simulation outputs) are
 compared -- absolute throughput depends on the host, but cached-vs-uncached
@@ -27,6 +27,7 @@ import sys
 KNOWN_SCHEMAS = {
     "pupil-perf-regression-v1",
     "pupil-cluster-scale-v1",
+    "pupil-strategy-tournament-v1",
 }
 
 

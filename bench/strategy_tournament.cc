@@ -1,0 +1,300 @@
+/**
+ * @file
+ * Decision-strategy tournament: every strategy in the zoo against the
+ * same workloads and caps, under both walker-based governors.
+ *
+ * The grid is strategies x {Soft-Decision, PUPiL} x apps x caps on the
+ * SweepRunner pool. Per strategy the tournament reports:
+ *
+ *  - convergence time: mean seconds from walk start to the Monitor phase
+ *    (the decision.converge_sec gauge of the last converged walk);
+ *  - steady-state performance: geometric-mean ratio of converged
+ *    aggregate performance against the paper's binary search on the same
+ *    (governor, app, cap) cell -- binary search is 1.0 by construction;
+ *  - violation rate: fraction of the run spent above the cap (only the
+ *    software-checked governor can violate; PUPiL's RAPL absorbs it);
+ *  - converged fraction: walks that reached Monitor before the run ended.
+ *
+ * Every metric is a fixed-seed deterministic simulation output, so the
+ * JSON feeds bench/check_perf.py directly. The bench also runs the whole
+ * grid twice -- once on the pool, once serially -- and fails (exit 2)
+ * unless both passes produce bit-identical results, proving the
+ * per-strategy RNG seeding is independent of PUPIL_SWEEP_THREADS.
+ *
+ * --quick runs 3 apps x 2 caps (the ctest/CI tier); the full run sweeps
+ * the 20-benchmark catalog over the paper's 5 cap levels. Results go to
+ * stdout and to BENCH_strategy.json (override with --out PATH).
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/strategy.h"
+#include "trace/export.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+const std::vector<harness::GovernorKind> kGovernors = {
+    harness::GovernorKind::kSoftDecision,
+    harness::GovernorKind::kPupil,
+};
+
+struct JobSpec
+{
+    core::StrategyKind strategy;
+    harness::GovernorKind governor;
+    std::string app;
+    double cap = 0.0;
+};
+
+std::vector<JobSpec>
+buildGrid(bool quick)
+{
+    const std::vector<std::string> apps =
+        quick ? std::vector<std::string>{"x264", "kmeans", "blackscholes"}
+              : bench::benchmarkNames();
+    const std::vector<double> caps =
+        quick ? std::vector<double>{100.0, 180.0} : bench::powerCaps();
+    std::vector<JobSpec> grid;
+    for (const core::StrategyKind strategy : core::allStrategyKinds())
+        for (const harness::GovernorKind governor : kGovernors)
+            for (const std::string& app : apps)
+                for (const double cap : caps)
+                    grid.push_back({strategy, governor, app, cap});
+    return grid;
+}
+
+std::vector<harness::SweepJob>
+buildJobs(const std::vector<JobSpec>& grid, bool quick, uint64_t seed)
+{
+    std::vector<harness::SweepJob> jobs;
+    for (const JobSpec& spec : grid) {
+        harness::SweepJob job;
+        job.kind = spec.governor;
+        job.apps = harness::singleApp(spec.app);
+        job.options = bench::defaultOptions(spec.cap);
+        job.options.seed = seed;
+        job.options.strategy.kind = spec.strategy;
+        if (quick) {
+            job.options.durationSec = 180.0;
+            job.options.statsWindowSec = 60.0;
+        }
+        bench::applyFastMode(job.options);
+        job.label = std::string(core::strategyName(spec.strategy)) + '/' +
+                    harness::governorName(spec.governor) + '/' + spec.app +
+                    '@' + trace::formatDouble(spec.cap) + 'W';
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+double
+metricValue(const harness::ExperimentResult& result, const std::string& name)
+{
+    for (const auto& [key, value] : result.metrics)
+        if (key == name)
+            return value;
+    return 0.0;
+}
+
+/** FNV-1a over every number the tables are built from. */
+uint64_t
+outcomeDigest(const std::vector<harness::SweepOutcome>& outcomes)
+{
+    uint64_t h = 1469598103934665603ULL;
+    const auto mix = [&h](uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    const auto mixDouble = [&mix](double v) {
+        uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        __builtin_memcpy(&bits, &v, sizeof(bits));
+        mix(bits);
+    };
+    for (const auto& outcome : outcomes) {
+        for (const char c : outcome.label)
+            mix(uint64_t(uint8_t(c)));
+        mix(outcome.ok ? 1 : 0);
+        mixDouble(outcome.result.aggregatePerf);
+        mixDouble(outcome.result.meanPowerWatts);
+        mixDouble(outcome.result.capViolationSec);
+        mixDouble(metricValue(outcome.result, "decision.converge_sec"));
+        mix(outcome.result.converged ? 1 : 0);
+    }
+    return h;
+}
+
+struct StrategyStats
+{
+    double convergeSecSum = 0.0;
+    double violationFracSum = 0.0;
+    double logPerfRatioSum = 0.0;
+    int cells = 0;
+    int converged = 0;
+
+    double convergeSec() const
+    {
+        return cells > 0 ? convergeSecSum / cells : 0.0;
+    }
+    double violationRate() const
+    {
+        return cells > 0 ? violationFracSum / cells : 0.0;
+    }
+    double perfVsBinary() const
+    {
+        return cells > 0 ? std::exp(logPerfRatioSum / cells) : 0.0;
+    }
+    double convergedFrac() const
+    {
+        return cells > 0 ? double(converged) / cells : 0.0;
+    }
+};
+
+std::string
+jsonKey(core::StrategyKind kind)
+{
+    std::string key = core::strategyName(kind);
+    std::replace(key.begin(), key.end(), '-', '_');
+    return key;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_strategy.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    const uint64_t seed = bench::envSeed(42);
+    const std::vector<JobSpec> grid = buildGrid(quick);
+    const std::vector<harness::SweepJob> jobs = buildJobs(grid, quick, seed);
+
+    std::printf("=== Strategy tournament (%s mode, %zu jobs, seed %llu) "
+                "===\n\n",
+                quick ? "quick" : "full", jobs.size(),
+                static_cast<unsigned long long>(seed));
+
+    harness::SweepRunner pooled(bench::sweepOptions(argc, argv));
+    const auto outcomes = pooled.run(jobs);
+
+    // Thread-count independence: the same grid run serially must be
+    // bit-identical (per-job seeds depend only on the job index, and the
+    // strategy RNG seed is derived from the job seed).
+    harness::SweepRunner::Options serialOptions;
+    serialOptions.threads = 1;
+    serialOptions.keepTraces = false;
+    const auto serialOutcomes =
+        harness::SweepRunner(serialOptions).run(jobs);
+    const bool deterministic =
+        outcomeDigest(outcomes) == outcomeDigest(serialOutcomes);
+
+    int failures = deterministic ? 0 : 1;
+    if (!deterministic)
+        std::fprintf(stderr, "FAIL: pooled and serial tournament runs "
+                             "diverged\n");
+
+    // Index converged performance per cell for the vs-binary ratios.
+    std::map<std::string, double> binaryPerf;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        if (grid[i].strategy != core::StrategyKind::kBinarySearch)
+            continue;
+        const std::string cell = std::string(
+            harness::governorName(grid[i].governor)) + '/' + grid[i].app +
+            '@' + trace::formatDouble(grid[i].cap);
+        binaryPerf[cell] = outcomes[i].result.aggregatePerf;
+    }
+
+    std::map<core::StrategyKind, StrategyStats> stats;
+    int allConverged = 1;
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& outcome = outcomes[i];
+        if (!outcome.ok) {
+            std::fprintf(stderr, "FAIL: job %s threw: %s\n",
+                         outcome.label.c_str(), outcome.error.c_str());
+            ++failures;
+            continue;
+        }
+        StrategyStats& s = stats[grid[i].strategy];
+        ++s.cells;
+        if (outcome.result.converged)
+            ++s.converged;
+        else
+            allConverged = 0;
+        s.convergeSecSum += metricValue(outcome.result,
+                                        "decision.converge_sec");
+        s.violationFracSum +=
+            outcome.result.capViolationSec /
+            std::max(outcome.result.durationSec, 1e-9);
+        const std::string cell = std::string(
+            harness::governorName(grid[i].governor)) + '/' + grid[i].app +
+            '@' + trace::formatDouble(grid[i].cap);
+        const double base = binaryPerf.count(cell) ? binaryPerf[cell] : 0.0;
+        if (base > 0.0 && outcome.result.aggregatePerf > 0.0)
+            s.logPerfRatioSum +=
+                std::log(outcome.result.aggregatePerf / base);
+    }
+
+    util::Table table({"strategy", "converge s", "perf vs binary",
+                       "violation %", "converged"});
+    for (const core::StrategyKind kind : core::allStrategyKinds()) {
+        const StrategyStats& s = stats[kind];
+        table.addRow({core::strategyName(kind),
+                      util::Table::cell(s.convergeSec(), 1),
+                      util::Table::cell(s.perfVsBinary(), 3),
+                      util::Table::cell(100.0 * s.violationRate(), 2),
+                      util::Table::cell(s.convergedFrac(), 2)});
+    }
+    table.print(std::cout);
+    std::printf("\nDeterminism: pooled and serial runs %s.\n",
+                deterministic ? "are bit-identical" : "DIVERGED");
+
+    std::string json;
+    json += "{\n  \"schema\": \"pupil-strategy-tournament-v1\",\n";
+    json += "  \"mode\": \"" + std::string(quick ? "quick" : "full") +
+            "\",\n  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"strategy_tournament\": {\n";
+    json += "    \"jobs\": " + std::to_string(jobs.size()) + ",\n";
+    json += "    \"determinism_ok\": " +
+            std::string(deterministic ? "1" : "0") + ",\n";
+    json += "    \"all_converged\": " + std::to_string(allConverged) + ",\n";
+    bool first = true;
+    for (const core::StrategyKind kind : core::allStrategyKinds()) {
+        const StrategyStats& s = stats[kind];
+        if (!first)
+            json += ",\n";
+        first = false;
+        json += "    \"" + jsonKey(kind) + "\": {\n";
+        json += "      \"converge_sec\": " +
+                trace::formatDouble(s.convergeSec()) + ",\n";
+        json += "      \"perf_vs_binary\": " +
+                trace::formatDouble(s.perfVsBinary()) + ",\n";
+        json += "      \"violation_rate\": " +
+                trace::formatDouble(s.violationRate()) + ",\n";
+        json += "      \"converged_frac\": " +
+                trace::formatDouble(s.convergedFrac()) + "\n    }";
+    }
+    json += "\n  }\n}\n";
+    if (!trace::writeFile(outPath, json)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("Wrote %s\n", outPath.c_str());
+    return failures == 0 ? 0 : 2;
+}

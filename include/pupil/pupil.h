@@ -24,8 +24,9 @@
  *   capping    -- Governor interface, RAPL-only / Soft-DVFS /
  *                 Soft-Modeling baselines, the exhaustive oracle
  *   core       -- the paper's contribution: resource ordering
- *                 (Algorithm 2), the decision walker (Algorithm 1),
- *                 Soft-Decision, and the PUPiL hybrid governor
+ *                 (Algorithm 2), the decision walker (Algorithm 1) and
+ *                 its pluggable strategy zoo, Soft-Decision, and the
+ *                 PUPiL hybrid governor
  *   harness    -- one-call experiment runner used by tests and benches
  *
  * Quick start:
@@ -56,6 +57,7 @@
 #include "core/pupil.h"
 #include "core/resource.h"
 #include "core/soft_decision.h"
+#include "core/strategy.h"
 #include "faults/injector.h"
 #include "faults/schedule.h"
 #include "harness/experiment.h"

@@ -1,6 +1,5 @@
 #include "decision.h"
 
-#include <cassert>
 #include <cmath>
 
 namespace pupil::core {
@@ -9,6 +8,7 @@ DecisionWalker::DecisionWalker(std::vector<Resource> order,
                                const Options& options)
     : order_(std::move(order)),
       options_(options),
+      strategy_(makeStrategy(options.strategy)),
       perfFilter_(size_t(options.windowSamples)),
       powerFilter_(size_t(options.windowSamples)),
       perfHealth_(options.perfHealth),
@@ -24,8 +24,6 @@ DecisionWalker::start(const machine::MachineConfig& initial, double capWatts,
     cap_ = capWatts;
     cfg_ = initial;
     dirty_ = true;
-    resourceIdx_ = 0;
-    phase_ = order_.empty() ? Phase::kMonitor : Phase::kBaseline;
     waitUntil_ = now + options_.settleExtraSec;
     perfFilter_.reset();
     powerFilter_.reset();
@@ -33,8 +31,17 @@ DecisionWalker::start(const machine::MachineConfig& initial, double capWatts,
     walkStartedAt_ = now;
     trace::emit(trace_, now, trace::EventKind::kWalkStart, capWatts, 0.0,
                 walkCount_);
-    if (phase_ == Phase::kMonitor)
-        enterMonitor(now);
+    if (order_.empty()) {
+        // Nothing to walk: monitor the initial configuration. A walk that
+        // never took a decision step is not a convergence, so neither
+        // convergedCount_ nor kWalkConverged fires here.
+        state_ = State::kMonitor;
+        monitorSince_ = now;
+        baselinePerf_ = 0.0;
+        return;
+    }
+    state_ = State::kWalking;
+    strategy_->begin(*this, now);
 }
 
 bool
@@ -46,8 +53,9 @@ DecisionWalker::takeConfigDirty()
 }
 
 void
-DecisionWalker::setResource(const Resource& r, int settingIndex, double now)
+DecisionWalker::setResource(size_t resourceIdx, int settingIndex, double now)
 {
+    const Resource& r = order_[resourceIdx];
     if (r.setting(cfg_) == settingIndex)
         return;
     r.apply(cfg_, settingIndex);
@@ -56,29 +64,59 @@ DecisionWalker::setResource(const Resource& r, int settingIndex, double now)
     perfFilter_.reset();
     powerFilter_.reset();
     trace::emit(trace_, now, trace::EventKind::kConfigTry, 0.0, 0.0,
-                int32_t(resourceIdx_), settingIndex);
+                int32_t(resourceIdx), settingIndex);
 }
 
 void
-DecisionWalker::advanceResource(double now)
+DecisionWalker::applyTarget(const machine::MachineConfig& target, double now)
 {
-    ++resourceIdx_;
+    double maxDelay = 0.0;
+    bool changed = false;
+    for (size_t i = 0; i < order_.size(); ++i) {
+        const Resource& r = order_[i];
+        const int setting = r.setting(target);
+        if (r.setting(cfg_) == setting)
+            continue;
+        r.apply(cfg_, setting);
+        changed = true;
+        if (r.delaySec() > maxDelay)
+            maxDelay = r.delaySec();
+        trace::emit(trace_, now, trace::EventKind::kConfigTry, 0.0, 0.0,
+                    int32_t(i), setting);
+    }
+    if (!changed)
+        return;
+    dirty_ = true;
+    // One settle window for the whole jump, paced by the slowest knob.
+    waitUntil_ = now + maxDelay + options_.settleExtraSec;
     perfFilter_.reset();
     powerFilter_.reset();
-    if (resourceIdx_ >= order_.size()) {
-        enterMonitor(now);
-    } else {
-        phase_ = Phase::kBaseline;
-    }
+}
+
+void
+DecisionWalker::emitAccept(double speedup, double powerWatts, int32_t i0,
+                           int32_t i1, double now)
+{
+    trace::emit(trace_, now, trace::EventKind::kConfigAccept, speedup,
+                powerWatts, i0, i1);
+}
+
+void
+DecisionWalker::emitReject(double ratio, double powerWatts, int32_t i0,
+                           int32_t i1, double now)
+{
+    trace::emit(trace_, now, trace::EventKind::kConfigReject, ratio,
+                powerWatts, i0, i1);
 }
 
 void
 DecisionWalker::enterMonitor(double now)
 {
-    phase_ = Phase::kMonitor;
+    state_ = State::kMonitor;
     monitorSince_ = now;
     baselinePerf_ = 0.0;  // captured from the first full monitor window
     ++convergedCount_;
+    lastWalkDurationSec_ = now - walkStartedAt_;
     trace::emit(trace_, now, trace::EventKind::kWalkConverged,
                 now - walkStartedAt_, 0.0, steps_);
 }
@@ -86,7 +124,7 @@ DecisionWalker::enterMonitor(double now)
 void
 DecisionWalker::addSample(double perf, double power, double now)
 {
-    if (phase_ == Phase::kIdle)
+    if (state_ == State::kIdle)
         return;
     // Watchdog first: staleness tracking must see every sample, including
     // those discarded while settling.
@@ -111,125 +149,45 @@ DecisionWalker::addSample(double perf, double power, double now)
     const double powerF = powerFilter_.filtered();
     ++steps_;
     trace::emit(trace_, now, trace::EventKind::kWalkStep, perfF, powerF,
-                int(phase_));
+                state_ == State::kMonitor ? kMonitorPhaseId
+                                          : strategy_->phaseId());
 
-    switch (phase_) {
-      case Phase::kIdle:
-        break;
+    if (state_ == State::kWalking) {
+        const bool done = strategy_->step(*this, perfF, powerF, now);
+        // Every decision consumes its window: the next one measures fresh
+        // (the filters also reset inside setResource/applyTarget; the
+        // monitor phase, by contrast, keeps its sliding window).
+        perfFilter_.reset();
+        powerFilter_.reset();
+        if (done)
+            enterMonitor(now);
+        return;
+    }
 
-      case Phase::kBaseline: {
-        const Resource& r = order_[resourceIdx_];
-        perfOld_ = perfF;
-        savedSetting_ = r.setting(cfg_);
-        if (savedSetting_ == r.settings() - 1) {
-            // Already at the highest setting; nothing to test.
-            advanceResource(now);
-            break;
-        }
-        setResource(r, r.settings() - 1, now);
-        phase_ = Phase::kAfterSet;
-        break;
-      }
-
-      case Phase::kAfterSet: {
-        const Resource& r = order_[resourceIdx_];
-        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
-        if (perfF < perfOld_ * (1.0 + options_.perfEpsilon)) {
-            // No improvement: return the resource to its lowest setting.
-            setResource(r, savedSetting_, now);
-            trace::emit(trace_, now, trace::EventKind::kConfigReject,
-                        speedup, powerF, int32_t(resourceIdx_),
-                        savedSetting_);
-            advanceResource(now);
-        } else if (options_.checkPower && powerF > cap_) {
-            // Improved but over budget: binary-search the highest setting
-            // that respects the cap. savedSetting_ was under the cap.
-            binaryLo_ = savedSetting_;
-            binaryHi_ = r.settings() - 2;
-            if (binaryLo_ > binaryHi_) {
-                setResource(r, savedSetting_, now);
-                trace::emit(trace_, now, trace::EventKind::kConfigAccept,
-                            speedup, powerF, int32_t(resourceIdx_),
-                            savedSetting_);
-                advanceResource(now);
-                break;
-            }
-            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
-            setResource(r, binaryMid_, now);
-            phase_ = Phase::kBinaryProbe;
-        } else {
-            // Keep the highest setting: performance improved and the cap
-            // (when software-checked) holds.
-            trace::emit(trace_, now, trace::EventKind::kConfigAccept,
-                        speedup, powerF, int32_t(resourceIdx_),
-                        r.setting(cfg_));
-            advanceResource(now);
-        }
-        break;
-      }
-
-      case Phase::kBinaryProbe: {
-        const Resource& r = order_[resourceIdx_];
-        if (powerF > cap_)
-            binaryHi_ = binaryMid_ - 1;
-        else
-            binaryLo_ = binaryMid_;
-        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
-        if (binaryLo_ >= binaryHi_) {
-            setResource(r, binaryLo_, now);
-            trace::emit(trace_, now, trace::EventKind::kConfigAccept,
-                        speedup, powerF, int32_t(resourceIdx_), binaryLo_);
-            advanceResource(now);
-            break;
-        }
-        binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
-        if (binaryMid_ == r.setting(cfg_)) {
-            // Probe already measured (can happen when lo == mid).
-            binaryLo_ = binaryMid_;
-            if (binaryLo_ >= binaryHi_) {
-                setResource(r, binaryLo_, now);
-                trace::emit(trace_, now, trace::EventKind::kConfigAccept,
-                            speedup, powerF, int32_t(resourceIdx_),
-                            binaryLo_);
-                advanceResource(now);
-                break;
-            }
-            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
-        }
-        setResource(r, binaryMid_, now);
-        break;
-      }
-
-      case Phase::kMonitor: {
-        if (baselinePerf_ <= 0.0) {
-            baselinePerf_ = perfF;
-            break;
-        }
-        if (now - monitorSince_ < options_.monitorCooldownSec)
-            break;
-        const bool perfDrift =
-            std::fabs(perfF - baselinePerf_) >
-            options_.driftThreshold * baselinePerf_;
-        const bool powerViolation =
-            options_.checkPower && powerF > cap_ * 1.03;
-        if (perfDrift || powerViolation) {
-            // Persistent change: the workload has moved; walk again.
-            start(initial_, cap_, now);
-        }
-        break;
-      }
+    // State::kMonitor.
+    if (baselinePerf_ <= 0.0) {
+        baselinePerf_ = perfF;
+        return;
+    }
+    if (now - monitorSince_ < options_.monitorCooldownSec)
+        return;
+    const bool perfDrift = std::fabs(perfF - baselinePerf_) >
+                           options_.driftThreshold * baselinePerf_;
+    const bool powerViolation =
+        options_.checkPower && powerF > cap_ * 1.03;
+    if (perfDrift || powerViolation) {
+        // Persistent change: the workload has moved; walk again.
+        start(initial_, cap_, now);
     }
 }
 
 std::string
 DecisionWalker::phaseName() const
 {
-    switch (phase_) {
-      case Phase::kIdle: return "idle";
-      case Phase::kBaseline: return "baseline";
-      case Phase::kAfterSet: return "after-set";
-      case Phase::kBinaryProbe: return "binary-probe";
-      case Phase::kMonitor: return "monitor";
+    switch (state_) {
+      case State::kIdle: return "idle";
+      case State::kWalking: return strategy_->phaseName();
+      case State::kMonitor: return "monitor";
     }
     return "?";
 }

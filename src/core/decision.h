@@ -1,10 +1,12 @@
 #ifndef PUPIL_CORE_DECISION_H_
 #define PUPIL_CORE_DECISION_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/resource.h"
+#include "core/strategy.h"
 #include "machine/config.h"
 #include "telemetry/filter.h"
 #include "telemetry/health.h"
@@ -14,29 +16,25 @@ namespace pupil::core {
 
 /**
  * The decision framework of the paper (Algorithm 1), written as a
- * non-blocking state machine fed by periodic (performance, power) samples.
+ * non-blocking driver fed by periodic (performance, power) samples.
  *
- * Starting from the minimal resource configuration, the walker takes each
- * resource in calibrated order (Algorithm 2), measures baseline feedback,
- * raises the resource to its highest setting, waits the resource's
- * actuation delay, and measures again:
- *  - if performance dropped, the resource returns to its lowest setting;
- *  - else if power exceeds the cap (software-only mode), a binary search
- *    finds the highest setting that respects the cap;
- *  - else the highest setting is kept.
+ * The driver owns everything common to every decision discipline: the
+ * 3-sigma measurement filters, the telemetry watchdog, the actuation-delay
+ * settle windows, the trace emission, and the post-convergence monitor
+ * that re-triggers a walk on persistent drift (workload phase change) or
+ * a power violation -- the paper's continually repeating
+ * observe-decide-act loop.
+ *
+ * *Which* configuration to try next is delegated to a DecisionStrategy
+ * (Options::strategy selects one from the zoo, default the paper's
+ * per-resource binary search): once per settled measurement window the
+ * strategy receives the filtered feedback and mutates the configuration
+ * through the StrategyHost seam until it reports convergence.
  *
  * In hybrid (PUPiL) mode power checks are disabled -- RAPL hardware owns
  * the cap -- and the DVFS resource is excluded from the walk.
- *
- * After the walk converges the walker keeps monitoring the filtered
- * feedback; a persistent drift (workload phase change) or a power
- * violation triggers a fresh walk, implementing the paper's continually
- * repeating observe-decide-act loop.
- *
- * Measurements pass through the paper's 3-sigma outlier filter over a
- * sliding window, so transient disturbances do not trigger decisions.
  */
-class DecisionWalker
+class DecisionWalker : private StrategyHost
 {
   public:
     struct Options
@@ -59,6 +57,8 @@ class DecisionWalker
         double settleExtraSec = 0.5;
         /** Minimum time between convergence and a drift-triggered walk. */
         double monitorCooldownSec = 30.0;
+        /** Decision discipline walking the configuration space. */
+        StrategyOptions strategy;
         /**
          * Stale-sample watchdog and sanity bounds on the feedback
          * channels: implausible or stuck readings are rejected before
@@ -88,19 +88,23 @@ class DecisionWalker
     void addSample(double perf, double power, double now);
 
     /** The configuration the walker currently wants applied. */
-    const machine::MachineConfig& config() const { return cfg_; }
+    const machine::MachineConfig& config() const override { return cfg_; }
 
     /** True once after each configuration change (consumed). */
     bool takeConfigDirty();
 
     /** Whether the walk has finished and the walker is monitoring. */
-    bool converged() const { return phase_ == Phase::kMonitor; }
+    bool converged() const { return state_ == State::kMonitor; }
 
     /** Number of walks started (>1 means phase-change re-walks). */
     int walkCount() const { return walkCount_; }
 
     /**
-     * Number of walks that reached convergence (entered monitoring).
+     * Number of walks that reached convergence (entered monitoring) after
+     * at least one decision step. A walk over an empty resource order goes
+     * straight to monitoring but is *not* counted -- nothing was decided,
+     * so nothing converged.
+     *
      * The perf-regression bench divides this by wall time to report
      * walker-convergence throughput.
      */
@@ -118,6 +122,16 @@ class DecisionWalker
         return perfHealth_.healthy() && powerHealth_.healthy();
     }
 
+    /** strategyName() of the discipline driving this walker's walks. */
+    const char* strategyName() const { return strategy_->name(); }
+
+    /**
+     * Duration of the most recent walk that reached convergence, in
+     * simulated seconds (0 until the first convergence). The tournament
+     * bench reports this as per-strategy convergence time.
+     */
+    double lastWalkDurationSec() const { return lastWalkDurationSec_; }
+
     /** Name of the current phase (diagnostics). */
     std::string phaseName() const;
 
@@ -131,33 +145,47 @@ class DecisionWalker
     void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
 
   private:
-    enum class Phase { kIdle, kBaseline, kAfterSet, kBinaryProbe, kMonitor };
+    /**
+     * Driver state around the strategy: kWalkStep events record the
+     * strategy's phaseId() while walking and kMonitorPhaseId afterwards,
+     * preserving the pre-zoo walker's phase numbering on the wire.
+     */
+    enum class State { kIdle, kWalking, kMonitor };
+    static constexpr int kMonitorPhaseId = 4;
 
-    void setResource(const Resource& r, int settingIndex, double now);
-    void advanceResource(double now);
+    // StrategyHost seam (the strategy's view of this driver).
+    const std::vector<Resource>& order() const override { return order_; }
+    double capWatts() const override { return cap_; }
+    bool checkPower() const override { return options_.checkPower; }
+    double perfEpsilon() const override { return options_.perfEpsilon; }
+    void setResource(size_t resourceIdx, int settingIndex,
+                     double now) override;
+    void applyTarget(const machine::MachineConfig& target,
+                     double now) override;
+    void emitAccept(double speedup, double powerWatts, int32_t i0,
+                    int32_t i1, double now) override;
+    void emitReject(double ratio, double powerWatts, int32_t i0, int32_t i1,
+                    double now) override;
+
     void enterMonitor(double now);
 
     std::vector<Resource> order_;
     Options options_;
+    std::unique_ptr<DecisionStrategy> strategy_;
 
     machine::MachineConfig cfg_;
     machine::MachineConfig initial_;
     double cap_ = 1e9;
     bool dirty_ = false;
 
-    Phase phase_ = Phase::kIdle;
-    size_t resourceIdx_ = 0;
-    int savedSetting_ = 0;
-    int binaryLo_ = 0;
-    int binaryHi_ = 0;
-    int binaryMid_ = 0;
-    double perfOld_ = 0.0;
+    State state_ = State::kIdle;
     double waitUntil_ = 0.0;
     double monitorSince_ = 0.0;
     double baselinePerf_ = 0.0;
     int walkCount_ = 0;
     int convergedCount_ = 0;
     int steps_ = 0;
+    double lastWalkDurationSec_ = 0.0;
 
     telemetry::SigmaFilter perfFilter_;
     telemetry::SigmaFilter powerFilter_;

@@ -129,6 +129,8 @@ Pupil::onTick(sim::Platform& platform, double now)
     metrics.setGauge("decision.steps", walker_->stepsTaken());
     metrics.setGauge("decision.samples_rejected",
                      double(walker_->samplesRejected()));
+    metrics.setGauge("decision.converged_walks", walker_->convergedCount());
+    metrics.setGauge("decision.converge_sec", walker_->lastWalkDurationSec());
 }
 
 void

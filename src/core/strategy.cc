@@ -1,0 +1,62 @@
+#include "strategy.h"
+
+#include "core/strategy_binary.h"
+#include "core/strategy_hillclimb.h"
+#include "core/strategy_model.h"
+#include "core/strategy_random.h"
+
+namespace pupil::core {
+
+const char*
+strategyName(StrategyKind kind)
+{
+    switch (kind) {
+      case StrategyKind::kBinarySearch: return "binary-search";
+      case StrategyKind::kHillClimb: return "hill-climb";
+      case StrategyKind::kModelGuided: return "model-guided";
+      case StrategyKind::kRandomRestart: return "random-restart";
+    }
+    return "?";
+}
+
+const std::vector<StrategyKind>&
+allStrategyKinds()
+{
+    static const std::vector<StrategyKind> kinds = {
+        StrategyKind::kBinarySearch,
+        StrategyKind::kHillClimb,
+        StrategyKind::kModelGuided,
+        StrategyKind::kRandomRestart,
+    };
+    return kinds;
+}
+
+bool
+parseStrategyKind(const std::string& text, StrategyKind* kind)
+{
+    for (const StrategyKind candidate : allStrategyKinds()) {
+        if (text == strategyName(candidate)) {
+            *kind = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<DecisionStrategy>
+makeStrategy(const StrategyOptions& options)
+{
+    switch (options.kind) {
+      case StrategyKind::kBinarySearch:
+        return std::make_unique<BinarySearchStrategy>();
+      case StrategyKind::kHillClimb:
+        return std::make_unique<HillClimbStrategy>(options);
+      case StrategyKind::kModelGuided:
+        return std::make_unique<ModelGuidedStrategy>(options);
+      case StrategyKind::kRandomRestart:
+        return std::make_unique<RandomRestartStrategy>(options);
+    }
+    return nullptr;
+}
+
+}  // namespace pupil::core

@@ -1,0 +1,176 @@
+#ifndef PUPIL_CORE_STRATEGY_H_
+#define PUPIL_CORE_STRATEGY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/resource.h"
+#include "machine/config.h"
+
+namespace pupil::core {
+
+/**
+ * The software decision disciplines that can drive a walk through the
+ * machine-configuration space (ROADMAP "decision-strategy zoo"):
+ *
+ *  - kBinarySearch: the paper's Algorithm 1 -- per-resource highest-setting
+ *    probe followed by a binary search for the highest setting under the
+ *    cap. The default, and byte-identical to the pre-zoo DecisionWalker.
+ *  - kHillClimb: NAS-powercap-style level hill climbing -- exploit steps
+ *    that keep riding an improving resource, explore steps that move to
+ *    the next one, and a step-down repair phase when over the cap.
+ *  - kModelGuided: FastCap-style -- probe a small design of configurations,
+ *    fit capping::ConfigRegression power/performance models, jump straight
+ *    to the predicted-best feasible configuration, and verify the
+ *    prediction by measurement (re-fitting on every measured violation).
+ *  - kRandomRestart: the baseline the others must beat -- hill climbs from
+ *    seed-deterministic random starting points (util::Rng) and commits the
+ *    best configuration ever measured under the cap.
+ */
+enum class StrategyKind {
+    kBinarySearch,
+    kHillClimb,
+    kModelGuided,
+    kRandomRestart,
+};
+
+/** Stable kebab-case name ("binary-search", "hill-climb", ...). */
+const char* strategyName(StrategyKind kind);
+
+/** All strategies, in tournament presentation order. */
+const std::vector<StrategyKind>& allStrategyKinds();
+
+/** Parse a strategyName() string; returns false on unknown names. */
+bool parseStrategyKind(const std::string& text, StrategyKind* kind);
+
+/** Knobs of the individual strategies (ignored by the others). */
+struct StrategyOptions
+{
+    StrategyKind kind = StrategyKind::kBinarySearch;
+    /**
+     * Seed for kRandomRestart's util::Rng. 0 means "derive from the
+     * experiment seed" (the harness substitutes a SplitMix64-derived
+     * value), so sweeps stay bit-reproducible at any thread count.
+     */
+    uint64_t seed = 0;
+    /** kHillClimb: full passes over the resource order before giving up. */
+    int hillMaxPasses = 8;
+    /** kModelGuided: model-ranked candidates verified by measurement. */
+    int modelCandidates = 6;
+    /** kModelGuided: predicted power must stay below cap * margin. */
+    double modelMargin = 0.97;
+    /** kRandomRestart: independent random starting points per walk. */
+    int randomRestarts = 2;
+};
+
+/**
+ * What a strategy sees of its driver (the DecisionWalker): the calibrated
+ * resource order, the walk parameters, and the mutation/trace primitives.
+ * The driver owns the configuration, the settle windows, the 3-sigma
+ * filters, and the telemetry watchdog -- a strategy only ever decides
+ * *which* setting to try next, so every strategy inherits the health-gated
+ * sample path, the solve cache underneath the platform, and the trace
+ * layer without any per-strategy plumbing.
+ */
+class StrategyHost
+{
+  public:
+    virtual ~StrategyHost() = default;
+
+    /** The resources of this walk, in calibrated order (Algorithm 2). */
+    virtual const std::vector<Resource>& order() const = 0;
+
+    /** The configuration currently applied (and being measured). */
+    virtual const machine::MachineConfig& config() const = 0;
+
+    /** The power cap in watts. */
+    virtual double capWatts() const = 0;
+
+    /** Whether the cap is enforced in software (false under RAPL). */
+    virtual bool checkPower() const = 0;
+
+    /** Relative margin for "performance dropped" tests (slightly < 0). */
+    virtual double perfEpsilon() const = 0;
+
+    /**
+     * Write setting @p settingIndex into resource order()[resourceIdx].
+     * Emits kConfigTry, arms the resource's actuation-delay settle window,
+     * and resets the measurement filters. No-op when the resource is
+     * already at that setting.
+     */
+    virtual void setResource(size_t resourceIdx, int settingIndex,
+                             double now) = 0;
+
+    /**
+     * Jump to a whole target configuration: one setResource-style write
+     * (and one kConfigTry) per resource whose setting differs, with the
+     * settle window armed for the slowest changed resource. Used by the
+     * model-guided and random strategies, whose moves are points rather
+     * than single-knob steps.
+     */
+    virtual void applyTarget(const machine::MachineConfig& target,
+                             double now) = 0;
+
+    /**
+     * Record a committed decision (kConfigAccept). @p i0 is the resource
+     * index for single-knob moves, or -1 for whole-config moves.
+     */
+    virtual void emitAccept(double speedup, double powerWatts, int32_t i0,
+                            int32_t i1, double now) = 0;
+
+    /** Record a reverted decision (kConfigReject); @p i0 as above. */
+    virtual void emitReject(double ratio, double powerWatts, int32_t i0,
+                            int32_t i1, double now) = 0;
+};
+
+/**
+ * One decision discipline behind the DecisionWalker driver: a state
+ * machine that receives one filtered (performance, power) measurement of
+ * the currently-applied configuration per step and mutates the
+ * configuration through its host until the walk is complete.
+ *
+ * Contract:
+ *  - begin() resets all walk state; the first step() observes the walk's
+ *    initial configuration.
+ *  - step() is only called with a settled, filter-full, watchdog-healthy
+ *    measurement of host.config(); returning true ends the walk (the
+ *    driver enters its monitor phase on the current configuration).
+ *  - When host.checkPower() is set, a strategy must only complete on a
+ *    configuration it measured at or below the cap (the walker-never-
+ *    over-cap property, enforced for every strategy by property_test).
+ */
+class DecisionStrategy
+{
+  public:
+    virtual ~DecisionStrategy() = default;
+
+    /** strategyName() of this strategy's kind. */
+    virtual const char* name() const = 0;
+
+    /** Reset to walk from the host's current configuration. */
+    virtual void begin(StrategyHost& host, double now) = 0;
+
+    /** One measurement of host.config(); true when the walk is done. */
+    virtual bool step(StrategyHost& host, double perfF, double powerF,
+                      double now) = 0;
+
+    /**
+     * Small integer identifying the strategy's current sub-phase, recorded
+     * as i0 of kWalkStep events. The driver reserves 0 (idle) and 4
+     * (monitor); kBinarySearch uses 1..3 to match the pre-zoo walker's
+     * phase numbering, keeping golden traces stable.
+     */
+    virtual int phaseId() const = 0;
+
+    /** Human-readable sub-phase name (diagnostics). */
+    virtual std::string phaseName() const = 0;
+};
+
+/** Instantiate the strategy selected by @p options. */
+std::unique_ptr<DecisionStrategy> makeStrategy(const StrategyOptions& options);
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_STRATEGY_H_

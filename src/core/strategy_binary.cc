@@ -1,0 +1,133 @@
+#include "strategy_binary.h"
+
+namespace pupil::core {
+
+void
+BinarySearchStrategy::begin(StrategyHost& host, double now)
+{
+    (void)host;
+    (void)now;
+    phase_ = Phase::kBaseline;
+    resourceIdx_ = 0;
+}
+
+bool
+BinarySearchStrategy::advance(StrategyHost& host)
+{
+    ++resourceIdx_;
+    phase_ = Phase::kBaseline;
+    return resourceIdx_ >= host.order().size();
+}
+
+void
+BinarySearchStrategy::forceAfterSetForTest(size_t resourceIdx,
+                                           int savedSetting, double perfOld)
+{
+    resourceIdx_ = resourceIdx;
+    savedSetting_ = savedSetting;
+    perfOld_ = perfOld;
+    phase_ = Phase::kAfterSet;
+}
+
+bool
+BinarySearchStrategy::step(StrategyHost& host, double perfF, double powerF,
+                           double now)
+{
+    const std::vector<Resource>& order = host.order();
+    switch (phase_) {
+      case Phase::kBaseline: {
+        const Resource& r = order[resourceIdx_];
+        perfOld_ = perfF;
+        savedSetting_ = r.setting(host.config());
+        if (savedSetting_ == r.settings() - 1) {
+            // Already at the highest setting; nothing to test.
+            return advance(host);
+        }
+        host.setResource(resourceIdx_, r.settings() - 1, now);
+        phase_ = Phase::kAfterSet;
+        return false;
+      }
+
+      case Phase::kAfterSet: {
+        const Resource& r = order[resourceIdx_];
+        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
+        if (perfF < perfOld_ * (1.0 + host.perfEpsilon())) {
+            // No improvement: restore the setting measured at baseline
+            // (in software mode, the last setting known to hold the cap).
+            host.setResource(resourceIdx_, savedSetting_, now);
+            host.emitReject(speedup, powerF, int32_t(resourceIdx_),
+                            savedSetting_, now);
+            return advance(host);
+        }
+        if (host.checkPower() && powerF > host.capWatts()) {
+            // Improved but over budget: binary-search the highest setting
+            // that respects the cap. savedSetting_ was under the cap.
+            binaryLo_ = savedSetting_;
+            binaryHi_ = r.settings() - 2;
+            if (binaryLo_ > binaryHi_) {
+                // No settings left between the (under-cap) baseline and
+                // the over-cap top: the raise is rejected, exactly like
+                // the no-improvement revert above. Unreachable through a
+                // real walk (the baseline step skips a resource already
+                // at its highest setting), kept defensively.
+                host.setResource(resourceIdx_, savedSetting_, now);
+                host.emitReject(speedup, powerF, int32_t(resourceIdx_),
+                                savedSetting_, now);
+                return advance(host);
+            }
+            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+            host.setResource(resourceIdx_, binaryMid_, now);
+            phase_ = Phase::kBinaryProbe;
+            return false;
+        }
+        // Keep the highest setting: performance improved and the cap
+        // (when software-checked) holds.
+        host.emitAccept(speedup, powerF, int32_t(resourceIdx_),
+                        r.setting(host.config()), now);
+        return advance(host);
+      }
+
+      case Phase::kBinaryProbe: {
+        const Resource& r = order[resourceIdx_];
+        if (powerF > host.capWatts())
+            binaryHi_ = binaryMid_ - 1;
+        else
+            binaryLo_ = binaryMid_;
+        const double speedup = perfOld_ > 0.0 ? perfF / perfOld_ : 0.0;
+        if (binaryLo_ >= binaryHi_) {
+            host.setResource(resourceIdx_, binaryLo_, now);
+            host.emitAccept(speedup, powerF, int32_t(resourceIdx_),
+                            binaryLo_, now);
+            return advance(host);
+        }
+        binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+        if (binaryMid_ == r.setting(host.config())) {
+            // Probe already measured (can happen when lo == mid).
+            binaryLo_ = binaryMid_;
+            if (binaryLo_ >= binaryHi_) {
+                host.setResource(resourceIdx_, binaryLo_, now);
+                host.emitAccept(speedup, powerF, int32_t(resourceIdx_),
+                                binaryLo_, now);
+                return advance(host);
+            }
+            binaryMid_ = (binaryLo_ + binaryHi_ + 1) / 2;
+        }
+        host.setResource(resourceIdx_, binaryMid_, now);
+        return false;
+      }
+    }
+    return false;
+}
+
+std::string
+BinarySearchStrategy::phaseName() const
+{
+    switch (phase_) {
+      case Phase::kBaseline: return "baseline";
+      case Phase::kAfterSet: return "after-set";
+      case Phase::kBinaryProbe: return "binary-probe";
+    }
+    return "?";
+}
+
+}  // namespace pupil::core

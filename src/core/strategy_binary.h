@@ -1,0 +1,62 @@
+#ifndef PUPIL_CORE_STRATEGY_BINARY_H_
+#define PUPIL_CORE_STRATEGY_BINARY_H_
+
+#include "core/strategy.h"
+
+namespace pupil::core {
+
+/**
+ * The paper's decision walk (Algorithm 1), one resource at a time in
+ * calibrated order:
+ *
+ *  1. measure a baseline at the resource's current setting;
+ *  2. raise the resource to its highest setting and measure again;
+ *  3. if performance dropped, restore the baseline setting; else if the
+ *     cap is software-checked and exceeded, binary-search the highest
+ *     setting that respects the cap; else keep the highest setting.
+ *
+ * This is the pre-zoo DecisionWalker's decision logic verbatim -- the
+ * event stream it produces through the host is pinned byte-for-byte by
+ * the golden-trace tests.
+ */
+class BinarySearchStrategy : public DecisionStrategy
+{
+  public:
+    const char* name() const override { return "binary-search"; }
+    void begin(StrategyHost& host, double now) override;
+    bool step(StrategyHost& host, double perfF, double powerF,
+              double now) override;
+    int phaseId() const override { return int(phase_); }
+    std::string phaseName() const override;
+
+    /**
+     * Test-only: enter the after-set comparison as if the baseline step
+     * had measured @p perfOld with the resource at @p savedSetting. The
+     * degenerate over-cap revert (savedSetting == settings() - 1) cannot
+     * be reached through a real walk -- the baseline step advances past a
+     * resource that is already at its highest setting -- but the branch is
+     * kept defensively, and this hook lets the regression test pin its
+     * trace kind (a revert must read as kConfigReject).
+     */
+    void forceAfterSetForTest(size_t resourceIdx, int savedSetting,
+                              double perfOld);
+
+  private:
+    /** Numbering matches the pre-zoo walker's Phase enum (golden i0s). */
+    enum class Phase { kBaseline = 1, kAfterSet = 2, kBinaryProbe = 3 };
+
+    /** Move to the next resource; true when the order is exhausted. */
+    bool advance(StrategyHost& host);
+
+    Phase phase_ = Phase::kBaseline;
+    size_t resourceIdx_ = 0;
+    int savedSetting_ = 0;
+    int binaryLo_ = 0;
+    int binaryHi_ = 0;
+    int binaryMid_ = 0;
+    double perfOld_ = 0.0;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_STRATEGY_BINARY_H_

@@ -1,0 +1,130 @@
+#include "strategy_hillclimb.h"
+
+namespace pupil::core {
+
+HillClimbStrategy::HillClimbStrategy(const StrategyOptions& options)
+    : maxPasses_(options.hillMaxPasses > 0 ? options.hillMaxPasses : 1)
+{
+}
+
+void
+HillClimbStrategy::begin(StrategyHost& host, double now)
+{
+    (void)host;
+    (void)now;
+    phase_ = Phase::kBaseline;
+    idx_ = 0;
+    prevSetting_ = 0;
+    currentPerf_ = 0.0;
+    acceptedInPass_ = false;
+    passes_ = 0;
+}
+
+bool
+HillClimbStrategy::probeNext(StrategyHost& host, double now)
+{
+    const std::vector<Resource>& order = host.order();
+    while (true) {
+        if (idx_ >= order.size()) {
+            // End of an explore pass: nothing accepted means a local
+            // optimum; otherwise climb again from the first resource.
+            if (!acceptedInPass_)
+                return true;
+            if (++passes_ >= maxPasses_)
+                return true;
+            idx_ = 0;
+            acceptedInPass_ = false;
+            continue;
+        }
+        const Resource& r = order[idx_];
+        const int setting = r.setting(host.config());
+        if (setting < r.settings() - 1) {
+            prevSetting_ = setting;
+            host.setResource(idx_, setting + 1, now);
+            phase_ = Phase::kProbe;
+            return false;
+        }
+        ++idx_;
+    }
+}
+
+bool
+HillClimbStrategy::stepDown(StrategyHost& host, double now)
+{
+    const std::vector<Resource>& order = host.order();
+    // The order puts coarse knobs first and the finest (DVFS when walked)
+    // last, so repair trims from the back -- the smallest power step that
+    // can bring the point under the cap.
+    for (size_t i = order.size(); i-- > 0;) {
+        const int setting = order[i].setting(host.config());
+        if (setting > 0) {
+            host.setResource(i, setting - 1, now);
+            phase_ = Phase::kRepair;
+            return false;
+        }
+    }
+    // Everything already at its lowest setting: nowhere left to go.
+    return true;
+}
+
+bool
+HillClimbStrategy::step(StrategyHost& host, double perfF, double powerF,
+                        double now)
+{
+    switch (phase_) {
+      case Phase::kBaseline: {
+        if (host.checkPower() && powerF > host.capWatts())
+            return stepDown(host, now);
+        currentPerf_ = perfF;
+        idx_ = 0;
+        acceptedInPass_ = false;
+        return probeNext(host, now);
+      }
+
+      case Phase::kRepair: {
+        if (host.checkPower() && powerF > host.capWatts())
+            return stepDown(host, now);
+        // Back under budget: climb from here.
+        currentPerf_ = perfF;
+        idx_ = 0;
+        acceptedInPass_ = false;
+        return probeNext(host, now);
+      }
+
+      case Phase::kProbe: {
+        const double ratio =
+            currentPerf_ > 0.0 ? perfF / currentPerf_ : 0.0;
+        const bool improved =
+            perfF >= currentPerf_ * (1.0 + host.perfEpsilon());
+        const bool feasible =
+            !host.checkPower() || powerF <= host.capWatts();
+        if (improved && feasible) {
+            // Exploit: commit the step and keep riding this resource.
+            host.emitAccept(ratio, powerF, int32_t(idx_),
+                            host.order()[idx_].setting(host.config()), now);
+            currentPerf_ = perfF;
+            acceptedInPass_ = true;
+            return probeNext(host, now);
+        }
+        // Explore: revert and move on to the next resource.
+        host.setResource(idx_, prevSetting_, now);
+        host.emitReject(ratio, powerF, int32_t(idx_), prevSetting_, now);
+        ++idx_;
+        return probeNext(host, now);
+      }
+    }
+    return false;
+}
+
+std::string
+HillClimbStrategy::phaseName() const
+{
+    switch (phase_) {
+      case Phase::kBaseline: return "hc-baseline";
+      case Phase::kProbe: return "hc-probe";
+      case Phase::kRepair: return "hc-repair";
+    }
+    return "?";
+}
+
+}  // namespace pupil::core

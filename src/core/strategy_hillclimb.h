@@ -1,0 +1,57 @@
+#ifndef PUPIL_CORE_STRATEGY_HILLCLIMB_H_
+#define PUPIL_CORE_STRATEGY_HILLCLIMB_H_
+
+#include "core/strategy.h"
+
+namespace pupil::core {
+
+/**
+ * NAS-powercap-style level hill climbing (heuristics.c, SNIPPETS.md
+ * snippet 1), generalized from the original (threads x p-state) plane to
+ * the full calibrated resource order:
+ *
+ *  - exploit: probe the current resource one setting higher; while the
+ *    measurement improves performance and holds the (software-checked)
+ *    cap, keep riding the same resource upward;
+ *  - explore: when a probe is rejected (reverted to the previous setting),
+ *    move on to the next resource in order;
+ *  - repair: when the current point itself violates the cap, step the
+ *    finest knob (the last resource in order with headroom) down one
+ *    setting at a time until the measurement is back under budget.
+ *
+ * A full pass over the order with no accepted step is a local optimum and
+ * ends the walk; hillMaxPasses bounds the total climb.
+ */
+class HillClimbStrategy : public DecisionStrategy
+{
+  public:
+    explicit HillClimbStrategy(const StrategyOptions& options);
+
+    const char* name() const override { return "hill-climb"; }
+    void begin(StrategyHost& host, double now) override;
+    bool step(StrategyHost& host, double perfF, double powerF,
+              double now) override;
+    int phaseId() const override { return int(phase_); }
+    std::string phaseName() const override;
+
+  private:
+    enum class Phase { kBaseline = 1, kProbe = 2, kRepair = 3 };
+
+    /** Arm the next upward probe; true when the walk is complete. */
+    bool probeNext(StrategyHost& host, double now);
+
+    /** Step the finest knob with headroom down; true when none is left. */
+    bool stepDown(StrategyHost& host, double now);
+
+    int maxPasses_;
+    Phase phase_ = Phase::kBaseline;
+    size_t idx_ = 0;
+    int prevSetting_ = 0;
+    double currentPerf_ = 0.0;
+    bool acceptedInPass_ = false;
+    int passes_ = 0;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_STRATEGY_HILLCLIMB_H_

@@ -1,0 +1,232 @@
+#include "strategy_model.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace pupil::core {
+namespace {
+
+/** Deterministic total order on configs (prediction tie-break). */
+std::tuple<int, int, bool, int, int>
+configKey(const machine::MachineConfig& cfg)
+{
+    return {cfg.coresPerSocket, cfg.sockets, cfg.hyperthreading,
+            cfg.memControllers, cfg.pstate[0]};
+}
+
+bool
+contains(const std::vector<machine::MachineConfig>& configs,
+         const machine::MachineConfig& cfg)
+{
+    return std::find(configs.begin(), configs.end(), cfg) != configs.end();
+}
+
+/**
+ * Every configuration reachable by this walk: the product of the order's
+ * resource settings applied to the walk's base configuration (resources
+ * outside the order keep their base setting).
+ */
+std::vector<machine::MachineConfig>
+walkSpace(const StrategyHost& host, const machine::MachineConfig& base)
+{
+    std::vector<machine::MachineConfig> space = {base};
+    for (size_t i = 0; i < host.order().size(); ++i) {
+        const Resource& r = host.order()[i];
+        std::vector<machine::MachineConfig> next;
+        next.reserve(space.size() * size_t(r.settings()));
+        for (const machine::MachineConfig& cfg : space) {
+            for (int s = 0; s < r.settings(); ++s) {
+                machine::MachineConfig variant = cfg;
+                r.apply(variant, s);
+                next.push_back(variant);
+            }
+        }
+        space = std::move(next);
+    }
+    return space;
+}
+
+}  // namespace
+
+ModelGuidedStrategy::ModelGuidedStrategy(const StrategyOptions& options)
+    : maxCandidates_(options.modelCandidates > 0 ? options.modelCandidates
+                                                 : 1),
+      margin_(options.modelMargin)
+{
+}
+
+void
+ModelGuidedStrategy::begin(StrategyHost& host, double now)
+{
+    (void)now;
+    phase_ = Phase::kProbe;
+    planIdx_ = 0;
+    sampleCfgs_.clear();
+    samplePerf_.clear();
+    samplePower_.clear();
+    tried_.clear();
+    candidates_.clear();
+    candidatesTried_ = 0;
+    feasibleVerified_ = 0;
+    haveBest_ = false;
+    bestPerf_ = 0.0;
+
+    // The probe design, measured in order: the base point, each resource
+    // alone at its highest setting (the calibration pattern), all
+    // resources at mid level (curvature), and all at max.
+    const machine::MachineConfig base = host.config();
+    plan_.clear();
+    plan_.push_back(base);
+    for (size_t i = 0; i < host.order().size(); ++i) {
+        machine::MachineConfig cfg = base;
+        host.order()[i].apply(cfg, host.order()[i].settings() - 1);
+        if (!contains(plan_, cfg))
+            plan_.push_back(cfg);
+    }
+    machine::MachineConfig mid = base;
+    machine::MachineConfig top = base;
+    for (size_t i = 0; i < host.order().size(); ++i) {
+        host.order()[i].apply(mid, host.order()[i].settings() / 2);
+        host.order()[i].apply(top, host.order()[i].settings() - 1);
+    }
+    if (!contains(plan_, mid))
+        plan_.push_back(mid);
+    if (!contains(plan_, top))
+        plan_.push_back(top);
+}
+
+void
+ModelGuidedStrategy::rankCandidates(StrategyHost& host)
+{
+    const capping::ConfigRegression perfModel =
+        capping::ConfigRegression::fit(sampleCfgs_, samplePerf_);
+    const capping::ConfigRegression powerModel =
+        capping::ConfigRegression::fit(sampleCfgs_, samplePower_);
+
+    struct Scored
+    {
+        machine::MachineConfig cfg;
+        double predictedPerf = 0.0;
+    };
+    std::vector<Scored> scored;
+    for (const machine::MachineConfig& cfg :
+         walkSpace(host, sampleCfgs_.front())) {
+        if (contains(tried_, cfg) || contains(sampleCfgs_, cfg))
+            continue;  // its truth is already known
+        if (host.checkPower() &&
+            powerModel.predict(cfg) > host.capWatts() * margin_)
+            continue;
+        scored.push_back({cfg, perfModel.predict(cfg)});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const Scored& a, const Scored& b) {
+                  if (a.predictedPerf != b.predictedPerf)
+                      return a.predictedPerf > b.predictedPerf;
+                  return configKey(a.cfg) < configKey(b.cfg);
+              });
+    candidates_.clear();
+    const int room = maxCandidates_ - candidatesTried_;
+    for (int i = 0; i < room && i < int(scored.size()); ++i)
+        candidates_.push_back(scored[size_t(i)].cfg);
+}
+
+bool
+ModelGuidedStrategy::commitBest(StrategyHost& host, double now)
+{
+    if (haveBest_) {
+        host.applyTarget(bestCfg_, now);
+        host.emitAccept(bestPerf_, 0.0, -1, feasibleVerified_, now);
+        return true;
+    }
+    // Nothing ever measured under the cap (the base point included):
+    // retreat to the all-lowest corner, the least this walk can draw.
+    machine::MachineConfig floor = host.config();
+    for (size_t i = 0; i < host.order().size(); ++i)
+        host.order()[i].apply(floor, 0);
+    host.applyTarget(floor, now);
+    return true;
+}
+
+bool
+ModelGuidedStrategy::step(StrategyHost& host, double perfF, double powerF,
+                          double now)
+{
+    const bool feasible = !host.checkPower() || powerF <= host.capWatts();
+    switch (phase_) {
+      case Phase::kProbe: {
+        sampleCfgs_.push_back(host.config());
+        samplePerf_.push_back(perfF);
+        samplePower_.push_back(powerF);
+        if (feasible && (!haveBest_ || perfF > bestPerf_)) {
+            haveBest_ = true;
+            bestCfg_ = host.config();
+            bestPerf_ = perfF;
+        }
+        if (++planIdx_ < plan_.size()) {
+            host.applyTarget(plan_[planIdx_], now);
+            return false;
+        }
+        rankCandidates(host);
+        if (candidates_.empty())
+            return commitBest(host, now);
+        phase_ = Phase::kVerify;
+        host.applyTarget(candidates_.front(), now);
+        return false;
+      }
+
+      case Phase::kVerify: {
+        const machine::MachineConfig candidate = host.config();
+        tried_.push_back(candidate);
+        ++candidatesTried_;
+        const double ratio = bestPerf_ > 0.0 ? perfF / bestPerf_ : 0.0;
+        if (feasible) {
+            host.emitAccept(ratio, powerF, -1, candidatesTried_, now);
+            ++feasibleVerified_;
+            if (!haveBest_ || perfF > bestPerf_) {
+                haveBest_ = true;
+                bestCfg_ = candidate;
+                bestPerf_ = perfF;
+            }
+            // Two measured-feasible candidates are enough to stop trusting
+            // the model ranking and commit the better one.
+            if (feasibleVerified_ >= 2 ||
+                candidatesTried_ >= maxCandidates_)
+                return commitBest(host, now);
+        } else {
+            // The model under-predicted this point's power (the paper's
+            // Soft-Modeling failure mode). Feed the violation back into
+            // the fit and re-rank what is left.
+            host.emitReject(ratio, powerF, -1, candidatesTried_, now);
+            sampleCfgs_.push_back(candidate);
+            samplePerf_.push_back(perfF);
+            samplePower_.push_back(powerF);
+            if (candidatesTried_ >= maxCandidates_)
+                return commitBest(host, now);
+            rankCandidates(host);
+            if (candidates_.empty())
+                return commitBest(host, now);
+            host.applyTarget(candidates_.front(), now);
+            return false;
+        }
+        // Feasible but not done: advance to the next ranked candidate.
+        candidates_.erase(candidates_.begin());
+        if (candidates_.empty())
+            return commitBest(host, now);
+        host.applyTarget(candidates_.front(), now);
+        return false;
+      }
+    }
+    return false;
+}
+
+std::string
+ModelGuidedStrategy::phaseName() const
+{
+    switch (phase_) {
+      case Phase::kProbe: return "model-probe";
+      case Phase::kVerify: return "model-verify";
+    }
+    return "?";
+}
+
+}  // namespace pupil::core

@@ -1,0 +1,68 @@
+#ifndef PUPIL_CORE_STRATEGY_MODEL_H_
+#define PUPIL_CORE_STRATEGY_MODEL_H_
+
+#include <vector>
+
+#include "capping/regression.h"
+#include "core/strategy.h"
+
+namespace pupil::core {
+
+/**
+ * Model-guided search (FastCap-style, PAPERS.md): instead of walking the
+ * configuration space one measured step at a time, spend a handful of
+ * measurements on a fixed probe design (the initial point, each resource
+ * alone at its highest setting, all resources at mid level, all at max),
+ * fit capping::ConfigRegression models for performance and power, and
+ * jump straight to the predicted-best configuration whose predicted power
+ * clears cap * modelMargin.
+ *
+ * Predictions are never trusted on their own -- the linear power model
+ * systematically under-predicts at high clocks (paper Section 4.4) -- so
+ * every candidate is verified by measurement: a measured violation feeds
+ * the sample back into the fit, re-ranks the remaining candidates, and
+ * tries the next one. The walk commits to the best configuration that was
+ * actually measured under the cap.
+ */
+class ModelGuidedStrategy : public DecisionStrategy
+{
+  public:
+    explicit ModelGuidedStrategy(const StrategyOptions& options);
+
+    const char* name() const override { return "model-guided"; }
+    void begin(StrategyHost& host, double now) override;
+    bool step(StrategyHost& host, double perfF, double powerF,
+              double now) override;
+    int phaseId() const override { return int(phase_); }
+    std::string phaseName() const override;
+
+  private:
+    enum class Phase { kProbe = 1, kVerify = 2 };
+
+    /** Fit/refit models and re-rank the untried candidate configs. */
+    void rankCandidates(StrategyHost& host);
+
+    /** Commit the best measured-feasible config; always ends the walk. */
+    bool commitBest(StrategyHost& host, double now);
+
+    int maxCandidates_;
+    double margin_;
+
+    Phase phase_ = Phase::kProbe;
+    std::vector<machine::MachineConfig> plan_;
+    size_t planIdx_ = 0;
+    std::vector<machine::MachineConfig> sampleCfgs_;
+    std::vector<double> samplePerf_;
+    std::vector<double> samplePower_;
+    std::vector<machine::MachineConfig> tried_;
+    std::vector<machine::MachineConfig> candidates_;
+    int candidatesTried_ = 0;
+    int feasibleVerified_ = 0;
+    bool haveBest_ = false;
+    machine::MachineConfig bestCfg_;
+    double bestPerf_ = 0.0;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_STRATEGY_MODEL_H_

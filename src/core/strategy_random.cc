@@ -1,0 +1,148 @@
+#include "strategy_random.h"
+
+namespace pupil::core {
+
+RandomRestartStrategy::RandomRestartStrategy(const StrategyOptions& options)
+    : seed_(options.seed != 0 ? options.seed : 0x9e3779b97f4a7c15ULL),
+      restarts_(options.randomRestarts > 0 ? options.randomRestarts : 1),
+      rng_(seed_)
+{
+}
+
+void
+RandomRestartStrategy::begin(StrategyHost& host, double now)
+{
+    (void)host;
+    (void)now;
+    // Re-seed per walk so the stream does not depend on how many steps the
+    // previous walk consumed, yet drift-triggered re-walks still explore
+    // different starting points.
+    rng_ = util::Rng(seed_ + 0x9e3779b97f4a7c15ULL * uint64_t(++walkNumber_));
+    phase_ = Phase::kBaseline;
+    restart_ = 0;
+    idx_ = 0;
+    prevSetting_ = 0;
+    currentPerf_ = 0.0;
+    haveBest_ = false;
+    bestPerf_ = 0.0;
+}
+
+bool
+RandomRestartStrategy::nextRestart(StrategyHost& host, double now)
+{
+    if (restart_ >= restarts_)
+        return commitBest(host, now);
+    ++restart_;
+    machine::MachineConfig target = host.config();
+    for (size_t i = 0; i < host.order().size(); ++i) {
+        const Resource& r = host.order()[i];
+        r.apply(target, int(rng_.uniformInt(uint64_t(r.settings()))));
+    }
+    host.applyTarget(target, now);
+    phase_ = Phase::kStart;
+    return false;
+}
+
+bool
+RandomRestartStrategy::climbNext(StrategyHost& host, double now)
+{
+    const std::vector<Resource>& order = host.order();
+    while (idx_ < order.size()) {
+        const Resource& r = order[idx_];
+        const int setting = r.setting(host.config());
+        if (setting < r.settings() - 1) {
+            prevSetting_ = setting;
+            host.setResource(idx_, setting + 1, now);
+            phase_ = Phase::kClimb;
+            return false;
+        }
+        ++idx_;
+    }
+    // One greedy pass per start keeps the measurement budget bounded.
+    return nextRestart(host, now);
+}
+
+bool
+RandomRestartStrategy::commitBest(StrategyHost& host, double now)
+{
+    if (haveBest_) {
+        host.applyTarget(bestCfg_, now);
+        host.emitAccept(bestPerf_, 0.0, -1, restart_, now);
+        return true;
+    }
+    // No start (the initial point included) ever measured under the cap:
+    // retreat to the all-lowest corner, the least this walk can draw.
+    machine::MachineConfig floor = host.config();
+    for (size_t i = 0; i < host.order().size(); ++i)
+        host.order()[i].apply(floor, 0);
+    host.applyTarget(floor, now);
+    return true;
+}
+
+bool
+RandomRestartStrategy::step(StrategyHost& host, double perfF, double powerF,
+                            double now)
+{
+    const bool feasible = !host.checkPower() || powerF <= host.capWatts();
+    switch (phase_) {
+      case Phase::kBaseline: {
+        if (feasible) {
+            haveBest_ = true;
+            bestCfg_ = host.config();
+            bestPerf_ = perfF;
+        }
+        return nextRestart(host, now);
+      }
+
+      case Phase::kStart: {
+        if (!feasible) {
+            // An over-cap start is not worth repairing -- the next random
+            // point is as likely to land somewhere feasible and higher.
+            host.emitReject(0.0, powerF, -1, restart_, now);
+            return nextRestart(host, now);
+        }
+        if (!haveBest_ || perfF > bestPerf_) {
+            haveBest_ = true;
+            bestCfg_ = host.config();
+            bestPerf_ = perfF;
+        }
+        currentPerf_ = perfF;
+        idx_ = 0;
+        return climbNext(host, now);
+      }
+
+      case Phase::kClimb: {
+        const double ratio = currentPerf_ > 0.0 ? perfF / currentPerf_ : 0.0;
+        const bool improved =
+            perfF >= currentPerf_ * (1.0 + host.perfEpsilon());
+        if (improved && feasible) {
+            host.emitAccept(ratio, powerF, int32_t(idx_),
+                            host.order()[idx_].setting(host.config()), now);
+            currentPerf_ = perfF;
+            if (perfF > bestPerf_) {
+                bestCfg_ = host.config();
+                bestPerf_ = perfF;
+            }
+            return climbNext(host, now);
+        }
+        host.setResource(idx_, prevSetting_, now);
+        host.emitReject(ratio, powerF, int32_t(idx_), prevSetting_, now);
+        ++idx_;
+        return climbNext(host, now);
+      }
+    }
+    return false;
+}
+
+std::string
+RandomRestartStrategy::phaseName() const
+{
+    switch (phase_) {
+      case Phase::kBaseline: return "rnd-baseline";
+      case Phase::kStart: return "rnd-start";
+      case Phase::kClimb: return "rnd-climb";
+    }
+    return "?";
+}
+
+}  // namespace pupil::core

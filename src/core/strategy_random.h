@@ -1,0 +1,61 @@
+#ifndef PUPIL_CORE_STRATEGY_RANDOM_H_
+#define PUPIL_CORE_STRATEGY_RANDOM_H_
+
+#include "core/strategy.h"
+#include "util/rng.h"
+
+namespace pupil::core {
+
+/**
+ * Random-restart hill climbing, the baseline the calibrated strategies
+ * must beat: jump to a seed-deterministic random point in the walk space,
+ * greedily climb from it (one upward probe per resource, riding
+ * improvements like the hill climber), repeat for randomRestarts starts,
+ * and commit the best configuration ever measured under the cap.
+ *
+ * All randomness flows from one util::Rng re-seeded per walk from the
+ * strategy seed and the walk number, so runs are bit-reproducible and
+ * drift-triggered re-walks explore different starts.
+ */
+class RandomRestartStrategy : public DecisionStrategy
+{
+  public:
+    explicit RandomRestartStrategy(const StrategyOptions& options);
+
+    const char* name() const override { return "random-restart"; }
+    void begin(StrategyHost& host, double now) override;
+    bool step(StrategyHost& host, double perfF, double powerF,
+              double now) override;
+    int phaseId() const override { return int(phase_); }
+    std::string phaseName() const override;
+
+  private:
+    enum class Phase { kBaseline = 1, kStart = 2, kClimb = 3 };
+
+    /** Jump to the next random start; true when restarts are exhausted. */
+    bool nextRestart(StrategyHost& host, double now);
+
+    /** Arm the next upward probe of this climb; true when the pass ends. */
+    bool climbNext(StrategyHost& host, double now);
+
+    /** Commit the best measured-feasible config; always ends the walk. */
+    bool commitBest(StrategyHost& host, double now);
+
+    uint64_t seed_;
+    int restarts_;
+    util::Rng rng_;
+
+    Phase phase_ = Phase::kBaseline;
+    int walkNumber_ = 0;
+    int restart_ = 0;
+    size_t idx_ = 0;
+    int prevSetting_ = 0;
+    double currentPerf_ = 0.0;
+    bool haveBest_ = false;
+    machine::MachineConfig bestCfg_;
+    double bestPerf_ = 0.0;
+};
+
+}  // namespace pupil::core
+
+#endif  // PUPIL_CORE_STRATEGY_RANDOM_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "capping/rapl_governor.h"
+#include "harness/sweep.h"
 #include "capping/soft_dvfs.h"
 #include "capping/soft_modeling.h"
 #include "core/pupil.h"
@@ -37,7 +38,8 @@ allGovernors()
 }
 
 std::unique_ptr<capping::Governor>
-makeGovernor(GovernorKind kind, core::PowerDistPolicy pupilPolicy)
+makeGovernor(GovernorKind kind, core::PowerDistPolicy pupilPolicy,
+             const core::StrategyOptions& strategy)
 {
     switch (kind) {
       case GovernorKind::kRapl:
@@ -46,10 +48,17 @@ makeGovernor(GovernorKind kind, core::PowerDistPolicy pupilPolicy)
         return std::make_unique<capping::SoftDvfs>();
       case GovernorKind::kSoftModeling:
         return std::make_unique<capping::SoftModeling>();
-      case GovernorKind::kSoftDecision:
-        return std::make_unique<core::SoftDecision>();
-      case GovernorKind::kPupil:
-        return std::make_unique<core::Pupil>(pupilPolicy);
+      case GovernorKind::kSoftDecision: {
+        core::DecisionWalker::Options options =
+            core::SoftDecision::defaultOptions();
+        options.strategy = strategy;
+        return std::make_unique<core::SoftDecision>(options);
+      }
+      case GovernorKind::kPupil: {
+        core::DecisionWalker::Options options = core::Pupil::defaultOptions();
+        options.strategy = strategy;
+        return std::make_unique<core::Pupil>(pupilPolicy, options);
+      }
     }
     return nullptr;
 }
@@ -76,8 +85,14 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
                 options.durationSec, int32_t(kind), int32_t(apps.size()));
 
     rapl::RaplController rapl;
+    core::StrategyOptions strategy = options.strategy;
+    if (strategy.seed == 0) {
+        // Reserve one SplitMix64 stream of the experiment seed for the
+        // strategy RNG (distinct from the platform's noise streams).
+        strategy.seed = SweepRunner::deriveSeed(options.seed, 0x5EED);
+    }
     std::unique_ptr<capping::Governor> governor =
-        makeGovernor(kind, options.pupilPolicy);
+        makeGovernor(kind, options.pupilPolicy, strategy);
     governor->attachRapl(&rapl);
     governor->setCap(options.capWatts);
     platform.addActor(&rapl);

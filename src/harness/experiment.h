@@ -9,6 +9,7 @@
 
 #include "capping/governor.h"
 #include "core/power_dist.h"
+#include "core/strategy.h"
 #include "sched/scheduler.h"
 #include "sim/platform.h"
 #include "telemetry/settling.h"
@@ -44,6 +45,15 @@ struct ExperimentOptions
     /** PUPiL's socket power-distribution policy (ablation knob). */
     core::PowerDistPolicy pupilPolicy =
         core::PowerDistPolicy::kCoreProportional;
+
+    /**
+     * Decision discipline for the walker-based governors (kSoftDecision
+     * and kPupil; the others have no walker and ignore it). A zero
+     * strategy seed is replaced with a SplitMix64 derivation from the
+     * experiment seed, so stochastic strategies stay bit-reproducible
+     * under sweeps at any thread count.
+     */
+    core::StrategyOptions strategy;
 
     /**
      * Per-app finite work (items). When non-empty the run becomes a
@@ -113,7 +123,8 @@ struct ExperimentResult
 std::unique_ptr<capping::Governor> makeGovernor(
     GovernorKind kind,
     core::PowerDistPolicy pupilPolicy =
-        core::PowerDistPolicy::kCoreProportional);
+        core::PowerDistPolicy::kCoreProportional,
+    const core::StrategyOptions& strategy = {});
 
 /**
  * Run one experiment: warm-start the platform uncapped in the maximal

@@ -36,9 +36,11 @@ enum class EventKind : uint8_t {
     kWalkStep,         ///< a=filtered perf, b=filtered power, i0=phase
     kConfigTry,        ///< i0=resource index, i1=setting written
     kConfigAccept,     ///< a=perf speedup estimate, b=filtered power,
-                       ///< i0=resource index, i1=setting kept
+                       ///< i0=resource index (-1: whole-config move),
+                       ///< i1=setting kept
     kConfigReject,     ///< a=perf ratio, b=filtered power,
-                       ///< i0=resource index, i1=setting restored
+                       ///< i0=resource index (-1: whole-config move),
+                       ///< i1=setting restored
     kWalkConverged,    ///< a=seconds since walk start, i0=steps taken
     kSampleRejected,   ///< a=perf sample, b=power sample
 

@@ -208,5 +208,62 @@ TEST(WalkerProperty, NeverAcceptsAConfigWhoseModeledPowerExceedsTheCap)
     EXPECT_GT(accepts, kCases);
 }
 
+TEST(StrategyProperty, NoStrategyEverConvergesOverTheCap)
+{
+    // The strategy-generic walker-never-over-cap suite: for every decision
+    // discipline in the zoo, ~kCases random (resource subset, cap, app)
+    // walks in software-checked mode must end the Monitor phase on a
+    // configuration whose measured power is at or below the cap. The
+    // subset draw exercises walks over partial orders (single resources,
+    // no DVFS, DVFS alone), not just the full calibrated machine.
+    const sched::Scheduler scheduler;
+    const machine::PowerModel pm;
+    const auto fullOrder =
+        core::calibrateOrdering(scheduler, pm, workload::calibrationApp())
+            .orderedResources(true);
+    const auto& catalog = workload::benchmarkCatalog();
+    for (const core::StrategyKind kind : core::allStrategyKinds()) {
+        util::Rng rng(0xC0FFEE ^ uint64_t(kind));
+        for (int c = 0; c < kCases; ++c) {
+            std::vector<core::Resource> order;
+            for (const core::Resource& r : fullOrder)
+                if (rng.bernoulli(0.7))
+                    order.push_back(r);
+            if (order.empty())
+                order.push_back(fullOrder[rng.uniformInt(fullOrder.size())]);
+            const auto& app = catalog[rng.uniformInt(catalog.size())];
+            const double cap = rng.uniform(60.0, 220.0);
+
+            core::DecisionWalker::Options options;
+            options.windowSamples = 5;
+            options.checkPower = true;
+            options.strategy.kind = kind;
+            options.strategy.seed = rng.next() | 1;  // non-zero
+            core::DecisionWalker walker(order, options);
+            walker.start(machine::minimalConfig(), cap, 0.0);
+            const std::vector<sched::AppDemand> apps = {{&app, 32}};
+            double now = 0.0;
+            while (!walker.converged() && now < 900.0) {
+                now += 0.1;
+                const auto out =
+                    scheduler.solve(walker.config(), {1.0, 1.0}, apps);
+                walker.addSample(out.apps[0].itemsPerSec / 1e6,
+                                 pm.totalPower(walker.config(), out.loads),
+                                 now);
+            }
+            ASSERT_TRUE(walker.converged())
+                << core::strategyName(kind) << ' ' << app.name
+                << " cap=" << cap << " stuck in " << walker.phaseName();
+            const auto out =
+                scheduler.solve(walker.config(), {1.0, 1.0}, apps);
+            const double power = pm.totalPower(walker.config(), out.loads);
+            EXPECT_LE(power, cap + 1e-6)
+                << core::strategyName(kind) << ' ' << app.name
+                << " cap=" << cap << " converged on "
+                << walker.config().toString();
+        }
+    }
+}
+
 }  // namespace
 }  // namespace pupil
