@@ -15,7 +15,9 @@
  * A final section steps a tiny hierarchical budget tree (2 racks x 2
  * nodes) through a node-loss window, asserting budget conservation at
  * every level -- the cheap stand-in for the full bench/cluster_scale
- * sweep.
+ * sweep. One of its nodes serves open-loop tenant traffic, so the
+ * LoadDriver-under-BudgetTree path (churn riding under grant changes)
+ * is exercised on every CI pass too.
  */
 #include <algorithm>
 #include <cstdio>
@@ -121,6 +123,14 @@ main(int argc, char** argv)
         topts.threads = 1;
         cluster::BudgetTree tree(topts);
         const char* treeApps[4] = {"swaptions", "kmeans", "x264", "btree"};
+        // Node r1n1 also serves open-loop tenant traffic: a hot stream
+        // (4 jobs/s) so arrivals, binds, and completions all fire within
+        // the 10 simulated seconds.
+        load::LoadDriver::Options churn;
+        churn.enabled = true;
+        churn.spec.ratePerSec = 4.0;
+        churn.spec.meanWorkItems = 3.0;
+        churn.spec.minWorkItems = 1.0;
         for (int r = 0; r < 2; ++r) {
             const size_t rack = tree.addRack("rack" + std::to_string(r));
             for (int n = 0; n < 2; ++n)
@@ -129,7 +139,11 @@ main(int argc, char** argv)
                                  std::to_string(n),
                              harness::singleApp(treeApps[r * 2 + n]),
                              harness::GovernorKind::kPupil,
-                             bench::envSeed(1) + uint64_t(r * 2 + n));
+                             bench::envSeed(1) + uint64_t(r * 2 + n),
+                             "",
+                             r == 1 && n == 1
+                                 ? churn
+                                 : load::LoadDriver::Options());
         }
         const auto schedule =
             faults::FaultSchedule::parse("node-loss,r0n1,3,6");
@@ -153,9 +167,20 @@ main(int argc, char** argv)
                         tree.lossEvents(), tree.rejoinEvents());
             ++failures;
         }
+        const load::SloTracker& churned = tree.node(1, 1).load->tracker();
+        if (churned.totalArrivals() == 0 ||
+            churned.totalCompletions() == 0) {
+            std::printf("FAIL tree: churn node saw %llu arrivals / %llu "
+                        "completions (expected both > 0)\n",
+                        (unsigned long long)churned.totalArrivals(),
+                        (unsigned long long)churned.totalCompletions());
+            ++failures;
+        }
         if (failures == 0)
-            std::printf("ok   budget-tree   4 nodes: perf %.4f, err %.1e W\n",
-                        tree.aggregatePerformance(), worstError);
+            std::printf("ok   budget-tree   4 nodes: perf %.4f, err %.1e W, "
+                        "%llu tenant jobs served\n",
+                        tree.aggregatePerformance(), worstError,
+                        (unsigned long long)churned.totalCompletions());
     }
 
     if (failures > 0) {

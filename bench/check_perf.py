@@ -28,6 +28,7 @@ KNOWN_SCHEMAS = {
     "pupil-perf-regression-v1",
     "pupil-cluster-scale-v1",
     "pupil-strategy-tournament-v1",
+    "pupil-slo-frontier-v1",
 }
 
 
@@ -82,12 +83,19 @@ def main(argv):
         return 1
 
     failures = []
+    missing = []
     print(f"{'metric':<38} {'measured':>9} {'baseline':>9} {'min ok':>8}")
     for name in sorted(set(ratios) | set(floors)):
         try:
             measured = lookup(merged, name)
         except KeyError:
+            # A baseline key the bench output no longer produces is as
+            # loud as a regression: print it in the table AND explain
+            # which files were merged, so a renamed metric or a bench
+            # dropped from the CI invocation cannot pass silently.
+            print(f"{name:<38} {'-':>9} {'-':>9} {'-':>8}  MISSING")
             failures.append(f"{name}: missing from bench output")
+            missing.append(name)
             continue
         minimum = 0.0
         if name in ratios:
@@ -102,6 +110,20 @@ def main(argv):
             failures.append(
                 f"{name}: measured {measured:.3f} < minimum {minimum:.3f}")
 
+    if missing:
+        sections = sorted(k for k in merged
+                          if k not in ("schema", "mode", "seed"))
+        print(f"\ncheck_perf: {len(missing)} expected baseline key(s) "
+              f"absent from the bench output:", file=sys.stderr)
+        for name in missing:
+            print(f"  - {name}", file=sys.stderr)
+        print(f"  merged {len(bench_paths)} bench file(s): "
+              f"{', '.join(bench_paths)}", file=sys.stderr)
+        print(f"  sections present after merge: "
+              f"{', '.join(sections) or '(none)'}", file=sys.stderr)
+        print("  (was a bench dropped from the invocation, or a metric "
+              "renamed without updating bench/perf_baseline.json?)",
+              file=sys.stderr)
     if failures:
         print("\ncheck_perf: performance regression detected:",
               file=sys.stderr)

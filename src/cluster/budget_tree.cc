@@ -6,6 +6,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "workload/catalog.h"
+
 namespace pupil::cluster {
 
 namespace {
@@ -66,7 +68,8 @@ size_t
 BudgetTree::addNode(size_t rackIndex, const std::string& name,
                     const std::vector<sched::AppDemand>& apps,
                     harness::GovernorKind kind, uint64_t seed,
-                    const std::string& faultSpec)
+                    const std::string& faultSpec,
+                    const load::LoadDriver::Options& load)
 {
     assert(!started_);
     Rack& rack = *racks_[rackIndex];
@@ -75,13 +78,30 @@ BudgetTree::addNode(size_t rackIndex, const std::string& name,
     sim::PlatformOptions popts;
     popts.seed = seed;
     popts.faultSpec = faultSpec;
-    node->platform = std::make_unique<sim::Platform>(popts, apps);
+    std::vector<sched::AppDemand> demand = apps;
+    const size_t firstLoadSlot = demand.size();
+    if (load.enabled) {
+        for (size_t s = 0; s < std::max<size_t>(load.slots, 1); ++s)
+            demand.push_back({&workload::calibrationApp(), 0});
+    }
+    node->platform =
+        std::make_unique<sim::Platform>(popts, std::move(demand));
     node->platform->warmStart(machine::maximalConfig());
     node->rapl = std::make_unique<rapl::RaplController>();
     node->governor = harness::makeGovernor(kind);
     node->governor->attachRapl(node->rapl.get());
     node->platform->addActor(node->rapl.get());
     node->platform->addActor(node->governor.get());
+    if (load.enabled) {
+        const uint64_t loadSeed =
+            load.seed != 0
+                ? load.seed
+                : harness::SweepRunner::deriveSeed(seed, 0x70AD);
+        node->load = std::make_unique<load::LoadDriver>(
+            load, firstLoadSlot, loadSeed);
+        node->load->attachGovernor(node->governor.get());
+        node->platform->addActor(node->load.get());
+    }
     // Node platforms stay untraced: a trace::Recorder is single-owner and
     // the leaves step concurrently. The tree emits the cluster- and
     // rack-level timeline into the recorder attached via attachTrace().
@@ -530,6 +550,16 @@ BudgetTree::stateDigest() const
             mixDouble(hash, node->platform->truePower());
             for (size_t i = 0; i < node->platform->appCount(); ++i)
                 mixDouble(hash, node->platform->trueAppRate(i));
+            if (node->load != nullptr) {
+                // Churn bookkeeping is deterministic state too: a thread
+                // count that perturbed tenant scheduling must fail the
+                // serial-vs-parallel digest comparison.
+                const load::SloTracker& tracker = node->load->tracker();
+                mix(hash, tracker.totalArrivals());
+                mix(hash, tracker.totalCompletions());
+                mix(hash, tracker.totalViolations());
+                mix(hash, tracker.totalDrops());
+            }
         }
     }
     return hash;

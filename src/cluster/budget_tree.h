@@ -96,12 +96,19 @@ class BudgetTree
     /**
      * Add a node under rack @p rack running @p apps. Returns its index
      * within the rack. @p faultSpec injects node-local faults into the
-     * node's own platform. Call before run().
+     * node's own platform. When @p load is enabled the node also serves
+     * open-loop tenant traffic: slots are appended after @p apps and a
+     * load::LoadDriver (seeded from the node seed unless load.seed is
+     * set) churns jobs through them against the node governor's live
+     * cap, so arrivals and departures ride under BudgetTree grant
+     * changes. Call before run().
      */
     size_t addNode(size_t rack, const std::string& name,
                    const std::vector<sched::AppDemand>& apps,
                    harness::GovernorKind kind = harness::GovernorKind::kPupil,
-                   uint64_t seed = 1, const std::string& faultSpec = "");
+                   uint64_t seed = 1, const std::string& faultSpec = "",
+                   const load::LoadDriver::Options& load =
+                       load::LoadDriver::Options());
 
     /**
      * Attach a cluster-level fault schedule; node-loss events match node

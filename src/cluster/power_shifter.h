@@ -9,6 +9,7 @@
 #include "cluster/budget_policy.h"
 #include "faults/schedule.h"
 #include "harness/experiment.h"
+#include "load/load_driver.h"
 #include "rapl/rapl.h"
 #include "sim/platform.h"
 #include "trace/trace.h"
@@ -26,6 +27,8 @@ struct Node
     std::unique_ptr<sim::Platform> platform;
     std::unique_ptr<rapl::RaplController> rapl;
     std::unique_ptr<capping::Governor> governor;
+    /** Tenant-traffic driver, or null when the node runs static apps. */
+    std::unique_ptr<load::LoadDriver> load;
     double capWatts = 0.0;
     /** False while a node-loss fault has the node offline. */
     bool online = true;

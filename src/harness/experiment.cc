@@ -69,7 +69,15 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
 {
     sim::PlatformOptions platformOptions = options.platform;
     platformOptions.seed = options.seed;
-    sim::Platform platform(platformOptions, apps);
+    // Tenant-traffic runs get a block of idle app slots after the static
+    // apps; the LoadDriver binds and releases jobs there.
+    std::vector<sched::AppDemand> demand = apps;
+    const size_t firstLoadSlot = demand.size();
+    if (options.load.enabled) {
+        for (size_t s = 0; s < std::max<size_t>(options.load.slots, 1); ++s)
+            demand.push_back({&workload::calibrationApp(), 0});
+    }
+    sim::Platform platform(platformOptions, std::move(demand));
     // The machine is busy and uncapped before the governor engages.
     platform.warmStart(machine::maximalConfig());
     // Per-job accounting starts from zero no matter how the caller obtained
@@ -97,6 +105,18 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     governor->setCap(options.capWatts);
     platform.addActor(&rapl);
     platform.addActor(governor.get());
+
+    std::unique_ptr<load::LoadDriver> loadDriver;
+    if (options.load.enabled) {
+        const uint64_t loadSeed =
+            options.load.seed != 0
+                ? options.load.seed
+                : SweepRunner::deriveSeed(options.seed, 0x70AD);
+        loadDriver = std::make_unique<load::LoadDriver>(
+            options.load, firstLoadSlot, loadSeed);
+        loadDriver->attachGovernor(governor.get());
+        platform.addActor(loadDriver.get());
+    }
 
     double duration = options.durationSec;
     if (!options.workItems.empty()) {
@@ -147,6 +167,17 @@ runExperiment(GovernorKind kind, const std::vector<sched::AppDemand>& apps,
     }
     result.powerTrace = platform.powerTrace();
     result.perfTrace = platform.perfTrace();
+
+    if (loadDriver != nullptr) {
+        loadDriver->finish(platform);
+        const load::SloTracker& tracker = loadDriver->tracker();
+        result.jobsArrived = tracker.totalArrivals();
+        result.jobsCompleted = tracker.totalCompletions();
+        result.jobsDropped = tracker.totalDrops();
+        result.sloViolations = tracker.totalViolations();
+        result.p99LatencySec = tracker.p99LatencySec();
+        result.sloViolationRate = tracker.violationRate();
+    }
 
     // Republish the legacy ad-hoc Counters fields through the registry so
     // every number a run produces flows out through one interface.

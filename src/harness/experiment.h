@@ -10,6 +10,7 @@
 #include "capping/governor.h"
 #include "core/power_dist.h"
 #include "core/strategy.h"
+#include "load/load_driver.h"
 #include "sched/scheduler.h"
 #include "sim/platform.h"
 #include "telemetry/settling.h"
@@ -65,6 +66,18 @@ struct ExperimentOptions
     double maxDurationSec = 2000.0;
 
     /**
+     * Open-loop tenant traffic (disabled by default). When enabled the
+     * harness appends load.slots idle app slots to the demand vector,
+     * constructs a load::LoadDriver whose seed (if 0) is derived from
+     * the experiment seed, attaches the run's governor as its cap
+     * source, and scores every job against its SLO; the tracker totals
+     * land in the jobs/slo result fields and the load.* metrics.
+     * When disabled no driver exists and the run is byte-identical to a
+     * build without the subsystem.
+     */
+    load::LoadDriver::Options load;
+
+    /**
      * Structured-event recorder for this run (not owned; null = untraced).
      * The harness attaches it to the platform (which propagates it to the
      * fault injector and to every actor at onStart) and brackets the run
@@ -107,6 +120,18 @@ struct ExperimentResult
     double degradedSec = 0.0;
     uint64_t faultsInjected = 0;
     uint64_t faultsDetected = 0;
+    /**
+     * Open-loop traffic outcome (all zero unless options.load.enabled):
+     * arrival/completion/drop totals, SLO violations (late completions +
+     * drops + overdue abandonments), pooled p99 latency, and the
+     * violation rate over scored jobs.
+     */
+    uint64_t jobsArrived = 0;
+    uint64_t jobsCompleted = 0;
+    uint64_t jobsDropped = 0;
+    uint64_t sloViolations = 0;
+    double p99LatencySec = 0.0;
+    double sloViolationRate = 0.0;
     std::vector<telemetry::TracePoint> powerTrace;
     std::vector<telemetry::TracePoint> perfTrace;
     /**

@@ -122,7 +122,9 @@ SweepRunner::run(const std::vector<SweepJob>& jobs)
             SweepOutcome& out = outcomes[i];
             out.jobIndex = i;
             out.label = job.label;
-            if (job.apps.empty())
+            // A job needs something to run: static apps, or a tenant
+            // traffic stream that will bind jobs into load slots.
+            if (job.apps.empty() && !job.options.load.enabled)
                 throw std::invalid_argument("sweep job has no applications");
             ExperimentOptions options = job.options;
             if (options_.deriveSeeds)

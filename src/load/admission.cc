@@ -1,0 +1,69 @@
+#include "admission.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pupil::load {
+
+AdmissionQueue::AdmissionQueue(size_t capacityPerTier)
+    : capacity_(std::max<size_t>(capacityPerTier, 1))
+{
+    for (Ring& ring : rings_)
+        ring.slots.resize(capacity_);
+}
+
+bool
+AdmissionQueue::push(const TenantJob& job)
+{
+    Ring& ring = rings_[size_t(job.tier)];
+    if (ring.count == capacity_) {
+        ++ring.dropped;
+        return false;
+    }
+    ring.slots[(ring.head + ring.count) % capacity_] = job;
+    ++ring.count;
+    ring.workSum += job.workItems;
+    ++pushed_;
+    return true;
+}
+
+bool
+AdmissionQueue::pop(Tier tier, TenantJob& out)
+{
+    Ring& ring = rings_[size_t(tier)];
+    if (ring.count == 0)
+        return false;
+    out = ring.slots[ring.head];
+    ring.head = (ring.head + 1) % capacity_;
+    --ring.count;
+    ring.workSum = std::max(0.0, ring.workSum - out.workItems);
+    return true;
+}
+
+const TenantJob&
+AdmissionQueue::front(Tier tier) const
+{
+    const Ring& ring = rings_[size_t(tier)];
+    assert(ring.count > 0);
+    return ring.slots[ring.head];
+}
+
+size_t
+AdmissionQueue::totalDepth() const
+{
+    size_t total = 0;
+    for (const Ring& ring : rings_)
+        total += ring.count;
+    return total;
+}
+
+uint64_t
+AdmissionQueue::droppedTotal() const
+{
+    uint64_t total = 0;
+    for (const Ring& ring : rings_)
+        total += ring.dropped;
+    return total;
+}
+
+}  // namespace pupil::load

@@ -1,0 +1,72 @@
+#ifndef PUPIL_LOAD_ADMISSION_H_
+#define PUPIL_LOAD_ADMISSION_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "load/traffic.h"
+
+namespace pupil::load {
+
+/**
+ * Bounded admission queue for tenant jobs: one fixed-capacity FIFO ring
+ * per tier, allocated once at construction. push() and pop() are a few
+ * stores -- no heap traffic on the tick path, the same flight-recorder
+ * discipline as trace::Recorder. A job arriving to a full tier ring is
+ * dropped and counted (an open-loop system sheds load; it never blocks
+ * the arrival process).
+ *
+ * The queue also maintains the per-tier demand signals the cap arbiter
+ * consumes: queued job count and queued work (sum of work items).
+ */
+class AdmissionQueue
+{
+  public:
+    explicit AdmissionQueue(size_t capacityPerTier = kDefaultCapacity);
+
+    static constexpr size_t kDefaultCapacity = 256;
+
+    /** Enqueue @p job; false (and a drop count) when its tier is full. */
+    bool push(const TenantJob& job);
+
+    /** Dequeue the oldest job of @p tier into @p out; false when empty. */
+    bool pop(Tier tier, TenantJob& out);
+
+    /** Oldest job of @p tier without dequeuing (requires depth > 0). */
+    const TenantJob& front(Tier tier) const;
+
+    size_t capacityPerTier() const { return capacity_; }
+    size_t depth(Tier tier) const { return rings_[size_t(tier)].count; }
+    size_t totalDepth() const;
+    bool empty() const { return totalDepth() == 0; }
+
+    /** Sum of queued work items in @p tier (arbiter demand signal). */
+    double queuedWork(Tier tier) const
+    {
+        return rings_[size_t(tier)].workSum;
+    }
+
+    uint64_t pushed() const { return pushed_; }
+    uint64_t dropped(Tier tier) const { return rings_[size_t(tier)].dropped; }
+    uint64_t droppedTotal() const;
+
+  private:
+    struct Ring
+    {
+        std::vector<TenantJob> slots;
+        size_t head = 0;   ///< oldest element
+        size_t count = 0;
+        double workSum = 0.0;
+        uint64_t dropped = 0;
+    };
+
+    std::array<Ring, kTierCount> rings_;
+    size_t capacity_;
+    uint64_t pushed_ = 0;
+};
+
+}  // namespace pupil::load
+
+#endif  // PUPIL_LOAD_ADMISSION_H_

@@ -1,0 +1,71 @@
+#include "cap_arbiter.h"
+
+#include <algorithm>
+
+namespace pupil::slo {
+
+CapArbiter::CapArbiter(const Options& options) : options_(options) {}
+
+std::array<double, load::kTierCount>
+CapArbiter::split(double capWatts,
+                  const std::array<double, load::kTierCount>& demand) const
+{
+    std::array<double, load::kTierCount> grants = {};
+    const double cap = std::max(capWatts, 0.0);
+    if (cap <= 0.0)
+        return grants;
+
+    // Floors for active (nonzero-demand) tiers, scaled down uniformly if
+    // they alone oversubscribe the cap.
+    double floorSum = 0.0;
+    std::array<double, load::kTierCount> floors = {};
+    bool anyActive = false;
+    for (int t = 0; t < load::kTierCount; ++t) {
+        if (demand[t] <= 0.0)
+            continue;
+        anyActive = true;
+        floors[t] = std::max(options_.floorFrac[t], 0.0) * cap;
+        floorSum += floors[t];
+    }
+    if (!anyActive)
+        return grants;
+    if (floorSum > cap) {
+        const double scale = cap / floorSum;
+        for (double& f : floors)
+            f *= scale;
+        floorSum = cap;
+    }
+
+    // Residual divided in proportion to priority weight x demand.
+    const double residual = cap - floorSum;
+    double weightSum = 0.0;
+    for (int t = 0; t < load::kTierCount; ++t) {
+        if (demand[t] > 0.0)
+            weightSum += std::max(options_.weight[t], 0.0) * demand[t];
+    }
+    for (int t = 0; t < load::kTierCount; ++t) {
+        if (demand[t] <= 0.0)
+            continue;
+        const double w = std::max(options_.weight[t], 0.0) * demand[t];
+        grants[t] = floors[t] +
+                    (weightSum > 0.0 ? residual * w / weightSum : 0.0);
+    }
+    // Degenerate all-zero-weight case: hand the residual out by floor
+    // proportion (or evenly when every floor is zero) so the cap is
+    // never stranded while demand exists.
+    if (weightSum <= 0.0 && residual > 0.0) {
+        int active = 0;
+        for (int t = 0; t < load::kTierCount; ++t)
+            active += demand[t] > 0.0 ? 1 : 0;
+        for (int t = 0; t < load::kTierCount; ++t) {
+            if (demand[t] <= 0.0)
+                continue;
+            grants[t] += floorSum > 0.0
+                             ? residual * floors[t] / floorSum
+                             : residual / double(active);
+        }
+    }
+    return grants;
+}
+
+}  // namespace pupil::slo

@@ -1,0 +1,70 @@
+#ifndef PUPIL_LOAD_CAP_ARBITER_H_
+#define PUPIL_LOAD_CAP_ARBITER_H_
+
+#include <array>
+
+#include "load/traffic.h"
+
+namespace pupil::slo {
+
+/**
+ * SLO-aware cap arbitration: splits one node's power cap across tenant
+ * tiers, FastCap-style -- demand-weighted fair shares with protected
+ * floors for high-priority tiers -- instead of the pure max-throughput
+ * objective the governors optimize below it.
+ *
+ * Invariants (pinned by the ~100-case property suite):
+ *  - conservation: the grants sum to exactly the cap while any tier has
+ *    demand, and never exceed it;
+ *  - no starvation: a tier with nonzero demand is never granted less
+ *    than its floor (floorFrac * cap), unless the active floors alone
+ *    oversubscribe the cap, in which case every floor is scaled by the
+ *    same factor (the relative protection ordering survives);
+ *  - no stranding: tiers with zero demand are granted nothing; their
+ *    watts flow to the active tiers.
+ *
+ * Above the floors, the residual cap is divided in proportion to
+ * priority weight x demand -- FastCap's insight that fair allocation
+ * should follow *demand*, not a static split, carried from per-core
+ * frequency budgets up to per-tenant power budgets.
+ *
+ * The arbiter is pure arithmetic over plain arrays (no allocation, no
+ * RNG): LoadDriver runs it every arbiter period against the live cap of
+ * the node's governor, so cluster-level grant changes (BudgetTree cap
+ * pushes) propagate into tenant scheduling within one period.
+ */
+class CapArbiter
+{
+  public:
+    struct Options
+    {
+        /** Priority weight of each tier's demand above the floors. */
+        std::array<double, load::kTierCount> weight = {4.0, 2.0, 1.0};
+        /**
+         * Protected floor of a nonzero-demand tier, as a fraction of
+         * the cap. Zero-demand tiers forfeit their floor entirely.
+         */
+        std::array<double, load::kTierCount> floorFrac = {0.25, 0.10, 0.05};
+    };
+
+    CapArbiter() : CapArbiter(Options()) {}
+    explicit CapArbiter(const Options& options);
+
+    /**
+     * Split @p capWatts across the tiers given their demand signals
+     * (any nonnegative units -- queued + running work items here; only
+     * ratios and zero/nonzero matter).
+     */
+    std::array<double, load::kTierCount> split(
+        double capWatts,
+        const std::array<double, load::kTierCount>& demand) const;
+
+    const Options& options() const { return options_; }
+
+  private:
+    Options options_;
+};
+
+}  // namespace pupil::slo
+
+#endif  // PUPIL_LOAD_CAP_ARBITER_H_

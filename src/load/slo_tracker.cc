@@ -1,0 +1,203 @@
+#include "slo_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace pupil::load {
+
+void
+SloTracker::Histogram::record(double latencySec)
+{
+    const double clamped = std::max(latencySec, 0.0);
+    int bucket = 0;
+    if (clamped > kLatMinSec) {
+        bucket = int(std::log(clamped / kLatMinSec) /
+                     std::log(kLatGrowth)) +
+                 1;
+        bucket = std::min(bucket, kBuckets - 1);
+    }
+    ++counts[size_t(bucket)];
+    ++total;
+    sum += clamped;
+}
+
+double
+SloTracker::Histogram::p99() const
+{
+    if (total == 0)
+        return 0.0;
+    // Smallest bucket whose cumulative count covers the 99th percentile;
+    // report its upper edge (pessimistic by at most one bucket width).
+    const uint64_t target =
+        uint64_t(std::ceil(0.99 * double(total)));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += counts[size_t(i)];
+        if (seen >= target)
+            return kLatMinSec * std::pow(kLatGrowth, i);
+    }
+    return kLatMinSec * std::pow(kLatGrowth, kBuckets - 1);
+}
+
+SloTracker::SloTracker() = default;
+
+void
+SloTracker::onArrive(Tier tier)
+{
+    ++tiers_[size_t(tier)].arrivals;
+}
+
+void
+SloTracker::onAdmit(Tier tier, double waitSec)
+{
+    TierStats& stats = tiers_[size_t(tier)];
+    ++stats.admitted;
+    stats.waitSum += std::max(waitSec, 0.0);
+}
+
+bool
+SloTracker::onComplete(Tier tier, double latencySec, double sloSec)
+{
+    TierStats& stats = tiers_[size_t(tier)];
+    ++stats.completions;
+    stats.latency.record(latencySec);
+    pooled_.record(latencySec);
+    const bool violated = latencySec > sloSec;
+    if (violated)
+        ++stats.violations;
+    return violated;
+}
+
+void
+SloTracker::onDrop(Tier tier)
+{
+    TierStats& stats = tiers_[size_t(tier)];
+    ++stats.drops;
+    ++stats.violations;
+}
+
+void
+SloTracker::onAbandon(Tier tier, double latencySec)
+{
+    TierStats& stats = tiers_[size_t(tier)];
+    ++stats.abandoned;
+    ++stats.violations;
+    stats.latency.record(latencySec);
+    pooled_.record(latencySec);
+}
+
+uint64_t
+SloTracker::totalArrivals() const
+{
+    uint64_t total = 0;
+    for (const TierStats& stats : tiers_)
+        total += stats.arrivals;
+    return total;
+}
+
+uint64_t
+SloTracker::totalCompletions() const
+{
+    uint64_t total = 0;
+    for (const TierStats& stats : tiers_)
+        total += stats.completions;
+    return total;
+}
+
+uint64_t
+SloTracker::totalViolations() const
+{
+    uint64_t total = 0;
+    for (const TierStats& stats : tiers_)
+        total += stats.violations;
+    return total;
+}
+
+uint64_t
+SloTracker::totalDrops() const
+{
+    uint64_t total = 0;
+    for (const TierStats& stats : tiers_)
+        total += stats.drops;
+    return total;
+}
+
+uint64_t
+SloTracker::totalScored() const
+{
+    uint64_t total = 0;
+    for (const TierStats& stats : tiers_)
+        total += stats.completions + stats.drops + stats.abandoned;
+    return total;
+}
+
+double
+SloTracker::p99LatencySec(Tier tier) const
+{
+    return tiers_[size_t(tier)].latency.p99();
+}
+
+double
+SloTracker::p99LatencySec() const
+{
+    return pooled_.p99();
+}
+
+double
+SloTracker::meanLatencySec(Tier tier) const
+{
+    return tiers_[size_t(tier)].latency.mean();
+}
+
+double
+SloTracker::meanQueueWaitSec(Tier tier) const
+{
+    const TierStats& stats = tiers_[size_t(tier)];
+    return stats.admitted > 0 ? stats.waitSum / double(stats.admitted) : 0.0;
+}
+
+double
+SloTracker::violationRate(Tier tier) const
+{
+    const TierStats& stats = tiers_[size_t(tier)];
+    const uint64_t scored =
+        stats.completions + stats.drops + stats.abandoned;
+    return scored > 0 ? double(stats.violations) / double(scored) : 0.0;
+}
+
+double
+SloTracker::violationRate() const
+{
+    const uint64_t scored = totalScored();
+    return scored > 0 ? double(totalViolations()) / double(scored) : 0.0;
+}
+
+void
+SloTracker::publish(telemetry::MetricsRegistry& metrics) const
+{
+    metrics.setGauge("load.arrivals", double(totalArrivals()));
+    metrics.setGauge("load.completions", double(totalCompletions()));
+    metrics.setGauge("load.violations", double(totalViolations()));
+    metrics.setGauge("load.drops", double(totalDrops()));
+    metrics.setGauge("load.scored", double(totalScored()));
+    metrics.setGauge("load.violation_rate", violationRate());
+    metrics.setGauge("load.p99_latency_sec", p99LatencySec());
+    for (int t = 0; t < kTierCount; ++t) {
+        const Tier tier = Tier(t);
+        const std::string prefix = std::string("load.") + tierName(tier);
+        metrics.setGauge(prefix + ".arrivals", double(arrivals(tier)));
+        metrics.setGauge(prefix + ".completions",
+                         double(completions(tier)));
+        metrics.setGauge(prefix + ".violations", double(violations(tier)));
+        metrics.setGauge(prefix + ".drops", double(drops(tier)));
+        metrics.setGauge(prefix + ".violation_rate", violationRate(tier));
+        metrics.setGauge(prefix + ".p99_sec", p99LatencySec(tier));
+        metrics.setGauge(prefix + ".mean_latency_sec",
+                         meanLatencySec(tier));
+        metrics.setGauge(prefix + ".mean_wait_sec",
+                         meanQueueWaitSec(tier));
+    }
+}
+
+}  // namespace pupil::load

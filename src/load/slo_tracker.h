@@ -1,0 +1,118 @@
+#ifndef PUPIL_LOAD_SLO_TRACKER_H_
+#define PUPIL_LOAD_SLO_TRACKER_H_
+
+#include <array>
+#include <cstdint>
+
+#include "load/traffic.h"
+#include "telemetry/metrics.h"
+
+namespace pupil::load {
+
+/**
+ * Per-tenant-tier SLO accounting: arrivals, admissions, completions,
+ * drops, and latency distributions, scored against each job's latency
+ * target.
+ *
+ * Latencies are recorded into fixed geometric-bucket histograms (one per
+ * tier plus a pooled one), allocated at construction, so recording is a
+ * couple of stores on the tick path. Tail quantiles (p99) are read from
+ * the buckets -- deterministic, allocation-free, and precise to one
+ * bucket width (~12% geometric spacing).
+ *
+ * A job is *scored* when its outcome is known: it completed, it was
+ * dropped by a full admission queue, or the run ended with the job
+ * overdue (abandoned). The violation rate is violations / scored, where
+ * late completions, drops, and overdue abandonments all violate --
+ * open-loop load shed at the queue is a miss, not a free pass.
+ */
+class SloTracker
+{
+  public:
+    SloTracker();
+
+    void onArrive(Tier tier);
+    /** Admission after @p waitSec in the queue. */
+    void onAdmit(Tier tier, double waitSec);
+    /** Completion at @p latencySec against @p sloSec; true = violated. */
+    bool onComplete(Tier tier, double latencySec, double sloSec);
+    /** Arrival shed because the admission queue was full. */
+    void onDrop(Tier tier);
+    /**
+     * Run ended with the job unfinished and already past its SLO; its
+     * (right-censored) latency still enters the histogram.
+     */
+    void onAbandon(Tier tier, double latencySec);
+
+    uint64_t arrivals(Tier tier) const { return tiers_[size_t(tier)].arrivals; }
+    uint64_t admitted(Tier tier) const { return tiers_[size_t(tier)].admitted; }
+    uint64_t completions(Tier tier) const
+    {
+        return tiers_[size_t(tier)].completions;
+    }
+    uint64_t violations(Tier tier) const
+    {
+        return tiers_[size_t(tier)].violations;
+    }
+    uint64_t drops(Tier tier) const { return tiers_[size_t(tier)].drops; }
+
+    uint64_t totalArrivals() const;
+    uint64_t totalCompletions() const;
+    uint64_t totalViolations() const;
+    uint64_t totalDrops() const;
+    /** Jobs with a known outcome (completed + dropped + abandoned). */
+    uint64_t totalScored() const;
+
+    /** p99 latency of @p tier (seconds; 0 with no samples). */
+    double p99LatencySec(Tier tier) const;
+    /** Pooled p99 latency across every tier. */
+    double p99LatencySec() const;
+    double meanLatencySec(Tier tier) const;
+    double meanQueueWaitSec(Tier tier) const;
+
+    double violationRate(Tier tier) const;
+    /** violations / scored across all tiers (0 when nothing scored). */
+    double violationRate() const;
+
+    /**
+     * Publish the accounting as load.* gauges/histogram summaries into
+     * @p metrics (load.arrivals, load.violation_rate, load.gold.p99_sec,
+     * ...). Called once at end of run by LoadDriver::finish.
+     */
+    void publish(telemetry::MetricsRegistry& metrics) const;
+
+  private:
+    /** Geometric latency buckets: kLatMin * kLatGrowth^i, i < kBuckets. */
+    static constexpr int kBuckets = 96;
+    static constexpr double kLatMinSec = 0.01;
+    static constexpr double kLatGrowth = 1.125;
+
+    struct Histogram
+    {
+        std::array<uint64_t, kBuckets> counts = {};
+        uint64_t total = 0;
+        double sum = 0.0;
+        void record(double latencySec);
+        double p99() const;
+        double mean() const { return total > 0 ? sum / double(total) : 0.0; }
+    };
+
+    struct TierStats
+    {
+        uint64_t arrivals = 0;
+        uint64_t admitted = 0;
+        uint64_t completions = 0;
+        uint64_t violations = 0;
+        uint64_t drops = 0;
+        uint64_t abandoned = 0;
+        double waitSum = 0.0;
+        Histogram latency;
+    };
+
+    std::array<TierStats, kTierCount> tiers_;
+    Histogram pooled_;
+};
+
+}  // namespace pupil::load
+
+#endif  // PUPIL_LOAD_SLO_TRACKER_H_

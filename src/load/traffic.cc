@@ -1,0 +1,140 @@
+#include "traffic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "workload/catalog.h"
+
+namespace pupil::load {
+
+const char*
+tierName(Tier tier)
+{
+    switch (tier) {
+      case Tier::kGold: return "gold";
+      case Tier::kSilver: return "silver";
+      case Tier::kBronze: return "bronze";
+    }
+    return "?";
+}
+
+const char*
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::kPoisson: return "poisson";
+      case ArrivalKind::kDiurnal: return "diurnal";
+      case ArrivalKind::kFlashCrowd: return "flash-crowd";
+    }
+    return "?";
+}
+
+const std::vector<ArrivalKind>&
+allArrivalKinds()
+{
+    static const std::vector<ArrivalKind> kinds = {
+        ArrivalKind::kPoisson, ArrivalKind::kDiurnal,
+        ArrivalKind::kFlashCrowd,
+    };
+    return kinds;
+}
+
+ArrivalGenerator::ArrivalGenerator(const TrafficSpec& spec, uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    spec_.ratePerSec = std::max(spec_.ratePerSec, 1e-6);
+    spec_.diurnalDepth = std::clamp(spec_.diurnalDepth, 0.0, 0.95);
+    spec_.flashMultiplier = std::max(spec_.flashMultiplier, 1.0);
+    spec_.meanWorkItems = std::max(spec_.meanWorkItems, spec_.minWorkItems);
+
+    const std::vector<std::string>& names =
+        spec_.apps.empty() ? workload::raplUnfriendlySet() : spec_.apps;
+    for (const std::string& name : names)
+        apps_.push_back(&workload::findBenchmark(name));
+    assert(!apps_.empty());
+
+    double total = 0.0;
+    for (const double share : spec_.tierShare)
+        total += std::max(share, 0.0);
+    double cum = 0.0;
+    for (int t = 0; t < kTierCount; ++t) {
+        cum += std::max(spec_.tierShare[t], 0.0);
+        tierCdf_[t] = total > 0.0 ? cum / total : double(t + 1) / kTierCount;
+    }
+    tierCdf_[kTierCount - 1] = 1.0;
+
+    switch (spec_.kind) {
+      case ArrivalKind::kPoisson:
+        peakRate_ = spec_.ratePerSec;
+        break;
+      case ArrivalKind::kDiurnal:
+        peakRate_ = spec_.ratePerSec * (1.0 + spec_.diurnalDepth);
+        break;
+      case ArrivalKind::kFlashCrowd:
+        peakRate_ = spec_.ratePerSec * spec_.flashMultiplier;
+        break;
+    }
+    advance();
+}
+
+double
+ArrivalGenerator::rateAt(double t) const
+{
+    switch (spec_.kind) {
+      case ArrivalKind::kPoisson:
+        return spec_.ratePerSec;
+      case ArrivalKind::kDiurnal:
+        return spec_.ratePerSec *
+               (1.0 + spec_.diurnalDepth *
+                          std::sin(2.0 * M_PI * t / spec_.diurnalPeriodSec));
+      case ArrivalKind::kFlashCrowd: {
+        const bool inFlash = t >= spec_.flashStartSec &&
+                             t < spec_.flashStartSec + spec_.flashDurationSec;
+        return spec_.ratePerSec * (inFlash ? spec_.flashMultiplier : 1.0);
+      }
+    }
+    return spec_.ratePerSec;
+}
+
+void
+ArrivalGenerator::advance()
+{
+    // Thinning (Lewis & Shedler): homogeneous candidates at the peak
+    // rate, accepted with probability rate(t)/peak. The acceptance draw
+    // happens for every candidate, accepted or not, so the stream is a
+    // pure function of (spec, seed).
+    for (;;) {
+        clock_ += -std::log(1.0 - rng_.uniform()) / peakRate_;
+        const double accept = rng_.uniform();
+        if (accept * peakRate_ > rateAt(clock_))
+            continue;
+
+        TenantJob job;
+        job.arriveSec = clock_;
+        const double tierDraw = rng_.uniform();
+        int tier = 0;
+        while (tier < kTierCount - 1 && tierDraw >= tierCdf_[tier])
+            ++tier;
+        job.tier = Tier(tier);
+        job.sloSec = spec_.tierSloSec[tier];
+        job.params = apps_[rng_.uniformInt(apps_.size())];
+        job.threads = spec_.threadsPerJob;
+        const double extra = spec_.meanWorkItems - spec_.minWorkItems;
+        job.workItems =
+            spec_.minWorkItems - std::log(1.0 - rng_.uniform()) * extra;
+        pending_ = job;
+        return;
+    }
+}
+
+TenantJob
+ArrivalGenerator::next()
+{
+    const TenantJob job = pending_;
+    ++emitted_;
+    advance();
+    return job;
+}
+
+}  // namespace pupil::load

@@ -207,6 +207,43 @@ Platform::setAppWorkItems(size_t i, double items)
     workItems_[i] = items;
 }
 
+void
+Platform::bindAppSlot(size_t i, const workload::AppParams* params,
+                      int threads, double workItems)
+{
+    assert(i < apps_.size());
+    assert(params != nullptr && threads > 0 && workItems > 0.0);
+    apps_[i].params = params;
+    apps_[i].threads = threads;
+    workItems_[i] = workItems;
+    cumItems_[i] = 0.0;
+    appItems_[i] = 0.0;
+    completionTime_[i] = -1.0;
+    // A fresh job starts cold; its rate lags toward steady state just
+    // like the warm-up of a statically configured app.
+    itemLags_[i].reset(0.0);
+    laggedItems_[i] = 0.0;
+    ++appsVersion_;
+
+    // Solo reference for the normalized performance signal; member
+    // buffers keep the re-solve off the heap once warm.
+    soloDemand_.resize(1);
+    soloDemand_[0] = apps_[i];
+    scheduler_.solve(machine::maximalConfig(), {1.0, 1.0}, soloDemand_,
+                     solveScratch_, soloOut_);
+    soloRef_[i] = std::max(soloOut_.apps[0].itemsPerSec, 1e-12);
+}
+
+void
+Platform::releaseAppSlot(size_t i)
+{
+    assert(i < apps_.size());
+    apps_[i].threads = 0;
+    workItems_[i] = 0.0;
+    completionTime_[i] = -1.0;
+    ++appsVersion_;
+}
+
 bool
 Platform::allComplete() const
 {

@@ -171,6 +171,24 @@ class Platform
     /** Completion time of app @p i (seconds), or -1 if still running. */
     double completionTime(size_t i) const { return completionTime_[i]; }
 
+    /**
+     * Bind a tenant job into app slot @p i: the slot takes the job's
+     * parameters, thread count, and finite work, its progress and
+     * completion state reset, and the solo reference rate is re-derived
+     * for the new parameters. The slot then behaves exactly like any
+     * finite-work app: when its items are done the threads leave and
+     * completionTime(i) records the departure. Reuses member scratch, so
+     * binding performs no steady-state-path allocations.
+     */
+    void bindAppSlot(size_t i, const workload::AppParams* params,
+                     int threads, double workItems);
+
+    /**
+     * Return slot @p i to the idle pool after its job was reaped: zero
+     * threads, no work, completion cleared, ready for the next bind.
+     */
+    void releaseAppSlot(size_t i);
+
     /** Whether every finite-work app has completed. */
     bool allComplete() const;
 
@@ -267,6 +285,9 @@ class Platform
 
     // References for normalized performance.
     std::vector<double> soloRef_;
+    // Reused buffers for bindAppSlot's solo-rate re-solve.
+    std::vector<sched::AppDemand> soloDemand_;
+    sched::SystemOutcome soloOut_;
 
     // Accounting.
     telemetry::EnergyAccount energy_;

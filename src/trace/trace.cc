@@ -13,6 +13,7 @@ subsystemName(Subsystem subsystem)
       case Subsystem::kFaults: return "faults";
       case Subsystem::kCluster: return "cluster";
       case Subsystem::kHarness: return "harness";
+      case Subsystem::kLoad: return "load";
     }
     return "?";
 }
@@ -44,6 +45,9 @@ kindName(EventKind kind)
       case EventKind::kRackGrant: return "rack-grant";
       case EventKind::kExperimentStart: return "experiment-start";
       case EventKind::kExperimentEnd: return "experiment-end";
+      case EventKind::kJobArrive: return "job-arrive";
+      case EventKind::kJobComplete: return "job-complete";
+      case EventKind::kSloViolation: return "slo-violation";
     }
     return "?";
 }
@@ -82,6 +86,10 @@ kindSubsystem(EventKind kind)
       case EventKind::kExperimentStart:
       case EventKind::kExperimentEnd:
         return Subsystem::kHarness;
+      case EventKind::kJobArrive:
+      case EventKind::kJobComplete:
+      case EventKind::kSloViolation:
+        return Subsystem::kLoad;
     }
     return Subsystem::kHarness;
 }

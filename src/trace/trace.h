@@ -17,10 +17,11 @@ enum class Subsystem : uint8_t {
     kFaults,    ///< fault-schedule activations
     kCluster,   ///< PowerShifter membership and rebalances
     kHarness,   ///< experiment start/end markers
+    kLoad,      ///< open-loop tenant traffic (arrivals, SLO outcomes)
 };
 
 /** Number of subsystems (for per-category accounting). */
-inline constexpr int kSubsystemCount = 7;
+inline constexpr int kSubsystemCount = 8;
 
 /** Stable lowercase category name ("decision", "rapl", ...). */
 const char* subsystemName(Subsystem subsystem);
@@ -75,6 +76,15 @@ enum class EventKind : uint8_t {
     // harness
     kExperimentStart,  ///< a=cap watts, i0=app count
     kExperimentEnd,    ///< a=simulated duration (s)
+
+    // load (open-loop tenant traffic)
+    kJobArrive,        ///< a=work items, b=SLO (s), i0=tier,
+                       ///< i1=tier queue depth after enqueue
+    kJobComplete,      ///< a=latency (s), b=SLO (s), i0=tier,
+                       ///< i1=1 violated / 0 met
+    kSloViolation,     ///< a=latency (s), b=SLO (s), i0=tier,
+                       ///< i1=app slot (-1 dropped, -2 in-flight
+                       ///< abandoned, -3 queued abandoned)
 };
 
 /** Stable kebab-case event name ("walk-start", "limit-write", ...). */

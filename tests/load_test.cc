@@ -1,0 +1,416 @@
+/** @file Unit tests for the open-loop tenant traffic subsystem
+ *  (src/load/): arrival-generator determinism (including byte-identical
+ *  streams across SweepRunner thread counts), admission-queue FIFO and
+ *  shedding semantics, SLO scoring, the end-to-end LoadDriver path under
+ *  a governor, and the zero-cost-when-off guarantee (a run with the load
+ *  options present but disabled is byte-identical to a run without
+ *  them, trace included). */
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.h"
+#include "harness/sweep.h"
+#include "load/admission.h"
+#include "load/cap_arbiter.h"
+#include "load/load_driver.h"
+#include "load/slo_tracker.h"
+#include "load/traffic.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "workload/catalog.h"
+
+namespace pupil {
+namespace {
+
+/** FNV-1a 64-bit over a byte string (the golden-trace digest). */
+uint64_t
+fnv1a(const std::string& content)
+{
+    uint64_t hash = 14695981039346656037ULL;
+    for (const unsigned char c : content) {
+        hash ^= c;
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+/**
+ * Byte-exact digest of the first @p jobs jobs of a generator stream:
+ * every field is rendered with %.17g so two digests agree iff the
+ * streams are bit-identical.
+ */
+uint64_t
+streamDigest(const load::TrafficSpec& spec, uint64_t seed, int jobs)
+{
+    load::ArrivalGenerator gen(spec, seed);
+    std::string bytes;
+    char buf[160];
+    for (int i = 0; i < jobs; ++i) {
+        const load::TenantJob job = gen.next();
+        std::snprintf(buf, sizeof buf, "%.17g|%s|%d|%.17g|%d|%.17g\n",
+                      job.arriveSec, job.params->name.c_str(), job.threads,
+                      job.workItems, int(job.tier), job.sloSec);
+        bytes += buf;
+    }
+    return fnv1a(bytes);
+}
+
+TEST(ArrivalGenerator, SameSpecAndSeedEmitByteIdenticalStreams)
+{
+    for (const load::ArrivalKind kind : load::allArrivalKinds()) {
+        load::TrafficSpec spec;
+        spec.kind = kind;
+        spec.ratePerSec = 1.5;
+        EXPECT_EQ(streamDigest(spec, 0xfeedULL, 200),
+                  streamDigest(spec, 0xfeedULL, 200))
+            << load::arrivalKindName(kind);
+        EXPECT_NE(streamDigest(spec, 0xfeedULL, 200),
+                  streamDigest(spec, 0xbeefULL, 200))
+            << load::arrivalKindName(kind);
+    }
+}
+
+TEST(ArrivalGenerator, ArrivalTimesStrictlyIncrease)
+{
+    for (const load::ArrivalKind kind : load::allArrivalKinds()) {
+        load::TrafficSpec spec;
+        spec.kind = kind;
+        spec.ratePerSec = 2.0;
+        load::ArrivalGenerator gen(spec, 7);
+        double last = -1.0;
+        for (int i = 0; i < 500; ++i) {
+            const load::TenantJob job = gen.next();
+            EXPECT_GT(job.arriveSec, last) << load::arrivalKindName(kind)
+                                           << " job " << i;
+            last = job.arriveSec;
+        }
+        EXPECT_EQ(gen.emitted(), 500u);
+    }
+}
+
+TEST(ArrivalGenerator, JobsCarryTierConsistentSlosAndBoundedWork)
+{
+    load::TrafficSpec spec;
+    spec.ratePerSec = 3.0;
+    load::ArrivalGenerator gen(spec, 11);
+    std::array<int, load::kTierCount> seen = {};
+    for (int i = 0; i < 600; ++i) {
+        const load::TenantJob job = gen.next();
+        ASSERT_NE(job.params, nullptr);
+        EXPECT_EQ(job.threads, spec.threadsPerJob);
+        EXPECT_GE(job.workItems, spec.minWorkItems);
+        EXPECT_EQ(job.sloSec, spec.tierSloSec[size_t(job.tier)]);
+        ++seen[size_t(job.tier)];
+    }
+    // With shares {0.2, 0.3, 0.5} over 600 draws every tier appears.
+    for (int t = 0; t < load::kTierCount; ++t)
+        EXPECT_GT(seen[size_t(t)], 0) << load::tierName(load::Tier(t));
+}
+
+TEST(ArrivalGenerator, RateShapesModulateTheBaseRate)
+{
+    load::TrafficSpec spec;
+    spec.ratePerSec = 1.0;
+
+    spec.kind = load::ArrivalKind::kPoisson;
+    const load::ArrivalGenerator flat(spec, 1);
+    EXPECT_DOUBLE_EQ(flat.rateAt(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(flat.rateAt(500.0), 1.0);
+
+    spec.kind = load::ArrivalKind::kDiurnal;
+    const load::ArrivalGenerator diurnal(spec, 1);
+    const double peak = diurnal.rateAt(spec.diurnalPeriodSec / 4.0);
+    const double trough = diurnal.rateAt(3.0 * spec.diurnalPeriodSec / 4.0);
+    EXPECT_GT(peak, 1.5);
+    EXPECT_LT(trough, 0.5);
+    EXPECT_GT(trough, 0.0);
+
+    spec.kind = load::ArrivalKind::kFlashCrowd;
+    const load::ArrivalGenerator flash(spec, 1);
+    EXPECT_DOUBLE_EQ(flash.rateAt(spec.flashStartSec - 1.0), 1.0);
+    EXPECT_DOUBLE_EQ(
+        flash.rateAt(spec.flashStartSec + spec.flashDurationSec / 2.0),
+        spec.flashMultiplier);
+    EXPECT_DOUBLE_EQ(
+        flash.rateAt(spec.flashStartSec + spec.flashDurationSec + 1.0), 1.0);
+}
+
+/**
+ * The sweep-cell discipline: per-stream seeds derived with
+ * SweepRunner::deriveSeed, digests computed under a parallel pool and
+ * serially, byte-identical results. This is exactly how slo_frontier
+ * seeds its cells, so this test pins the bench's determinism claim at
+ * the generator level.
+ */
+TEST(ArrivalGenerator, PooledAndSerialSweepsProduceIdenticalStreams)
+{
+    constexpr size_t kStreams = 24;
+    constexpr uint64_t kBase = 42;
+    const auto digestAll = [&](int threads) {
+        harness::SweepRunner::Options opts;
+        opts.threads = threads;
+        harness::SweepRunner runner(opts);
+        std::vector<uint64_t> digests(kStreams);
+        const auto errors = runner.forEach(kStreams, [&](size_t i) {
+            load::TrafficSpec spec;
+            spec.kind =
+                load::allArrivalKinds()[i % load::allArrivalKinds().size()];
+            spec.ratePerSec = 0.5 + 0.25 * double(i % 5);
+            digests[i] = streamDigest(
+                spec, harness::SweepRunner::deriveSeed(kBase, i), 100);
+        });
+        for (const std::string& err : errors)
+            EXPECT_TRUE(err.empty()) << err;
+        return digests;
+    };
+    const std::vector<uint64_t> serial = digestAll(1);
+    const std::vector<uint64_t> pooled = digestAll(4);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], pooled[i]) << "stream " << i;
+}
+
+load::TenantJob
+jobOf(load::Tier tier, double work, double arriveSec = 0.0)
+{
+    load::TenantJob job;
+    job.arriveSec = arriveSec;
+    job.params = &workload::calibrationApp();
+    job.threads = 4;
+    job.workItems = work;
+    job.tier = tier;
+    job.sloSec = 60.0;
+    return job;
+}
+
+TEST(AdmissionQueue, FifoPerTierAndDemandAccounting)
+{
+    load::AdmissionQueue queue(4);
+    EXPECT_TRUE(queue.empty());
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kGold, 3.0, 1.0)));
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kGold, 5.0, 2.0)));
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kBronze, 7.0, 3.0)));
+
+    EXPECT_EQ(queue.depth(load::Tier::kGold), 2u);
+    EXPECT_EQ(queue.depth(load::Tier::kSilver), 0u);
+    EXPECT_EQ(queue.totalDepth(), 3u);
+    EXPECT_DOUBLE_EQ(queue.queuedWork(load::Tier::kGold), 8.0);
+    EXPECT_DOUBLE_EQ(queue.queuedWork(load::Tier::kBronze), 7.0);
+
+    EXPECT_DOUBLE_EQ(queue.front(load::Tier::kGold).arriveSec, 1.0);
+    load::TenantJob out;
+    ASSERT_TRUE(queue.pop(load::Tier::kGold, out));
+    EXPECT_DOUBLE_EQ(out.arriveSec, 1.0);
+    ASSERT_TRUE(queue.pop(load::Tier::kGold, out));
+    EXPECT_DOUBLE_EQ(out.arriveSec, 2.0);
+    EXPECT_FALSE(queue.pop(load::Tier::kGold, out));
+    EXPECT_DOUBLE_EQ(queue.queuedWork(load::Tier::kGold), 0.0);
+}
+
+TEST(AdmissionQueue, FullTierShedsWithoutBlockingOtherTiers)
+{
+    load::AdmissionQueue queue(2);
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kSilver, 1.0)));
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kSilver, 1.0)));
+    EXPECT_FALSE(queue.push(jobOf(load::Tier::kSilver, 1.0)));
+    EXPECT_TRUE(queue.push(jobOf(load::Tier::kGold, 1.0)));
+
+    EXPECT_EQ(queue.dropped(load::Tier::kSilver), 1u);
+    EXPECT_EQ(queue.droppedTotal(), 1u);
+    EXPECT_EQ(queue.pushed(), 3u);
+    EXPECT_EQ(queue.depth(load::Tier::kSilver), queue.capacityPerTier());
+}
+
+TEST(AdmissionQueue, RingWrapsPastCapacityManyTimes)
+{
+    load::AdmissionQueue queue(3);
+    load::TenantJob out;
+    for (int round = 0; round < 50; ++round) {
+        ASSERT_TRUE(queue.push(jobOf(load::Tier::kBronze, 1.0, round)));
+        ASSERT_TRUE(queue.pop(load::Tier::kBronze, out));
+        EXPECT_DOUBLE_EQ(out.arriveSec, double(round));
+    }
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.droppedTotal(), 0u);
+}
+
+TEST(SloTracker, ScoresCompletionsDropsAndAbandonments)
+{
+    load::SloTracker tracker;
+    tracker.onArrive(load::Tier::kGold);
+    tracker.onArrive(load::Tier::kGold);
+    tracker.onArrive(load::Tier::kGold);
+    tracker.onArrive(load::Tier::kGold);
+
+    tracker.onAdmit(load::Tier::kGold, 2.0);
+    EXPECT_FALSE(tracker.onComplete(load::Tier::kGold, 10.0, 40.0));
+    tracker.onAdmit(load::Tier::kGold, 30.0);
+    EXPECT_TRUE(tracker.onComplete(load::Tier::kGold, 55.0, 40.0));
+    tracker.onDrop(load::Tier::kGold);
+    tracker.onAbandon(load::Tier::kGold, 90.0);
+
+    EXPECT_EQ(tracker.arrivals(load::Tier::kGold), 4u);
+    EXPECT_EQ(tracker.completions(load::Tier::kGold), 2u);
+    EXPECT_EQ(tracker.drops(load::Tier::kGold), 1u);
+    // One late completion + one drop + one abandonment = 3 violations
+    // over 4 scored jobs.
+    EXPECT_EQ(tracker.violations(load::Tier::kGold), 3u);
+    EXPECT_EQ(tracker.totalScored(), 4u);
+    EXPECT_DOUBLE_EQ(tracker.violationRate(), 0.75);
+    EXPECT_DOUBLE_EQ(tracker.meanQueueWaitSec(load::Tier::kGold), 16.0);
+
+    // p99 reads from geometric buckets: exact to one bucket width.
+    const double p99 = tracker.p99LatencySec(load::Tier::kGold);
+    EXPECT_GT(p99, 90.0 / 1.125);
+    EXPECT_LT(p99, 90.0 * 1.125);
+    EXPECT_DOUBLE_EQ(tracker.p99LatencySec(), p99);
+}
+
+TEST(SloTracker, EmptyTrackerReadsZeroEverywhere)
+{
+    const load::SloTracker tracker;
+    EXPECT_EQ(tracker.totalArrivals(), 0u);
+    EXPECT_EQ(tracker.totalScored(), 0u);
+    EXPECT_DOUBLE_EQ(tracker.violationRate(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.p99LatencySec(), 0.0);
+    EXPECT_DOUBLE_EQ(tracker.meanLatencySec(load::Tier::kGold), 0.0);
+}
+
+/** End-to-end: a hot stream under PUPiL serves and scores tenant jobs. */
+TEST(LoadDriver, ServesTrafficUnderAGovernor)
+{
+    harness::ExperimentOptions options;
+    options.capWatts = 100.0;
+    options.durationSec = 40.0;
+    options.statsWindowSec = 15.0;
+    options.seed = 42;
+    options.load.enabled = true;
+    options.load.spec.ratePerSec = 1.0;
+    options.load.spec.meanWorkItems = 3.0;
+    options.load.spec.minWorkItems = 1.0;
+
+    const harness::ExperimentResult result = harness::runExperiment(
+        harness::GovernorKind::kPupil, {}, options);
+
+    EXPECT_GT(result.jobsArrived, 0u);
+    EXPECT_GT(result.jobsCompleted, 0u);
+    EXPECT_LE(result.jobsCompleted + result.jobsDropped, result.jobsArrived);
+    EXPECT_LE(result.sloViolations,
+              result.jobsCompleted + result.jobsDropped +
+                  (result.jobsArrived - result.jobsCompleted -
+                   result.jobsDropped));
+    EXPECT_GE(result.sloViolationRate, 0.0);
+    EXPECT_LE(result.sloViolationRate, 1.0);
+
+    bool sawLoadMetrics = false;
+    for (const auto& [name, value] : result.metrics) {
+        if (name == "load.arrivals") {
+            sawLoadMetrics = true;
+            EXPECT_DOUBLE_EQ(value, double(result.jobsArrived));
+        }
+    }
+    EXPECT_TRUE(sawLoadMetrics);
+}
+
+/** Same seed, same spec: the whole experiment is byte-reproducible. */
+TEST(LoadDriver, ExperimentsAreSeedDeterministic)
+{
+    harness::ExperimentOptions options;
+    options.capWatts = 80.0;
+    options.durationSec = 30.0;
+    options.statsWindowSec = 10.0;
+    options.seed = 7;
+    options.load.enabled = true;
+    options.load.spec.ratePerSec = 1.5;
+    options.load.spec.meanWorkItems = 2.0;
+    options.load.spec.minWorkItems = 1.0;
+
+    const auto a = harness::runExperiment(harness::GovernorKind::kRapl, {},
+                                          options);
+    const auto b = harness::runExperiment(harness::GovernorKind::kRapl, {},
+                                          options);
+    EXPECT_EQ(a.jobsArrived, b.jobsArrived);
+    EXPECT_EQ(a.jobsCompleted, b.jobsCompleted);
+    EXPECT_EQ(a.jobsDropped, b.jobsDropped);
+    EXPECT_EQ(a.sloViolations, b.sloViolations);
+    EXPECT_EQ(a.p99LatencySec, b.p99LatencySec);
+    EXPECT_EQ(a.meanPowerWatts, b.meanPowerWatts);
+    EXPECT_EQ(a.aggregatePerf, b.aggregatePerf);
+}
+
+/**
+ * The zero-cost-when-off guarantee: options.load present but disabled
+ * (with every other load field deliberately perturbed) must produce a
+ * run byte-identical to the defaults -- results, metrics, and the full
+ * trace export. This is what keeps the pinned tests/golden/ digests
+ * valid after the subsystem landed.
+ */
+TEST(LoadDriver, DisabledLoadOptionsAreByteInvisible)
+{
+    const auto runOnce = [](bool touchLoadOptions, std::string& csvOut) {
+        trace::Recorder recorder(1 << 16);
+        harness::ExperimentOptions options;
+        options.capWatts = 140.0;
+        options.durationSec = 10.0;
+        options.statsWindowSec = 5.0;
+        options.seed = 42;
+        options.trace = &recorder;
+        if (touchLoadOptions) {
+            options.load.enabled = false;  // the master switch stays off
+            options.load.spec.ratePerSec = 9.0;
+            options.load.spec.kind = load::ArrivalKind::kFlashCrowd;
+            options.load.slots = 32;
+            options.load.arbiterPeriodSec = 0.25;
+            options.load.seed = 0xabcdef;
+        }
+        const auto result = harness::runExperiment(
+            harness::GovernorKind::kPupil, harness::singleApp("x264"),
+            options);
+        csvOut = trace::toCsv(recorder);
+        return result;
+    };
+
+    std::string csvBare, csvTouched;
+    const auto bare = runOnce(false, csvBare);
+    const auto touched = runOnce(true, csvTouched);
+
+    EXPECT_EQ(bare.aggregatePerf, touched.aggregatePerf);
+    EXPECT_EQ(bare.meanPowerWatts, touched.meanPowerWatts);
+    EXPECT_EQ(bare.perfPerJoule, touched.perfPerJoule);
+    EXPECT_EQ(bare.settlingTimeSec, touched.settlingTimeSec);
+    EXPECT_EQ(touched.jobsArrived, 0u);
+    EXPECT_EQ(touched.sloViolations, 0u);
+    ASSERT_EQ(bare.metrics.size(), touched.metrics.size());
+    for (size_t i = 0; i < bare.metrics.size(); ++i) {
+        EXPECT_EQ(bare.metrics[i].first, touched.metrics[i].first);
+        EXPECT_EQ(bare.metrics[i].second, touched.metrics[i].second) << i;
+    }
+    EXPECT_EQ(fnv1a(csvBare), fnv1a(csvTouched))
+        << "disabled load options changed the trace stream";
+}
+
+/** The three load trace kinds render stable names and map to kLoad. */
+TEST(LoadTrace, KindsAreRegistered)
+{
+    using trace::EventKind;
+    using trace::Subsystem;
+    EXPECT_STREQ(trace::kindName(EventKind::kJobArrive), "job-arrive");
+    EXPECT_STREQ(trace::kindName(EventKind::kJobComplete), "job-complete");
+    EXPECT_STREQ(trace::kindName(EventKind::kSloViolation),
+                 "slo-violation");
+    EXPECT_EQ(trace::kindSubsystem(EventKind::kJobArrive),
+              Subsystem::kLoad);
+    EXPECT_EQ(trace::kindSubsystem(EventKind::kJobComplete),
+              Subsystem::kLoad);
+    EXPECT_EQ(trace::kindSubsystem(EventKind::kSloViolation),
+              Subsystem::kLoad);
+    EXPECT_STREQ(trace::subsystemName(Subsystem::kLoad), "load");
+}
+
+}  // namespace
+}  // namespace pupil

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/power_shifter.h"
+#include "load/cap_arbiter.h"
 #include "core/decision.h"
 #include "core/ordering.h"
 #include "core/power_dist.h"
@@ -261,6 +262,70 @@ TEST(StrategyProperty, NoStrategyEverConvergesOverTheCap)
                 << core::strategyName(kind) << ' ' << app.name
                 << " cap=" << cap << " converged on "
                 << walker.config().toString();
+        }
+    }
+}
+
+TEST(CapArbiterProperty, NeverGrantsAboveTheCapAndNeverStrandsWatts)
+{
+    // Random caps and demands (some zero): the grants must sum to
+    // exactly the cap while any tier has demand, and to zero when none
+    // does -- the arbiter neither over-grants nor strands watts.
+    const slo::CapArbiter arbiter;
+    util::Rng rng(4242);
+    for (int c = 0; c < kCases; ++c) {
+        const double cap = rng.uniform(10.0, 400.0);
+        std::array<double, load::kTierCount> demand = {};
+        double total = 0.0;
+        for (int t = 0; t < load::kTierCount; ++t) {
+            demand[size_t(t)] =
+                rng.uniform(0.0, 1.0) < 0.3 ? 0.0 : rng.uniform(0.1, 80.0);
+            total += demand[size_t(t)];
+        }
+        const auto grants = arbiter.split(cap, demand);
+        double granted = 0.0;
+        for (int t = 0; t < load::kTierCount; ++t)
+            granted += grants[size_t(t)];
+        if (total > 0.0) {
+            EXPECT_NEAR(granted, cap, 1e-9) << "cap=" << cap;
+        } else {
+            EXPECT_DOUBLE_EQ(granted, 0.0);
+        }
+        EXPECT_LE(granted, cap + 1e-9);
+    }
+}
+
+TEST(CapArbiterProperty, ActiveTiersKeepTheirFloorsIdleTiersGetNothing)
+{
+    // A tier with nonzero demand is never starved below its protected
+    // floor (floorFrac * cap), scaled uniformly when the active floors
+    // alone oversubscribe the cap; a tier with zero demand gets zero.
+    const slo::CapArbiter arbiter;
+    const auto& floorFrac = arbiter.options().floorFrac;
+    util::Rng rng(777);
+    for (int c = 0; c < kCases; ++c) {
+        const double cap = rng.uniform(10.0, 400.0);
+        std::array<double, load::kTierCount> demand = {};
+        for (int t = 0; t < load::kTierCount; ++t)
+            demand[size_t(t)] =
+                rng.uniform(0.0, 1.0) < 0.4 ? 0.0 : rng.uniform(0.05, 50.0);
+        const auto grants = arbiter.split(cap, demand);
+        double activeFloorSum = 0.0;
+        for (int t = 0; t < load::kTierCount; ++t)
+            if (demand[size_t(t)] > 0.0)
+                activeFloorSum += floorFrac[size_t(t)] * cap;
+        const double scale =
+            activeFloorSum > cap ? cap / activeFloorSum : 1.0;
+        for (int t = 0; t < load::kTierCount; ++t) {
+            if (demand[size_t(t)] <= 0.0) {
+                EXPECT_DOUBLE_EQ(grants[size_t(t)], 0.0)
+                    << "idle tier " << t << " cap=" << cap;
+            } else {
+                EXPECT_GE(grants[size_t(t)],
+                          floorFrac[size_t(t)] * cap * scale - 1e-9)
+                    << "tier " << t << " cap=" << cap
+                    << " demand=" << demand[size_t(t)];
+            }
         }
     }
 }

@@ -108,7 +108,7 @@ TEST(Recorder, SubsystemCountsBucketByCategory)
 
 TEST(Recorder, EveryKindHasANameAndSubsystem)
 {
-    for (int k = 0; k <= int(EventKind::kExperimentEnd); ++k) {
+    for (int k = 0; k <= int(EventKind::kSloViolation); ++k) {
         const auto kind = EventKind(k);
         EXPECT_STRNE(trace::kindName(kind), "?") << k;
         const Subsystem subsystem = trace::kindSubsystem(kind);
