@@ -29,6 +29,7 @@ KNOWN_SCHEMAS = {
     "pupil-cluster-scale-v1",
     "pupil-strategy-tournament-v1",
     "pupil-slo-frontier-v1",
+    "pupil-transport-faults-v1",
 }
 
 

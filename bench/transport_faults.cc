@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Message-fault sweep over the extracted BudgetTree control plane.
+ *
+ * Runs the same 4-rack budget tree under seven transport fault mixes --
+ * clean, delay, drop, duplicate, reorder, rack partition, and a storm
+ * of all five -- and gates the protocol's ride-through guarantees as
+ * deterministic bits (all fixed-seed simulation, no wall-clock ratios):
+ *
+ *  - determinism_ok: every mix replayed twice from the same seeds
+ *    produces byte-identical stateDigest()s (drop/dup/delay Bernoulli
+ *    draws and reorder shuffles come from a dedicated RNG stream);
+ *  - conservation_ok: the per-view budget error (each level measured
+ *    against what the network actually DELIVERED to it) stays inside
+ *    1e-6 * budget at every period boundary of every mix;
+ *  - clamps_ok: no online node ever enforces a nonzero cap outside
+ *    [minNodeCapWatts, nodeTdpWatts], no matter what the network did;
+ *  - partition_ride_through_ok: while a rack's uplink is cut it keeps
+ *    enforcing (and internally re-dividing) its last delivered grant --
+ *    members stay online, their cap sum matches the rack's grant view,
+ *    and the transport actually recorded partition drops.
+ *
+ * --quick shortens the run (the bench_smoke/CI tier); the full run
+ * steps each mix longer and also sweeps an 8-rack tree. Results go to
+ * stdout and to BENCH_transport.json (override with --out PATH) that
+ * bench/check_perf.py compares against bench/perf_baseline.json.
+ */
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "cluster/budget_tree.h"
+#include "faults/schedule.h"
+#include "trace/export.h"
+#include "util/table.h"
+
+using namespace pupil;
+
+namespace {
+
+using cluster::BudgetTree;
+
+constexpr int kNodesPerRack = 4;
+
+struct MixSpec
+{
+    std::string name;
+    std::string spec;        ///< fault schedule, "" = clean
+    bool partitioned;        ///< has a partition window on rack 1
+    /** Drops/delays in the mix can keep a node's applied cap behind the
+     *  rack agent's intent, so the strict cap-sum == grant-view check
+     *  only runs when the partition is the ONLY fault in play. */
+    bool lossy = false;
+};
+
+/** Partition window on rack 1 (shared by the mix table and the
+ *  ride-through checks): cut at t=5, healed at t=11. */
+constexpr double kPartitionStart = 5.0;
+constexpr double kPartitionEnd = 11.0;
+
+std::vector<MixSpec>
+faultMixes()
+{
+    return {
+        {"clean", "", false},
+        {"delay", "msg-delay,*,2,999,1.4", false},
+        {"drop", "msg-drop,*,2,999,0,0.25", false},
+        {"dup", "msg-dup,*,2,999,0,0.5", false},
+        {"reorder", "msg-reorder,*,2,999", false},
+        {"partition", "partition,rack1,5,11", true, false},
+        {"storm",
+         "msg-delay,*,2,999,1.2;msg-drop,*,3,999,0,0.2;"
+         "msg-dup,*,2,999,0,0.35;msg-reorder,*,2,999;"
+         "partition,rack1,5,11;node-loss,r2n1,4,9",
+         true, true},
+    };
+}
+
+BudgetTree
+makeTree(int racks, uint64_t seed)
+{
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 150.0 * racks * kNodesPerRack;
+    options.periodSec = 1.0;
+    options.threads = 1;
+    BudgetTree tree(options);
+    const auto& catalog = workload::benchmarkCatalog();
+    int id = 0;
+    for (int r = 0; r < racks; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < kNodesPerRack; ++n, ++id) {
+            const auto& app = catalog[size_t(id * 7) % catalog.size()];
+            const auto kind = (id % 4 == 3)
+                                  ? harness::GovernorKind::kRapl
+                                  : harness::GovernorKind::kPupil;
+            tree.addNode(rack,
+                         "r" + std::to_string(r) + "n" + std::to_string(n),
+                         harness::singleApp(app.name, 16), kind,
+                         harness::SweepRunner::deriveSeed(seed, size_t(id)));
+        }
+    }
+    return tree;
+}
+
+struct MixResult
+{
+    std::string name;
+    int periods = 0;
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    double maxBudgetErrorWatts = 0.0;
+    double throughput = 0.0;        ///< mean normalized perf, 2nd half
+    uint64_t digest = 0;
+    bool deterministic = false;
+    bool conserved = true;
+    bool clamped = true;
+    bool rodeThrough = true;        ///< vacuously true without a partition
+};
+
+struct DriveOutcome
+{
+    uint64_t digest = 0;
+    double maxBudgetError = 0.0;
+    double throughput = 0.0;
+    bool conserved = true;
+    bool clamped = true;
+    bool rodeThrough = true;
+    int periods = 0;
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+};
+
+DriveOutcome
+drive(const MixSpec& mix, int racks, double durationSec, uint64_t seed)
+{
+    BudgetTree tree = makeTree(racks, seed);
+    faults::FaultSchedule schedule;
+    if (!mix.spec.empty()) {
+        schedule = faults::FaultSchedule::parse(mix.spec);
+        tree.setFaultSchedule(&schedule);
+    }
+
+    DriveOutcome out;
+    const double budget = 150.0 * racks * kNodesPerRack;
+    const double conserveTol = 1e-6 * budget + 1e-9;
+    double perfSum = 0.0;
+    int perfSamples = 0;
+    uint64_t partitionDropsAtCut = 0;
+    for (double t = 1.0; t <= durationSec + 1e-9; t += 1.0) {
+        tree.run(t);
+        const double err = tree.budgetErrorWatts();
+        out.maxBudgetError = std::max(out.maxBudgetError, err);
+        if (err > conserveTol)
+            out.conserved = false;
+        for (size_t r = 0; r < tree.rackCount(); ++r) {
+            for (size_t n = 0; n < tree.nodeCount(r); ++n) {
+                const auto& node = tree.node(r, n);
+                if (!node.online) {
+                    if (node.capWatts != 0.0)
+                        out.clamped = false;
+                    continue;
+                }
+                if (node.capWatts == 0.0)
+                    continue;  // rejoin bootstrap: grant still in flight
+                if (node.capWatts < 30.0 - 1e-9 ||
+                    node.capWatts > 270.0 + 1e-9)
+                    out.clamped = false;
+            }
+        }
+        if (mix.partitioned && t > kPartitionStart + 1.5 &&
+            t < kPartitionEnd - 0.5) {
+            // Mid-window: the cut rack must still be enforcing its last
+            // delivered grant across its (online) members.
+            if (tree.transportStats().partitionDrops <= partitionDropsAtCut)
+                out.rodeThrough = false;
+            double capSum = 0.0;
+            for (size_t n = 0; n < tree.nodeCount(1); ++n) {
+                const auto& node = tree.node(1, n);
+                if (!node.online)
+                    continue;
+                capSum += node.capWatts;
+                if (node.capWatts < 30.0 - 1e-9 ||
+                    node.capWatts > 270.0 + 1e-9)
+                    out.rodeThrough = false;
+            }
+            if (!mix.lossy &&
+                std::abs(capSum - tree.rackGrantViewWatts(1)) >
+                    1e-6 * budget + 1e-9)
+                out.rodeThrough = false;
+        } else if (mix.partitioned && t <= kPartitionStart) {
+            partitionDropsAtCut = tree.transportStats().partitionDrops;
+        }
+        if (t > durationSec / 2.0) {
+            perfSum += tree.aggregatePerformance();
+            ++perfSamples;
+        }
+    }
+    out.throughput = perfSamples > 0 ? perfSum / perfSamples : 0.0;
+    out.digest = tree.stateDigest();
+    out.periods = tree.periods();
+    out.sent = tree.transportStats().sent;
+    out.delivered = tree.transportStats().delivered;
+    out.dropped = tree.transportStats().dropped;  // includes partition cuts
+    return out;
+}
+
+MixResult
+runMix(const MixSpec& mix, int racks, double durationSec, uint64_t seed)
+{
+    const DriveOutcome first = drive(mix, racks, durationSec, seed);
+    const DriveOutcome replay = drive(mix, racks, durationSec, seed);
+
+    MixResult r;
+    r.name = mix.name;
+    r.periods = first.periods;
+    r.sent = first.sent;
+    r.delivered = first.delivered;
+    r.dropped = first.dropped;
+    r.maxBudgetErrorWatts = first.maxBudgetError;
+    r.throughput = first.throughput;
+    r.digest = first.digest;
+    r.deterministic = first.digest == replay.digest &&
+                      first.sent == replay.sent &&
+                      first.dropped == replay.dropped;
+    r.conserved = first.conserved;
+    r.clamped = first.clamped;
+    r.rodeThrough = first.rodeThrough;
+    return r;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_transport.json";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--out" && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    const uint64_t seed = bench::envSeed(42);
+    const double durationSec = quick ? 16.0 : 40.0;
+    const std::vector<int> rackScales =
+        quick ? std::vector<int>{4} : std::vector<int>{4, 8};
+
+    std::printf("=== Transport fault mixes over the budget tree "
+                "(%s mode, %g s, seed %llu) ===\n\n",
+                quick ? "quick" : "full", durationSec,
+                static_cast<unsigned long long>(seed));
+
+    // The gated bits aggregate over EVERY mix at EVERY scale: a single
+    // divergent replay, conservation breach, clamp escape, or broken
+    // partition ride-through zeroes the corresponding bit.
+    bool allDeterministic = true;
+    bool allConserved = true;
+    bool allClamped = true;
+    bool allRodeThrough = true;
+    uint64_t totalSent = 0;
+    uint64_t totalDropped = 0;
+    double maxBudgetError = 0.0;
+    std::vector<MixResult> headline;  // largest scale, for the table/JSON
+
+    for (int racks : rackScales) {
+        std::vector<MixResult> results;
+        for (const MixSpec& mix : faultMixes()) {
+            MixResult r = runMix(mix, racks, durationSec, seed);
+            allDeterministic = allDeterministic && r.deterministic;
+            allConserved = allConserved && r.conserved;
+            allClamped = allClamped && r.clamped;
+            allRodeThrough = allRodeThrough && r.rodeThrough;
+            totalSent += r.sent;
+            totalDropped += r.dropped;
+            maxBudgetError = std::max(maxBudgetError,
+                                      r.maxBudgetErrorWatts);
+            if (!r.deterministic)
+                std::fprintf(stderr,
+                             "FAIL: mix '%s' (%d racks) diverged on "
+                             "replay\n",
+                             r.name.c_str(), racks);
+            if (!r.conserved)
+                std::fprintf(stderr,
+                             "FAIL: mix '%s' (%d racks) broke budget "
+                             "conservation (%.9f W)\n",
+                             r.name.c_str(), racks,
+                             r.maxBudgetErrorWatts);
+            if (!r.clamped)
+                std::fprintf(stderr,
+                             "FAIL: mix '%s' (%d racks) enforced a cap "
+                             "outside the node envelope\n",
+                             r.name.c_str(), racks);
+            if (!r.rodeThrough)
+                std::fprintf(stderr,
+                             "FAIL: mix '%s' (%d racks) failed partition "
+                             "ride-through\n",
+                             r.name.c_str(), racks);
+            results.push_back(std::move(r));
+        }
+        headline = std::move(results);
+    }
+
+    util::Table table({"mix", "sent", "delivered", "dropped", "max err W",
+                       "throughput", "det", "ok"});
+    for (const MixResult& r : headline) {
+        const bool ok = r.conserved && r.clamped && r.rodeThrough;
+        table.addRow({r.name, std::to_string(r.sent),
+                      std::to_string(r.delivered),
+                      std::to_string(r.dropped),
+                      util::Table::cell(r.maxBudgetErrorWatts, 9),
+                      util::Table::cell(r.throughput, 4),
+                      r.deterministic ? "yes" : "NO", ok ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    const bool allOk = allDeterministic && allConserved && allClamped &&
+                       allRodeThrough;
+    std::printf("\nProtocol gates: determinism %s, conservation %s, "
+                "clamps %s, partition ride-through %s.\n",
+                allDeterministic ? "ok" : "FAILED",
+                allConserved ? "ok" : "FAILED",
+                allClamped ? "ok" : "FAILED",
+                allRodeThrough ? "ok" : "FAILED");
+
+    std::string json;
+    json += "{\n  \"schema\": \"pupil-transport-faults-v1\",\n";
+    json += "  \"mode\": \"" + std::string(quick ? "quick" : "full") +
+            "\",\n  \"seed\": " + std::to_string(seed) + ",\n";
+    json += "  \"transport_faults\": {\n";
+    json += "    \"mixes\": " + std::to_string(headline.size()) + ",\n";
+    json += "    \"racks\": " + std::to_string(rackScales.back()) + ",\n";
+    json += "    \"periods_per_mix\": " +
+            std::to_string(headline.empty() ? 0 : headline.front().periods) +
+            ",\n";
+    json += "    \"msgs_sent\": " + std::to_string(totalSent) + ",\n";
+    json += "    \"msgs_dropped\": " + std::to_string(totalDropped) + ",\n";
+    json += "    \"max_budget_error_watts\": " +
+            trace::formatDouble(maxBudgetError) + ",\n";
+    json += "    \"determinism_ok\": " +
+            std::string(allDeterministic ? "1" : "0") + ",\n";
+    json += "    \"conservation_ok\": " +
+            std::string(allConserved ? "1" : "0") + ",\n";
+    json += "    \"clamps_ok\": " + std::string(allClamped ? "1" : "0") +
+            ",\n";
+    json += "    \"partition_ride_through_ok\": " +
+            std::string(allRodeThrough ? "1" : "0") + "\n";
+    json += "  }\n}\n";
+    if (!trace::writeFile(outPath, json)) {
+        std::fprintf(stderr, "FAIL: could not write %s\n", outPath.c_str());
+        return 1;
+    }
+    std::printf("Wrote %s\n", outPath.c_str());
+    return allOk ? 0 : 2;
+}

@@ -42,6 +42,20 @@ mixDouble(uint64_t& hash, double value)
     mix(hash, bits);
 }
 
+constexpr net::EndpointId kRootEndpoint{-1, -1};
+
+net::EndpointId
+rackEndpoint(size_t rack)
+{
+    return {int32_t(rack), -1};
+}
+
+net::EndpointId
+nodeEndpoint(size_t rack, size_t node)
+{
+    return {int32_t(rack), int32_t(node)};
+}
+
 }  // namespace
 
 BudgetTree::BudgetTree(const Options& options) : options_(options)
@@ -52,6 +66,7 @@ BudgetTree::BudgetTree(const Options& options) : options_(options)
     ropts.keepTraces = false;
     ropts.progress = [](const harness::SweepProgress&) {};
     runner_ = harness::SweepRunner(ropts);
+    transport_ = std::make_unique<net::LocalTransport>();
 }
 
 size_t
@@ -107,6 +122,13 @@ BudgetTree::addNode(size_t rackIndex, const std::string& name,
     // rack-level timeline into the recorder attached via attachTrace().
     rack.nodes.push_back(std::move(node));
     return rack.nodes.size() - 1;
+}
+
+void
+BudgetTree::attachTrace(trace::Recorder* recorder)
+{
+    trace_ = recorder;
+    transport_->attachTrace(recorder);
 }
 
 size_t
@@ -181,43 +203,73 @@ BudgetTree::policy() const
     return policy;
 }
 
-std::vector<ChildBudget>
-BudgetTree::nodeChildren(const Rack& rack) const
+double
+BudgetTree::agedDemand(double watts, double sentSec) const
 {
-    std::vector<ChildBudget> children(rack.nodes.size());
-    for (size_t i = 0; i < rack.nodes.size(); ++i) {
-        children[i].capWatts = rack.nodes[i]->capWatts;
-        children[i].maxCapWatts = options_.nodeTdpWatts;
-        children[i].minShareWatts = options_.minNodeCapWatts;
-        children[i].online = rack.nodes[i]->online;
-    }
-    return children;
+    if (sentSec < 0.0)
+        return 0.0;  // never reported
+    // Send-time aging: a report the network delayed past the staleness
+    // horizon carries data about a cluster that no longer exists, so the
+    // receiver treats the child as unmeasured (the policy's implausible-
+    // reading guard then grants it the floor weight).
+    return (now_ - sentSec) <= options_.demandStaleSec + 1e-9 ? watts : 0.0;
 }
 
+bool
+BudgetTree::nodeProvisioned(size_t rack, size_t i) const
+{
+    return started_ && nodeAgents_[rack][i].provisioned;
+}
+
+double
+BudgetTree::rackGrantViewWatts(size_t rack) const
+{
+    if (!started_ || !rackAgents_[rack].haveGrant)
+        return 0.0;
+    return rackAgents_[rack].grantViewWatts;
+}
+
+// ---------------------------------------------------------------------------
+// Child views. Each endpoint builds its policy input from ITS OWN state:
+// the root from announced populations and its granted watts, a rack agent
+// from its member view and delivered grant. Before run() both fall back to
+// construction-time topology so budgetErrorWatts() is well-defined.
+// ---------------------------------------------------------------------------
+
 std::vector<ChildBudget>
-BudgetTree::rackChildren() const
+BudgetTree::rootChildren() const
 {
     // A rack's ceiling and floor scale with its live population: it can
     // absorb at most onlineNodes * TDP and must always be able to hand
     // every online node its floor.
     std::vector<ChildBudget> children(racks_.size());
     for (size_t r = 0; r < racks_.size(); ++r) {
-        const Rack& rack = *racks_[r];
-        size_t online = 0;
-        double power = 0.0;
-        for (size_t i = 0; i < rack.nodes.size(); ++i) {
-            if (!rack.nodes[i]->online)
-                continue;
-            ++online;
-            if (r < measured_.size() && i < measured_[r].size())
-                power += measured_[r][i];
+        const size_t pop =
+            started_ ? root_.onlinePop[r] : racks_[r]->nodes.size();
+        children[r].capWatts = racks_[r]->grantWatts;
+        children[r].maxCapWatts = double(pop) * options_.nodeTdpWatts;
+        children[r].minShareWatts = double(pop) * options_.minNodeCapWatts;
+        children[r].online = racks_[r]->online && pop > 0;
+    }
+    return children;
+}
+
+std::vector<ChildBudget>
+BudgetTree::rackAgentChildren(size_t rackIndex) const
+{
+    const Rack& rack = *racks_[rackIndex];
+    std::vector<ChildBudget> children(rack.nodes.size());
+    for (size_t i = 0; i < rack.nodes.size(); ++i) {
+        children[i].maxCapWatts = options_.nodeTdpWatts;
+        children[i].minShareWatts = options_.minNodeCapWatts;
+        if (started_) {
+            const RackAgent& agent = rackAgents_[rackIndex];
+            children[i].capWatts = agent.grantedCapWatts[i];
+            children[i].online = agent.memberOnline[i];
+        } else {
+            children[i].capWatts = rack.nodes[i]->capWatts;
+            children[i].online = rack.nodes[i]->online;
         }
-        children[r].capWatts = rack.grantWatts;
-        children[r].powerWatts = power;
-        children[r].maxCapWatts = double(online) * options_.nodeTdpWatts;
-        children[r].minShareWatts =
-            double(online) * options_.minNodeCapWatts;
-        children[r].online = rack.online && online > 0;
     }
     return children;
 }
@@ -225,140 +277,510 @@ BudgetTree::rackChildren() const
 double
 BudgetTree::budgetErrorWatts() const
 {
+    // Each level is measured against what was DELIVERED to it. Under
+    // partition the root's view of a rack grant and the rack's own view
+    // can diverge legitimately; conservation must still hold per view.
     double worst =
-        conservationError(rackChildren(), options_.globalBudgetWatts);
-    for (const auto& rack : racks_) {
-        if (!rack->online)
-            continue;
+        conservationError(rootChildren(), options_.globalBudgetWatts);
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        const double delivered =
+            started_ ? (rackAgents_[r].haveGrant
+                            ? rackAgents_[r].grantViewWatts
+                            : 0.0)
+                     : racks_[r]->grantWatts;
         worst = std::max(
-            worst, conservationError(nodeChildren(*rack), rack->grantWatts));
+            worst, conservationError(rackAgentChildren(r), delivered));
     }
     return worst;
 }
 
-void
-BudgetTree::applyNodeCaps(Rack& rack, const std::vector<ChildBudget>& state)
-{
-    for (size_t i = 0; i < rack.nodes.size(); ++i)
-        rack.nodes[i]->capWatts = state[i].capWatts;
-}
+// ---------------------------------------------------------------------------
+// Endpoint handlers: the ONLY way state crosses a parent<->child boundary.
+// Every stream applies a message iff its seq advances past the last seen
+// one, which makes duplicated and reordered deliveries idempotent.
+// ---------------------------------------------------------------------------
 
 void
-BudgetTree::distributeRackGrant(size_t rackIndex,
-                                const std::vector<size_t>& rejoinedNodes)
+BudgetTree::bindEndpoints()
 {
-    Rack& rack = *racks_[rackIndex];
-    std::vector<ChildBudget> state = nodeChildren(rack);
-    reshareBudgets(state, rack.grantWatts, rejoinedNodes);
-    applyNodeCaps(rack, state);
-    rackDirty_[rackIndex] = true;
-}
-
-void
-BudgetTree::pushRackCaps(size_t rackIndex)
-{
-    // One batched push per rack: every online node's governor and its
-    // RAPL firmware get the new cap together, so the hardware backstop is
-    // armed from the same period the grant changes -- including for
-    // software-only node governors.
-    Rack& rack = *racks_[rackIndex];
-    for (auto& node : rack.nodes) {
-        if (!node->online || node->failed)
-            continue;
-        node->governor->setCap(node->capWatts);
-        node->rapl->setTotalCapEvenSplit(node->capWatts);
-    }
-    rackDirty_[rackIndex] = false;
-}
-
-void
-BudgetTree::updateMembership()
-{
-    // Phase 1: apply node-level liveness transitions (scheduled node-loss
-    // windows and step-failure isolation) and note what changed where.
-    std::vector<std::vector<size_t>> rejoinedNodes(racks_.size());
-    std::vector<bool> rackChanged(racks_.size(), false);
-    std::vector<size_t> rejoinedRacks;
-    bool rackLivenessChanged = false;
+    transport_->bind(kRootEndpoint,
+                     [this](const net::Message& m) { onRootMessage(m); });
     for (size_t r = 0; r < racks_.size(); ++r) {
-        Rack& rack = *racks_[r];
-        size_t online = 0;
-        for (size_t i = 0; i < rack.nodes.size(); ++i) {
-            Node& node = *rack.nodes[i];
-            // A platform that threw during a step is isolated for good;
-            // scheduled node-loss windows end and the node rejoins.
-            const bool lost =
-                node.failed ||
-                (schedule_ != nullptr &&
-                 schedule_->anyActive(faults::FaultKind::kNodeLoss,
-                                      node.name, now_));
-            if (lost && node.online) {
-                trace::emit(trace_, now_, trace::EventKind::kNodeLoss,
-                            node.capWatts, 0.0, int32_t(r), int32_t(i));
-                node.online = false;
-                node.capWatts = 0.0;
-                ++lossEvents_;
-                metrics_.addCounter("cluster.node_loss");
-                rackChanged[r] = true;
-            } else if (!lost && !node.online) {
-                node.online = true;
-                ++rejoinEvents_;
-                metrics_.addCounter("cluster.node_rejoins");
-                rejoinedNodes[r].push_back(i);
-                rackChanged[r] = true;
-            }
-            if (node.online)
-                ++online;
+        transport_->bind(rackEndpoint(r), [this, r](const net::Message& m) {
+            onRackMessage(r, m);
+        });
+        for (size_t n = 0; n < racks_[r]->nodes.size(); ++n) {
+            transport_->bind(nodeEndpoint(r, n),
+                             [this, r, n](const net::Message& m) {
+                                 onNodeMessage(r, n, m);
+                             });
         }
-        const bool nowOnline = online > 0;
-        if (nowOnline != rack.online) {
-            rack.online = nowOnline;
-            rackLivenessChanged = true;
-            if (nowOnline)
-                rejoinedRacks.push_back(r);
+    }
+}
+
+void
+BudgetTree::onRootMessage(const net::Message& message)
+{
+    const size_t r = size_t(message.rack);
+    if (message.rack < 0 || r >= racks_.size())
+        return;
+    switch (message.kind) {
+      case net::MsgKind::kDemandReport: {
+        if (message.seq <= root_.reportSeqSeen[r])
+            return;
+        root_.reportSeqSeen[r] = message.seq;
+        root_.demandWatts[r] = message.valueWatts;
+        root_.demandTimeSec[r] = message.timeSec;
+        return;
+      }
+      case net::MsgKind::kRackDark:
+      case net::MsgKind::kRackBright: {
+        // Periodic idempotent liveness announcements; value carries the
+        // rack's live population so the root's floors/ceilings track
+        // membership without per-node forwarding.
+        if (message.seq <= root_.memberSeqSeen[r])
+            return;
+        root_.memberSeqSeen[r] = message.seq;
+        root_.onlinePop[r] = size_t(message.valueWatts + 0.5);
+        const bool online = message.kind == net::MsgKind::kRackBright;
+        if (racks_[r]->online != online) {
+            racks_[r]->online = online;
+            rootLivenessChanged_ = true;
+            if (online)
+                rejoinedRacks_.push_back(r);
             else
-                rack.grantWatts = 0.0;  // dark rack returns its grant
+                racks_[r]->grantWatts = 0.0;  // dark rack returns its grant
         }
+        return;
+      }
+      default:
+        return;
     }
+}
 
-    // Phase 2: a rack going dark or coming back moves watts *between*
-    // racks, so the root reshares grants.
-    std::vector<bool> grantChanged(racks_.size(), false);
-    if (rackLivenessChanged) {
-        std::vector<ChildBudget> state = rackChildren();
-        reshareBudgets(state, options_.globalBudgetWatts, rejoinedRacks);
-        for (size_t r = 0; r < racks_.size(); ++r) {
-            if (std::abs(state[r].capWatts - racks_[r]->grantWatts) <=
-                1e-12)
-                continue;
-            trace::emit(trace_, now_, trace::EventKind::kRackGrant,
-                        state[r].capWatts, racks_[r]->grantWatts,
-                        int32_t(r));
-            racks_[r]->grantWatts = state[r].capWatts;
-            grantChanged[r] = true;
-        }
+void
+BudgetTree::onRackMessage(size_t rackIndex, const net::Message& message)
+{
+    RackAgent& agent = rackAgents_[rackIndex];
+    switch (message.kind) {
+      case net::MsgKind::kCapGrant: {
+        // From the root: a new grant view for this rack.
+        if (message.seq <= agent.grantSeqSeen)
+            return;
+        agent.grantSeqSeen = message.seq;
+        agent.grantViewWatts = message.valueWatts;
+        agent.haveGrant = true;
+        agent.grantChanged = true;
+        return;
+      }
+      case net::MsgKind::kDemandReport: {
+        const size_t n = size_t(message.node);
+        if (message.node < 0 || n >= agent.demandSeqSeen.size())
+            return;
+        if (message.seq <= agent.demandSeqSeen[n])
+            return;
+        agent.demandSeqSeen[n] = message.seq;
+        agent.demandWatts[n] = message.valueWatts;
+        agent.demandTimeSec[n] = message.timeSec;
+        return;
+      }
+      case net::MsgKind::kNodeLeave: {
+        const size_t n = size_t(message.node);
+        if (message.node < 0 || n >= agent.memberOnline.size())
+            return;
+        if (message.seq <= agent.memberSeqSeen[n])
+            return;
+        agent.memberSeqSeen[n] = message.seq;
+        if (!agent.memberOnline[n])
+            return;  // steady-state re-announcement
+        agent.memberOnline[n] = false;
+        agent.grantedCapWatts[n] = 0.0;
+        --agent.onlineMembers;
+        agent.popChanged = true;
+        ++lossEvents_;
+        metrics_.addCounter("cluster.node_loss");
+        trace::emit(trace_, now_, trace::EventKind::kNodeLoss,
+                    message.valueWatts, 0.0, int32_t(rackIndex),
+                    int32_t(n));
+        return;
+      }
+      case net::MsgKind::kNodeJoin: {
+        const size_t n = size_t(message.node);
+        if (message.node < 0 || n >= agent.memberOnline.size())
+            return;
+        if (message.seq <= agent.memberSeqSeen[n])
+            return;
+        agent.memberSeqSeen[n] = message.seq;
+        if (agent.memberOnline[n])
+            return;  // steady-state re-announcement
+        agent.memberOnline[n] = true;
+        ++agent.onlineMembers;
+        agent.popChanged = true;
+        ++rejoinEvents_;
+        metrics_.addCounter("cluster.node_rejoins");
+        agent.rejoined.push_back(n);
+        return;
+      }
+      default:
+        return;
     }
+}
 
-    // Phase 3: every rack whose population or grant moved re-divides
-    // internally (survivors keep relative shares, rejoiners get an even
-    // share, floors and ceilings re-imposed), then the caps go out in one
-    // batch per dirty rack.
-    for (size_t r = 0; r < racks_.size(); ++r) {
-        if (!racks_[r]->online || (!rackChanged[r] && !grantChanged[r]))
-            continue;
-        distributeRackGrant(r, rejoinedNodes[r]);
-        for (size_t i : rejoinedNodes[r])
+void
+BudgetTree::onNodeMessage(size_t rackIndex, size_t nodeIndex,
+                          const net::Message& message)
+{
+    if (message.kind != net::MsgKind::kCapGrant)
+        return;
+    NodeAgent& agent = nodeAgents_[rackIndex][nodeIndex];
+    if (message.seq <= agent.appliedGrantSeq)
+        return;
+    agent.appliedGrantSeq = message.seq;
+    Node& node = *racks_[rackIndex]->nodes[nodeIndex];
+    if (!node.online || node.failed)
+        return;
+    // The node-side safety envelope: whatever the network delivered, the
+    // enforced cap never leaves [floor, TDP]. The governor AND the RAPL
+    // firmware get the new cap together, so the hardware backstop is armed
+    // from the same period the grant changes -- including for
+    // software-only node governors.
+    const double cap = std::clamp(message.valueWatts,
+                                  options_.minNodeCapWatts,
+                                  options_.nodeTdpWatts);
+    node.capWatts = cap;
+    node.governor->setCap(cap);
+    node.rapl->setTotalCapEvenSplit(cap);
+    agent.provisioned = true;
+}
+
+// ---------------------------------------------------------------------------
+// Node-agent actions.
+// ---------------------------------------------------------------------------
+
+void
+BudgetTree::nodeAnnounce(size_t rackIndex, size_t nodeIndex)
+{
+    Node& node = *racks_[rackIndex]->nodes[nodeIndex];
+    NodeAgent& agent = nodeAgents_[rackIndex][nodeIndex];
+    // A platform that threw during a step is isolated for good; scheduled
+    // node-loss windows end and the node rejoins.
+    const bool lost =
+        node.failed ||
+        (schedule_ != nullptr &&
+         schedule_->anyActive(faults::FaultKind::kNodeLoss, node.name,
+                              now_));
+    double value = node.capWatts;
+    if (lost && node.online) {
+        // Leave announcement carries the watts the leaver returns.
+        node.online = false;
+        node.capWatts = 0.0;
+    } else if (!lost && !node.online) {
+        node.online = true;
+        value = 0.0;
+    }
+    // Announce current state EVERY round, not just on transitions: the
+    // rack applies announcements idempotently, so a dropped leave/join
+    // converges at the next round instead of diverging forever.
+    net::Message m;
+    m.kind = node.online ? net::MsgKind::kNodeJoin
+                         : net::MsgKind::kNodeLeave;
+    m.seq = ++agent.memberSeqOut;
+    m.rack = int32_t(rackIndex);
+    m.node = int32_t(nodeIndex);
+    m.timeSec = now_;
+    m.valueWatts = value;
+    transport_->send(nodeEndpoint(rackIndex, nodeIndex),
+                     rackEndpoint(rackIndex), m, now_);
+}
+
+void
+BudgetTree::nodeReport(size_t rackIndex, size_t nodeIndex)
+{
+    Node& node = *racks_[rackIndex]->nodes[nodeIndex];
+    if (!node.online || node.failed)
+        return;
+    // The meter channel (readPower) is what a real cluster manager sees:
+    // noisy and fault-prone, which is why the policy's implausible-reading
+    // guard exists. Exactly one read per live node per period, in fixed
+    // rack-major order, after the stepping barrier -- the cross-node half
+    // of the determinism argument.
+    NodeAgent& agent = nodeAgents_[rackIndex][nodeIndex];
+    net::Message m;
+    m.kind = net::MsgKind::kDemandReport;
+    m.seq = ++agent.reportSeqOut;
+    m.rack = int32_t(rackIndex);
+    m.node = int32_t(nodeIndex);
+    m.timeSec = now_;
+    m.valueWatts = node.platform->readPower();
+    transport_->send(nodeEndpoint(rackIndex, nodeIndex),
+                     rackEndpoint(rackIndex), m, now_);
+}
+
+// ---------------------------------------------------------------------------
+// Rack-agent actions.
+// ---------------------------------------------------------------------------
+
+void
+BudgetTree::rackAnnounceUp(size_t rackIndex)
+{
+    RackAgent& agent = rackAgents_[rackIndex];
+    net::Message m;
+    m.kind = agent.onlineMembers > 0 ? net::MsgKind::kRackBright
+                                     : net::MsgKind::kRackDark;
+    m.seq = ++agent.upMemberSeqOut;
+    m.rack = int32_t(rackIndex);
+    m.timeSec = now_;
+    m.valueWatts = double(agent.onlineMembers);
+    transport_->send(rackEndpoint(rackIndex), kRootEndpoint, m, now_);
+}
+
+void
+BudgetTree::rackRedivide(size_t rackIndex)
+{
+    // Re-divide the delivered grant: survivors keep relative shares,
+    // rejoiners get an even share, floors and ceilings re-imposed.
+    RackAgent& agent = rackAgents_[rackIndex];
+    std::vector<ChildBudget> state = rackAgentChildren(rackIndex);
+    reshareBudgets(state,
+                   agent.haveGrant ? agent.grantViewWatts : 0.0,
+                   agent.rejoined);
+    for (size_t i = 0; i < state.size(); ++i)
+        agent.grantedCapWatts[i] = state[i].capWatts;
+    for (size_t i : agent.rejoined) {
+        if (agent.memberOnline[i])
             trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
-                        racks_[r]->nodes[i]->capWatts, 0.0, int32_t(r),
+                        agent.grantedCapWatts[i], 0.0, int32_t(rackIndex),
                         int32_t(i));
     }
+    agent.rejoined.clear();
+    agent.popChanged = false;
+    agent.grantChanged = false;
+    agent.dirty = true;
+}
 
+void
+BudgetTree::rackRebalanceLocal(size_t rackIndex)
+{
+    RackAgent& agent = rackAgents_[rackIndex];
+    if (agent.onlineMembers == 0)
+        return;
+    std::vector<ChildBudget> state = rackAgentChildren(rackIndex);
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i].online)
+            state[i].powerWatts =
+                agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
+    }
+    const double moved = rebalanceBudgets(state, policy());
+    if (moved <= 0.0)
+        return;
+    for (size_t i = 0; i < state.size(); ++i)
+        agent.grantedCapWatts[i] = state[i].capWatts;
+    agent.dirty = true;
+    ++shifts_;
+    metrics_.addCounter("cluster.rebalances");
+    double rackPower = 0.0;
+    for (size_t i = 0; i < state.size(); ++i) {
+        if (state[i].online)
+            rackPower +=
+                agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
+    }
+    trace::emit(trace_, now_, trace::EventKind::kRackRebalance,
+                agent.haveGrant ? agent.grantViewWatts : 0.0, rackPower,
+                int32_t(rackIndex), int32_t(moved));
+}
+
+void
+BudgetTree::rackReportUp(size_t rackIndex)
+{
+    RackAgent& agent = rackAgents_[rackIndex];
+    if (agent.onlineMembers == 0)
+        return;
+    double sum = 0.0;
+    for (size_t i = 0; i < agent.memberOnline.size(); ++i) {
+        if (agent.memberOnline[i])
+            sum += agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
+    }
+    net::Message m;
+    m.kind = net::MsgKind::kDemandReport;
+    m.seq = ++agent.upReportSeqOut;
+    m.rack = int32_t(rackIndex);
+    m.timeSec = now_;
+    m.valueWatts = sum;
+    transport_->send(rackEndpoint(rackIndex), kRootEndpoint, m, now_);
+}
+
+void
+BudgetTree::rackSendCaps(size_t rackIndex)
+{
+    // One batched round of grant messages per rack and per round, no
+    // matter how many stages (membership re-divide, local rebalance, root
+    // reshare) touched the division -- each member's governor sees at most
+    // one cap change per period.
+    RackAgent& agent = rackAgents_[rackIndex];
+    for (size_t n = 0; n < agent.memberOnline.size(); ++n) {
+        if (!agent.memberOnline[n])
+            continue;
+        net::Message m;
+        m.kind = net::MsgKind::kCapGrant;
+        m.seq = ++agent.grantSeqOut[n];
+        m.rack = int32_t(rackIndex);
+        m.node = int32_t(n);
+        m.timeSec = now_;
+        m.valueWatts = agent.grantedCapWatts[n];
+        transport_->send(rackEndpoint(rackIndex), nodeEndpoint(rackIndex, n),
+                         m, now_);
+    }
+    agent.dirty = false;
+}
+
+// ---------------------------------------------------------------------------
+// Root-controller actions.
+// ---------------------------------------------------------------------------
+
+void
+BudgetTree::rootMembershipAct()
+{
+    // A rack going dark or coming back moves watts *between* racks, so
+    // the root reshares grants on announced liveness transitions. It also
+    // reshares when the announced populations have drifted the
+    // outstanding grants out of conservation -- a rack that shrank (but
+    // stayed bright) can be holding watts its surviving ceilings cannot
+    // absorb, and one that grew can absorb watts that were unplaceable
+    // before; either way the proportional reshare re-pins sum(grants) to
+    // what the surviving populations can actually take.
+    std::vector<ChildBudget> state = rootChildren();
+    const double tol = 1e-7 * options_.globalBudgetWatts + 1e-9;
+    if (!rootLivenessChanged_ &&
+        conservationError(state, options_.globalBudgetWatts) <= tol)
+        return;
+    rootLivenessChanged_ = false;
+    reshareBudgets(state, options_.globalBudgetWatts, rejoinedRacks_);
+    rejoinedRacks_.clear();
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (std::abs(state[r].capWatts - racks_[r]->grantWatts) <= 1e-12)
+            continue;
+        trace::emit(trace_, now_, trace::EventKind::kRackGrant,
+                    state[r].capWatts, racks_[r]->grantWatts, int32_t(r));
+        racks_[r]->grantWatts = state[r].capWatts;
+        net::Message m;
+        m.kind = net::MsgKind::kCapGrant;
+        m.seq = ++root_.grantSeqOut[r];
+        m.rack = int32_t(r);
+        m.timeSec = now_;
+        m.valueWatts = racks_[r]->grantWatts;
+        transport_->send(kRootEndpoint, rackEndpoint(r), m, now_);
+    }
+}
+
+void
+BudgetTree::rootRebalance()
+{
+    // The same policy over racks, fed by the racks' aggregate reports.
+    std::vector<ChildBudget> state = rootChildren();
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (state[r].online)
+            state[r].powerWatts =
+                agedDemand(root_.demandWatts[r], root_.demandTimeSec[r]);
+    }
+    const double moved = rebalanceBudgets(state, policy());
+    if (moved <= 0.0)
+        return;
+    ++shifts_;
+    metrics_.addCounter("cluster.rebalances");
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        if (!racks_[r]->online ||
+            std::abs(state[r].capWatts - racks_[r]->grantWatts) <= 1e-12)
+            continue;
+        trace::emit(trace_, now_, trace::EventKind::kRackGrant,
+                    state[r].capWatts, racks_[r]->grantWatts, int32_t(r));
+        racks_[r]->grantWatts = state[r].capWatts;
+        net::Message m;
+        m.kind = net::MsgKind::kCapGrant;
+        m.seq = ++root_.grantSeqOut[r];
+        m.rack = int32_t(r);
+        m.timeSec = now_;
+        m.valueWatts = racks_[r]->grantWatts;
+        transport_->send(kRootEndpoint, rackEndpoint(r), m, now_);
+    }
+    rootRebalanced_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Per-period phases.
+// ---------------------------------------------------------------------------
+
+void
+BudgetTree::tracePartitions()
+{
+    if (plane_ == nullptr)
+        return;
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        const bool active = plane_->partitionActive(int32_t(r), now_);
+        if (active == bool(rackPartitioned_[r]))
+            continue;
+        rackPartitioned_[r] = active;
+        trace::emit(trace_, now_, trace::EventKind::kPartition, 0.0, 0.0,
+                    int32_t(r), active ? 1 : 0);
+        if (active)
+            metrics_.addCounter("cluster.partitions");
+    }
+}
+
+void
+BudgetTree::settleRacks()
+{
+    // Fold pending membership/grant changes into node caps and send them.
+    // One iteration suffices with faults off; delayed stragglers delivered
+    // mid-settle can re-flag a rack, so loop (bounded) until quiescent --
+    // this is what keeps the per-view conservation gate closed at the end
+    // of every phase no matter what the network reordered.
+    for (int round = 0; round < 4; ++round) {
+        bool acted = false;
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            RackAgent& agent = rackAgents_[r];
+            if (!agent.popChanged && !agent.grantChanged)
+                continue;
+            if (agent.onlineMembers > 0) {
+                rackRedivide(r);
+                acted = true;
+            } else {
+                // Dark rack: nothing to divide; caps already zeroed as
+                // the members left.
+                agent.popChanged = false;
+                agent.grantChanged = false;
+                agent.rejoined.clear();
+            }
+        }
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            if (rackAgents_[r].dirty) {
+                rackSendCaps(r);
+                acted = true;
+            }
+        }
+        if (!acted)
+            break;
+        transport_->deliver(now_);
+    }
+}
+
+void
+BudgetTree::membershipPhase()
+{
+    tracePartitions();
+    transport_->deliver(now_);  // delayed stragglers from prior rounds
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        for (size_t n = 0; n < racks_[r]->nodes.size(); ++n)
+            nodeAnnounce(r, n);
+    }
+    transport_->deliver(now_);  // racks fold announcements into members
+    for (size_t r = 0; r < racks_.size(); ++r)
+        rackAnnounceUp(r);
+    transport_->deliver(now_);  // root folds rack liveness
+    rootMembershipAct();
+    transport_->deliver(now_);  // racks receive reshared grants
+    settleRacks();
     assert(budgetErrorWatts() <
            1e-6 * options_.globalBudgetWatts + 1e-9);
-    for (size_t r = 0; r < racks_.size(); ++r) {
-        if (rackDirty_[r])
-            pushRackCaps(r);
-    }
 }
 
 void
@@ -369,7 +791,7 @@ BudgetTree::stepNodes()
     // and RNG streams), so serial and parallel stepping are byte-identical
     // -- the SweepRunner determinism argument at cluster scale. A node
     // whose platform throws is isolated (failed, removed at the next
-    // membership update) instead of aborting the cluster.
+    // membership round) instead of aborting the cluster.
     std::vector<Node*> live;
     live.reserve(totalNodes());
     for (auto& rack : racks_) {
@@ -393,80 +815,37 @@ BudgetTree::stepNodes()
 }
 
 void
-BudgetTree::measure()
+BudgetTree::reportPhase()
 {
-    // All cross-node reads happen here, serially, in fixed rack-major
-    // order, after the stepping barrier -- the other half of the
-    // determinism argument. The meter channel (readPower) is what a real
-    // cluster manager sees: noisy and fault-prone, which is why the
-    // policy's implausible-reading guard exists.
-    measured_.resize(racks_.size());
     for (size_t r = 0; r < racks_.size(); ++r) {
-        Rack& rack = *racks_[r];
-        measured_[r].assign(rack.nodes.size(), 0.0);
-        for (size_t i = 0; i < rack.nodes.size(); ++i) {
-            Node& node = *rack.nodes[i];
-            if (node.online && !node.failed)
-                measured_[r][i] = node.platform->readPower();
-        }
+        for (size_t n = 0; n < racks_[r]->nodes.size(); ++n)
+            nodeReport(r, n);
     }
+    transport_->deliver(now_);  // racks record node demand
 }
 
 void
-BudgetTree::rebalance()
+BudgetTree::rebalancePhase()
 {
     // Leaf level first: each rack shifts watts among its own nodes under
-    // its current grant.
-    for (size_t r = 0; r < racks_.size(); ++r) {
-        Rack& rack = *racks_[r];
-        if (!rack.online)
-            continue;
-        std::vector<ChildBudget> state = nodeChildren(rack);
-        for (size_t i = 0; i < rack.nodes.size(); ++i)
-            state[i].powerWatts = measured_[r][i];
-        const double moved = rebalanceBudgets(state, policy());
-        if (moved <= 0.0)
-            continue;
-        applyNodeCaps(rack, state);
-        rackDirty_[r] = true;
-        ++shifts_;
-        metrics_.addCounter("cluster.rebalances");
-        double rackPower = 0.0;
-        for (size_t i = 0; i < rack.nodes.size(); ++i)
-            rackPower += measured_[r][i];
-        trace::emit(trace_, now_, trace::EventKind::kRackRebalance,
-                    rack.grantWatts, rackPower, int32_t(r),
-                    int32_t(moved));
-    }
-
-    // Root level: the same policy over racks. A changed grant is
-    // re-divided inside the rack proportionally before the push.
-    std::vector<ChildBudget> state = rackChildren();
-    const double moved = rebalanceBudgets(state, policy());
-    if (moved > 0.0) {
-        ++shifts_;
-        metrics_.addCounter("cluster.rebalances");
-        for (size_t r = 0; r < racks_.size(); ++r) {
-            if (!racks_[r]->online ||
-                std::abs(state[r].capWatts - racks_[r]->grantWatts) <=
-                    1e-12)
-                continue;
-            trace::emit(trace_, now_, trace::EventKind::kRackGrant,
-                        state[r].capWatts, racks_[r]->grantWatts,
-                        int32_t(r));
-            racks_[r]->grantWatts = state[r].capWatts;
-            distributeRackGrant(r, {});
-        }
+    // its delivered grant, then reports its aggregate up.
+    for (size_t r = 0; r < racks_.size(); ++r)
+        rackRebalanceLocal(r);
+    for (size_t r = 0; r < racks_.size(); ++r)
+        rackReportUp(r);
+    transport_->deliver(now_);  // root records rack demand
+    rootRebalance();
+    transport_->deliver(now_);  // racks receive shifted grants
+    settleRacks();
+    if (rootRebalanced_) {
+        // Emitted after the settle so the totals reflect the re-divided,
+        // applied caps (as they always have).
+        rootRebalanced_ = false;
         trace::emit(trace_, now_, trace::EventKind::kRebalance,
                     totalCapWatts(), totalPowerWatts(), shifts_);
     }
-
     assert(budgetErrorWatts() <
            1e-6 * options_.globalBudgetWatts + 1e-9);
-    for (size_t r = 0; r < racks_.size(); ++r) {
-        if (rackDirty_[r])
-            pushRackCaps(r);
-    }
 }
 
 void
@@ -486,44 +865,96 @@ BudgetTree::refreshInvariant()
     }
     metrics_.setGauge("cluster.racks", double(racksOnline));
     metrics_.setGauge("cluster.nodes_online", double(nodesOnline));
+    metrics_.setGauge("cluster.msgs_sent", double(transport_->stats().sent));
+    metrics_.setGauge("cluster.msgs_dropped",
+                      double(transport_->stats().dropped));
     assert(error < 1e-6 * options_.globalBudgetWatts + 1e-9);
 }
 
 void
 BudgetTree::run(double untilSec)
 {
+    if (schedule_ != nullptr) {
+        std::vector<std::string> nodeNames;
+        std::vector<std::string> rackNames;
+        for (const auto& rack : racks_) {
+            rackNames.push_back(rack->name);
+            for (const auto& node : rack->nodes)
+                nodeNames.push_back(node->name);
+        }
+        faults::validateClusterTargets(*schedule_, nodeNames, rackNames);
+    }
     if (!started_) {
         started_ = true;
-        measured_.resize(racks_.size());
-        for (size_t r = 0; r < racks_.size(); ++r)
-            measured_[r].assign(racks_[r]->nodes.size(), 0.0);
-        rackDirty_.assign(racks_.size(), false);
-        // Initial division: even shares root -> racks, then rack -> nodes,
-        // pushed to every node's governor AND its RAPL firmware before the
-        // first period (no node runs uncapped waiting for the first
-        // rebalance).
-        std::vector<ChildBudget> rackState = rackChildren();
-        evenShares(rackState, options_.globalBudgetWatts);
+        root_.grantSeqOut.assign(racks_.size(), 0);
+        root_.memberSeqSeen.assign(racks_.size(), 0);
+        root_.reportSeqSeen.assign(racks_.size(), 0);
+        root_.demandWatts.assign(racks_.size(), 0.0);
+        root_.demandTimeSec.assign(racks_.size(), -1.0);
+        root_.onlinePop.resize(racks_.size());
+        rackAgents_.assign(racks_.size(), RackAgent{});
+        nodeAgents_.resize(racks_.size());
         for (size_t r = 0; r < racks_.size(); ++r) {
-            racks_[r]->grantWatts = rackState[r].capWatts;
-            std::vector<ChildBudget> nodeState =
-                nodeChildren(*racks_[r]);
-            evenShares(nodeState, racks_[r]->grantWatts);
-            applyNodeCaps(*racks_[r], nodeState);
-            pushRackCaps(r);
+            const size_t n = racks_[r]->nodes.size();
+            root_.onlinePop[r] = n;
+            RackAgent& agent = rackAgents_[r];
+            agent.onlineMembers = n;
+            agent.memberOnline.assign(n, true);
+            agent.grantedCapWatts.assign(n, 0.0);
+            agent.grantSeqOut.assign(n, 0);
+            agent.memberSeqSeen.assign(n, 0);
+            agent.demandSeqSeen.assign(n, 0);
+            agent.demandWatts.assign(n, 0.0);
+            agent.demandTimeSec.assign(n, -1.0);
+            nodeAgents_[r].assign(n, NodeAgent{});
         }
+        rackPartitioned_.assign(racks_.size(), false);
+        // The fault plane needs the topology names, so it is built here
+        // rather than in the constructor. Message faults therefore require
+        // the schedule to be attached before the first run().
+        net::MessageFaultPlane::Topology topo;
+        for (const auto& rack : racks_) {
+            topo.rackNames.push_back(rack->name);
+            topo.nodeNames.emplace_back();
+            for (const auto& node : rack->nodes)
+                topo.nodeNames.back().push_back(node->name);
+        }
+        plane_ = std::make_unique<net::MessageFaultPlane>(
+            schedule_, options_.msgFaultSeed, std::move(topo));
+        transport_->setFaultPlane(plane_.get());
+        bindEndpoints();
+        // Initial division: even shares root -> racks, then rack -> nodes
+        // (the reshare in settleRacks over all-zero caps IS the even
+        // split), delivered to every node's governor AND its RAPL firmware
+        // before the first period -- no node runs uncapped waiting for the
+        // first rebalance. If the network eats a first grant, the node
+        // stays unprovisioned (capWatts 0) until a later grant lands.
+        std::vector<ChildBudget> state = rootChildren();
+        evenShares(state, options_.globalBudgetWatts);
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            racks_[r]->grantWatts = state[r].capWatts;
+            net::Message m;
+            m.kind = net::MsgKind::kCapGrant;
+            m.seq = ++root_.grantSeqOut[r];
+            m.rack = int32_t(r);
+            m.timeSec = now_;
+            m.valueWatts = racks_[r]->grantWatts;
+            transport_->send(kRootEndpoint, rackEndpoint(r), m, now_);
+        }
+        transport_->deliver(now_);
+        settleRacks();
         refreshInvariant();
     }
     while (now_ < untilSec - 1e-9) {
         double mark = wallNow();
-        updateMembership();
+        membershipPhase();
         controlWallSec_ += wallNow() - mark;
         const double step = std::min(options_.periodSec, untilSec - now_);
         now_ += step;
         stepNodes();  // times itself into stepWallSec_
         mark = wallNow();
-        measure();
-        rebalance();
+        reportPhase();
+        rebalancePhase();
         refreshInvariant();
         ++periods_;
         controlWallSec_ += wallNow() - mark;

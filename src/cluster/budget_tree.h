@@ -9,21 +9,24 @@
 #include "cluster/budget_policy.h"
 #include "cluster/power_shifter.h"
 #include "harness/sweep.h"
+#include "net/fault_plane.h"
+#include "net/transport.h"
 #include "telemetry/metrics.h"
 
 namespace pupil::cluster {
 
 /**
- * A rack: one interior level of the budget tree. Holds a grant from the
- * datacenter root and divides it among its nodes with the same
- * headroom-donation policy the root uses to divide the global budget
- * among racks.
+ * A rack: one interior level of the budget tree. grantWatts and online
+ * are the ROOT CONTROLLER's view of the rack -- what the root last
+ * granted and whether it believes the rack is up. Under message faults
+ * this view can lag the rack's own state; with faults off the two are
+ * always equal at period boundaries.
  */
 struct Rack
 {
     std::string name;
     double grantWatts = 0.0;
-    /** False while every node in the rack is offline (rack dark). */
+    /** False while the root believes every node in the rack is offline. */
     bool online = true;
     std::vector<std::unique_ptr<Node>> nodes;
 };
@@ -35,35 +38,62 @@ struct Rack
  * and Subramaniam & Feng's composable subsystem/node/cluster managers
  * both point at).
  *
+ * Since the control-plane extraction (DESIGN.md section 14), the three
+ * endpoint roles -- the root controller, one agent per rack, one agent
+ * per node -- share no state and coordinate ONLY through net::Messages
+ * over a net::Transport: demand reports up, cap grants down, membership
+ * announcements (node leave/join, rack dark/bright) in between. The
+ * in-process LocalTransport round-trips every message through the wire
+ * codec, so this object already exercises exactly the bytes a socket
+ * transport would carry. With faults off the message rounds reproduce
+ * the pre-extraction direct-call arithmetic bit for bit (pinned golden
+ * stateDigest()s, tests/golden_trace_test.cc).
+ *
  * Every interior level runs the same policy over its children
  * (budget_policy.h): measure demand, pool donated headroom, grant it
  * demand-weighted, clamp to ceilings. Leaves are full sim::Platform +
  * governor + RAPL stacks, exactly as under the flat shifter. Per period:
  *
- *  1. membership: node-loss faults and failed nodes leave (their watts
- *     redistributed inside their rack), rejoiners are folded back in; a
- *     rack whose last node left goes dark and its grant returns to the
- *     root pool;
- *  2. cap push: changed caps go out per rack in one batch (governor +
- *     RAPL firmware per node);
- *  3. step: every online node platform advances one period on a bounded
+ *  1. membership: node agents announce their liveness (scheduled
+ *     node-loss windows, step-failure isolation); rack agents fold the
+ *     announcements into their member view and report dark/bright + live
+ *     population up; the root reshares grants across racks when rack
+ *     liveness changed; changed racks re-divide and push caps;
+ *  2. step: every online node platform advances one period on a bounded
  *     thread pool (PUPIL_SWEEP_THREADS / Options::threads; 1 = serial).
  *     Nodes share no mutable state, so serial and parallel stepping are
  *     byte-identical; a node that throws is isolated (marked failed,
- *     removed at the next membership update) instead of aborting the
- *     cluster -- the SweepRunner's seed-derivation and failure-isolation
- *     idioms at cluster scale;
+ *     removed at the next membership round) instead of aborting the
+ *     cluster;
+ *  3. report: each live node agent samples its meter once and reports
+ *     demand to its rack agent; rack agents report aggregates to the
+ *     root;
  *  4. rebalance: each rack shifts watts among its nodes, then the root
  *     shifts grants among racks; changed rack grants are re-divided
- *     inside the rack proportionally and pushed.
+ *     inside the rack proportionally and the caps go out in one batch
+ *     of grant messages per rack.
  *
- * Budget conservation -- sum(child caps) == parent grant at every level,
- * up to watts no child's TDP can absorb -- is asserted after every phase
- * in debug builds and exported continuously as the cluster.budget_error
- * gauge (see metrics()).
+ * Ride-through under message faults (see setFaultSchedule): a
+ * partitioned rack keeps enforcing -- and internally rebalancing -- its
+ * last delivered grant; demand reports older than demandStaleSec age
+ * into the policy's implausible-reading floor weight; duplicated and
+ * reordered grants are idempotent via per-stream sequence numbers; and a
+ * node agent clamps every applied grant to [minNodeCapWatts,
+ * nodeTdpWatts], so no leaf ever enforces a cap outside its physical
+ * envelope no matter what the network delivered.
+ *
+ * Budget conservation -- at every level, sum(granted caps) == what was
+ * actually DELIVERED to that level (the root's global budget; a rack
+ * agent's last grant view), up to watts no child's TDP can absorb -- is
+ * asserted after every phase in debug builds and exported continuously
+ * as the cluster.budget_error gauge (see metrics()). Measuring each
+ * level against its own delivered view is what keeps the gate meaningful
+ * when the network diverges the views; with faults off it reduces to the
+ * pre-extraction definition.
  *
  * Tracing: the tree emits cluster- and rack-level events (rebalances,
- * rack grants, node loss/rejoin) into the attached recorder. Node
+ * rack grants, node loss/rejoin) plus the transport's kMsgSend /
+ * kMsgDrop / kPartition timeline into the attached recorder. Node
  * platforms stay untraced: a Recorder is single-owner and the leaves
  * step concurrently.
  */
@@ -79,6 +109,19 @@ class BudgetTree
         double donationFraction = 0.5;
         /** Per-node cap ceiling (package TDPs of the modelled server). */
         double nodeTdpWatts = 270.0;
+        /**
+         * Demand reports older than this are stale: the receiving level
+         * treats the child as reading implausibly (floor grant weight)
+         * instead of trusting data the network delayed or dropped.
+         * Default: 2.5 reallocation periods at the default periodSec.
+         */
+        double demandStaleSec = 2.5;
+        /**
+         * Seed of the message-fault RNG stream (drop/dup/delay Bernoulli
+         * draws, reorder shuffles). A dedicated stream, so the same node
+         * seeds under a different message scenario step identically.
+         */
+        uint64_t msgFaultSeed = 0x6d736766;
         /**
          * Worker threads for node stepping. 0 = automatic
          * (PUPIL_SWEEP_THREADS, then hardware_concurrency); 1 steps
@@ -112,7 +155,11 @@ class BudgetTree
 
     /**
      * Attach a cluster-level fault schedule; node-loss events match node
-     * names. Null detaches. Not owned; must outlive run().
+     * names, partition events match rack names, and the message kinds
+     * (msg-drop/-delay/-dup/-reorder) match either end of an edge. Null
+     * detaches. Not owned; must outlive run(). Targets naming a rack or
+     * node that does not exist are rejected with std::invalid_argument
+     * when run() starts.
      */
     void setFaultSchedule(const faults::FaultSchedule* schedule)
     {
@@ -120,7 +167,7 @@ class BudgetTree
     }
 
     /** Cluster/rack-level event recorder (null detaches; not owned). */
-    void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
+    void attachTrace(trace::Recorder* recorder);
 
     /** Advance every node to @p untilSec, rebalancing period by period. */
     void run(double untilSec);
@@ -138,7 +185,7 @@ class BudgetTree
     // ----- budget state ---------------------------------------------------
     /** Sum of online rack grants (== global budget while any rack is up). */
     double totalGrantWatts() const;
-    /** Sum of per-node caps over online nodes. */
+    /** Sum of node-enforced caps over online nodes. */
     double totalCapWatts() const;
     /** Sum of ground-truth power over online nodes (harness metric). */
     double totalPowerWatts() const;
@@ -149,12 +196,23 @@ class BudgetTree
      */
     double aggregatePerformance() const;
     /**
-     * Worst conservation error across all levels right now:
-     * max over racks of |sum(node caps) - rack grant| and
-     * |sum(rack grants) - global budget|, each against what the level's
-     * ceilings can absorb.
+     * Worst conservation error across all levels right now, each level
+     * measured against what was DELIVERED to it: the root's granted
+     * rack caps against the global budget, and each rack agent's granted
+     * node caps against its last delivered grant view. With faults off
+     * this is the pre-extraction definition.
      */
     double budgetErrorWatts() const;
+
+    /** Whether node (@p rack, @p i) has ever applied a delivered grant.
+        Until then it enforces nothing (capWatts 0) -- the bootstrap
+        state when the first grants are lost to the network. */
+    bool nodeProvisioned(size_t rack, size_t i) const;
+
+    /** A rack agent's last delivered grant view (0 until one arrives) --
+        what the rack is actually dividing, which under partition can
+        diverge from the root-side rack(i).grantWatts. */
+    double rackGrantViewWatts(size_t rack) const;
 
     // ----- accounting -----------------------------------------------------
     /** Rack- or root-level reallocations that moved watts. */
@@ -166,9 +224,15 @@ class BudgetTree
     /** Periods executed so far. */
     int periods() const { return periods_; }
 
+    /** Message-transport delivery accounting (sends, drops, ...). */
+    const net::Transport::Stats& transportStats() const
+    {
+        return transport_->stats();
+    }
+
     /**
      * Wall-clock seconds spent in the control plane (membership,
-     * measurement, both rebalance levels, cap pushes) -- everything
+     * measurement, both rebalance levels, message rounds) -- everything
      * except node stepping. rebalance latency = controlWallSec/periods.
      * Not part of the deterministic state (never feeds back into it).
      */
@@ -179,8 +243,9 @@ class BudgetTree
     /**
      * Tree-level metrics: cluster.budget_error gauge (refreshed every
      * period), cluster.rebalances / cluster.node_loss /
-     * cluster.node_rejoins / cluster.node_failures counters, and
-     * cluster.racks / cluster.nodes_online gauges.
+     * cluster.node_rejoins / cluster.node_failures counters,
+     * cluster.racks / cluster.nodes_online gauges, and the transport's
+     * cluster.msgs_sent / cluster.msgs_dropped gauges.
      */
     const telemetry::MetricsRegistry& metrics() const { return metrics_; }
 
@@ -193,29 +258,102 @@ class BudgetTree
     uint64_t stateDigest() const;
 
   private:
+    /** The root controller's per-rack bookkeeping. */
+    struct RootView
+    {
+        std::vector<uint32_t> grantSeqOut;    ///< root->rack grant stream
+        std::vector<uint32_t> memberSeqSeen;  ///< rack->root announcements
+        std::vector<uint32_t> reportSeqSeen;  ///< rack->root demand reports
+        std::vector<double> demandWatts;
+        std::vector<double> demandTimeSec;    ///< send time; < 0 = never
+        std::vector<size_t> onlinePop;        ///< announced live population
+    };
+
+    /** One rack agent: divides its delivered grant among its members. */
+    struct RackAgent
+    {
+        bool haveGrant = false;
+        double grantViewWatts = 0.0;     ///< last delivered root grant
+        uint32_t grantSeqSeen = 0;
+        bool grantChanged = false;       ///< new grant view this round
+        bool popChanged = false;         ///< membership moved this round
+        bool dirty = false;              ///< caps changed; send at round end
+        size_t onlineMembers = 0;
+        uint32_t upMemberSeqOut = 0;     ///< rack->root announcement stream
+        uint32_t upReportSeqOut = 0;     ///< rack->root report stream
+        std::vector<bool> memberOnline;  ///< the rack's member view
+        std::vector<double> grantedCapWatts;
+        std::vector<uint32_t> grantSeqOut;    ///< per member
+        std::vector<uint32_t> memberSeqSeen;  ///< per member
+        std::vector<uint32_t> demandSeqSeen;  ///< per member
+        std::vector<double> demandWatts;
+        std::vector<double> demandTimeSec;    ///< send time; < 0 = never
+        std::vector<size_t> rejoined;    ///< joins awaiting the re-divide
+    };
+
+    /** One node agent: enforces delivered grants on its own platform. */
+    struct NodeAgent
+    {
+        uint32_t appliedGrantSeq = 0;
+        uint32_t memberSeqOut = 0;
+        uint32_t reportSeqOut = 0;
+        bool provisioned = false;
+    };
+
     BudgetPolicy policy() const;
-    std::vector<ChildBudget> nodeChildren(const Rack& rack) const;
-    std::vector<ChildBudget> rackChildren() const;
-    void applyNodeCaps(Rack& rack, const std::vector<ChildBudget>& state);
-    /** Re-divide a changed rack grant among its online nodes. */
-    void distributeRackGrant(size_t rackIndex,
-                             const std::vector<size_t>& rejoinedNodes);
-    void pushRackCaps(size_t rackIndex);
-    void updateMembership();
+    /** Demand value aged by send time: stale or never-seen reads as 0. */
+    double agedDemand(double watts, double sentSec) const;
+
+    // endpoint handlers (invoked by the transport at delivery)
+    void bindEndpoints();
+    void onRootMessage(const net::Message& message);
+    void onRackMessage(size_t rackIndex, const net::Message& message);
+    void onNodeMessage(size_t rackIndex, size_t nodeIndex,
+                       const net::Message& message);
+
+    // node-agent actions
+    void nodeAnnounce(size_t rackIndex, size_t nodeIndex);
+    void nodeReport(size_t rackIndex, size_t nodeIndex);
+
+    // rack-agent actions
+    std::vector<ChildBudget> rackAgentChildren(size_t rackIndex) const;
+    void rackAnnounceUp(size_t rackIndex);
+    void rackRedivide(size_t rackIndex);
+    void rackRebalanceLocal(size_t rackIndex);
+    void rackReportUp(size_t rackIndex);
+    void rackSendCaps(size_t rackIndex);
+
+    // root-controller actions
+    std::vector<ChildBudget> rootChildren() const;
+    void rootMembershipAct();
+    void rootRebalance();
+
+    // per-period phases
+    void tracePartitions();
+    void settleRacks();
+    void membershipPhase();
     void stepNodes();
-    void measure();
-    void rebalance();
+    void reportPhase();
+    void rebalancePhase();
     void refreshInvariant();
 
     Options options_;
     std::vector<std::unique_ptr<Rack>> racks_;
-    /** Per-rack, per-node measured (meter-channel) power this period. */
-    std::vector<std::vector<double>> measured_;
-    std::vector<bool> rackDirty_;
     harness::SweepRunner runner_;
     const faults::FaultSchedule* schedule_ = nullptr;
     trace::Recorder* trace_ = nullptr;
     telemetry::MetricsRegistry metrics_;
+
+    std::unique_ptr<net::LocalTransport> transport_;
+    std::unique_ptr<net::MessageFaultPlane> plane_;
+    RootView root_;
+    std::vector<RackAgent> rackAgents_;
+    std::vector<std::vector<NodeAgent>> nodeAgents_;
+    std::vector<bool> rackPartitioned_;  ///< for kPartition edge traces
+    std::vector<size_t> rejoinedRacks_;  ///< bright racks awaiting reshare
+    bool rootLivenessChanged_ = false;
+    bool rootRebalanced_ = false;
+
     double now_ = 0.0;
     int shifts_ = 0;
     int lossEvents_ = 0;

@@ -1,5 +1,7 @@
 #include "injector.h"
 
+#include <stdexcept>
+
 namespace pupil::faults {
 
 const char*
@@ -18,6 +20,17 @@ FaultInjector::FaultInjector(FaultSchedule schedule, uint64_t seed)
     : schedule_(std::move(schedule)), rng_(seed),
       activated_(schedule_.events().size(), false)
 {
+    // A node-local injector cannot honor cluster-scoped events (node-loss,
+    // partition, msg-*); accepting one would silently run a different
+    // scenario than the spec describes. Those belong in the schedule handed
+    // to BudgetTree::setFaultSchedule.
+    for (const FaultEvent& event : schedule_.events()) {
+        if (clusterScoped(event.kind))
+            throw std::invalid_argument(
+                std::string("fault spec: cluster-scoped kind '") +
+                kindName(event.kind) +
+                "' is not valid in a node-local fault spec");
+    }
 }
 
 void

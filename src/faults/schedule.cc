@@ -22,6 +22,11 @@ const struct
     {FaultKind::kDvfsRejected, "dvfs-rejected"},
     {FaultKind::kActuationDelay, "actuation-delay"},
     {FaultKind::kNodeLoss, "node-loss"},
+    {FaultKind::kMsgDelay, "msg-delay"},
+    {FaultKind::kMsgDrop, "msg-drop"},
+    {FaultKind::kMsgReorder, "msg-reorder"},
+    {FaultKind::kMsgDup, "msg-dup"},
+    {FaultKind::kPartition, "partition"},
 };
 
 std::string
@@ -79,6 +84,22 @@ parseKind(const std::string& name, const std::string& entry)
 }
 
 }  // namespace
+
+bool
+clusterScoped(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::kNodeLoss:
+      case FaultKind::kMsgDelay:
+      case FaultKind::kMsgDrop:
+      case FaultKind::kMsgReorder:
+      case FaultKind::kMsgDup:
+      case FaultKind::kPartition:
+        return true;
+      default:
+        return false;
+    }
+}
 
 const char*
 kindName(FaultKind kind)
@@ -157,6 +178,66 @@ FaultSchedule::firstActive(FaultKind kind, const std::string& target,
             return &event;
     }
     return nullptr;
+}
+
+namespace {
+
+bool
+contains(const std::vector<std::string>& names, const std::string& name)
+{
+    for (const std::string& candidate : names) {
+        if (candidate == name)
+            return true;
+    }
+    return false;
+}
+
+std::string
+joinNames(const std::vector<std::string>& names)
+{
+    std::string joined;
+    for (const std::string& name : names) {
+        if (!joined.empty())
+            joined += ", ";
+        joined += name;
+    }
+    return joined.empty() ? "<none>" : joined;
+}
+
+}  // namespace
+
+void
+validateClusterTargets(const FaultSchedule& schedule,
+                       const std::vector<std::string>& nodeNames,
+                       const std::vector<std::string>& rackNames)
+{
+    for (const FaultEvent& event : schedule.events()) {
+        if (!clusterScoped(event.kind) || event.target == "*")
+            continue;
+        const bool node = contains(nodeNames, event.target);
+        const bool rack = contains(rackNames, event.target);
+        bool ok = false;
+        std::string wanted;
+        switch (event.kind) {
+          case FaultKind::kNodeLoss:
+            ok = node;
+            wanted = "node (" + joinNames(nodeNames) + ")";
+            break;
+          case FaultKind::kPartition:
+            ok = rack;
+            wanted = "rack (" + joinNames(rackNames) + ")";
+            break;
+          default:  // message kinds match either end of an edge
+            ok = node || rack;
+            wanted = "rack or node (" + joinNames(rackNames) + "; " +
+                     joinNames(nodeNames) + ")";
+            break;
+        }
+        if (!ok)
+            throw std::invalid_argument(
+                std::string("fault schedule: '") + kindName(event.kind) +
+                "' targets unknown " + wanted + ": '" + event.target + "'");
+    }
 }
 
 }  // namespace pupil::faults

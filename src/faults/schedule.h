@@ -23,10 +23,28 @@ enum class FaultKind {
     kDvfsRejected,    ///< "dvfs-rejected": p-state-only OS requests refused
     kActuationDelay,  ///< "actuation-delay": extra param seconds of latency
     kNodeLoss,        ///< "node-loss": cluster node offline during the window
+    kMsgDelay,        ///< "msg-delay": matching control messages arrive
+                      ///< param seconds late
+    kMsgDrop,         ///< "msg-drop": matching control messages lost
+                      ///< (prob per message)
+    kMsgReorder,      ///< "msg-reorder": matching messages shuffled within
+                      ///< a delivery flush (prob selects the shuffled set)
+    kMsgDup,          ///< "msg-dup": matching messages delivered twice
+                      ///< (prob per message)
+    kPartition,       ///< "partition": rack cut off from the root; intra-
+                      ///< rack traffic is unaffected
 };
 
 /** Spec-string name of @p kind (e.g. "sensor-dropout"). */
 const char* kindName(FaultKind kind);
+
+/**
+ * Whether @p kind acts on cluster topology (rack/node names) rather than
+ * a node-local boundary. Cluster-scoped kinds are meaningless inside a
+ * single platform's fault spec and are rejected there (injector.cc);
+ * they belong in the schedule handed to BudgetTree::setFaultSchedule.
+ */
+bool clusterScoped(FaultKind kind);
 
 /**
  * One scheduled fault: @p kind imposed on @p target over [start, end).
@@ -98,6 +116,18 @@ class FaultSchedule
   private:
     std::vector<FaultEvent> events_;
 };
+
+/**
+ * Check every cluster-scoped event in @p schedule against the actual
+ * topology: "node-loss" must target a known node name (or "*"),
+ * "partition" a known rack name (or "*"), and the message kinds either.
+ * Throws std::invalid_argument naming the bad target and the names it was
+ * checked against -- a typoed rack id silently matching nothing is a
+ * scenario that tests believe ran but never did.
+ */
+void validateClusterTargets(const FaultSchedule& schedule,
+                            const std::vector<std::string>& nodeNames,
+                            const std::vector<std::string>& rackNames);
 
 }  // namespace pupil::faults
 

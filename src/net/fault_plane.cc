@@ -1,0 +1,121 @@
+#include "fault_plane.h"
+
+#include <utility>
+
+namespace pupil::net {
+
+namespace {
+
+const std::string kEmpty;
+
+}  // namespace
+
+MessageFaultPlane::MessageFaultPlane(const faults::FaultSchedule* schedule,
+                                     uint64_t seed, Topology topology)
+    : schedule_(schedule), rng_(seed), topology_(std::move(topology))
+{
+}
+
+const faults::FaultEvent*
+MessageFaultPlane::edgeActive(faults::FaultKind kind, EndpointId from,
+                              EndpointId to, double now) const
+{
+    if (schedule_ == nullptr)
+        return nullptr;
+    // Collect the names of both endpoints; the root has none, so a wildcard
+    // event is the only way to target it directly.
+    const std::string* names[2] = {&kEmpty, &kEmpty};
+    int count = 0;
+    for (const EndpointId& end : {from, to}) {
+        if (end.isRoot())
+            continue;
+        if (end.isRackAgent())
+            names[count++] = &topology_.rackNames[size_t(end.rack)];
+        else
+            names[count++] =
+                &topology_.nodeNames[size_t(end.rack)][size_t(end.node)];
+    }
+    for (int i = 0; i < count; ++i) {
+        const faults::FaultEvent* event =
+            schedule_->firstActive(kind, *names[i], now);
+        if (event != nullptr)
+            return event;
+    }
+    return nullptr;
+}
+
+bool
+MessageFaultPlane::fires(const faults::FaultEvent& event)
+{
+    return event.prob >= 1.0 || rng_.bernoulli(event.prob);
+}
+
+MessageFaultPlane::Verdict
+MessageFaultPlane::onSend(EndpointId from, EndpointId to, double now)
+{
+    Verdict verdict;
+    if (schedule_ == nullptr || schedule_->empty())
+        return verdict;
+
+    // A partition severs the rack's uplink outright -- no probability, no
+    // draws -- exactly like a top-of-rack switch losing its spine port.
+    if (from.isRoot() || to.isRoot()) {
+        const int32_t rack = from.isRoot() ? to.rack : from.rack;
+        if (rack >= 0 && partitionActive(rack, now)) {
+            verdict.drop = true;
+            verdict.partitioned = true;
+            ++drops_;
+            return verdict;
+        }
+    }
+
+    if (const auto* event =
+            edgeActive(faults::FaultKind::kMsgDrop, from, to, now)) {
+        if (fires(*event)) {
+            verdict.drop = true;
+            ++drops_;
+            return verdict;
+        }
+    }
+    if (const auto* event =
+            edgeActive(faults::FaultKind::kMsgDup, from, to, now)) {
+        if (fires(*event)) {
+            verdict.duplicate = true;
+            ++duplicates_;
+        }
+    }
+    if (const auto* event =
+            edgeActive(faults::FaultKind::kMsgDelay, from, to, now)) {
+        if (fires(*event)) {
+            verdict.delaySec = event->param > 0.0 ? event->param : 0.0;
+            ++delays_;
+        }
+    }
+    return verdict;
+}
+
+bool
+MessageFaultPlane::reorderEligible(EndpointId from, EndpointId to, double now)
+{
+    const faults::FaultEvent* event =
+        edgeActive(faults::FaultKind::kMsgReorder, from, to, now);
+    return event != nullptr && fires(*event);
+}
+
+uint64_t
+MessageFaultPlane::drawIndex(uint64_t n)
+{
+    return rng_.uniformInt(n);
+}
+
+bool
+MessageFaultPlane::partitionActive(int32_t rack, double now) const
+{
+    if (schedule_ == nullptr || rack < 0 ||
+        size_t(rack) >= topology_.rackNames.size())
+        return false;
+    return schedule_->anyActive(faults::FaultKind::kPartition,
+                                topology_.rackNames[size_t(rack)], now);
+}
+
+}  // namespace pupil::net

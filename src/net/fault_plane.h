@@ -1,0 +1,94 @@
+#ifndef PUPIL_NET_FAULT_PLANE_H_
+#define PUPIL_NET_FAULT_PLANE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faults/schedule.h"
+#include "net/message.h"
+#include "util/rng.h"
+
+namespace pupil::net {
+
+/**
+ * Imposes the message-fault kinds of a FaultSchedule on a transport's
+ * edges: "msg-drop", "msg-delay", "msg-dup", "msg-reorder", and
+ * "partition" (DESIGN.md section 14.4).
+ *
+ * Edge matching: an event applies to a message when its target is "*" or
+ * names either endpoint of the edge -- the rack agent's name matches both
+ * its uplink (root<->rack) and its downlinks (rack<->node); a node name
+ * matches only that node's edges. "partition" is special: it cuts only
+ * root<->rack uplinks (target = rack name), modelling a top-of-rack
+ * switch losing its spine -- intra-rack traffic is unaffected.
+ *
+ * Determinism mirrors faults::FaultInjector: the only randomness is the
+ * per-message Bernoulli draw for probabilistic events, from a dedicated
+ * RNG stream, so a scenario replays bit-for-bit from (spec, seed). With a
+ * null schedule every verdict is "deliver" and the RNG is never touched.
+ */
+class MessageFaultPlane
+{
+  public:
+    /** Rack/node names, for matching schedule targets to edges. */
+    struct Topology
+    {
+        std::vector<std::string> rackNames;
+        std::vector<std::vector<std::string>> nodeNames;  ///< per rack
+    };
+
+    MessageFaultPlane(const faults::FaultSchedule* schedule, uint64_t seed,
+                      Topology topology);
+
+    /** What the network does to one message on the @p from -> @p to edge. */
+    struct Verdict
+    {
+        bool drop = false;        ///< message lost
+        bool partitioned = false; ///< the drop is a partition cut
+        bool duplicate = false;   ///< delivered twice
+        double delaySec = 0.0;    ///< extra latency before delivery
+    };
+
+    /** Evaluate (and draw for) one send at @p now. */
+    Verdict onSend(EndpointId from, EndpointId to, double now);
+
+    /**
+     * Whether this message joins the shuffled set of the current delivery
+     * flush (one draw per in-window call; the transport shuffles eligible
+     * messages among their slots).
+     */
+    bool reorderEligible(EndpointId from, EndpointId to, double now);
+
+    /** Whether rack @p rack is cut off from the root at @p now. */
+    bool partitionActive(int32_t rack, double now) const;
+
+    /** Uniform index in [0, @p n) from the plane's stream (the transport's
+        reorder shuffle draws through here so one seed governs all message
+        randomness). Requires n > 0. */
+    uint64_t drawIndex(uint64_t n);
+
+    // ----- accounting -----------------------------------------------------
+    uint64_t dropsInjected() const { return drops_; }
+    uint64_t duplicatesInjected() const { return duplicates_; }
+    uint64_t delaysInjected() const { return delays_; }
+
+  private:
+    /** First active @p kind event matching either end of the edge. */
+    const faults::FaultEvent* edgeActive(faults::FaultKind kind,
+                                         EndpointId from, EndpointId to,
+                                         double now) const;
+    /** Probabilistic gate: always for prob >= 1, else one Bernoulli draw. */
+    bool fires(const faults::FaultEvent& event);
+
+    const faults::FaultSchedule* schedule_;
+    util::Rng rng_;
+    Topology topology_;
+    uint64_t drops_ = 0;
+    uint64_t duplicates_ = 0;
+    uint64_t delays_ = 0;
+};
+
+}  // namespace pupil::net
+
+#endif  // PUPIL_NET_FAULT_PLANE_H_

@@ -1,0 +1,147 @@
+#include "message.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace pupil::net {
+
+namespace {
+
+constexpr uint8_t kMagic0 = 'P';
+constexpr uint8_t kMagic1 = 'B';
+
+void
+putU32(uint8_t* out, uint32_t value)
+{
+    out[0] = uint8_t(value);
+    out[1] = uint8_t(value >> 8);
+    out[2] = uint8_t(value >> 16);
+    out[3] = uint8_t(value >> 24);
+}
+
+uint32_t
+getU32(const uint8_t* in)
+{
+    return uint32_t(in[0]) | uint32_t(in[1]) << 8 | uint32_t(in[2]) << 16 |
+           uint32_t(in[3]) << 24;
+}
+
+void
+putU64(uint8_t* out, uint64_t value)
+{
+    putU32(out, uint32_t(value));
+    putU32(out + 4, uint32_t(value >> 32));
+}
+
+uint64_t
+getU64(const uint8_t* in)
+{
+    return uint64_t(getU32(in)) | uint64_t(getU32(in + 4)) << 32;
+}
+
+uint64_t
+doubleBits(double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof bits);
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof value);
+    return value;
+}
+
+/** FNV-1a over the frame header + payload (bytes [0..31]). */
+uint32_t
+checksum(const uint8_t* data)
+{
+    uint64_t hash = 1469598103934665603ULL;
+    for (size_t i = 0; i < kFrameBytes - 4; ++i) {
+        hash ^= data[i];
+        hash *= 1099511628211ULL;
+    }
+    return uint32_t(hash ^ (hash >> 32));
+}
+
+}  // namespace
+
+const char*
+kindName(MsgKind kind)
+{
+    switch (kind) {
+      case MsgKind::kDemandReport: return "demand-report";
+      case MsgKind::kCapGrant: return "cap-grant";
+      case MsgKind::kNodeLeave: return "node-leave";
+      case MsgKind::kNodeJoin: return "node-join";
+      case MsgKind::kRackDark: return "rack-dark";
+      case MsgKind::kRackBright: return "rack-bright";
+    }
+    return "?";
+}
+
+bool
+knownKind(uint8_t raw)
+{
+    return raw >= uint8_t(MsgKind::kDemandReport) &&
+           raw <= uint8_t(MsgKind::kRackBright);
+}
+
+Frame
+encode(const Message& message)
+{
+    Frame frame{};
+    frame[0] = kMagic0;
+    frame[1] = kMagic1;
+    frame[2] = kWireVersion;
+    frame[3] = uint8_t(message.kind);
+    putU32(frame.data() + 4, message.seq);
+    putU32(frame.data() + 8, uint32_t(message.rack));
+    putU32(frame.data() + 12, uint32_t(message.node));
+    putU64(frame.data() + 16, doubleBits(message.timeSec));
+    putU64(frame.data() + 24, doubleBits(message.valueWatts));
+    putU32(frame.data() + 32, checksum(frame.data()));
+    return frame;
+}
+
+std::optional<Message>
+decode(const uint8_t* data, size_t len)
+{
+    if (data == nullptr || len != kFrameBytes)
+        return std::nullopt;
+    if (data[0] != kMagic0 || data[1] != kMagic1)
+        return std::nullopt;
+    if (data[2] != kWireVersion)
+        return std::nullopt;
+    if (!knownKind(data[3]))
+        return std::nullopt;
+    if (getU32(data + 32) != checksum(data))
+        return std::nullopt;
+    Message message;
+    message.kind = MsgKind(data[3]);
+    message.seq = getU32(data + 4);
+    message.rack = int32_t(getU32(data + 8));
+    message.node = int32_t(getU32(data + 12));
+    message.timeSec = bitsDouble(getU64(data + 16));
+    message.valueWatts = bitsDouble(getU64(data + 24));
+    // The checksum guards transport corruption, not hostile encoders; a
+    // frame with non-finite or nonsensical fields is rejected outright so
+    // no NaN ever reaches the budget arithmetic. valueWatts may be
+    // slightly negative (noisy meter readings travel as measured).
+    if (!std::isfinite(message.timeSec) || !std::isfinite(message.valueWatts))
+        return std::nullopt;
+    if (message.timeSec < 0.0 || message.rack < -1 || message.node < -1)
+        return std::nullopt;
+    return message;
+}
+
+std::optional<Message>
+decode(const Frame& frame)
+{
+    return decode(frame.data(), frame.size());
+}
+
+}  // namespace pupil::net

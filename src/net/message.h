@@ -1,0 +1,117 @@
+#ifndef PUPIL_NET_MESSAGE_H_
+#define PUPIL_NET_MESSAGE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+namespace pupil::net {
+
+/**
+ * The budget-tree control-plane protocol (DESIGN.md section 14).
+ *
+ * Every parent<->child interaction in the tree -- demand reports up, cap
+ * grants down, membership changes -- is one of these message kinds. The
+ * numeric values are part of the wire format; append new kinds rather
+ * than renumbering, and bump kWireVersion on any layout change.
+ */
+enum class MsgKind : uint8_t {
+    kDemandReport = 1,  ///< child -> parent: value = measured demand (W).
+                        ///< node = -1 when a rack reports its aggregate.
+    kCapGrant = 2,      ///< parent -> child: value = granted cap (W).
+                        ///< node = -1 when the root grants to a rack.
+    kNodeLeave = 3,     ///< node -> rack (forwarded rack -> root):
+                        ///< value = the watts the leaver returns
+    kNodeJoin = 4,      ///< node -> rack (forwarded rack -> root)
+    kRackDark = 5,      ///< rack -> root: the rack's last member left
+    kRackBright = 6,    ///< rack -> root: a dark rack has members again
+};
+
+/** Stable kebab-case name of @p kind ("demand-report", "cap-grant", ...). */
+const char* kindName(MsgKind kind);
+
+/**
+ * Address of a control-plane endpoint: (-1, -1) is the root controller,
+ * (r, -1) is rack r's agent, (r, n) is node n's agent inside rack r.
+ */
+struct EndpointId
+{
+    int32_t rack = -1;
+    int32_t node = -1;
+
+    bool isRoot() const { return rack < 0; }
+    bool isRackAgent() const { return rack >= 0 && node < 0; }
+
+    friend bool operator==(const EndpointId& a, const EndpointId& b)
+    {
+        return a.rack == b.rack && a.node == b.node;
+    }
+    friend bool operator<(const EndpointId& a, const EndpointId& b)
+    {
+        return a.rack != b.rack ? a.rack < b.rack : a.node < b.node;
+    }
+};
+
+/** Whether @p raw is a defined MsgKind value (decode-time gate). */
+bool knownKind(uint8_t raw);
+
+/**
+ * One control-plane message. Fixed shape on purpose: every protocol
+ * interaction fits (kind, seq, rack, node, time, value), which keeps the
+ * wire frame a single compact struct and the transport payload-agnostic.
+ *
+ * @p seq orders messages within one sender stream (see DESIGN.md 14.2 for
+ * the per-stream idempotency rules). @p timeSec is the send time -- a
+ * delayed demand report is stale *data*, so receivers age by send time,
+ * not arrival time. @p rack / @p node name the subject endpoint; -1 means
+ * "not a node" / "the root" as documented per kind.
+ */
+struct Message
+{
+    MsgKind kind = MsgKind::kDemandReport;
+    uint32_t seq = 0;
+    int32_t rack = -1;
+    int32_t node = -1;
+    double timeSec = 0.0;
+    double valueWatts = 0.0;
+};
+
+/** Serialized frame size: every message encodes to exactly this. */
+inline constexpr size_t kFrameBytes = 36;
+
+/** Current wire-format version (byte 2 of every frame). */
+inline constexpr uint8_t kWireVersion = 1;
+
+/** A serialized message. */
+using Frame = std::array<uint8_t, kFrameBytes>;
+
+/**
+ * Encode @p message into its little-endian wire frame:
+ *
+ *     [0..1]   magic 'P','B'
+ *     [2]      version
+ *     [3]      kind
+ *     [4..7]   seq (u32)
+ *     [8..11]  rack (i32)
+ *     [12..15] node (i32)
+ *     [16..23] timeSec (f64 bit pattern)
+ *     [24..31] valueWatts (f64 bit pattern)
+ *     [32..35] FNV-1a checksum of bytes [0..31], truncated to u32
+ */
+Frame encode(const Message& message);
+
+/**
+ * Decode a frame. Returns std::nullopt -- never throws, never crashes,
+ * never returns partial state -- on any malformation: wrong length, bad
+ * magic, unknown version or kind, checksum mismatch, or non-finite /
+ * out-of-range payload fields (fuzzed in net_test.cc).
+ */
+std::optional<Message> decode(const uint8_t* data, size_t len);
+
+/** Convenience overload for a full frame. */
+std::optional<Message> decode(const Frame& frame);
+
+}  // namespace pupil::net
+
+#endif  // PUPIL_NET_MESSAGE_H_

@@ -1,0 +1,127 @@
+#include "transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pupil::net {
+
+namespace {
+
+/** Slack for "due by now" so a delay of exactly one period is delivered
+    at the period boundary rather than one period later. */
+constexpr double kDueEps = 1e-9;
+
+}  // namespace
+
+LocalTransport::LocalTransport(MessageFaultPlane* plane)
+    : plane_(plane)
+{
+}
+
+void
+LocalTransport::bind(EndpointId id, Handler handler)
+{
+    handlers_[id] = std::move(handler);
+}
+
+void
+LocalTransport::send(EndpointId from, EndpointId to, const Message& message,
+                     double now)
+{
+    ++stats_.sent;
+    trace::emit(trace_, now, trace::EventKind::kMsgSend, message.valueWatts,
+                0.0, int32_t(message.kind), to.rack);
+
+    MessageFaultPlane::Verdict verdict;
+    if (plane_ != nullptr)
+        verdict = plane_->onSend(from, to, now);
+    if (verdict.drop) {
+        ++stats_.dropped;
+        if (verdict.partitioned)
+            ++stats_.partitionDrops;
+        trace::emit(trace_, now, trace::EventKind::kMsgDrop,
+                    message.valueWatts, 0.0, int32_t(message.kind), to.rack);
+        return;
+    }
+
+    Pending pending;
+    pending.dueSec = now + verdict.delaySec;
+    pending.order = nextOrder_++;
+    pending.from = from;
+    pending.to = to;
+    pending.frame = encode(message);
+    if (verdict.delaySec > 0.0)
+        ++stats_.delayed;
+    queue_.push_back(pending);
+    if (verdict.duplicate) {
+        ++stats_.duplicated;
+        pending.order = nextOrder_++;
+        queue_.push_back(pending);
+    }
+}
+
+void
+LocalTransport::deliver(double now)
+{
+    if (queue_.empty())
+        return;
+
+    // Snapshot the due set before any handler runs: messages sent while
+    // delivering (forwards, replies) belong to the next hop.
+    std::vector<Pending> due;
+    size_t keep = 0;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+        if (queue_[i].dueSec <= now + kDueEps)
+            due.push_back(std::move(queue_[i]));
+        else
+            queue_[keep++] = std::move(queue_[i]);
+    }
+    queue_.resize(keep);
+    if (due.empty())
+        return;
+
+    // Arrival order: due time, then send order -- a delayed frame lands
+    // after everything that was sent while it was in flight.
+    std::sort(due.begin(), due.end(), [](const Pending& a, const Pending& b) {
+        return a.dueSec != b.dueSec ? a.dueSec < b.dueSec
+                                    : a.order < b.order;
+    });
+
+    // msg-reorder: draw the eligible set (one Bernoulli per frame, in
+    // arrival order, so the draw sequence is schedule-determined), then
+    // Fisher-Yates the eligible frames among their own slots.
+    if (plane_ != nullptr && due.size() > 1) {
+        std::vector<size_t> eligible;
+        for (size_t i = 0; i < due.size(); ++i) {
+            if (plane_->reorderEligible(due[i].from, due[i].to, now))
+                eligible.push_back(i);
+        }
+        if (eligible.size() > 1) {
+            for (size_t i = eligible.size() - 1; i > 0; --i) {
+                const size_t j = size_t(plane_->drawIndex(i + 1));
+                if (j != i) {
+                    std::swap(due[eligible[i]], due[eligible[j]]);
+                    stats_.reordered += 2;
+                }
+            }
+        }
+    }
+
+    for (const Pending& pending : due) {
+        const std::optional<Message> message =
+            decode(pending.frame.data(), pending.frame.size());
+        if (!message.has_value()) {
+            ++stats_.rejected;
+            continue;
+        }
+        const auto handler = handlers_.find(pending.to);
+        if (handler == handlers_.end() || !handler->second) {
+            ++stats_.unrouted;
+            continue;
+        }
+        ++stats_.delivered;
+        handler->second(*message);
+    }
+}
+
+}  // namespace pupil::net

@@ -1,0 +1,117 @@
+#ifndef PUPIL_NET_TRANSPORT_H_
+#define PUPIL_NET_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/fault_plane.h"
+#include "net/message.h"
+#include "trace/trace.h"
+
+namespace pupil::net {
+
+/**
+ * The message-passing seam between budget-tree endpoints (root controller,
+ * rack agents, node agents). Endpoints bind a handler for their address
+ * and exchange Messages; they never touch each other's state directly.
+ *
+ * Delivery is pull-based and explicitly clocked: send() only enqueues,
+ * deliver(now) hands every frame due by @p now to its destination handler.
+ * Each deliver() call drains one hop -- messages sent *during* a delivery
+ * (e.g. a rack agent forwarding a node's report) wait for the next call,
+ * which is what makes multi-hop rounds deterministic and lets a future
+ * socket transport drop in behind the same interface.
+ */
+class Transport
+{
+  public:
+    using Handler = std::function<void(const Message&)>;
+
+    /** Delivery accounting (all message counts since construction). */
+    struct Stats
+    {
+        uint64_t sent = 0;           ///< send() calls
+        uint64_t delivered = 0;      ///< handler invocations
+        uint64_t dropped = 0;        ///< lost to msg-drop or partition
+        uint64_t partitionDrops = 0; ///< the subset cut by a partition
+        uint64_t duplicated = 0;     ///< extra copies enqueued by msg-dup
+        uint64_t delayed = 0;        ///< deliveries postponed by msg-delay
+        uint64_t reordered = 0;      ///< messages shuffled by msg-reorder
+        uint64_t rejected = 0;       ///< frames the codec refused
+        uint64_t unrouted = 0;       ///< no handler bound for the address
+    };
+
+    virtual ~Transport() = default;
+
+    /** Register @p handler as the endpoint at @p id (replaces any prior). */
+    virtual void bind(EndpointId id, Handler handler) = 0;
+
+    /** Enqueue @p message from @p from to @p to at time @p now. */
+    virtual void send(EndpointId from, EndpointId to, const Message& message,
+                      double now) = 0;
+
+    /** Deliver every frame due by @p now (one hop; see class comment). */
+    virtual void deliver(double now) = 0;
+
+    virtual const Stats& stats() const = 0;
+};
+
+/**
+ * Deterministic in-process transport.
+ *
+ * Every message round-trips through the wire codec -- encoded at send(),
+ * decoded at delivery -- so the in-process path exercises exactly the
+ * bytes a socket transport would put on the network, and a frame the
+ * codec rejects is dropped here too (counted in Stats::rejected).
+ *
+ * An optional MessageFaultPlane (not owned) supplies per-message
+ * drop/delay/duplicate verdicts at send() and the reorder shuffle at
+ * deliver(); without one, delivery is in-order, lossless, and draws no
+ * randomness. Not thread safe: one transport belongs to one BudgetTree's
+ * control thread, like every other per-run object.
+ */
+class LocalTransport : public Transport
+{
+  public:
+    explicit LocalTransport(MessageFaultPlane* plane = nullptr);
+
+    /** Attach a structured-event recorder (not owned, null detaches):
+        every send emits kMsgSend, every loss kMsgDrop. */
+    void attachTrace(trace::Recorder* recorder) { trace_ = recorder; }
+
+    /** Attach or detach the fault plane (not owned). The owner builds the
+        plane once it knows the topology, after the transport exists. */
+    void setFaultPlane(MessageFaultPlane* plane) { plane_ = plane; }
+
+    void bind(EndpointId id, Handler handler) override;
+    void send(EndpointId from, EndpointId to, const Message& message,
+              double now) override;
+    void deliver(double now) override;
+    const Stats& stats() const override { return stats_; }
+
+    /** Frames enqueued but not yet due (delayed or undelivered). */
+    size_t pending() const { return queue_.size(); }
+
+  private:
+    struct Pending
+    {
+        double dueSec = 0.0;
+        uint64_t order = 0;  ///< send order, the FIFO tiebreak
+        EndpointId from;
+        EndpointId to;
+        Frame frame{};
+    };
+
+    MessageFaultPlane* plane_;
+    trace::Recorder* trace_ = nullptr;
+    std::map<EndpointId, Handler> handlers_;
+    std::vector<Pending> queue_;
+    uint64_t nextOrder_ = 0;
+    Stats stats_;
+};
+
+}  // namespace pupil::net
+
+#endif  // PUPIL_NET_TRANSPORT_H_

@@ -14,6 +14,7 @@ subsystemName(Subsystem subsystem)
       case Subsystem::kCluster: return "cluster";
       case Subsystem::kHarness: return "harness";
       case Subsystem::kLoad: return "load";
+      case Subsystem::kNet: return "net";
     }
     return "?";
 }
@@ -48,6 +49,9 @@ kindName(EventKind kind)
       case EventKind::kJobArrive: return "job-arrive";
       case EventKind::kJobComplete: return "job-complete";
       case EventKind::kSloViolation: return "slo-violation";
+      case EventKind::kMsgSend: return "msg-send";
+      case EventKind::kMsgDrop: return "msg-drop";
+      case EventKind::kPartition: return "partition";
     }
     return "?";
 }
@@ -90,6 +94,10 @@ kindSubsystem(EventKind kind)
       case EventKind::kJobComplete:
       case EventKind::kSloViolation:
         return Subsystem::kLoad;
+      case EventKind::kMsgSend:
+      case EventKind::kMsgDrop:
+      case EventKind::kPartition:
+        return Subsystem::kNet;
     }
     return Subsystem::kHarness;
 }

@@ -18,10 +18,11 @@ enum class Subsystem : uint8_t {
     kCluster,   ///< PowerShifter membership and rebalances
     kHarness,   ///< experiment start/end markers
     kLoad,      ///< open-loop tenant traffic (arrivals, SLO outcomes)
+    kNet,       ///< control-plane message transport (sends, drops, cuts)
 };
 
 /** Number of subsystems (for per-category accounting). */
-inline constexpr int kSubsystemCount = 8;
+inline constexpr int kSubsystemCount = 9;
 
 /** Stable lowercase category name ("decision", "rapl", ...). */
 const char* subsystemName(Subsystem subsystem);
@@ -85,6 +86,13 @@ enum class EventKind : uint8_t {
     kSloViolation,     ///< a=latency (s), b=SLO (s), i0=tier,
                        ///< i1=app slot (-1 dropped, -2 in-flight
                        ///< abandoned, -3 queued abandoned)
+
+    // net (control-plane message transport)
+    kMsgSend,          ///< a=payload value (W), i0=net::MsgKind,
+                       ///< i1=destination rack (-1: the root)
+    kMsgDrop,          ///< a=payload value (W), i0=net::MsgKind,
+                       ///< i1=destination rack (-1: the root)
+    kPartition,        ///< i0=rack index, i1=1 cut begins / 0 heals
 };
 
 /** Stable kebab-case event name ("walk-start", "limit-write", ...). */

@@ -196,6 +196,107 @@ TEST(BudgetTree, DarkRackReturnsItsGrantAndRejoins)
     EXPECT_GT(rackRebalances, 0);
 }
 
+TEST(BudgetTree, PartitionedRackRidesThroughOnItsLastGrant)
+{
+    // Cut rack1's uplink for a six-second window. The rack must keep
+    // enforcing -- and internally rebalancing -- the last grant that was
+    // actually delivered to it: every member stays capped inside
+    // [floor, TDP], the member caps keep summing to the rack's own grant
+    // view, and per-view conservation holds throughout. The partition's
+    // begin/heal must also land in the trace timeline.
+    BudgetTree::Options options;
+    options.globalBudgetWatts = 1200.0;
+    options.threads = 1;
+    BudgetTree tree = makeTree(options);
+    trace::Recorder recorder;
+    tree.attachTrace(&recorder);
+    const auto schedule =
+        faults::FaultSchedule::parse("partition,rack1,3,9");
+    tree.setFaultSchedule(&schedule);
+
+    tree.run(2.0);
+    const uint64_t dropsBefore = tree.transportStats().partitionDrops;
+    tree.run(8.0);
+    // Mid-partition: the uplink is actually cut ...
+    EXPECT_GT(tree.transportStats().partitionDrops, dropsBefore);
+    // ... but the root never declares the rack dark (it is enforcing,
+    // just unreachable), and the rack conserves against its own view.
+    EXPECT_TRUE(tree.rack(1).online);
+    double rackCaps = 0.0;
+    for (size_t n = 0; n < tree.nodeCount(1); ++n) {
+        const Node& node = tree.node(1, n);
+        EXPECT_TRUE(node.online) << n;
+        EXPECT_GE(node.capWatts, options.minNodeCapWatts - 1e-9) << n;
+        EXPECT_LE(node.capWatts, options.nodeTdpWatts + 1e-9) << n;
+        rackCaps += node.capWatts;
+    }
+    EXPECT_GT(tree.rackGrantViewWatts(1), 0.0);
+    EXPECT_NEAR(rackCaps, tree.rackGrantViewWatts(1), 1e-6);
+    EXPECT_LT(tree.budgetErrorWatts(),
+              1e-6 * options.globalBudgetWatts + 1e-9);
+
+    tree.run(14.0);
+    EXPECT_LT(tree.budgetErrorWatts(),
+              1e-6 * options.globalBudgetWatts + 1e-9);
+    int cuts = 0;
+    int heals = 0;
+    for (const auto& event : recorder.snapshot()) {
+        if (event.kind != trace::EventKind::kPartition)
+            continue;
+        EXPECT_EQ(event.i0, 1);
+        if (event.i1 == 1)
+            ++cuts;
+        else
+            ++heals;
+    }
+    EXPECT_EQ(cuts, 1);
+    EXPECT_EQ(heals, 1);
+}
+
+TEST(BudgetTree, RunRejectsSchedulesTargetingUnknownNames)
+{
+    // A schedule naming a rack or node that is not in the topology is a
+    // configuration bug (typo'd scenario), not a no-op: run() refuses it
+    // before the first period.
+    BudgetTree::Options options;
+    options.threads = 1;
+    BudgetTree tree = makeTree(options);
+    const auto schedule =
+        faults::FaultSchedule::parse("partition,rack7,0,5");
+    tree.setFaultSchedule(&schedule);
+    EXPECT_THROW(tree.run(1.0), std::invalid_argument);
+    // Detaching (or fixing) the schedule unblocks the run.
+    tree.setFaultSchedule(nullptr);
+    tree.run(1.0);
+    EXPECT_EQ(tree.periods(), 1);
+}
+
+TEST(BudgetTree, MessageFaultStormStaysDeterministicFromSeed)
+{
+    // A storm mixing every message-fault kind must replay bit-for-bit
+    // from (spec, seed): the fault plane draws from one dedicated RNG
+    // stream and the transport's delivery order is fully determined.
+    const char* storm =
+        "msg-drop,*,1,12,0,0.3;msg-delay,rack0,2,10,1.5,0.5;"
+        "msg-dup,*,3,11,0,0.4;msg-reorder,rack2,1,12,0,0.8;"
+        "partition,rack1,4,7";
+    const auto run = [&] {
+        const auto schedule = faults::FaultSchedule::parse(storm);
+        BudgetTree::Options options;
+        options.globalBudgetWatts = 1100.0;
+        options.threads = 1;
+        BudgetTree tree = makeTree(options);
+        tree.setFaultSchedule(&schedule);
+        tree.run(14.0);
+        EXPECT_LT(tree.budgetErrorWatts(),
+                  1e-6 * options.globalBudgetWatts + 1e-9);
+        return tree.stateDigest();
+    };
+    const uint64_t a = run();
+    const uint64_t b = run();
+    EXPECT_EQ(a, b);
+}
+
 TEST(BudgetTree, HardwareIsArmedFromTheFirstPeriod)
 {
     // Same first-period guarantee as the flat shifter: the initial

@@ -94,6 +94,74 @@ TEST(FaultSchedule, KindNamesRoundTrip)
     EXPECT_STREQ(kindName(FaultKind::kSensorStuck), "sensor-stuck");
     EXPECT_STREQ(kindName(FaultKind::kActuationDelay), "actuation-delay");
     EXPECT_STREQ(channelName(SensorChannel::kRaplSocket1), "rapl1");
+    EXPECT_STREQ(kindName(FaultKind::kMsgDrop), "msg-drop");
+    EXPECT_STREQ(kindName(FaultKind::kPartition), "partition");
+}
+
+TEST(FaultSchedule, MessageFaultKindsParse)
+{
+    const FaultSchedule schedule = FaultSchedule::parse(
+        "msg-delay,rack0,0,10,1.5;"
+        "msg-drop,*,0,20,0,0.25;"
+        "msg-reorder,r0n1,5,15;"
+        "msg-dup,rack1,2,8,0,0.5;"
+        "partition,rack0,4,9");
+    ASSERT_EQ(schedule.events().size(), 5u);
+    EXPECT_EQ(schedule.events()[0].kind, FaultKind::kMsgDelay);
+    EXPECT_DOUBLE_EQ(schedule.events()[0].param, 1.5);
+    EXPECT_EQ(schedule.events()[1].kind, FaultKind::kMsgDrop);
+    EXPECT_DOUBLE_EQ(schedule.events()[1].prob, 0.25);
+    EXPECT_EQ(schedule.events()[2].kind, FaultKind::kMsgReorder);
+    EXPECT_EQ(schedule.events()[3].kind, FaultKind::kMsgDup);
+    EXPECT_EQ(schedule.events()[4].kind, FaultKind::kPartition);
+    EXPECT_EQ(schedule.events()[4].target, "rack0");
+    for (const FaultEvent& event : schedule.events())
+        EXPECT_TRUE(clusterScoped(event.kind)) << kindName(event.kind);
+    EXPECT_FALSE(clusterScoped(FaultKind::kSensorDropout));
+    EXPECT_FALSE(clusterScoped(FaultKind::kActuationDelay));
+}
+
+TEST(FaultSchedule, ClusterScopedKindsAreRejectedInNodeLocalSpecs)
+{
+    // A node-local fault spec drives one platform's sensor/MSR/actuation
+    // boundaries; cluster topology kinds silently doing nothing there
+    // would be a debugging trap, so the injector refuses them outright.
+    const char* specs[] = {"node-loss,n0,0,10", "msg-drop,*,0,10",
+                           "partition,rack0,0,10"};
+    for (const char* spec : specs) {
+        EXPECT_THROW(FaultInjector(FaultSchedule::parse(spec), 1),
+                     std::invalid_argument)
+            << spec;
+    }
+}
+
+TEST(FaultSchedule, ValidateClusterTargetsRejectsUnknownNames)
+{
+    const std::vector<std::string> nodes = {"r0n0", "r0n1", "r1n0"};
+    const std::vector<std::string> racks = {"rack0", "rack1"};
+    // Known names and wildcards pass; node-local kinds are not checked.
+    EXPECT_NO_THROW(validateClusterTargets(
+        FaultSchedule::parse("node-loss,r0n1,0,5;partition,rack1,0,5;"
+                             "msg-drop,*,0,5;msg-delay,r1n0,0,5,1.0;"
+                             "msg-dup,rack0,0,5;sensor-dropout,power,0,5"),
+        nodes, racks));
+    // A node-loss naming a rack, a partition naming a node, and message
+    // kinds naming nothing in the topology are all configuration bugs.
+    const char* bad[] = {"node-loss,rack0,0,5", "partition,r0n0,0,5",
+                         "msg-reorder,r9n9,0,5", "node-loss,r0n2,0,5"};
+    for (const char* spec : bad) {
+        try {
+            validateClusterTargets(FaultSchedule::parse(spec), nodes, racks);
+            FAIL() << spec << " was accepted";
+        } catch (const std::invalid_argument& error) {
+            // The message must name the offending target so the fix is
+            // obvious from the exception alone.
+            EXPECT_NE(std::string(error.what()).find(
+                          FaultSchedule::parse(spec).events()[0].target),
+                      std::string::npos)
+                << error.what();
+        }
+    }
 }
 
 TEST(FaultInjector, DropoutStuckAndSpikeSemantics)

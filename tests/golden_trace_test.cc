@@ -16,6 +16,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/budget_tree.h"
+#include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "trace/export.h"
 #include "trace/trace.h"
@@ -212,6 +214,67 @@ TEST(GoldenTrace, ExcerptMatchesPinnedRun)
         << "missing " << excerptPath
         << "; run golden_trace_test --update-golden to create it";
     EXPECT_EQ(excerpt, stored) << firstDivergence(excerpt, stored);
+}
+
+// ---------------------------------------------------------------------------
+// BudgetTree control-plane pins. These digests were captured from the
+// direct-call implementation immediately before the control plane moved
+// onto net::LocalTransport; they are pinned in code -- deliberately with
+// no --update-golden escape hatch -- because the transport extraction is
+// required to be byte-transparent with faults off. If one of these
+// fails, the message rounds changed the arithmetic, the ordering, or an
+// RNG draw count somewhere; fix the protocol, don't re-pin.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kBudgetTreeFaultFreeDigest = 0xd97bbf6f551f03c3ull;
+constexpr uint64_t kBudgetTreeNodeLossDigest = 0xb08faadb91748608ull;
+
+cluster::BudgetTree
+makeBudgetTree(const cluster::BudgetTree::Options& options)
+{
+    const char* apps[9] = {"x264",  "swaptions", "kmeans",
+                           "btree", "swish++",   "blackscholes",
+                           "cfd",   "dijkstra",  "x264"};
+    cluster::BudgetTree tree(options);
+    for (int r = 0; r < 3; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < 3; ++n) {
+            const int id = r * 3 + n;
+            tree.addNode(rack,
+                         "r" + std::to_string(r) + "n" + std::to_string(n),
+                         harness::singleApp(apps[id], 16),
+                         harness::GovernorKind::kPupil,
+                         uint64_t(100 + id * 13));
+        }
+    }
+    return tree;
+}
+
+TEST(GoldenTrace, BudgetTreeFaultFreeDigestIsPreExtraction)
+{
+    cluster::BudgetTree::Options options;
+    options.globalBudgetWatts = 1200.0;
+    options.threads = 1;
+    cluster::BudgetTree tree = makeBudgetTree(options);
+    tree.run(20.0);
+    EXPECT_EQ(tree.stateDigest(), kBudgetTreeFaultFreeDigest)
+        << "the transport extraction is no longer byte-transparent on "
+           "the fault-free pinned run";
+}
+
+TEST(GoldenTrace, BudgetTreeNodeLossDigestIsPreExtraction)
+{
+    const auto schedule = faults::FaultSchedule::parse(
+        "node-loss,r0n1,4,9;node-loss,r2n0,6,12");
+    cluster::BudgetTree::Options options;
+    options.globalBudgetWatts = 1100.0;
+    options.threads = 1;
+    cluster::BudgetTree tree = makeBudgetTree(options);
+    tree.setFaultSchedule(&schedule);
+    tree.run(20.0);
+    EXPECT_EQ(tree.stateDigest(), kBudgetTreeNodeLossDigest)
+        << "the transport extraction is no longer byte-transparent on "
+           "the node-loss pinned run";
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/budget_tree.h"
 #include "cluster/power_shifter.h"
 #include "load/cap_arbiter.h"
 #include "core/decision.h"
@@ -328,6 +329,121 @@ TEST(CapArbiterProperty, ActiveTiersKeepTheirFloorsIdleTiersGetNothing)
             }
         }
     }
+}
+
+TEST(TransportProperty, ConservationClampsAndProgressUnderRandomFaultMixes)
+{
+    // Random message-fault schedules (drop/delay/reorder/dup/partition,
+    // plus node-loss for population churn) over random budgets and seeds.
+    // Whatever the network does, three things must hold at every
+    // observation point: (1) per-view conservation -- each level's granted
+    // caps sum to what was DELIVERED to it -- stays within tolerance;
+    // (2) every cap a leaf enforces lies in [floor, TDP] (an online node
+    // enforcing nothing, capWatts 0, is the rejoin/bootstrap state while
+    // its first grant is in flight or lost); (3) periods always advance:
+    // no fault mix deadlocks the control loop.
+    const char* apps[4] = {"x264", "kmeans", "swish++", "blackscholes"};
+    const char* msgKinds[4] = {"msg-drop", "msg-delay", "msg-reorder",
+                               "msg-dup"};
+    util::Rng rng(0x7249);
+    uint64_t totalDelivered = 0;
+    uint64_t totalDropped = 0;
+    for (int c = 0; c < kCases; ++c) {
+        cluster::BudgetTree::Options opts;
+        opts.globalBudgetWatts = rng.uniform(300.0, 800.0);
+        opts.threads = 1;
+        opts.msgFaultSeed = 0x1000 + uint64_t(c);
+        cluster::BudgetTree tree(opts);
+        std::vector<std::string> nodeNames;
+        std::vector<std::string> rackNames;
+        for (int r = 0; r < 2; ++r) {
+            rackNames.push_back("rack" + std::to_string(r));
+            tree.addRack(rackNames.back());
+            for (int n = 0; n < 2; ++n) {
+                nodeNames.push_back("r" + std::to_string(r) + "n" +
+                                    std::to_string(n));
+                tree.addNode(size_t(r), nodeNames.back(),
+                             harness::singleApp(apps[(r * 2 + n) % 4], 16),
+                             harness::GovernorKind::kPupil,
+                             uint64_t(c * 29 + r * 4 + n + 1));
+            }
+        }
+        std::string spec;
+        const int eventCount = 2 + int(rng.uniformInt(3));
+        for (int e = 0; e < eventCount; ++e) {
+            const double start = rng.uniform(0.0, 8.0);
+            const double end = start + rng.uniform(1.0, 6.0);
+            const int kind = int(rng.uniformInt(6));
+            std::string entry;
+            if (kind < 4) {
+                std::string target = "*";
+                const double pick = rng.uniform(0.0, 1.0);
+                if (pick < 0.35)
+                    target = nodeNames[size_t(
+                        rng.uniformInt(nodeNames.size()))];
+                else if (pick < 0.6)
+                    target = rackNames[size_t(
+                        rng.uniformInt(rackNames.size()))];
+                const double param =
+                    kind == 1 ? rng.uniform(0.5, 2.5) : 0.0;
+                const double prob = rng.uniform(0.3, 1.0);
+                entry = std::string(msgKinds[kind]) + ',' + target + ',' +
+                        std::to_string(start) + ',' + std::to_string(end) +
+                        ',' + std::to_string(param) + ',' +
+                        std::to_string(prob);
+            } else if (kind == 4) {
+                entry = "partition," +
+                        rackNames[size_t(
+                            rng.uniformInt(rackNames.size()))] +
+                        ',' + std::to_string(start) + ',' +
+                        std::to_string(end);
+            } else {
+                entry = "node-loss," +
+                        nodeNames[size_t(
+                            rng.uniformInt(nodeNames.size()))] +
+                        ',' + std::to_string(start) + ',' +
+                        std::to_string(end);
+            }
+            if (!spec.empty())
+                spec += ';';
+            spec += entry;
+        }
+        const auto schedule = faults::FaultSchedule::parse(spec);
+        tree.setFaultSchedule(&schedule);
+        int lastPeriods = 0;
+        for (double t = 3.0; t <= 12.0; t += 3.0) {
+            tree.run(t);
+            EXPECT_GT(tree.periods(), lastPeriods)
+                << "control loop stalled; spec=" << spec;
+            lastPeriods = tree.periods();
+            EXPECT_LT(tree.budgetErrorWatts(),
+                      1e-6 * opts.globalBudgetWatts + 1e-9)
+                << "t=" << t << " spec=" << spec;
+            for (size_t r = 0; r < tree.rackCount(); ++r) {
+                for (size_t n = 0; n < tree.nodeCount(r); ++n) {
+                    const cluster::Node& node = tree.node(r, n);
+                    if (!node.online) {
+                        EXPECT_DOUBLE_EQ(node.capWatts, 0.0)
+                            << "offline leaf holds a grant; spec=" << spec;
+                    } else if (node.capWatts != 0.0) {
+                        EXPECT_GE(node.capWatts,
+                                  opts.minNodeCapWatts - 1e-9)
+                            << "t=" << t << " r=" << r << " n=" << n
+                            << " spec=" << spec;
+                        EXPECT_LE(node.capWatts, opts.nodeTdpWatts + 1e-9)
+                            << "t=" << t << " r=" << r << " n=" << n
+                            << " spec=" << spec;
+                    }
+                }
+            }
+        }
+        totalDelivered += tree.transportStats().delivered;
+        totalDropped += tree.transportStats().dropped;
+    }
+    // Sanity on the harness itself: the sweep must actually exercise the
+    // network both ways -- messages flowing and messages lost.
+    EXPECT_GT(totalDelivered, 0u);
+    EXPECT_GT(totalDropped, 0u);
 }
 
 }  // namespace
