@@ -2,26 +2,37 @@
  * @file
  * Datacenter-scale sweep over the hierarchical budget tree.
  *
- * Builds 3-level datacenter -> rack -> node trees (8 nodes per rack,
- * mixed workloads from the benchmark catalog, a mixed governor
- * population, and one scheduled node-loss window per rack), steps them
- * to steady state, and reports:
+ * Two tiers of tree:
  *
- *  - throughput-under-budget: aggregate normalized performance over the
- *    converged second half of the run (deterministic for a fixed
- *    PUPIL_SEED, so the per-node figure is byte-stable across hosts);
- *  - rebalance latency: control-plane wall time (membership, both
- *    rebalance levels, batched cap pushes) per period, plus the
- *    dimensionless step/control wall-time ratio check_perf.py gates;
- *  - parallel stepping speedup: serial vs pooled node stepping, which
- *    by construction must agree bit-for-bit -- the determinism check
- *    compares full state digests and fails the bench on any mismatch;
- *  - worst budget-conservation error seen at any level in any period.
+ *  - FULL-STACK tiers (64 / 256 / 512 nodes): every leaf is a complete
+ *    Platform + governor + RAPL stack, the legacy control plane
+ *    (hysteresis off) -- the configuration the pinned golden digests
+ *    cover. Reports throughput-under-budget, steady-state rebalance
+ *    latency, the step/control wall-time ratio check_perf.py gates, the
+ *    serial-vs-parallel digest determinism bit, and the worst
+ *    budget-conservation error at any level in any period.
  *
- * --quick runs the 64-node tree only (the bench_smoke/CI tier); the full
- * run sweeps 64/256/512 nodes. Results go to stdout and to a
- * machine-readable BENCH_cluster.json (override with --out PATH) that
- * bench/check_perf.py compares against bench/perf_baseline.json.
+ *  - SURROGATE tiers (4096 / 16384 / 51200 nodes): the event-driven
+ *    control plane (hysteresisWatts > 0) over calibrated O(1) surrogate
+ *    leaves, with one full-stack calibration sample per 64 nodes feeding
+ *    the shared per-(app, governor) response tables. Reports
+ *    steady-state control/step latency (median + p95), the
+ *    faster-than-real-time bit (steady-state simulated period costs less
+ *    wall time than it simulates), the event-suppression counters, and
+ *    the same determinism and conservation gates.
+ *
+ * Latency methodology: per-period wall-time samples from
+ * BudgetTree::controlWallSamples(), with the first quarter of the run
+ * (minimum 2 periods) discarded as warm-up -- the first periods carry
+ * one-time costs (initial grant fan-out, allocator warm-up, fault-window
+ * onsets) that used to skew the all-period average this bench once
+ * reported. Steady-state median and p95 are reported separately.
+ *
+ * --quick runs the 64-node full-stack tier and the 4096-node surrogate
+ * tier (the bench_smoke/CI tier); the full run sweeps all six. Results
+ * go to stdout and to a machine-readable BENCH_cluster.json (override
+ * with --out PATH) that bench/check_perf.py compares against
+ * bench/perf_baseline.json.
  */
 #include <algorithm>
 #include <cstdint>
@@ -34,11 +45,20 @@
 #include "cluster/budget_tree.h"
 #include "faults/schedule.h"
 #include "trace/export.h"
+#include "util/stats.h"
 #include "util/table.h"
 
 using namespace pupil;
 
 namespace {
+
+constexpr int kNodesPerRack = 8;
+/** One full-stack calibration sample per this many surrogate-tier nodes. */
+constexpr int kSampleEvery = 64;
+/** Event-driven band for the surrogate tiers (Watts). */
+constexpr double kHysteresisWatts = 2.0;
+
+using cluster::BudgetTree;
 
 struct ScaleResult
 {
@@ -48,7 +68,9 @@ struct ScaleResult
     double throughput = 0.0;        ///< mean normalized perf, 2nd half
     double perfPerNode = 0.0;
     double maxBudgetErrorWatts = 0.0;
-    double rebalanceLatencyMs = 0.0;
+    double rebalanceLatencyMeanMs = 0.0;  ///< all periods incl. warm-up
+    double rebalanceLatencyMs = 0.0;      ///< steady-state median
+    double rebalanceLatencyP95Ms = 0.0;   ///< steady-state p95
     double controlStepRatio = 0.0;  ///< stepWall / controlWall
     double parallelSpeedup = 0.0;   ///< serial stepWall / parallel stepWall
     int lossEvents = 0;
@@ -57,9 +79,25 @@ struct ScaleResult
     bool deterministic = false;
 };
 
-constexpr int kNodesPerRack = 8;
-
-using cluster::BudgetTree;
+struct SurrogateResult
+{
+    int nodes = 0;
+    int racks = 0;
+    int periods = 0;
+    int fullStackNodes = 0;
+    double steadyControlMedianMs = 0.0;
+    double steadyControlP95Ms = 0.0;
+    double steadyStepMedianMs = 0.0;
+    double maxBudgetErrorWatts = 0.0;
+    double budgetErrorLimitWatts = 0.0;
+    uint64_t reportsSuppressed = 0;
+    uint64_t rebalancesSuppressed = 0;
+    int shifts = 0;
+    int lossEvents = 0;
+    bool deterministic = false;
+    bool fasterThanRealTime = false;
+    bool budgetErrorOk = false;
+};
 
 BudgetTree::Options
 treeOptions(int nodes, int threads)
@@ -95,12 +133,51 @@ makeTree(int nodes, int threads, uint64_t seed)
     return tree;
 }
 
+/**
+ * A surrogate-tier tree: same topology, workload cycle, and governor mix
+ * as makeTree, but every node except one in kSampleEvery is a surrogate
+ * leaf, the sampled full-stack nodes calibrate the shared response
+ * tables, and the event-driven hysteresis band is on.
+ */
+BudgetTree
+makeSurrogateTree(int nodes, int threads, uint64_t seed)
+{
+    BudgetTree::Options options = treeOptions(nodes, threads);
+    options.hysteresisWatts = kHysteresisWatts;
+    BudgetTree tree(options);
+    const auto& catalog = workload::benchmarkCatalog();
+    int id = 0;
+    for (int r = 0; r < nodes / kNodesPerRack; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < kNodesPerRack; ++n, ++id) {
+            const auto& app = catalog[size_t(id * 7) % catalog.size()];
+            const auto kind = (id % 4 == 3)
+                                  ? harness::GovernorKind::kRapl
+                                  : harness::GovernorKind::kPupil;
+            const std::string name =
+                "r" + std::to_string(r) + "n" + std::to_string(n);
+            const uint64_t nodeSeed =
+                harness::SweepRunner::deriveSeed(seed, size_t(id));
+            if (id % kSampleEvery == 0) {
+                const size_t i = tree.addNode(
+                    rack, name, harness::singleApp(app.name, 16), kind,
+                    nodeSeed);
+                tree.addCalibrationSource(rack, i, app.name, kind);
+            } else {
+                tree.addSurrogateNode(rack, name, app.name, kind, nodeSeed);
+            }
+        }
+    }
+    return tree;
+}
+
 /** One node-loss window per rack, staggered so rebalances keep firing. */
 std::string
-faultSpec(int nodes)
+faultSpec(int nodes, int maxRacks)
 {
     std::string spec;
-    for (int r = 0; r < nodes / kNodesPerRack; ++r) {
+    const int racks = std::min(nodes / kNodesPerRack, maxRacks);
+    for (int r = 0; r < racks; ++r) {
         const double start = 4.0 + double(r % 5);
         const double end = start + 6.0;
         if (!spec.empty())
@@ -141,10 +218,21 @@ drive(BudgetTree& tree, const faults::FaultSchedule& schedule,
     return outcome;
 }
 
+/** Drop the warm-up quarter (minimum 2 periods) of per-period samples. */
+std::vector<double>
+steadySamples(const std::vector<double>& samples)
+{
+    const size_t skip =
+        std::min(samples.size(),
+                 std::max<size_t>(2, samples.size() / 4));
+    return std::vector<double>(samples.begin() + long(skip), samples.end());
+}
+
 ScaleResult
 runScale(int nodes, double durationSec, uint64_t seed, bool serialOnly)
 {
-    const auto schedule = faults::FaultSchedule::parse(faultSpec(nodes));
+    const auto schedule =
+        faults::FaultSchedule::parse(faultSpec(nodes, nodes));
 
     BudgetTree serial = makeTree(nodes, 1, seed);
     const RunOutcome serialOut = drive(serial, schedule, durationSec);
@@ -163,9 +251,15 @@ runScale(int nodes, double durationSec, uint64_t seed, bool serialOnly)
     // Latency figures come from the serial run: both numerator and
     // denominator then scale with single-thread host speed, so the
     // step/control ratio check_perf.py gates is independent of the CI
-    // runner's core count.
-    result.rebalanceLatencyMs =
+    // runner's core count. The headline latency is the steady-state
+    // median (the all-period mean keeps the warm-up transient and is
+    // reported separately as the skewed legacy figure).
+    result.rebalanceLatencyMeanMs =
         1e3 * serial.controlWallSec() / double(serial.periods());
+    const std::vector<double> steady =
+        steadySamples(serial.controlWallSamples());
+    result.rebalanceLatencyMs = 1e3 * util::percentile(steady, 50.0);
+    result.rebalanceLatencyP95Ms = 1e3 * util::percentile(steady, 95.0);
     result.controlStepRatio =
         serial.stepWallSec() / serial.controlWallSec();
     result.parallelSpeedup =
@@ -177,6 +271,53 @@ runScale(int nodes, double durationSec, uint64_t seed, bool serialOnly)
     result.shifts = parallel.shifts();
     result.deterministic = serialOut.digest == parallelOut.digest &&
                            serialOut.throughput == parallelOut.throughput;
+    return result;
+}
+
+SurrogateResult
+runSurrogateScale(int nodes, double durationSec, uint64_t seed,
+                  bool serialOnly)
+{
+    // Fault windows on the first 32 racks only: FaultSchedule::anyActive
+    // is O(events) per node per period, so a 6400-entry schedule would
+    // bill the fault *bookkeeping*, not the control plane, at 50k nodes.
+    const auto schedule =
+        faults::FaultSchedule::parse(faultSpec(nodes, 32));
+
+    BudgetTree serial = makeSurrogateTree(nodes, 1, seed);
+    const RunOutcome serialOut = drive(serial, schedule, durationSec);
+
+    BudgetTree parallel = makeSurrogateTree(nodes, serialOnly ? 1 : 0, seed);
+    const RunOutcome parallelOut = drive(parallel, schedule, durationSec);
+
+    SurrogateResult result;
+    result.nodes = nodes;
+    result.racks = nodes / kNodesPerRack;
+    result.periods = parallel.periods();
+    result.fullStackNodes = (nodes + kSampleEvery - 1) / kSampleEvery;
+    const std::vector<double> control =
+        steadySamples(parallel.controlWallSamples());
+    const std::vector<double> step =
+        steadySamples(parallel.stepWallSamples());
+    result.steadyControlMedianMs = 1e3 * util::percentile(control, 50.0);
+    result.steadyControlP95Ms = 1e3 * util::percentile(control, 95.0);
+    result.steadyStepMedianMs = 1e3 * util::percentile(step, 50.0);
+    result.maxBudgetErrorWatts =
+        std::max(serialOut.maxBudgetError, parallelOut.maxBudgetError);
+    result.budgetErrorLimitWatts = 1e-7 * 150.0 * nodes + 1e-9;
+    result.reportsSuppressed = parallel.reportsSuppressed();
+    result.rebalancesSuppressed = parallel.rebalancesSuppressed();
+    result.shifts = parallel.shifts();
+    result.lossEvents = parallel.lossEvents();
+    result.deterministic = serialOut.digest == parallelOut.digest;
+    // Faster than real time: one steady-state simulated period (control
+    // plane + node stepping) costs less wall time than the period it
+    // simulates.
+    result.fasterThanRealTime =
+        1e-3 * (result.steadyControlMedianMs + result.steadyStepMedianMs) <
+        treeOptions(nodes, 1).periodSec;
+    result.budgetErrorOk =
+        result.maxBudgetErrorWatts <= result.budgetErrorLimitWatts;
     return result;
 }
 
@@ -199,8 +340,12 @@ main(int argc, char** argv)
     }
     const uint64_t seed = bench::envSeed(42);
     const double durationSec = quick ? 20.0 : 60.0;
+    const double surrogateDurationSec = quick ? 12.0 : 20.0;
     const std::vector<int> scales =
         quick ? std::vector<int>{64} : std::vector<int>{64, 256, 512};
+    const std::vector<int> surrogateScales =
+        quick ? std::vector<int>{4096}
+              : std::vector<int>{4096, 16384, 51200};
 
     std::printf("=== Cluster-scale budget tree (%s mode, %g s, seed %llu) "
                 "===\n\n",
@@ -228,24 +373,75 @@ main(int argc, char** argv)
         results.push_back(r);
     }
 
-    util::Table table({"nodes", "racks", "perf/node", "rebal ms/period",
-                       "step/control", "par speedup", "loss", "shifts"});
+    util::Table table({"nodes", "racks", "perf/node", "rebal ms med",
+                       "rebal ms p95", "step/control", "par speedup",
+                       "loss", "shifts"});
     for (const ScaleResult& r : results) {
         table.addRow({std::to_string(r.nodes), std::to_string(r.racks),
                       util::Table::cell(r.perfPerNode, 4),
                       util::Table::cell(r.rebalanceLatencyMs, 3),
+                      util::Table::cell(r.rebalanceLatencyP95Ms, 3),
                       util::Table::cell(r.controlStepRatio, 1),
                       util::Table::cell(r.parallelSpeedup, 2),
                       std::to_string(r.lossEvents),
                       std::to_string(r.shifts)});
     }
     table.print(std::cout);
+
+    std::printf("\n--- Surrogate tiers (event-driven, band %g W, 1 "
+                "full-stack sample per %d nodes) ---\n\n",
+                kHysteresisWatts, kSampleEvery);
+    std::vector<SurrogateResult> surrogateResults;
+    for (int nodes : surrogateScales) {
+        const SurrogateResult r =
+            runSurrogateScale(nodes, surrogateDurationSec, seed, serialOnly);
+        if (!r.deterministic) {
+            std::fprintf(stderr,
+                         "FAIL: surrogate serial/parallel digests diverged "
+                         "at %d nodes\n",
+                         nodes);
+            ++failures;
+        }
+        if (!r.budgetErrorOk) {
+            std::fprintf(stderr,
+                         "FAIL: surrogate budget error %.9f W exceeds "
+                         "%.9f W at %d nodes\n",
+                         r.maxBudgetErrorWatts, r.budgetErrorLimitWatts,
+                         nodes);
+            ++failures;
+        }
+        if (!r.fasterThanRealTime) {
+            std::fprintf(stderr,
+                         "FAIL: %d-node tree slower than real time "
+                         "(%.1f ms control + %.1f ms step per 1 s period)\n",
+                         nodes, r.steadyControlMedianMs,
+                         r.steadyStepMedianMs);
+            ++failures;
+        }
+        surrogateResults.push_back(r);
+    }
+
+    util::Table stable({"nodes", "racks", "ctrl ms med", "ctrl ms p95",
+                        "step ms med", "rt", "suppressed", "shifts",
+                        "loss"});
+    for (const SurrogateResult& r : surrogateResults) {
+        stable.addRow(
+            {std::to_string(r.nodes), std::to_string(r.racks),
+             util::Table::cell(r.steadyControlMedianMs, 3),
+             util::Table::cell(r.steadyControlP95Ms, 3),
+             util::Table::cell(r.steadyStepMedianMs, 3),
+             r.fasterThanRealTime ? "yes" : "NO",
+             std::to_string(r.reportsSuppressed + r.rebalancesSuppressed),
+             std::to_string(r.shifts), std::to_string(r.lossEvents)});
+    }
+    stable.print(std::cout);
     std::printf("\nDeterminism: serial and parallel stepping digests %s.\n",
                 failures == 0 ? "match at every scale" : "DIVERGED");
 
-    // The headline entry check_perf.py gates is the largest scale run (in
-    // CI's quick mode, the 64-node tree).
+    // The headline entries check_perf.py gates are the largest scale of
+    // each tier (in CI's quick mode: 64 full-stack, 4096 surrogate).
     const ScaleResult& head = results.back();
+    const SurrogateResult& shead = surrogateResults.back();
     std::string json;
     json += "{\n  \"schema\": \"pupil-cluster-scale-v1\",\n";
     json += "  \"mode\": \"" + std::string(quick ? "quick" : "full") +
@@ -262,6 +458,10 @@ main(int argc, char** argv)
             trace::formatDouble(head.maxBudgetErrorWatts) + ",\n";
     json += "    \"rebalance_latency_ms\": " +
             trace::formatDouble(head.rebalanceLatencyMs) + ",\n";
+    json += "    \"rebalance_latency_p95_ms\": " +
+            trace::formatDouble(head.rebalanceLatencyP95Ms) + ",\n";
+    json += "    \"rebalance_latency_mean_ms\": " +
+            trace::formatDouble(head.rebalanceLatencyMeanMs) + ",\n";
     json += "    \"control_step_ratio\": " +
             trace::formatDouble(head.controlStepRatio) + ",\n";
     json += "    \"parallel_speedup\": " +
@@ -272,7 +472,33 @@ main(int argc, char** argv)
             ",\n";
     json += "    \"shifts\": " + std::to_string(head.shifts) + ",\n";
     json += "    \"determinism_ok\": " +
-            std::string(failures == 0 ? "1" : "0") + "\n";
+            std::string(head.deterministic ? "1" : "0") + "\n";
+    json += "  },\n";
+    json += "  \"cluster_surrogate\": {\n";
+    json += "    \"nodes\": " + std::to_string(shead.nodes) + ",\n";
+    json += "    \"racks\": " + std::to_string(shead.racks) + ",\n";
+    json += "    \"periods\": " + std::to_string(shead.periods) + ",\n";
+    json += "    \"full_stack_samples\": " +
+            std::to_string(shead.fullStackNodes) + ",\n";
+    json += "    \"steady_control_ms_median\": " +
+            trace::formatDouble(shead.steadyControlMedianMs) + ",\n";
+    json += "    \"steady_control_ms_p95\": " +
+            trace::formatDouble(shead.steadyControlP95Ms) + ",\n";
+    json += "    \"steady_step_ms_median\": " +
+            trace::formatDouble(shead.steadyStepMedianMs) + ",\n";
+    json += "    \"max_budget_error_watts\": " +
+            trace::formatDouble(shead.maxBudgetErrorWatts) + ",\n";
+    json += "    \"reports_suppressed\": " +
+            std::to_string(shead.reportsSuppressed) + ",\n";
+    json += "    \"rebalances_suppressed\": " +
+            std::to_string(shead.rebalancesSuppressed) + ",\n";
+    json += "    \"shifts\": " + std::to_string(shead.shifts) + ",\n";
+    json += "    \"faster_than_real_time\": " +
+            std::string(shead.fasterThanRealTime ? "1" : "0") + ",\n";
+    json += "    \"budget_error_ok\": " +
+            std::string(shead.budgetErrorOk ? "1" : "0") + ",\n";
+    json += "    \"determinism_ok\": " +
+            std::string(shead.deterministic ? "1" : "0") + "\n";
     json += "  }\n}\n";
     if (!trace::writeFile(outPath, json)) {
         std::fprintf(stderr, "FAIL: could not write %s\n", outPath.c_str());

@@ -2,6 +2,7 @@
 #define PUPIL_CLUSTER_BUDGET_POLICY_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace pupil::cluster {
@@ -36,6 +37,37 @@ struct ChildBudget
 };
 
 /**
+ * Struct-of-arrays view of a budget pool: the same per-child fields as
+ * ChildBudget, packed one array per field so the per-level grant math
+ * streams over contiguous doubles instead of hopping 40-byte records.
+ * This is what BudgetTree levels hold persistently (fill caps/powers/
+ * liveness in place each period, no per-call allocation); the
+ * ChildBudget-vector entry points below delegate to the SoA kernels, so
+ * there is exactly one implementation of the arithmetic and the two
+ * representations are bit-identical by construction.
+ */
+struct BudgetPool
+{
+    std::vector<double> capWatts;
+    std::vector<double> powerWatts;
+    std::vector<double> maxCapWatts;
+    std::vector<double> minShareWatts;
+    std::vector<uint8_t> online;
+    /** Kernel scratch (grant weights); sized with the pool so the
+     *  steady-state rebalance path performs no allocations. */
+    std::vector<double> weightScratch;
+
+    size_t size() const { return capWatts.size(); }
+    /** Resize every lane; new slots zeroed/offline, ceilings unbounded. */
+    void resize(size_t n);
+    /** Pack an AoS children vector (resizes as needed). */
+    void assign(const std::vector<ChildBudget>& children);
+    /** Unpack caps/liveness back into an AoS children vector of equal
+     *  size (powers/ceilings/floors are inputs, never mutated). */
+    void storeCaps(std::vector<ChildBudget>& children) const;
+};
+
+/**
  * Tuning knobs of the headroom-donation / demand-weighted-grant policy
  * (one instance per tree level; the defaults match the paper's two-node
  * shifting experiment in Section 6).
@@ -57,11 +89,15 @@ struct BudgetPolicy
     double minPlausiblePowerWatts = 1.0;
 };
 
+// ---------------------------------------------------------------------------
+// SoA kernels: the single implementation of the per-level arithmetic.
+// ---------------------------------------------------------------------------
+
 /** Sum of online children's caps. */
-double onlineCapSum(const std::vector<ChildBudget>& children);
+double onlineCapSum(const BudgetPool& pool);
 
 /** Number of online children. */
-size_t onlineCount(const std::vector<ChildBudget>& children);
+size_t onlineCount(const BudgetPool& pool);
 
 /**
  * Conservation error |sum(online caps) - budget| against the grantable
@@ -72,8 +108,7 @@ size_t onlineCount(const std::vector<ChildBudget>& children);
  *
  * Returns 0 when no child is online (the budget is parked, not held).
  */
-double conservationError(const std::vector<ChildBudget>& children,
-                         double budget);
+double conservationError(const BudgetPool& pool, double budget);
 
 /**
  * Clamp online children to their ceilings and redistribute the excess to
@@ -82,7 +117,7 @@ double conservationError(const std::vector<ChildBudget>& children,
  * placed anywhere (every online child at its ceiling); the caller parks
  * them, and conservationError() accounts for them.
  */
-double clampToCeilings(std::vector<ChildBudget>& children);
+double clampToCeilings(BudgetPool& pool);
 
 /**
  * Raise online children below their floor up to it, drawing the needed
@@ -90,7 +125,7 @@ double clampToCeilings(std::vector<ChildBudget>& children);
  * Sum-preserving. Best effort: when the online sum cannot cover every
  * child's floor the shortfall remains on the poorest children.
  */
-void enforceFloor(std::vector<ChildBudget>& children);
+void enforceFloor(BudgetPool& pool);
 
 /**
  * One reallocation pass (the paper's Section 6 shifting step, run
@@ -104,8 +139,7 @@ void enforceFloor(std::vector<ChildBudget>& children);
  *
  * Returns the watts moved (0 when no child had donatable headroom).
  */
-double rebalanceBudgets(std::vector<ChildBudget>& children,
-                        const BudgetPolicy& policy);
+double rebalanceBudgets(BudgetPool& pool, const BudgetPolicy& policy);
 
 /**
  * Restore sum(online caps) == budget after a membership change: children
@@ -115,13 +149,30 @@ double rebalanceBudgets(std::vector<ChildBudget>& children,
  * zeroed. No-op when no child is online (the budget is re-granted at the
  * first rejoin).
  */
-void reshareBudgets(std::vector<ChildBudget>& children, double budget,
+void reshareBudgets(BudgetPool& pool, double budget,
                     const std::vector<size_t>& rejoined);
 
 /**
  * Even division of @p budget over online children (initial grant),
  * ceilings respected. Offline children are zeroed.
  */
+void evenShares(BudgetPool& pool, double budget);
+
+// ---------------------------------------------------------------------------
+// ChildBudget-vector entry points (PowerShifter, tests): thin adapters
+// that pack into a BudgetPool, run the SoA kernel, and unpack the caps.
+// ---------------------------------------------------------------------------
+
+double onlineCapSum(const std::vector<ChildBudget>& children);
+size_t onlineCount(const std::vector<ChildBudget>& children);
+double conservationError(const std::vector<ChildBudget>& children,
+                         double budget);
+double clampToCeilings(std::vector<ChildBudget>& children);
+void enforceFloor(std::vector<ChildBudget>& children);
+double rebalanceBudgets(std::vector<ChildBudget>& children,
+                        const BudgetPolicy& policy);
+void reshareBudgets(std::vector<ChildBudget>& children, double budget,
+                    const std::vector<size_t>& rejoined);
 void evenShares(std::vector<ChildBudget>& children, double budget);
 
 }  // namespace pupil::cluster

@@ -20,28 +20,6 @@ wallNow()
         .count();
 }
 
-// FNV-1a over 64-bit words; doubles are hashed by bit pattern so two runs
-// agree on the digest iff they agree on every byte of the state.
-constexpr uint64_t kFnvOffset = 14695981039346656037ull;
-constexpr uint64_t kFnvPrime = 1099511628211ull;
-
-void
-mix(uint64_t& hash, uint64_t value)
-{
-    for (int i = 0; i < 8; ++i) {
-        hash ^= (value >> (8 * i)) & 0xffu;
-        hash *= kFnvPrime;
-    }
-}
-
-void
-mixDouble(uint64_t& hash, double value)
-{
-    uint64_t bits = 0;
-    std::memcpy(&bits, &value, sizeof(bits));
-    mix(hash, bits);
-}
-
 constexpr net::EndpointId kRootEndpoint{-1, -1};
 
 net::EndpointId
@@ -120,8 +98,40 @@ BudgetTree::addNode(size_t rackIndex, const std::string& name,
     // Node platforms stay untraced: a trace::Recorder is single-owner and
     // the leaves step concurrently. The tree emits the cluster- and
     // rack-level timeline into the recorder attached via attachTrace().
+    node->leaf = std::make_unique<FullStackLeaf>(
+        node->platform.get(), node->governor.get(), node->rapl.get(),
+        node->load.get());
     rack.nodes.push_back(std::move(node));
     return rack.nodes.size() - 1;
+}
+
+size_t
+BudgetTree::addSurrogateNode(size_t rackIndex, const std::string& name,
+                             const std::string& app,
+                             harness::GovernorKind kind, uint64_t seed,
+                             const SurrogateLeaf::Options& leafOptions)
+{
+    assert(!started_);
+    Rack& rack = *racks_[rackIndex];
+    auto node = std::make_unique<Node>();
+    node->name = name;
+    // All surrogate nodes of a cell share the cell's response table;
+    // std::map gives the model a stable address for the leaf to hold.
+    SurrogateModel& model = surrogates_.cell(app, int(kind));
+    node->leaf = std::make_unique<SurrogateLeaf>(&model, leafOptions, seed);
+    rack.nodes.push_back(std::move(node));
+    return rack.nodes.size() - 1;
+}
+
+void
+BudgetTree::addCalibrationSource(size_t rackIndex, size_t nodeIndex,
+                                 const std::string& app,
+                                 harness::GovernorKind kind)
+{
+    assert(!started_);
+    assert(racks_[rackIndex]->nodes[nodeIndex]->leaf->fullStack());
+    calibration_.push_back(
+        {rackIndex, nodeIndex, &surrogates_.cell(app, int(kind))});
 }
 
 void
@@ -171,7 +181,7 @@ BudgetTree::totalPowerWatts() const
     for (const auto& rack : racks_) {
         for (const auto& node : rack->nodes) {
             if (node->online)
-                total += node->platform->truePower();
+                total += node->leaf->truePower();
         }
     }
     return total;
@@ -183,13 +193,8 @@ BudgetTree::aggregatePerformance() const
     double total = 0.0;
     for (const auto& rack : racks_) {
         for (const auto& node : rack->nodes) {
-            if (!node->online)
-                continue;
-            for (size_t i = 0; i < node->platform->appCount(); ++i) {
-                const double solo = node->platform->soloReferenceRate(i);
-                if (solo > 0.0)
-                    total += node->platform->trueAppRate(i) / solo;
-            }
+            if (node->online)
+                total += node->leaf->normalizedPerf();
         }
     }
     return total;
@@ -440,16 +445,14 @@ BudgetTree::onNodeMessage(size_t rackIndex, size_t nodeIndex,
     if (!node.online || node.failed)
         return;
     // The node-side safety envelope: whatever the network delivered, the
-    // enforced cap never leaves [floor, TDP]. The governor AND the RAPL
-    // firmware get the new cap together, so the hardware backstop is armed
-    // from the same period the grant changes -- including for
-    // software-only node governors.
+    // enforced cap never leaves [floor, TDP]. The leaf enforces it on its
+    // governor AND its RAPL firmware together (FullStackLeaf) or on its
+    // response table (SurrogateLeaf).
     const double cap = std::clamp(message.valueWatts,
                                   options_.minNodeCapWatts,
                                   options_.nodeTdpWatts);
     node.capWatts = cap;
-    node.governor->setCap(cap);
-    node.rapl->setTotalCapEvenSplit(cap);
+    node.leaf->applyCap(cap);
     agent.provisioned = true;
 }
 
@@ -503,15 +506,35 @@ BudgetTree::nodeReport(size_t rackIndex, size_t nodeIndex)
     // noisy and fault-prone, which is why the policy's implausible-reading
     // guard exists. Exactly one read per live node per period, in fixed
     // rack-major order, after the stepping barrier -- the cross-node half
-    // of the determinism argument.
+    // of the determinism argument. The read happens even when hysteresis
+    // then suppresses the send: the delta gate needs the sample, and a
+    // full-stack meter's RNG stream must advance identically whether or
+    // not the report goes out.
     NodeAgent& agent = nodeAgents_[rackIndex][nodeIndex];
+    const double power = node.leaf->readPower();
+    if (options_.hysteresisWatts > 0.0) {
+        // Heartbeat at half the staleness horizon: suppression must never
+        // age a live, quiescent node into the stale-report guard.
+        const double refreshSec = 0.5 * options_.demandStaleSec;
+        const bool heartbeatDue =
+            agent.lastReportSec < 0.0 ||
+            now_ - agent.lastReportSec >= refreshSec - 1e-9;
+        if (!heartbeatDue &&
+            std::abs(power - agent.lastReportWatts) <=
+                options_.hysteresisWatts) {
+            ++reportsSuppressed_;
+            return;
+        }
+    }
+    agent.lastReportWatts = power;
+    agent.lastReportSec = now_;
     net::Message m;
     m.kind = net::MsgKind::kDemandReport;
     m.seq = ++agent.reportSeqOut;
     m.rack = int32_t(rackIndex);
     m.node = int32_t(nodeIndex);
     m.timeSec = now_;
-    m.valueWatts = node.platform->readPower();
+    m.valueWatts = power;
     transport_->send(nodeEndpoint(rackIndex, nodeIndex),
                      rackEndpoint(rackIndex), m, now_);
 }
@@ -519,6 +542,25 @@ BudgetTree::nodeReport(size_t rackIndex, size_t nodeIndex)
 // ---------------------------------------------------------------------------
 // Rack-agent actions.
 // ---------------------------------------------------------------------------
+
+void
+BudgetTree::fillRackPool(size_t rackIndex)
+{
+    // In-place pack of the agent's member view into its persistent SoA
+    // pool: the same values rackAgentChildren() builds, without the
+    // per-call ChildBudget allocation -- at 6400 racks every period, the
+    // difference is the control plane's allocation rate.
+    RackAgent& agent = rackAgents_[rackIndex];
+    BudgetPool& pool = agent.pool;
+    const size_t n = agent.memberOnline.size();
+    for (size_t i = 0; i < n; ++i) {
+        pool.capWatts[i] = agent.grantedCapWatts[i];
+        pool.powerWatts[i] = 0.0;
+        pool.maxCapWatts[i] = options_.nodeTdpWatts;
+        pool.minShareWatts[i] = options_.minNodeCapWatts;
+        pool.online[i] = agent.memberOnline[i] ? 1 : 0;
+    }
+}
 
 void
 BudgetTree::rackAnnounceUp(size_t rackIndex)
@@ -540,12 +582,12 @@ BudgetTree::rackRedivide(size_t rackIndex)
     // Re-divide the delivered grant: survivors keep relative shares,
     // rejoiners get an even share, floors and ceilings re-imposed.
     RackAgent& agent = rackAgents_[rackIndex];
-    std::vector<ChildBudget> state = rackAgentChildren(rackIndex);
-    reshareBudgets(state,
+    fillRackPool(rackIndex);
+    reshareBudgets(agent.pool,
                    agent.haveGrant ? agent.grantViewWatts : 0.0,
                    agent.rejoined);
-    for (size_t i = 0; i < state.size(); ++i)
-        agent.grantedCapWatts[i] = state[i].capWatts;
+    for (size_t i = 0; i < agent.grantedCapWatts.size(); ++i)
+        agent.grantedCapWatts[i] = agent.pool.capWatts[i];
     for (size_t i : agent.rejoined) {
         if (agent.memberOnline[i])
             trace::emit(trace_, now_, trace::EventKind::kNodeRejoin,
@@ -564,25 +606,45 @@ BudgetTree::rackRebalanceLocal(size_t rackIndex)
     RackAgent& agent = rackAgents_[rackIndex];
     if (agent.onlineMembers == 0)
         return;
-    std::vector<ChildBudget> state = rackAgentChildren(rackIndex);
-    for (size_t i = 0; i < state.size(); ++i) {
-        if (state[i].online)
-            state[i].powerWatts =
+    fillRackPool(rackIndex);
+    BudgetPool& pool = agent.pool;
+    for (size_t i = 0; i < pool.size(); ++i) {
+        if (pool.online[i])
+            pool.powerWatts[i] =
                 agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
     }
-    const double moved = rebalanceBudgets(state, policy());
+    if (options_.hysteresisWatts > 0.0) {
+        // Dirty-subtree gate: this rack's division is recomputed only
+        // when some member's demand moved past the band since the
+        // division the rack last acted on. Membership changes bypass the
+        // gate entirely (they re-divide in settleRacks).
+        double maxDelta = 0.0;
+        for (size_t i = 0; i < pool.size(); ++i) {
+            if (pool.online[i])
+                maxDelta = std::max(
+                    maxDelta,
+                    std::abs(pool.powerWatts[i] - agent.lastActedDemand[i]));
+        }
+        if (maxDelta <= options_.hysteresisWatts) {
+            ++rebalancesSuppressed_;
+            return;
+        }
+        for (size_t i = 0; i < pool.size(); ++i)
+            agent.lastActedDemand[i] =
+                pool.online[i] ? pool.powerWatts[i] : 0.0;
+    }
+    const double moved = rebalanceBudgets(pool, policy());
     if (moved <= 0.0)
         return;
-    for (size_t i = 0; i < state.size(); ++i)
-        agent.grantedCapWatts[i] = state[i].capWatts;
+    for (size_t i = 0; i < agent.grantedCapWatts.size(); ++i)
+        agent.grantedCapWatts[i] = pool.capWatts[i];
     agent.dirty = true;
     ++shifts_;
     metrics_.addCounter("cluster.rebalances");
     double rackPower = 0.0;
-    for (size_t i = 0; i < state.size(); ++i) {
-        if (state[i].online)
-            rackPower +=
-                agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
+    for (size_t i = 0; i < pool.size(); ++i) {
+        if (pool.online[i])
+            rackPower += pool.powerWatts[i];
     }
     trace::emit(trace_, now_, trace::EventKind::kRackRebalance,
                 agent.haveGrant ? agent.grantViewWatts : 0.0, rackPower,
@@ -599,6 +661,21 @@ BudgetTree::rackReportUp(size_t rackIndex)
     for (size_t i = 0; i < agent.memberOnline.size(); ++i) {
         if (agent.memberOnline[i])
             sum += agedDemand(agent.demandWatts[i], agent.demandTimeSec[i]);
+    }
+    if (options_.hysteresisWatts > 0.0) {
+        // Same delta-or-heartbeat gate as the node reports, one level up:
+        // a quiescent rack subtree publishes nothing.
+        const double refreshSec = 0.5 * options_.demandStaleSec;
+        const bool heartbeatDue =
+            agent.lastUpSec < 0.0 ||
+            now_ - agent.lastUpSec >= refreshSec - 1e-9;
+        if (!heartbeatDue &&
+            std::abs(sum - agent.lastUpWatts) <= options_.hysteresisWatts) {
+            ++reportsSuppressed_;
+            return;
+        }
+        agent.lastUpWatts = sum;
+        agent.lastUpSec = now_;
     }
     net::Message m;
     m.kind = net::MsgKind::kDemandReport;
@@ -638,6 +715,22 @@ BudgetTree::rackSendCaps(size_t rackIndex)
 // ---------------------------------------------------------------------------
 
 void
+BudgetTree::fillRootPool()
+{
+    // In-place pack of the root's rack view into its persistent SoA pool
+    // (the same values rootChildren() builds, allocation-free).
+    BudgetPool& pool = root_.pool;
+    for (size_t r = 0; r < racks_.size(); ++r) {
+        const size_t pop = root_.onlinePop[r];
+        pool.capWatts[r] = racks_[r]->grantWatts;
+        pool.powerWatts[r] = 0.0;
+        pool.maxCapWatts[r] = double(pop) * options_.nodeTdpWatts;
+        pool.minShareWatts[r] = double(pop) * options_.minNodeCapWatts;
+        pool.online[r] = (racks_[r]->online && pop > 0) ? 1 : 0;
+    }
+}
+
+void
 BudgetTree::rootMembershipAct()
 {
     // A rack going dark or coming back moves watts *between* racks, so
@@ -647,21 +740,24 @@ BudgetTree::rootMembershipAct()
     // stayed bright) can be holding watts its surviving ceilings cannot
     // absorb, and one that grew can absorb watts that were unplaceable
     // before; either way the proportional reshare re-pins sum(grants) to
-    // what the surviving populations can actually take.
-    std::vector<ChildBudget> state = rootChildren();
+    // what the surviving populations can actually take. In event-driven
+    // mode this conservation trigger doubles as the safety net under the
+    // suppressed paths: any stranded watts re-pin the grants here.
+    fillRootPool();
+    BudgetPool& pool = root_.pool;
     const double tol = 1e-7 * options_.globalBudgetWatts + 1e-9;
     if (!rootLivenessChanged_ &&
-        conservationError(state, options_.globalBudgetWatts) <= tol)
+        conservationError(pool, options_.globalBudgetWatts) <= tol)
         return;
     rootLivenessChanged_ = false;
-    reshareBudgets(state, options_.globalBudgetWatts, rejoinedRacks_);
+    reshareBudgets(pool, options_.globalBudgetWatts, rejoinedRacks_);
     rejoinedRacks_.clear();
     for (size_t r = 0; r < racks_.size(); ++r) {
-        if (std::abs(state[r].capWatts - racks_[r]->grantWatts) <= 1e-12)
+        if (std::abs(pool.capWatts[r] - racks_[r]->grantWatts) <= 1e-12)
             continue;
         trace::emit(trace_, now_, trace::EventKind::kRackGrant,
-                    state[r].capWatts, racks_[r]->grantWatts, int32_t(r));
-        racks_[r]->grantWatts = state[r].capWatts;
+                    pool.capWatts[r], racks_[r]->grantWatts, int32_t(r));
+        racks_[r]->grantWatts = pool.capWatts[r];
         net::Message m;
         m.kind = net::MsgKind::kCapGrant;
         m.seq = ++root_.grantSeqOut[r];
@@ -676,24 +772,48 @@ void
 BudgetTree::rootRebalance()
 {
     // The same policy over racks, fed by the racks' aggregate reports.
-    std::vector<ChildBudget> state = rootChildren();
+    fillRootPool();
+    BudgetPool& pool = root_.pool;
     for (size_t r = 0; r < racks_.size(); ++r) {
-        if (state[r].online)
-            state[r].powerWatts =
+        if (pool.online[r])
+            pool.powerWatts[r] =
                 agedDemand(root_.demandWatts[r], root_.demandTimeSec[r]);
     }
-    const double moved = rebalanceBudgets(state, policy());
+    if (options_.hysteresisWatts > 0.0) {
+        // The root recomputes the cross-rack division only when some rack
+        // subtree is dirty -- its aggregate demand moved past the band
+        // since the division the root last acted on. The rebalance itself
+        // then spans all online racks: a newly hungry rack must be able
+        // to pull watts from a quiescent donor's standing headroom.
+        bool anyDirty = false;
+        for (size_t r = 0; r < racks_.size(); ++r) {
+            if (pool.online[r] &&
+                std::abs(pool.powerWatts[r] - root_.lastActedDemand[r]) >
+                    options_.hysteresisWatts) {
+                anyDirty = true;
+                break;
+            }
+        }
+        if (!anyDirty) {
+            ++rebalancesSuppressed_;
+            return;
+        }
+        for (size_t r = 0; r < racks_.size(); ++r)
+            root_.lastActedDemand[r] =
+                pool.online[r] ? pool.powerWatts[r] : 0.0;
+    }
+    const double moved = rebalanceBudgets(pool, policy());
     if (moved <= 0.0)
         return;
     ++shifts_;
     metrics_.addCounter("cluster.rebalances");
     for (size_t r = 0; r < racks_.size(); ++r) {
         if (!racks_[r]->online ||
-            std::abs(state[r].capWatts - racks_[r]->grantWatts) <= 1e-12)
+            std::abs(pool.capWatts[r] - racks_[r]->grantWatts) <= 1e-12)
             continue;
         trace::emit(trace_, now_, trace::EventKind::kRackGrant,
-                    state[r].capWatts, racks_[r]->grantWatts, int32_t(r));
-        racks_[r]->grantWatts = state[r].capWatts;
+                    pool.capWatts[r], racks_[r]->grantWatts, int32_t(r));
+        racks_[r]->grantWatts = pool.capWatts[r];
         net::Message m;
         m.kind = net::MsgKind::kCapGrant;
         m.seq = ++root_.grantSeqOut[r];
@@ -803,7 +923,7 @@ BudgetTree::stepNodes()
     const double target = now_;
     const double start = wallNow();
     const std::vector<std::string> errors = runner_.forEach(
-        live.size(), [&](size_t i) { live[i]->platform->run(target); });
+        live.size(), [&](size_t i) { live[i]->leaf->stepTo(target); });
     stepWallSec_ += wallNow() - start;
     for (size_t i = 0; i < errors.size(); ++i) {
         if (errors[i].empty())
@@ -817,6 +937,18 @@ BudgetTree::stepNodes()
 void
 BudgetTree::reportPhase()
 {
+    // Calibration first: each registered full-stack sample folds its
+    // settled ground-truth response at its enforced cap into its
+    // surrogate cell's table. Ground truth draws no RNG and the sources
+    // run in registration order on the control thread, so calibration is
+    // deterministic and digest-neutral for full-stack nodes.
+    for (const CalibrationSource& src : calibration_) {
+        const Node& node = *racks_[src.rack]->nodes[src.node];
+        if (!node.online || node.failed || node.capWatts <= 0.0)
+            continue;
+        src.model->observe(node.capWatts, node.leaf->truePower(),
+                           node.leaf->normalizedPerf());
+    }
     for (size_t r = 0; r < racks_.size(); ++r) {
         for (size_t n = 0; n < racks_[r]->nodes.size(); ++n)
             nodeReport(r, n);
@@ -892,6 +1024,8 @@ BudgetTree::run(double untilSec)
         root_.demandWatts.assign(racks_.size(), 0.0);
         root_.demandTimeSec.assign(racks_.size(), -1.0);
         root_.onlinePop.resize(racks_.size());
+        root_.pool.resize(racks_.size());
+        root_.lastActedDemand.assign(racks_.size(), 0.0);
         rackAgents_.assign(racks_.size(), RackAgent{});
         nodeAgents_.resize(racks_.size());
         for (size_t r = 0; r < racks_.size(); ++r) {
@@ -906,6 +1040,8 @@ BudgetTree::run(double untilSec)
             agent.demandSeqSeen.assign(n, 0);
             agent.demandWatts.assign(n, 0.0);
             agent.demandTimeSec.assign(n, -1.0);
+            agent.pool.resize(n);
+            agent.lastActedDemand.assign(n, 0.0);
             nodeAgents_[r].assign(n, NodeAgent{});
         }
         rackPartitioned_.assign(racks_.size(), false);
@@ -948,16 +1084,22 @@ BudgetTree::run(double untilSec)
     while (now_ < untilSec - 1e-9) {
         double mark = wallNow();
         membershipPhase();
-        controlWallSec_ += wallNow() - mark;
+        double control = wallNow() - mark;
         const double step = std::min(options_.periodSec, untilSec - now_);
         now_ += step;
+        const double stepBefore = stepWallSec_;
         stepNodes();  // times itself into stepWallSec_
         mark = wallNow();
         reportPhase();
         rebalancePhase();
         refreshInvariant();
         ++periods_;
-        controlWallSec_ += wallNow() - mark;
+        control += wallNow() - mark;
+        controlWallSec_ += control;
+        // One sample per period, so steady state is separable from the
+        // warm-up transient (bench/cluster_scale's median/p95 latency).
+        controlWallPerPeriod_.push_back(control);
+        stepWallPerPeriod_.push_back(stepWallSec_ - stepBefore);
     }
 }
 
@@ -965,32 +1107,24 @@ uint64_t
 BudgetTree::stateDigest() const
 {
     uint64_t hash = kFnvOffset;
-    mixDouble(hash, now_);
-    mix(hash, uint64_t(shifts_));
-    mix(hash, uint64_t(lossEvents_));
-    mix(hash, uint64_t(rejoinEvents_));
-    mix(hash, uint64_t(nodeFailures_));
-    mix(hash, uint64_t(periods_));
+    fnvMixDouble(hash, now_);
+    fnvMix(hash, uint64_t(shifts_));
+    fnvMix(hash, uint64_t(lossEvents_));
+    fnvMix(hash, uint64_t(rejoinEvents_));
+    fnvMix(hash, uint64_t(nodeFailures_));
+    fnvMix(hash, uint64_t(periods_));
     for (const auto& rack : racks_) {
-        mixDouble(hash, rack->grantWatts);
-        mix(hash, rack->online ? 1 : 0);
+        fnvMixDouble(hash, rack->grantWatts);
+        fnvMix(hash, rack->online ? 1 : 0);
         for (const auto& node : rack->nodes) {
-            mixDouble(hash, node->capWatts);
-            mix(hash, (node->online ? 1u : 0u) |
-                          (node->failed ? 2u : 0u));
-            mixDouble(hash, node->platform->truePower());
-            for (size_t i = 0; i < node->platform->appCount(); ++i)
-                mixDouble(hash, node->platform->trueAppRate(i));
-            if (node->load != nullptr) {
-                // Churn bookkeeping is deterministic state too: a thread
-                // count that perturbed tenant scheduling must fail the
-                // serial-vs-parallel digest comparison.
-                const load::SloTracker& tracker = node->load->tracker();
-                mix(hash, tracker.totalArrivals());
-                mix(hash, tracker.totalCompletions());
-                mix(hash, tracker.totalViolations());
-                mix(hash, tracker.totalDrops());
-            }
+            fnvMixDouble(hash, node->capWatts);
+            fnvMix(hash, (node->online ? 1u : 0u) |
+                             (node->failed ? 2u : 0u));
+            // Each leaf mixes its own deterministic state: a full stack
+            // mixes true power, per-app rates, and churn bookkeeping
+            // (byte-compatible with the pre-seam digest); a surrogate
+            // mixes its lagged response state.
+            node->leaf->mixDigest(hash);
         }
     }
     return hash;

@@ -8,6 +8,7 @@
 
 #include "cluster/budget_policy.h"
 #include "cluster/power_shifter.h"
+#include "cluster/surrogate_leaf.h"
 #include "harness/sweep.h"
 #include "net/fault_plane.h"
 #include "net/transport.h"
@@ -91,6 +92,31 @@ struct Rack
  * when the network diverges the views; with faults off it reduces to the
  * pre-extraction definition.
  *
+ * Event-driven mode (DESIGN.md section 15): with Options::hysteresisWatts
+ * > 0 the control plane goes quiescent with the demand signal instead of
+ * recomputing everything every period. A node publishes a demand report
+ * only when its reading moved past the band since the last one it sent
+ * (with a heartbeat at demandStaleSec/2 so suppression never ages a live
+ * node into the stale-report guard); a rack re-runs its local division
+ * only when some member's demand moved past the band since the division
+ * it last acted on, and reports its aggregate up under the same delta
+ * gate; the root re-rebalances only when some rack subtree is dirty. A
+ * quiescent subtree therefore sends nothing and triggers nothing -- at
+ * 50k nodes this is what turns the per-period control cost from
+ * O(cluster) to O(dirty subtrees). The conservation-triggered full
+ * reshare (rootMembershipAct) stays armed as the safety net, so a
+ * suppressed path can never strand watts: any drift past 1e-7 of the
+ * budget re-pins the grants. hysteresisWatts <= 0 is the legacy
+ * everything-every-period plane, bit-identical to the pinned golden
+ * digests.
+ *
+ * Leaves are swappable behind the LeafModel seam: full Platform +
+ * governor + RAPL stacks (addNode; the pre-seam behaviour, bit for bit)
+ * or calibrated O(1) surrogates (addSurrogateNode) fitted online from a
+ * configurable sample of full-stack leaves (addCalibrationSource) via
+ * the per-(app, governor) response tables in surrogates(). Surrogates
+ * are what make 10k-50k node trees simulate faster than real time.
+ *
  * Tracing: the tree emits cluster- and rack-level events (rebalances,
  * rack grants, node loss/rejoin) plus the transport's kMsgSend /
  * kMsgDrop / kPartition timeline into the attached recorder. Node
@@ -129,6 +155,14 @@ class BudgetTree
          * byte-identical across thread counts.
          */
         int threads = 0;
+        /**
+         * Event-driven hysteresis band (Watts). > 0: demand reports,
+         * rack-local divisions, and root rebalances are recomputed only
+         * when the underlying demand moved past the band (see the class
+         * comment); <= 0: the legacy everything-every-period control
+         * plane, bit-identical to the pinned golden digests.
+         */
+        double hysteresisWatts = 0.0;
     };
 
     explicit BudgetTree(const Options& options);
@@ -152,6 +186,48 @@ class BudgetTree
                    uint64_t seed = 1, const std::string& faultSpec = "",
                    const load::LoadDriver::Options& load =
                        load::LoadDriver::Options());
+
+    /**
+     * Add a surrogate node under rack @p rack: an O(1) calibrated-table
+     * leaf (surrogate_leaf.h) standing in for a full platform stack
+     * running @p app under @p kind. All surrogate nodes of one
+     * (app, kind) cell share the cell's response model in surrogates();
+     * pair them with addCalibrationSource() so sampled full-stack leaves
+     * keep the shared table honest. Returns the node index within the
+     * rack. Call before run().
+     */
+    size_t addSurrogateNode(size_t rack, const std::string& name,
+                            const std::string& app,
+                            harness::GovernorKind kind =
+                                harness::GovernorKind::kPupil,
+                            uint64_t seed = 1,
+                            const SurrogateLeaf::Options& leafOptions =
+                                SurrogateLeaf::Options());
+
+    /**
+     * Register full-stack node (@p rack, @p node) as a calibration
+     * sample for the (app, kind) surrogate cell: once per period (before
+     * the demand reports go out) its ground-truth settled power and
+     * normalized perf at its enforced cap are folded into the cell's
+     * response table. Ground truth draws no RNG, so registering sources
+     * never perturbs a digest. Call before run().
+     */
+    void addCalibrationSource(size_t rack, size_t node,
+                              const std::string& app,
+                              harness::GovernorKind kind =
+                                  harness::GovernorKind::kPupil);
+
+    /** Per-(app, governor) surrogate response tables. */
+    SurrogateLibrary& surrogates() { return surrogates_; }
+    const SurrogateLibrary& surrogates() const { return surrogates_; }
+
+    /** Node (@p rack, @p i)'s leaf as a SurrogateLeaf, or null when it
+        is a full stack. Mutable: benches and property tests drive demand
+        churn through SurrogateLeaf::setUtilization. */
+    SurrogateLeaf* surrogateLeaf(size_t rack, size_t i)
+    {
+        return dynamic_cast<SurrogateLeaf*>(racks_[rack]->nodes[i]->leaf.get());
+    }
 
     /**
      * Attach a cluster-level fault schedule; node-loss events match node
@@ -233,12 +309,33 @@ class BudgetTree
     /**
      * Wall-clock seconds spent in the control plane (membership,
      * measurement, both rebalance levels, message rounds) -- everything
-     * except node stepping. rebalance latency = controlWallSec/periods.
-     * Not part of the deterministic state (never feeds back into it).
+     * except node stepping. Not part of the deterministic state (never
+     * feeds back into it).
      */
     double controlWallSec() const { return controlWallSec_; }
     /** Wall-clock seconds spent stepping node platforms. */
     double stepWallSec() const { return stepWallSec_; }
+    /** Per-period control-plane wall seconds, one sample per executed
+        period (controlWallSamples()[p] is period p). The aggregate
+        controlWallSec() hides the warm-up transient; steady-state
+        latency figures must come from these samples (bench/cluster_scale
+        reports their post-warm-up median and p95). */
+    const std::vector<double>& controlWallSamples() const
+    {
+        return controlWallPerPeriod_;
+    }
+    /** Per-period node-stepping wall seconds. */
+    const std::vector<double>& stepWallSamples() const
+    {
+        return stepWallPerPeriod_;
+    }
+
+    /** Demand reports (node and rack level) suppressed by the hysteresis
+        band -- messages the event-driven plane did not send. */
+    uint64_t reportsSuppressed() const { return reportsSuppressed_; }
+    /** Rack-local divisions and root rebalances skipped because every
+        watched demand stayed inside the hysteresis band. */
+    uint64_t rebalancesSuppressed() const { return rebalancesSuppressed_; }
 
     /**
      * Tree-level metrics: cluster.budget_error gauge (refreshed every
@@ -267,6 +364,11 @@ class BudgetTree
         std::vector<double> demandWatts;
         std::vector<double> demandTimeSec;    ///< send time; < 0 = never
         std::vector<size_t> onlinePop;        ///< announced live population
+        /** Persistent SoA policy state: filled in place each round, so
+            the steady-state root path allocates nothing. */
+        BudgetPool pool;
+        /** Aged rack demand the root last rebalanced on (hysteresis). */
+        std::vector<double> lastActedDemand;
     };
 
     /** One rack agent: divides its delivered grant among its members. */
@@ -289,6 +391,12 @@ class BudgetTree
         std::vector<double> demandWatts;
         std::vector<double> demandTimeSec;    ///< send time; < 0 = never
         std::vector<size_t> rejoined;    ///< joins awaiting the re-divide
+        /** Persistent SoA policy state (filled in place each round). */
+        BudgetPool pool;
+        /** Aged member demand this rack last divided on (hysteresis). */
+        std::vector<double> lastActedDemand;
+        double lastUpWatts = 0.0;   ///< aggregate demand last sent up
+        double lastUpSec = -1.0;    ///< when; < 0 = never sent
     };
 
     /** One node agent: enforces delivered grants on its own platform. */
@@ -298,6 +406,16 @@ class BudgetTree
         uint32_t memberSeqOut = 0;
         uint32_t reportSeqOut = 0;
         bool provisioned = false;
+        double lastReportWatts = 0.0;  ///< demand last sent (hysteresis)
+        double lastReportSec = -1.0;   ///< when; < 0 = never sent
+    };
+
+    /** A full-stack node feeding a surrogate cell's response table. */
+    struct CalibrationSource
+    {
+        size_t rack = 0;
+        size_t node = 0;
+        SurrogateModel* model = nullptr;
     };
 
     BudgetPolicy policy() const;
@@ -317,6 +435,8 @@ class BudgetTree
 
     // rack-agent actions
     std::vector<ChildBudget> rackAgentChildren(size_t rackIndex) const;
+    /** Pack the agent's member state into its persistent SoA pool. */
+    void fillRackPool(size_t rackIndex);
     void rackAnnounceUp(size_t rackIndex);
     void rackRedivide(size_t rackIndex);
     void rackRebalanceLocal(size_t rackIndex);
@@ -325,6 +445,8 @@ class BudgetTree
 
     // root-controller actions
     std::vector<ChildBudget> rootChildren() const;
+    /** Pack the root's rack view into its persistent SoA pool. */
+    void fillRootPool();
     void rootMembershipAct();
     void rootRebalance();
 
@@ -354,14 +476,21 @@ class BudgetTree
     bool rootLivenessChanged_ = false;
     bool rootRebalanced_ = false;
 
+    SurrogateLibrary surrogates_;
+    std::vector<CalibrationSource> calibration_;
+
     double now_ = 0.0;
     int shifts_ = 0;
     int lossEvents_ = 0;
     int rejoinEvents_ = 0;
     int nodeFailures_ = 0;
     int periods_ = 0;
+    uint64_t reportsSuppressed_ = 0;
+    uint64_t rebalancesSuppressed_ = 0;
     double controlWallSec_ = 0.0;
     double stepWallSec_ = 0.0;
+    std::vector<double> controlWallPerPeriod_;
+    std::vector<double> stepWallPerPeriod_;
     bool started_ = false;
 };
 

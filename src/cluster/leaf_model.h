@@ -1,0 +1,146 @@
+#ifndef PUPIL_CLUSTER_LEAF_MODEL_H_
+#define PUPIL_CLUSTER_LEAF_MODEL_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "capping/governor.h"
+#include "load/load_driver.h"
+#include "rapl/rapl.h"
+#include "sim/platform.h"
+
+namespace pupil::cluster {
+
+// FNV-1a over 64-bit words; doubles are hashed by bit pattern so two runs
+// agree on a digest iff they agree on every byte of the state. Shared by
+// BudgetTree::stateDigest() and the LeafModel implementations so a leaf
+// owns the mixing of its own state.
+inline constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline void
+fnvMix(uint64_t& hash, uint64_t value)
+{
+    for (int i = 0; i < 8; ++i) {
+        hash ^= (value >> (8 * i)) & 0xffu;
+        hash *= kFnvPrime;
+    }
+}
+
+inline void
+fnvMixDouble(uint64_t& hash, double value)
+{
+    uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    fnvMix(hash, bits);
+}
+
+/**
+ * The per-node seam of the budget tree: everything the control plane
+ * needs from a leaf, abstracted from how the leaf is simulated. A
+ * FullStackLeaf runs the real sim::Platform + governor + RAPL stack (the
+ * pre-seam behaviour, bit for bit); a SurrogateLeaf (surrogate_leaf.h)
+ * steps a calibrated power/perf response table in O(1) so a 50k-node
+ * tree simulates faster than real time. Swappable per node at addNode
+ * time; the two kinds coexist in one tree, with sampled full-stack
+ * leaves keeping the surrogates' shared calibration honest.
+ */
+class LeafModel
+{
+  public:
+    virtual ~LeafModel() = default;
+
+    /** Advance the leaf's own simulation to @p untilSec. Called on the
+     *  stepping pool: implementations must not touch shared state. */
+    virtual void stepTo(double untilSec) = 0;
+
+    /** Enforce a delivered cap grant (governor AND firmware together). */
+    virtual void applyCap(double watts) = 0;
+
+    /** Sample the governor-visible meter channel once (the demand proxy
+     *  reported up the tree; noisy and fault-prone on a full stack). */
+    virtual double readPower() = 0;
+
+    /** Ground-truth power (harness metrics, never the control input). */
+    virtual double truePower() const = 0;
+
+    /** Aggregate normalized performance (ground truth). */
+    virtual double normalizedPerf() const = 0;
+
+    /** Fold the leaf's deterministic state into @p hash (FNV-1a). */
+    virtual void mixDigest(uint64_t& hash) const = 0;
+
+    /** Whether this leaf runs the full Platform+governor+RAPL stack. */
+    virtual bool fullStack() const = 0;
+};
+
+/**
+ * The full-stack leaf: non-owning adapter over the Node's platform,
+ * governor, RAPL firmware, and optional tenant-load driver. Every method
+ * forwards to exactly the calls the tree made before the seam existed,
+ * in the same order, so legacy-mode digests are pinned-golden identical.
+ */
+class FullStackLeaf : public LeafModel
+{
+  public:
+    FullStackLeaf(sim::Platform* platform, capping::Governor* governor,
+                  rapl::RaplController* rapl, load::LoadDriver* load)
+        : platform_(platform), governor_(governor), rapl_(rapl), load_(load)
+    {
+    }
+
+    void stepTo(double untilSec) override { platform_->run(untilSec); }
+
+    void applyCap(double watts) override
+    {
+        // The governor AND the RAPL firmware get the new cap together, so
+        // the hardware backstop is armed from the same period the grant
+        // changes -- including for software-only node governors.
+        governor_->setCap(watts);
+        rapl_->setTotalCapEvenSplit(watts);
+    }
+
+    double readPower() override { return platform_->readPower(); }
+
+    double truePower() const override { return platform_->truePower(); }
+
+    double normalizedPerf() const override
+    {
+        double total = 0.0;
+        for (size_t i = 0; i < platform_->appCount(); ++i) {
+            const double solo = platform_->soloReferenceRate(i);
+            if (solo > 0.0)
+                total += platform_->trueAppRate(i) / solo;
+        }
+        return total;
+    }
+
+    void mixDigest(uint64_t& hash) const override
+    {
+        fnvMixDouble(hash, platform_->truePower());
+        for (size_t i = 0; i < platform_->appCount(); ++i)
+            fnvMixDouble(hash, platform_->trueAppRate(i));
+        if (load_ != nullptr) {
+            // Churn bookkeeping is deterministic state too: a thread
+            // count that perturbed tenant scheduling must fail the
+            // serial-vs-parallel digest comparison.
+            const load::SloTracker& tracker = load_->tracker();
+            fnvMix(hash, tracker.totalArrivals());
+            fnvMix(hash, tracker.totalCompletions());
+            fnvMix(hash, tracker.totalViolations());
+            fnvMix(hash, tracker.totalDrops());
+        }
+    }
+
+    bool fullStack() const override { return true; }
+
+  private:
+    sim::Platform* platform_;
+    capping::Governor* governor_;
+    rapl::RaplController* rapl_;
+    load::LoadDriver* load_;
+};
+
+}  // namespace pupil::cluster
+
+#endif  // PUPIL_CLUSTER_LEAF_MODEL_H_

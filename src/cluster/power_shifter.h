@@ -7,6 +7,7 @@
 
 #include "capping/governor.h"
 #include "cluster/budget_policy.h"
+#include "cluster/leaf_model.h"
 #include "faults/schedule.h"
 #include "harness/experiment.h"
 #include "load/load_driver.h"
@@ -29,6 +30,13 @@ struct Node
     std::unique_ptr<capping::Governor> governor;
     /** Tenant-traffic driver, or null when the node runs static apps. */
     std::unique_ptr<load::LoadDriver> load;
+    /**
+     * The simulation seam the BudgetTree control plane talks through: a
+     * FullStackLeaf over the members above, or a SurrogateLeaf (in which
+     * case platform/rapl/governor/load stay null). The flat PowerShifter
+     * predates the seam and leaves this unset.
+     */
+    std::unique_ptr<LeafModel> leaf;
     double capWatts = 0.0;
     /** False while a node-loss fault has the node offline. */
     bool online = true;

@@ -1,0 +1,214 @@
+#include "surrogate_leaf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pupil::cluster {
+
+// ---------------------------------------------------------------------------
+// SurrogateModel
+// ---------------------------------------------------------------------------
+
+SurrogateModel::SurrogateModel(const Options& options) : options_(options)
+{
+    if (options_.bins < 2)
+        options_.bins = 2;
+    if (options_.maxCapWatts <= options_.minCapWatts)
+        options_.maxCapWatts = options_.minCapWatts + 1.0;
+    bins_.resize(size_t(options_.bins));
+}
+
+double
+SurrogateModel::binCap(size_t i) const
+{
+    const double span = options_.maxCapWatts - options_.minCapWatts;
+    return options_.minCapWatts +
+           span * double(i) / double(options_.bins - 1);
+}
+
+SurrogateModel::Response
+SurrogateModel::binResponse(size_t i) const
+{
+    if (bins_[i].weight > 0.0)
+        return Response{bins_[i].powerWatts, bins_[i].perf};
+    return prior(binCap(i));
+}
+
+void
+SurrogateModel::observe(double capWatts, double powerWatts, double perf)
+{
+    const double span = options_.maxCapWatts - options_.minCapWatts;
+    const double u =
+        std::clamp((capWatts - options_.minCapWatts) / span, 0.0, 1.0);
+    const size_t i = size_t(std::lround(u * double(options_.bins - 1)));
+    Bin& bin = bins_[i];
+    ++samples_;
+    if (bin.weight <= 0.0) {
+        bin.powerWatts = powerWatts;
+        bin.perf = perf;
+        bin.weight = 1.0;
+        return;
+    }
+    const bool drifted =
+        std::abs(powerWatts - bin.powerWatts) > options_.driftPowerWatts ||
+        std::abs(perf - bin.perf) > options_.driftPerf;
+    if (drifted) {
+        // The regime changed (workload phase, governor swap): the bin's
+        // history describes a machine that no longer exists. Re-seed.
+        bin.powerWatts = powerWatts;
+        bin.perf = perf;
+        bin.weight = 1.0;
+        ++recalibrations_;
+        return;
+    }
+    const double a = options_.learningRate;
+    bin.powerWatts += a * (powerWatts - bin.powerWatts);
+    bin.perf += a * (perf - bin.perf);
+    bin.weight = std::min(bin.weight + 1.0, 64.0);
+}
+
+SurrogateModel::Response
+SurrogateModel::predict(double capWatts) const
+{
+    const double span = options_.maxCapWatts - options_.minCapWatts;
+    const double u =
+        std::clamp((capWatts - options_.minCapWatts) / span, 0.0, 1.0);
+    const double x = u * double(options_.bins - 1);
+    const size_t lo = size_t(x);
+    const size_t hi = std::min(lo + 1, bins_.size() - 1);
+    const double t = x - double(lo);
+    // With no observation on either side, answer from the analytic prior
+    // at the cap itself -- not a chord between grid-point priors -- so
+    // predict() equals prior() exactly until the first sample lands.
+    if (bins_[lo].weight <= 0.0 && bins_[hi].weight <= 0.0)
+        return prior(capWatts);
+    const Response a = binResponse(lo);
+    const Response b = binResponse(hi);
+    return Response{a.powerWatts + t * (b.powerWatts - a.powerWatts),
+                    a.perf + t * (b.perf - a.perf)};
+}
+
+SurrogateModel::Response
+SurrogateModel::prior(double capWatts) const
+{
+    // Concave ramp from idle to peak: marginal watts buy less performance
+    // near the top of the cap range (the paper's diminishing-returns
+    // power/perf curves), with power never exceeding 95% of the cap (a
+    // capped machine settles slightly under its limit).
+    const double span = options_.maxCapWatts - options_.minCapWatts;
+    const double u =
+        std::clamp((capWatts - options_.minCapWatts) / span, 0.0, 1.0);
+    const double resp = u * (2.0 - u);
+    const double power = std::min(
+        0.95 * capWatts,
+        options_.priorIdleWatts +
+            (options_.priorPeakWatts - options_.priorIdleWatts) * resp);
+    return Response{power, options_.priorPeakPerf * resp};
+}
+
+size_t
+SurrogateModel::calibratedBins() const
+{
+    size_t count = 0;
+    for (const Bin& bin : bins_) {
+        if (bin.weight > 0.0)
+            ++count;
+    }
+    return count;
+}
+
+// ---------------------------------------------------------------------------
+// SurrogateLibrary
+// ---------------------------------------------------------------------------
+
+SurrogateModel&
+SurrogateLibrary::cell(const std::string& app, int governorId)
+{
+    auto [it, inserted] =
+        cells_.try_emplace({app, governorId}, defaults_);
+    return it->second;
+}
+
+const SurrogateModel*
+SurrogateLibrary::findCell(const std::string& app, int governorId) const
+{
+    const auto it = cells_.find({app, governorId});
+    return it == cells_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// SurrogateLeaf
+// ---------------------------------------------------------------------------
+
+SurrogateLeaf::SurrogateLeaf(const SurrogateModel* model,
+                             const Options& options, uint64_t seed)
+    : model_(model),
+      options_(options),
+      rng_(seed),
+      utilization_(options.utilization),
+      powerWatts_(options.idleFloorWatts)
+{
+}
+
+SurrogateModel::Response
+SurrogateLeaf::target() const
+{
+    // An unprovisioned leaf (cap 0) runs uncapped: respond as at the top
+    // of the calibrated range.
+    const double cap =
+        capWatts_ > 0.0 ? capWatts_ : model_->options().maxCapWatts;
+    SurrogateModel::Response resp = model_->predict(cap);
+    resp.powerWatts = std::max(options_.idleFloorWatts,
+                               resp.powerWatts * utilization_);
+    resp.perf *= utilization_;
+    return resp;
+}
+
+void
+SurrogateLeaf::stepTo(double untilSec)
+{
+    const double dt = untilSec - now_;
+    if (dt <= 0.0)
+        return;
+    now_ = untilSec;
+    const SurrogateModel::Response want = target();
+    const double alpha =
+        options_.responseTauSec > 0.0
+            ? 1.0 - std::exp(-dt / options_.responseTauSec)
+            : 1.0;
+    powerWatts_ += alpha * (want.powerWatts - powerWatts_);
+    perf_ += alpha * (want.perf - perf_);
+    // A cap is a hard limit the firmware enforces within the period even
+    // while the lag is still settling.
+    if (capWatts_ > 0.0 && powerWatts_ > capWatts_)
+        powerWatts_ = capWatts_;
+}
+
+double
+SurrogateLeaf::readPower()
+{
+    if (options_.meterJitterFraction <= 0.0)
+        return powerWatts_;
+    // Deterministic per-leaf jitter stream, so noisy-meter studies stay
+    // reproducible and digest-comparable across thread counts.
+    const double noise =
+        1.0 + options_.meterJitterFraction * (2.0 * rng_.uniform() - 1.0);
+    return powerWatts_ * noise;
+}
+
+void
+SurrogateLeaf::setUtilization(double utilization)
+{
+    utilization_ = std::max(0.0, utilization);
+}
+
+void
+SurrogateLeaf::mixDigest(uint64_t& hash) const
+{
+    fnvMixDouble(hash, capWatts_);
+    fnvMixDouble(hash, powerWatts_);
+    fnvMixDouble(hash, perf_);
+    fnvMixDouble(hash, utilization_);
+}
+
+}  // namespace pupil::cluster

@@ -1,0 +1,195 @@
+#ifndef PUPIL_CLUSTER_SURROGATE_LEAF_H_
+#define PUPIL_CLUSTER_SURROGATE_LEAF_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/leaf_model.h"
+#include "util/rng.h"
+
+namespace pupil::cluster {
+
+/**
+ * A calibrated power/perf response table for one (application, governor)
+ * cell: what a full Platform + governor + RAPL leaf settles to at a
+ * given cap. The table is a uniform cap grid over [minCapWatts,
+ * maxCapWatts]; each grid point holds an EWMA of observed (power, perf)
+ * samples, and predictions interpolate linearly between grid points.
+ *
+ * Calibration protocol (DESIGN.md section 15): full-stack sample leaves
+ * feed one observation per period through observe() -- the tree
+ * piggybacks this on the demand-report phase, so calibration costs no
+ * extra sensor reads and perturbs no RNG stream. Uncalibrated grid
+ * points answer from a fixed analytic prior (capped concave ramp from
+ * idle toward peak), so a surrogate-only tree is well-defined before the
+ * first sample lands.
+ *
+ * Drift: when a new observation disagrees with an already-calibrated
+ * grid point by more than the drift tolerances, the point's history is
+ * discarded and re-seeded from the new sample (counted in
+ * recalibrations()), so a workload or governor regime change re-converges
+ * in one period per grid point instead of bleeding in at the EWMA rate.
+ */
+class SurrogateModel
+{
+  public:
+    struct Options
+    {
+        double minCapWatts = 30.0;
+        double maxCapWatts = 270.0;
+        /** Grid points (>= 2); 13 = one point every 20 W at the defaults. */
+        int bins = 13;
+        /** EWMA weight of a consistent new sample. */
+        double learningRate = 0.25;
+        /** Power disagreement that declares a calibrated point stale. */
+        double driftPowerWatts = 10.0;
+        /** Normalized-perf disagreement that declares a point stale. */
+        double driftPerf = 0.2;
+        // Analytic prior for uncalibrated grid points.
+        double priorIdleWatts = 35.0;
+        double priorPeakWatts = 200.0;
+        double priorPeakPerf = 1.0;
+    };
+
+    struct Response
+    {
+        double powerWatts = 0.0;
+        double perf = 0.0;
+    };
+
+    SurrogateModel() : SurrogateModel(Options{}) {}
+    explicit SurrogateModel(const Options& options);
+
+    /** Feed one full-stack observation: leaf settled at @p capWatts was
+     *  drawing @p powerWatts at normalized perf @p perf. */
+    void observe(double capWatts, double powerWatts, double perf);
+
+    /** Interpolated response at @p capWatts (prior where uncalibrated). */
+    Response predict(double capWatts) const;
+
+    /** The analytic prior alone (what predict() returns pre-calibration). */
+    Response prior(double capWatts) const;
+
+    const Options& options() const { return options_; }
+    /** Observations folded in so far. */
+    uint64_t samples() const { return samples_; }
+    /** Drift-triggered grid-point resets. */
+    uint64_t recalibrations() const { return recalibrations_; }
+    /** Grid points holding at least one observation. */
+    size_t calibratedBins() const;
+
+  private:
+    struct Bin
+    {
+        double powerWatts = 0.0;
+        double perf = 0.0;
+        /** 0 = uncalibrated (prior answers for this point). */
+        double weight = 0.0;
+    };
+
+    double binCap(size_t i) const;
+    Response binResponse(size_t i) const;
+
+    Options options_;
+    std::vector<Bin> bins_;
+    uint64_t samples_ = 0;
+    uint64_t recalibrations_ = 0;
+};
+
+/**
+ * Keyed registry of response models: one SurrogateModel per
+ * (application, governor) cell, created on first touch with the
+ * library's default options. The BudgetTree owns one library; every
+ * surrogate leaf of a cell shares the cell's model, and every full-stack
+ * sample leaf of the cell calibrates it.
+ */
+class SurrogateLibrary
+{
+  public:
+    SurrogateLibrary() = default;
+    explicit SurrogateLibrary(const SurrogateModel::Options& defaults)
+        : defaults_(defaults)
+    {
+    }
+
+    /** The cell for (@p app, @p governorId), created if absent. */
+    SurrogateModel& cell(const std::string& app, int governorId);
+
+    /** The cell if it exists, else null. */
+    const SurrogateModel* findCell(const std::string& app,
+                                   int governorId) const;
+
+    size_t cellCount() const { return cells_.size(); }
+
+  private:
+    SurrogateModel::Options defaults_;
+    std::map<std::pair<std::string, int>, SurrogateModel> cells_;
+};
+
+/**
+ * The cheap leaf: instead of stepping a full platform stack (~30 us of
+ * scheduler solves, lag integration, and sensor draws per simulated
+ * period), a surrogate leaf relaxes first-order toward its model cell's
+ * predicted response at the currently enforced cap -- a handful of
+ * flops, so stepping 50k leaves costs microseconds and the tree
+ * simulates faster than real time. Demand churn enters through
+ * setUtilization() (1.0 = the calibrated full-demand response); the
+ * meter channel is clean by default, with optional seeded deterministic
+ * jitter for noise-sensitivity studies.
+ */
+class SurrogateLeaf : public LeafModel
+{
+  public:
+    struct Options
+    {
+        /** First-order time constant of the approach to the table
+         *  response (mirrors the platform's power/perf lags). */
+        double responseTauSec = 0.4;
+        /** Demand scale in [0, 1+]; multiplies the cell's full-demand
+         *  power/perf response. */
+        double utilization = 1.0;
+        /** Power draw of an idle (or unprovisioned, uncapped) leaf. */
+        double idleFloorWatts = 8.0;
+        /** Relative meter jitter on readPower (0 = clean channel). */
+        double meterJitterFraction = 0.0;
+    };
+
+    SurrogateLeaf(const SurrogateModel* model, const Options& options,
+                  uint64_t seed);
+
+    // ----- LeafModel ------------------------------------------------------
+    void stepTo(double untilSec) override;
+    void applyCap(double watts) override { capWatts_ = watts; }
+    double readPower() override;
+    double truePower() const override { return powerWatts_; }
+    double normalizedPerf() const override { return perf_; }
+    void mixDigest(uint64_t& hash) const override;
+    bool fullStack() const override { return false; }
+
+    // ----- surrogate-specific --------------------------------------------
+    /** Change the leaf's demand scale (takes effect from the next step). */
+    void setUtilization(double utilization);
+    double utilization() const { return utilization_; }
+    double capWatts() const { return capWatts_; }
+    const SurrogateModel* model() const { return model_; }
+
+  private:
+    /** Target (power, perf) for the current cap and utilization. */
+    SurrogateModel::Response target() const;
+
+    const SurrogateModel* model_;
+    Options options_;
+    util::Rng rng_;
+    double capWatts_ = 0.0;  ///< 0 = unprovisioned: runs uncapped
+    double utilization_;
+    double powerWatts_;
+    double perf_ = 0.0;
+    double now_ = 0.0;
+};
+
+}  // namespace pupil::cluster
+
+#endif  // PUPIL_CLUSTER_SURROGATE_LEAF_H_

@@ -19,8 +19,10 @@
 #include "cluster/budget_tree.h"
 #include "faults/schedule.h"
 #include "harness/experiment.h"
+#include "harness/sweep.h"
 #include "trace/export.h"
 #include "trace/trace.h"
+#include "workload/catalog.h"
 
 #ifndef PUPIL_TESTS_GOLDEN_DIR
 #error "PUPIL_TESTS_GOLDEN_DIR must point at tests/golden"
@@ -275,6 +277,66 @@ TEST(GoldenTrace, BudgetTreeNodeLossDigestIsPreExtraction)
     EXPECT_EQ(tree.stateDigest(), kBudgetTreeNodeLossDigest)
         << "the transport extraction is no longer byte-transparent on "
            "the node-loss pinned run";
+}
+
+// ---------------------------------------------------------------------------
+// 512-node full-stack pin, hysteresis off. Captured from the per-child
+// struct (AoS) implementation immediately before the policy math moved
+// into the struct-of-arrays BudgetPool kernels and the leaves moved
+// behind the LeafModel seam. Like the pins above it has no re-pin path:
+// with hysteresisWatts at its 0.0 default the event-driven machinery
+// must be completely inert, the SoA kernels must reproduce the AoS
+// arithmetic bit for bit, and FullStackLeaf must forward exactly the
+// calls the tree used to make inline -- at datacenter scale, under
+// node-loss churn in every rack, across both governor kinds.
+// ---------------------------------------------------------------------------
+
+constexpr uint64_t kBudgetTree512Digest = 0x6b878a9ad025fcd9ull;
+
+TEST(GoldenTrace, BudgetTree512NodeDigestIsPreSoa)
+{
+    constexpr int kNodes = 512;
+    constexpr int kNodesPerRack = 8;
+    cluster::BudgetTree::Options options;
+    options.globalBudgetWatts = 150.0 * kNodes;
+    options.threads = 0;  // digest is thread-count independent
+    cluster::BudgetTree tree(options);
+    const auto& catalog = workload::benchmarkCatalog();
+    int id = 0;
+    for (int r = 0; r < kNodes / kNodesPerRack; ++r) {
+        const size_t rack = tree.addRack("rack" + std::to_string(r));
+        for (int n = 0; n < kNodesPerRack; ++n, ++id) {
+            const auto& app = catalog[size_t(id * 7) % catalog.size()];
+            const auto kind = (id % 4 == 3) ? harness::GovernorKind::kRapl
+                                            : harness::GovernorKind::kPupil;
+            tree.addNode(rack,
+                         "r" + std::to_string(r) + "n" + std::to_string(n),
+                         harness::singleApp(app.name, 16), kind,
+                         harness::SweepRunner::deriveSeed(42, size_t(id)));
+        }
+    }
+    std::string spec;
+    for (int r = 0; r < kNodes / kNodesPerRack; ++r) {
+        const double start = 4.0 + double(r % 5);
+        const double end = start + 6.0;
+        if (!spec.empty())
+            spec += ';';
+        spec += "node-loss,r" + std::to_string(r) + "n" +
+                std::to_string(r % kNodesPerRack) + ',' +
+                trace::formatDouble(start) + ',' + trace::formatDouble(end);
+    }
+    const auto schedule = faults::FaultSchedule::parse(spec);
+    tree.setFaultSchedule(&schedule);
+    tree.run(12.0);
+    EXPECT_EQ(tree.stateDigest(), kBudgetTree512Digest)
+        << "the SoA/LeafModel refactor is no longer byte-transparent on "
+           "the 512-node pinned run";
+    EXPECT_EQ(tree.lossEvents(), 64);
+    EXPECT_EQ(tree.rejoinEvents(), 26);
+    EXPECT_EQ(tree.shifts(), 780);
+    // With the band at 0.0 the event gates must never fire.
+    EXPECT_EQ(tree.reportsSuppressed(), 0u);
+    EXPECT_EQ(tree.rebalancesSuppressed(), 0u);
 }
 
 }  // namespace

@@ -446,5 +446,116 @@ TEST(TransportProperty, ConservationClampsAndProgressUnderRandomFaultMixes)
     EXPECT_GT(totalDropped, 0u);
 }
 
+TEST(EventDrivenProperty, ChurnNeverBreaksConservationFloorsOrCeilings)
+{
+    // ~kCases random demand-churn schedules against event-driven
+    // (hysteresis > 0) surrogate trees: every period, each node's demand
+    // may jump to a new utilization. Whatever the churn and whatever the
+    // band, dirty-subtree rebalancing must never break the invariants the
+    // legacy control plane guarantees: per-view conservation within
+    // tolerance, every enforced cap inside [floor, TDP], offline leaves
+    // holding no grant. (The band only decides WHEN the tree recomputes,
+    // never WHAT a recomputation is allowed to produce.)
+    util::Rng rng(0xEDA);
+    for (int c = 0; c < kCases; ++c) {
+        cluster::BudgetTree::Options opts;
+        const int racks = 2 + int(rng.uniformInt(3));
+        const int nodesPerRack = 2 + int(rng.uniformInt(5));
+        opts.globalBudgetWatts =
+            rng.uniform(80.0, 220.0) * racks * nodesPerRack;
+        opts.threads = 1;
+        opts.hysteresisWatts = rng.uniform(0.5, 10.0);
+        cluster::BudgetTree tree(opts);
+        const char* apps[3] = {"x264", "kmeans", "swish++"};
+        for (int r = 0; r < racks; ++r) {
+            tree.addRack("rack" + std::to_string(r));
+            for (int n = 0; n < nodesPerRack; ++n) {
+                tree.addSurrogateNode(
+                    size_t(r),
+                    "r" + std::to_string(r) + "n" + std::to_string(n),
+                    apps[(r + n) % 3], harness::GovernorKind::kPupil,
+                    uint64_t(c * 97 + r * 8 + n + 1));
+            }
+        }
+        for (double t = 1.0; t <= 16.0; t += 1.0) {
+            tree.run(t);
+            // Random demand churn: some nodes jump to a new utilization.
+            for (int r = 0; r < racks; ++r) {
+                for (int n = 0; n < nodesPerRack; ++n) {
+                    if (rng.bernoulli(0.25)) {
+                        tree.surrogateLeaf(size_t(r), size_t(n))
+                            ->setUtilization(rng.uniform(0.05, 1.2));
+                    }
+                }
+            }
+            EXPECT_LT(tree.budgetErrorWatts(),
+                      1e-6 * opts.globalBudgetWatts + 1e-9)
+                << "case " << c << " t=" << t
+                << " band=" << opts.hysteresisWatts;
+            for (size_t r = 0; r < tree.rackCount(); ++r) {
+                for (size_t n = 0; n < tree.nodeCount(r); ++n) {
+                    const cluster::Node& node = tree.node(r, n);
+                    if (node.capWatts != 0.0) {
+                        EXPECT_GE(node.capWatts, opts.minNodeCapWatts - 1e-9)
+                            << "case " << c << " t=" << t;
+                        EXPECT_LE(node.capWatts, opts.nodeTdpWatts + 1e-9)
+                            << "case " << c << " t=" << t;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(EventDrivenProperty, QuiescentTreePerformsZeroRebalances)
+{
+    // The point of the event-driven mode: with constant demand, once the
+    // surrogate lags have relaxed and every level has acted on the
+    // settled demand, NO further rebalance fires anywhere in the tree --
+    // heartbeat reports keep arriving (so staleness never trips), but
+    // their deltas sit inside the band and every gate suppresses. The
+    // legacy plane would have kept recomputing every level every period
+    // forever.
+    util::Rng rng(0x901E5);
+    for (int c = 0; c < 20; ++c) {
+        cluster::BudgetTree::Options opts;
+        const int racks = 2 + int(rng.uniformInt(3));
+        const int nodesPerRack = 2 + int(rng.uniformInt(4));
+        opts.globalBudgetWatts =
+            rng.uniform(100.0, 200.0) * racks * nodesPerRack;
+        opts.threads = 1;
+        opts.hysteresisWatts = rng.uniform(2.0, 8.0);
+        cluster::BudgetTree tree(opts);
+        const char* apps[3] = {"x264", "kmeans", "swish++"};
+        for (int r = 0; r < racks; ++r) {
+            tree.addRack("rack" + std::to_string(r));
+            for (int n = 0; n < nodesPerRack; ++n) {
+                cluster::SurrogateLeaf::Options leafOpts;
+                leafOpts.utilization = 0.3 + 0.1 * ((r * nodesPerRack + n) % 7);
+                tree.addSurrogateNode(
+                    size_t(r),
+                    "r" + std::to_string(r) + "n" + std::to_string(n),
+                    apps[(r + n) % 3], harness::GovernorKind::kPupil,
+                    uint64_t(c * 53 + r * 8 + n + 1), leafOpts);
+            }
+        }
+        // Converge: grants out, lags relaxed, donation deltas shrunk
+        // inside the band (the tightest bands take ~16 periods).
+        tree.run(20.0);
+        const int settledShifts = tree.shifts();
+        const uint64_t suppressedBefore = tree.rebalancesSuppressed();
+        tree.run(40.0);
+        EXPECT_EQ(tree.shifts(), settledShifts)
+            << "case " << c << ": a quiescent tree rebalanced (band="
+            << opts.hysteresisWatts << ")";
+        // And not because nothing was considered: the gates actively
+        // suppressed recomputations during the quiet stretch.
+        EXPECT_GT(tree.rebalancesSuppressed(), suppressedBefore)
+            << "case " << c;
+        EXPECT_LT(tree.budgetErrorWatts(),
+                  1e-6 * opts.globalBudgetWatts + 1e-9);
+    }
+}
+
 }  // namespace
 }  // namespace pupil

@@ -1,0 +1,379 @@
+/** @file Differential battery for the calibrated surrogate leaf
+ *  (cluster/surrogate_leaf.h): across ~100 random (application, cap,
+ *  governor) cells, a SurrogateModel calibrated from a full
+ *  Platform + governor + RAPL leaf must reproduce that leaf's
+ *  steady-state power and normalized performance within the stated
+ *  tolerances; drift re-calibration must provably trigger on a regime
+ *  change and must NOT trigger on in-tolerance noise. Plus unit coverage
+ *  for the prior, the interpolation, the leaf relaxation dynamics, the
+ *  meter-jitter channel, and the tree-level calibration plumbing. */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "capping/governor.h"
+#include "cluster/budget_tree.h"
+#include "cluster/leaf_model.h"
+#include "cluster/surrogate_leaf.h"
+#include "harness/experiment.h"
+#include "machine/config.h"
+#include "rapl/rapl.h"
+#include "sim/platform.h"
+#include "util/rng.h"
+#include "workload/catalog.h"
+
+namespace pupil {
+namespace {
+
+using cluster::FullStackLeaf;
+using cluster::SurrogateLeaf;
+using cluster::SurrogateLibrary;
+using cluster::SurrogateModel;
+
+// Stated tolerances of the differential battery. The surrogate is a
+// steady-state response table, so it must land within an honest
+// engineering envelope of the stack it stands in for -- not bit-exact:
+// the full stack has governor hunting the table deliberately averages
+// away, and several catalog apps run PHASES (STREAM flips from a 0.5- to
+// a 1.0-perf regime mid-run; ScalParC cycles its power draw between 63
+// and 119 W indefinitely), so the instantaneous response genuinely
+// depends on when you look. The battery therefore has two rings: EVERY
+// cell must land inside the loose envelope, and at least 85% of cells
+// must land inside the tight one (a phase boundary crossing between the
+// calibration window and the truth window can push an individual cell
+// into the loose ring; a systematic model error pushes the whole
+// population out of the tight ring and fails the count).
+constexpr double kPowerTolWatts = 12.0;
+constexpr double kPowerTolFraction = 0.08;  ///< of the enforced cap
+constexpr double kPerfTol = 0.15;           ///< absolute, perf is O(1)
+constexpr double kLooseScale = 2.0;
+constexpr int kMinTightCells = 85;          ///< of kCells = 100
+
+/** A standalone full-stack node, built exactly as BudgetTree::addNode
+ *  builds one (platform + RAPL firmware + node governor). */
+struct FullNode
+{
+    std::unique_ptr<sim::Platform> platform;
+    std::unique_ptr<rapl::RaplController> rapl;
+    std::unique_ptr<capping::Governor> governor;
+    std::unique_ptr<FullStackLeaf> leaf;
+};
+
+FullNode
+makeFullNode(const std::string& app, harness::GovernorKind kind,
+             uint64_t seed)
+{
+    FullNode node;
+    sim::PlatformOptions popts;
+    popts.seed = seed;
+    node.platform = std::make_unique<sim::Platform>(
+        popts, harness::singleApp(app, 16));
+    node.platform->warmStart(machine::maximalConfig());
+    node.rapl = std::make_unique<rapl::RaplController>();
+    node.governor = harness::makeGovernor(kind);
+    node.governor->attachRapl(node.rapl.get());
+    node.platform->addActor(node.rapl.get());
+    node.platform->addActor(node.governor.get());
+    node.leaf = std::make_unique<FullStackLeaf>(
+        node.platform.get(), node.governor.get(), node.rapl.get(), nullptr);
+    return node;
+}
+
+/** Enforce @p capWatts, let the stack settle for @p settlePeriods 1 s
+ *  periods, then feed one (cap, true power, perf) observation per period
+ *  into @p model for @p observePeriods more -- the tree's calibration
+ *  protocol, pointed at the settled response the model is defined over
+ *  (PUPiL's hill climb takes ~10 periods from a warm start, and samples
+ *  taken mid-climb describe a machine state the table shouldn't keep). */
+void
+calibrateAt(FullNode& node, SurrogateModel& model, double capWatts,
+            double& now, int settlePeriods, int observePeriods)
+{
+    node.leaf->applyCap(capWatts);
+    for (int p = 0; p < settlePeriods; ++p) {
+        now += 1.0;
+        node.leaf->stepTo(now);
+    }
+    for (int p = 0; p < observePeriods; ++p) {
+        now += 1.0;
+        node.leaf->stepTo(now);
+        model.observe(capWatts, node.leaf->truePower(),
+                      node.leaf->normalizedPerf());
+    }
+}
+
+TEST(SurrogateDifferential, HundredRandomCellsWithinTolerance)
+{
+    const auto& catalog = workload::benchmarkCatalog();
+    util::Rng rng(20260808);
+    constexpr int kCells = 100;
+    double maxPowerErr = 0.0;
+    double maxPerfErr = 0.0;
+    int tightCells = 0;
+    for (int cell = 0; cell < kCells; ++cell) {
+        const std::string app =
+            catalog[size_t(rng.uniformInt(catalog.size()))].name;
+        const harness::GovernorKind kind = rng.bernoulli(0.25)
+                                               ? harness::GovernorKind::kRapl
+                                               : harness::GovernorKind::kPupil;
+        const double cap = rng.uniform(60.0, 250.0);
+        const uint64_t seed = rng.next();
+
+        FullNode node = makeFullNode(app, kind, seed);
+        SurrogateModel model;
+        double now = 0.0;
+        // Absorb the governor's initial climb from the warm start (no
+        // observations: mid-climb samples describe no settled machine),
+        // then calibrate the two grid points bracketing the target cap
+        // (the points predict() interpolates between; the tree sees the
+        // same coverage as grants wander over the grid) and the target
+        // itself. Re-settling after a +-20 W cap change is fast once the
+        // governor has climbed, so those windows are short.
+        calibrateAt(node, model, cap, now, 26, 0);
+        const double span =
+            model.options().maxCapWatts - model.options().minCapWatts;
+        const double spacing = span / double(model.options().bins - 1);
+        const double loCap =
+            model.options().minCapWatts +
+            std::floor((cap - model.options().minCapWatts) / spacing) *
+                spacing;
+        calibrateAt(node, model, loCap, now, 4, 3);
+        calibrateAt(node, model, std::min(model.options().maxCapWatts,
+                                          loCap + spacing),
+                    now, 4, 3);
+        calibrateAt(node, model, cap, now, 4, 6);
+        // Ground truth: the full stack's converged response at the cap.
+        double powerSum = 0.0;
+        double perfSum = 0.0;
+        constexpr int kTruthPeriods = 4;
+        for (int p = 0; p < kTruthPeriods; ++p) {
+            now += 1.0;
+            node.leaf->stepTo(now);
+            powerSum += node.leaf->truePower();
+            perfSum += node.leaf->normalizedPerf();
+        }
+        const double truthPower = powerSum / kTruthPeriods;
+        const double truthPerf = perfSum / kTruthPeriods;
+
+        SurrogateLeaf leaf(&model, {}, seed);
+        leaf.applyCap(cap);
+        leaf.stepTo(10.0);  // >> responseTauSec: fully relaxed
+        const double powerErr = std::abs(leaf.truePower() - truthPower);
+        const double perfErr = std::abs(leaf.normalizedPerf() - truthPerf);
+        maxPowerErr = std::max(maxPowerErr, powerErr);
+        maxPerfErr = std::max(maxPerfErr, perfErr);
+        const double powerTol =
+            std::max(kPowerTolWatts, kPowerTolFraction * cap);
+        if (powerErr <= powerTol && perfErr <= kPerfTol)
+            ++tightCells;
+        EXPECT_LE(powerErr, kLooseScale * powerTol)
+            << "cell " << cell << ": " << app << " @ " << cap << " W, "
+            << (kind == harness::GovernorKind::kRapl ? "rapl" : "pupil")
+            << " -- surrogate " << leaf.truePower() << " W vs full stack "
+            << truthPower << " W";
+        EXPECT_LE(perfErr, kLooseScale * kPerfTol)
+            << "cell " << cell << ": " << app << " @ " << cap << " W, "
+            << (kind == harness::GovernorKind::kRapl ? "rapl" : "pupil")
+            << " -- surrogate perf " << leaf.normalizedPerf()
+            << " vs full stack " << truthPerf;
+    }
+    EXPECT_GE(tightCells, kMinTightCells)
+        << "too many cells needed the loose (phase-crossing) envelope";
+    // Not assertions -- a record of how tight the battery actually ran.
+    RecordProperty("tight_cells", std::to_string(tightCells));
+    RecordProperty("max_power_error_watts", std::to_string(maxPowerErr));
+    RecordProperty("max_perf_error", std::to_string(maxPerfErr));
+}
+
+TEST(SurrogateDifferential, DriftRecalibrationProvablyTriggers)
+{
+    SurrogateModel model;
+    // 150 W sits exactly on a grid point at the default 20 W spacing, so
+    // predictions there read the bin back without interpolation.
+    constexpr double kCap = 150.0;
+    for (int i = 0; i < 8; ++i)
+        model.observe(kCap, 140.0, 0.8);
+    ASSERT_EQ(model.recalibrations(), 0u);
+    EXPECT_NEAR(model.predict(kCap).powerWatts, 140.0, 1e-9);
+
+    // In-tolerance noise must fold in at the EWMA rate, not reset.
+    model.observe(kCap, 140.0 + model.options().driftPowerWatts * 0.5, 0.8);
+    EXPECT_EQ(model.recalibrations(), 0u);
+
+    // A power regime change past the drift tolerance must discard the
+    // bin's history and re-seed from the new sample in ONE observation.
+    const double shifted = 140.0 + model.options().driftPowerWatts * 3.0;
+    model.observe(kCap, shifted, 0.8);
+    EXPECT_EQ(model.recalibrations(), 1u);
+    EXPECT_NEAR(model.predict(kCap).powerWatts, shifted, 1e-9);
+
+    // Same for a perf regime change.
+    model.observe(kCap, shifted, 0.8 + model.options().driftPerf * 1.5);
+    EXPECT_EQ(model.recalibrations(), 2u);
+    EXPECT_NEAR(model.predict(kCap).perf,
+                0.8 + model.options().driftPerf * 1.5, 1e-9);
+}
+
+TEST(SurrogateModelTest, PriorAnswersBeforeCalibration)
+{
+    const SurrogateModel model;
+    EXPECT_EQ(model.samples(), 0u);
+    EXPECT_EQ(model.calibratedBins(), 0u);
+    for (double cap = 30.0; cap <= 270.0; cap += 10.0) {
+        const auto predicted = model.predict(cap);
+        const auto prior = model.prior(cap);
+        EXPECT_DOUBLE_EQ(predicted.powerWatts, prior.powerWatts);
+        EXPECT_DOUBLE_EQ(predicted.perf, prior.perf);
+        // The prior never claims more power than the cap leaves room for,
+        // and perf stays inside [0, priorPeakPerf].
+        EXPECT_LE(prior.powerWatts, cap);
+        EXPECT_GE(prior.perf, 0.0);
+        EXPECT_LE(prior.perf, model.options().priorPeakPerf + 1e-12);
+    }
+    // Monotone: more cap never predicts less prior perf.
+    double lastPerf = -1.0;
+    for (double cap = 30.0; cap <= 270.0; cap += 10.0) {
+        const double perf = model.prior(cap).perf;
+        EXPECT_GE(perf, lastPerf - 1e-12);
+        lastPerf = perf;
+    }
+}
+
+TEST(SurrogateModelTest, PredictionInterpolatesBetweenGridPoints)
+{
+    SurrogateModel model;
+    // Default grid: a point every 20 W from 30. Calibrate 130 and 150.
+    model.observe(130.0, 100.0, 0.5);
+    model.observe(150.0, 120.0, 0.7);
+    EXPECT_EQ(model.calibratedBins(), 2u);
+    const auto mid = model.predict(140.0);
+    EXPECT_NEAR(mid.powerWatts, 110.0, 1e-9);
+    EXPECT_NEAR(mid.perf, 0.6, 1e-9);
+}
+
+TEST(SurrogateLeafTest, RelaxesToThePredictedResponse)
+{
+    SurrogateModel model;
+    model.observe(150.0, 132.0, 0.85);
+    SurrogateLeaf leaf(&model, {}, 7);
+    leaf.applyCap(150.0);
+    leaf.stepTo(0.1);  // one tau-fraction in: partway there
+    EXPECT_GT(leaf.truePower(), 0.0);
+    EXPECT_LT(leaf.truePower(), 132.0);
+    leaf.stepTo(8.0);  // many taus: converged
+    EXPECT_NEAR(leaf.truePower(), 132.0, 0.5);
+    EXPECT_NEAR(leaf.normalizedPerf(), 0.85, 0.01);
+    // The enforced cap is a hard clamp even if the table overshoots.
+    leaf.applyCap(100.0);
+    leaf.stepTo(16.0);
+    EXPECT_LE(leaf.truePower(), 100.0 + 1e-9);
+}
+
+TEST(SurrogateLeafTest, UtilizationScalesTheResponseDownToIdle)
+{
+    SurrogateModel model;
+    model.observe(150.0, 132.0, 0.85);
+    SurrogateLeaf::Options options;
+    options.utilization = 0.0;
+    SurrogateLeaf leaf(&model, options, 7);
+    leaf.applyCap(150.0);
+    leaf.stepTo(8.0);
+    EXPECT_NEAR(leaf.truePower(), options.idleFloorWatts, 0.5);
+    EXPECT_NEAR(leaf.normalizedPerf(), 0.0, 0.01);
+    leaf.setUtilization(1.0);
+    leaf.stepTo(16.0);
+    EXPECT_NEAR(leaf.truePower(), 132.0, 0.5);
+}
+
+TEST(SurrogateLeafTest, MeterChannelIsCleanByDefaultAndSeededWithJitter)
+{
+    SurrogateModel model;
+    model.observe(150.0, 132.0, 0.85);
+    SurrogateLeaf clean(&model, {}, 11);
+    clean.applyCap(150.0);
+    clean.stepTo(8.0);
+    EXPECT_DOUBLE_EQ(clean.readPower(), clean.truePower());
+
+    SurrogateLeaf::Options jopts;
+    jopts.meterJitterFraction = 0.05;
+    SurrogateLeaf a(&model, jopts, 11);
+    SurrogateLeaf b(&model, jopts, 11);
+    a.applyCap(150.0);
+    b.applyCap(150.0);
+    a.stepTo(8.0);
+    b.stepTo(8.0);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(a.readPower(), b.readPower());  // same seed, same
+                                                         // meter stream
+}
+
+TEST(SurrogateLibraryTest, OneModelPerAppGovernorCell)
+{
+    SurrogateLibrary library;
+    SurrogateModel& a = library.cell("x264", 0);
+    SurrogateModel& b = library.cell("x264", 1);
+    SurrogateModel& c = library.cell("kmeans", 0);
+    EXPECT_EQ(library.cellCount(), 3u);
+    EXPECT_NE(&a, &b);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(&library.cell("x264", 0), &a);  // same cell on re-touch
+    EXPECT_EQ(library.findCell("x264", 1), &b);
+    EXPECT_EQ(library.findCell("absent", 0), nullptr);
+}
+
+/** Tree-level plumbing: sampled full-stack leaves calibrate the shared
+ *  library, surrogate leaves answer from it, and the mixed tree keeps
+ *  the conservation invariant and serial/parallel digest identity. */
+TEST(SurrogateTreeTest, CalibrationSourcesFeedTheSharedLibrary)
+{
+    auto build = [](int threads) {
+        cluster::BudgetTree::Options options;
+        options.globalBudgetWatts = 150.0 * 8;
+        options.threads = threads;
+        options.hysteresisWatts = 2.0;
+        auto tree = std::make_unique<cluster::BudgetTree>(options);
+        for (int r = 0; r < 2; ++r) {
+            const size_t rack =
+                tree->addRack("rack" + std::to_string(r));
+            for (int n = 0; n < 4; ++n) {
+                const std::string name =
+                    "r" + std::to_string(r) + "n" + std::to_string(n);
+                const uint64_t seed = uint64_t(100 + r * 4 + n);
+                if (n == 0) {
+                    const size_t i = tree->addNode(
+                        rack, name, harness::singleApp("x264", 16),
+                        harness::GovernorKind::kPupil, seed);
+                    tree->addCalibrationSource(rack, i, "x264",
+                                               harness::GovernorKind::kPupil);
+                } else {
+                    tree->addSurrogateNode(rack, name, "x264",
+                                           harness::GovernorKind::kPupil,
+                                           seed);
+                }
+            }
+        }
+        return tree;
+    };
+    auto serial = build(1);
+    auto parallel = build(0);
+    serial->run(10.0);
+    parallel->run(10.0);
+
+    const SurrogateModel* cell = serial->surrogates().findCell(
+        "x264", int(harness::GovernorKind::kPupil));
+    ASSERT_NE(cell, nullptr);
+    EXPECT_GT(cell->samples(), 0u);       // one per period per source
+    EXPECT_GT(cell->calibratedBins(), 0u);
+    EXPECT_LE(serial->budgetErrorWatts(), 1e-7 * (150.0 * 8) + 1e-9);
+    EXPECT_EQ(serial->stateDigest(), parallel->stateDigest())
+        << "mixed full-stack/surrogate tree must step identically on any "
+           "thread count";
+}
+
+}  // namespace
+}  // namespace pupil
